@@ -1,0 +1,114 @@
+//! Criterion benches for the adaptive device's per-packet path (E6's
+//! microbenchmark counterpart): owner-table LPM lookup (trie vs linear
+//! ablation) and service-graph execution.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::device::trie::{LinearTable, PrefixTrie};
+use dtcs::device::{
+    DeviceContext, EntryKind, FilterRule, MatchExpr, ModuleSpec, OwnerId, OwnerTable, PacketView,
+    ServiceGraph, ServiceSpec,
+};
+use dtcs::netsim::rng::seeded;
+use dtcs::netsim::{Addr, NodeId, PacketBuilder, Prefix, Proto, SimTime, TrafficClass};
+use rand::Rng;
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm_lookup");
+    for &n in &[100usize, 1_000, 10_000] {
+        let mut rng = seeded(7);
+        let mut trie = PrefixTrie::new();
+        let mut linear = LinearTable::new();
+        for i in 0..n {
+            let p = Prefix::new(rng.gen::<u32>(), rng.gen_range(8..=24));
+            trie.insert(p, i);
+            linear.insert(p, i);
+        }
+        let probes: Vec<Addr> = (0..1024).map(|_| Addr(rng.gen())).collect();
+        group.bench_with_input(BenchmarkId::new("trie", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(trie.lookup(probes[i]))
+            })
+        });
+        // Linear scan at 10k entries is slow; keep it to the small sizes
+        // plus one large point to show the divergence.
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) & 1023;
+                black_box(linear.lookup(probes[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_owner_table(c: &mut Criterion) {
+    let mut table = OwnerTable::new();
+    for i in 0..10_000u32 {
+        table.register(Prefix::new(i << 16, 16), OwnerId(i as u64), NodeId(0));
+    }
+    let mut rng = seeded(9);
+    let probes: Vec<Addr> = (0..1024).map(|_| Addr(rng.gen())).collect();
+    c.bench_function("owner_table_lookup_10k", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(table.owner_of(probes[i]))
+        })
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_graph");
+    for &rules in &[1usize, 16, 128] {
+        let spec = ServiceSpec::chain(
+            "bench",
+            vec![ModuleSpec::Filter {
+                rules: (0..rules)
+                    .map(|i| FilterRule {
+                        expr: MatchExpr::proto(Proto::TcpRst)
+                            .with_src(Prefix::new((i as u32) << 16, 16)),
+                        drop: true,
+                    })
+                    .collect(),
+            }],
+        );
+        let mut graph = ServiceGraph::from_spec(&spec);
+        let ctx = DeviceContext {
+            node: NodeId(0),
+            local_prefixes: vec![],
+            is_transit: true,
+        };
+        let mut events = Vec::new();
+        group.bench_with_input(BenchmarkId::new("filter_rules", rules), &rules, |b, _| {
+            let mut pkt = PacketBuilder::new(
+                Addr::new(NodeId(1), 1),
+                Addr::new(NodeId(2), 1),
+                Proto::Udp,
+                TrafficClass::Background,
+            )
+            .size(100)
+            .build(1, NodeId(1));
+            b.iter(|| {
+                let mut view = PacketView::wrap(&mut pkt);
+                black_box(graph.process(
+                    SimTime::ZERO,
+                    &ctx,
+                    &EntryKind::Transit,
+                    false,
+                    None,
+                    OwnerId(1),
+                    &mut events,
+                    &mut view,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lpm, bench_owner_table, bench_graph);
+criterion_main!(benches);

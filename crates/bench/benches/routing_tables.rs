@@ -1,0 +1,21 @@
+//! Routing-table computation cost (rayon-parallel all-pairs Dijkstra):
+//! the one-time per-scenario cost that bounds experiment sweep sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::{Routing, Topology};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_compute");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 1000] {
+        let topo = Topology::barabasi_albert(n, 2, 0.1, 5);
+        group.bench_with_input(BenchmarkId::new("all_pairs", n), &n, |b, _| {
+            b.iter(|| Routing::compute(&topo))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

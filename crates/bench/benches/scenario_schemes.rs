@@ -1,0 +1,51 @@
+//! Whole-scenario benches: one reflector attack + workload per mitigation
+//! scheme (small configuration — this is the E2 engine measured for cost,
+//! not its outcome).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::attack::ReflectorAttackConfig;
+use dtcs::netsim::SimTime;
+use dtcs::{run_scenario, ScenarioConfig, Scheme, TcsStaticConfig};
+
+fn small() -> ScenarioConfig {
+    ScenarioConfig {
+        n_nodes: 80,
+        attack: ReflectorAttackConfig {
+            n_agents: 25,
+            n_reflectors: 40,
+            agent_rate_pps: 40.0,
+            start_at: SimTime::from_secs(1),
+            stop_at: SimTime::from_secs(6),
+            ..Default::default()
+        },
+        n_clients: 10,
+        n_collateral_clients: 8,
+        duration: SimTime::from_secs(8),
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(10);
+    let cases = vec![
+        ("none", Scheme::None),
+        ("tcs", Scheme::Tcs(TcsStaticConfig::default())),
+        (
+            "pushback",
+            Scheme::Pushback(dtcs::mitigation::PushbackConfig::default()),
+        ),
+    ];
+    for (name, scheme) in cases {
+        let cfg = small();
+        group.bench_with_input(BenchmarkId::new("scheme", name), &scheme, |b, scheme| {
+            b.iter(|| run_scenario(&cfg, scheme))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

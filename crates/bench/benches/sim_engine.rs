@@ -1,0 +1,54 @@
+//! Engine benches: raw event throughput of the discrete-event core under
+//! a steady packet workload (the substrate cost every experiment pays).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::{Addr, NodeId, PacketBuilder, Proto, SimTime, Simulator, Topology, TrafficClass};
+
+fn run_workload(n_nodes: usize, pkts: u64) -> u64 {
+    let topo = Topology::barabasi_albert(n_nodes, 2, 0.1, 3);
+    let mut sim = Simulator::new(topo, 3);
+    for i in 0..n_nodes {
+        sim.install_app(Addr::new(NodeId(i), 1), Box::new(dtcs::netsim::SinkApp));
+    }
+    for k in 0..pkts {
+        let from = NodeId((k as usize * 17) % n_nodes);
+        let to = Addr::new(NodeId((k as usize * 31 + 7) % n_nodes), 1);
+        let at = SimTime(k * 10_000);
+        sim.schedule(at, move |s| {
+            s.emit_now(
+                from,
+                PacketBuilder::new(Addr::new(from, 2), to, Proto::Udp, TrafficClass::Background)
+                    .size(200)
+                    .flow(k),
+            );
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    sim.stats.events
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("ba_nodes", n), &n, |b, &n| {
+            b.iter(|| run_workload(n, 5_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    for &n in &[200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("barabasi_albert", n), &n, |b, &n| {
+            b.iter(|| Topology::barabasi_albert(n, 2, 0.1, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_topology);
+criterion_main!(benches);

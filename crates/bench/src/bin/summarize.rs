@@ -1,0 +1,172 @@
+//! Results digest and cross-experiment consistency checker.
+//!
+//! Reads `results/e*.json` (written by the `experiments` binary) and
+//! prints a one-screen digest of the headline numbers, then verifies the
+//! cross-experiment invariants that must hold if the suite is coherent:
+//!
+//! * E2's and E4's undefended baselines come from the identical scenario
+//!   and must agree exactly (determinism check across runs);
+//! * every E8 verifier case must be `ok`;
+//! * E5's attack byte·hops must fall monotonically with coverage per
+//!   placement;
+//! * E3 survival at zero coverage must be ~1 (nothing filters).
+//!
+//! Usage: `summarize [--dir results]` — exits non-zero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn load(dir: &std::path::Path, id: &str) -> Option<Value> {
+    let path = dir.join(format!("{id}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// The raw rows of the table whose title contains `needle`.
+fn table_raw<'a>(report: &'a Value, needle: &str) -> Option<&'a Vec<Value>> {
+    report["tables"].as_array()?.iter().find_map(|t| {
+        if t["title"].as_str()?.contains(needle) {
+            t["raw"].as_array()
+        } else {
+            None
+        }
+    })
+}
+
+fn find_row<'a>(rows: &'a [Value], key: &str, value: &str) -> Option<&'a Value> {
+    rows.iter().find(|r| r[key].as_str() == Some(value))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = args
+        .iter()
+        .position(|a| a == "--dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+
+    let mut failures: Vec<String> = Vec::new();
+    let say = |line: String| println!("{line}");
+
+    println!("== results digest ({}) ==\n", dir.display());
+
+    // --- E2 headline -----------------------------------------------------
+    let e2 = load(&dir, "e2");
+    if let Some(e2) = &e2 {
+        if let Some(rows) = table_raw(e2, "scheme outcomes") {
+            for scheme in ["none", "pushback", "sos-overlay", "tcs(30%)"] {
+                if let Some(r) = find_row(rows, "scheme", scheme) {
+                    say(format!(
+                        "E2  {:<22} legit={:.3}  collateral={:.3}",
+                        scheme,
+                        r["legit_success"].as_f64().unwrap_or(f64::NAN),
+                        r["collateral_success"].as_f64().unwrap_or(f64::NAN),
+                    ));
+                }
+            }
+        }
+    } else {
+        failures.push("e2.json missing/unreadable".into());
+    }
+
+    // --- Consistency: E2 none == E4 none ---------------------------------
+    if let (Some(e2), Some(e4)) = (&e2, load(&dir, "e4")) {
+        let a = table_raw(e2, "scheme outcomes").and_then(|r| find_row(r, "scheme", "none"));
+        let b = table_raw(&e4, "victim service").and_then(|r| find_row(r, "scheme", "none"));
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                for key in ["legit_success", "attack_byte_hops", "victim_overloaded"] {
+                    if a[key] != b[key] {
+                        failures.push(format!(
+                            "E2/E4 'none' baselines disagree on {key}: {} vs {}",
+                            a[key], b[key]
+                        ));
+                    }
+                }
+                say("\nE2/E4 shared baseline: identical (cross-run determinism holds)".into());
+            }
+            _ => failures.push("could not locate E2/E4 'none' rows".into()),
+        }
+    }
+
+    // --- E8: every verifier case ok ---------------------------------------
+    if let Some(e8) = load(&dir, "e8") {
+        if let Some(rows) = table_raw(&e8, "adversarial") {
+            let bad: Vec<&Value> = rows
+                .iter()
+                .filter(|r| r["ok"].as_bool() != Some(true))
+                .collect();
+            if bad.is_empty() {
+                say(format!(
+                    "E8  safety verifier: {}/{} adversarial cases rejected correctly",
+                    rows.len(),
+                    rows.len()
+                ));
+            } else {
+                failures.push(format!("E8 has {} failing verifier cases", bad.len()));
+            }
+        }
+    } else {
+        failures.push("e8.json missing/unreadable".into());
+    }
+
+    // --- E5: byte-hops monotone in coverage per placement -----------------
+    if let Some(e5) = load(&dir, "e5") {
+        if let Some(rows) = table_raw(&e5, "coverage sweep") {
+            for placement in ["top-degree", "random"] {
+                let mut series: Vec<(f64, f64)> = rows
+                    .iter()
+                    .filter(|r| r["placement"].as_str() == Some(placement))
+                    .filter_map(|r| {
+                        Some((r["fraction"].as_f64()?, r["attack_byte_hops"].as_f64()?))
+                    })
+                    .collect();
+                series.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let monotone = series.windows(2).all(|w| w[1].1 <= w[0].1 * 1.05);
+                if monotone {
+                    say(format!(
+                        "E5  {placement}: attack byte-hops fall monotonically over {} coverage points",
+                        series.len()
+                    ));
+                } else {
+                    failures.push(format!("E5 {placement} byte-hops not monotone: {series:?}"));
+                }
+            }
+        }
+    } else {
+        failures.push("e5.json missing/unreadable".into());
+    }
+
+    // --- E3: zero coverage filters nothing --------------------------------
+    if let Some(e3) = load(&dir, "e3") {
+        if let Some(rows) = table_raw(&e3, "power-law") {
+            for r in rows.iter().filter(|r| r["fraction"].as_f64() == Some(0.0)) {
+                let surv = r["survival_ratio"].as_f64().unwrap_or(0.0);
+                // TCS at fraction 0 still includes the victim's own AS.
+                if surv < 0.95 {
+                    failures.push(format!(
+                        "E3 zero-coverage survival suspiciously low: {} = {surv}",
+                        r["strategy"]
+                    ));
+                }
+            }
+            say("E3  zero-coverage baselines sane (nothing filters without deployment)".into());
+        }
+    } else {
+        failures.push("e3.json missing/unreadable".into());
+    }
+
+    println!();
+    if failures.is_empty() {
+        println!("all cross-experiment consistency checks passed.");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("CONSISTENCY FAILURE: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,189 @@
+//! E12 — Deployment incentives (Sec. 4.6).
+//!
+//! "Malicious or illegitimate traffic can now be filtered closer to the
+//! source. This frees valuable bandwidth resources…" — the paper's pitch
+//! to ISPs. This experiment measures it from the ISP's chair: partition
+//! the internet into provider cones, run the same reflector attack with
+//! and without a partial TCS deployment, and account each ISP's attack
+//! bytes carried (from the per-link ground-truth counters). The split
+//! between deployers and non-deployers quantifies both the direct benefit
+//! and the free-rider effect.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use dtcs::attack::{install_clients, ReflectorAttack, ReflectorAttackConfig};
+use dtcs::control::partition_by_provider;
+use dtcs::mitigation::Placement;
+use dtcs::netsim::{NodeId, Prefix, SimDuration, SimTime, Simulator, Topology};
+use dtcs::{deploy_tcs_static, TcsStaticConfig};
+
+use crate::util::{f, Report, Table};
+
+#[derive(Serialize, Clone)]
+struct IspRow {
+    isp: usize,
+    routers: usize,
+    deployed: bool,
+    attack_mb_undefended: f64,
+    attack_mb_defended: f64,
+    saved_pct: f64,
+}
+
+/// Attack bytes carried per ISP (sum over its routers' incident links,
+/// halved since both endpoints count each link once here via ownership by
+/// lower node id).
+fn attack_bytes_per_isp(sim: &Simulator, isp_of: &BTreeMap<usize, usize>) -> BTreeMap<usize, u64> {
+    let mut per_isp: BTreeMap<usize, u64> = BTreeMap::new();
+    for link in &sim.topo.links {
+        let bytes: u64 = link.dirs.iter().map(|d| d.attack_bytes_sent).sum();
+        // Attribute half to each endpoint's ISP (a link burdens both).
+        for end in [link.a, link.b] {
+            if let Some(&isp) = isp_of.get(&end.0) {
+                *per_isp.entry(isp).or_insert(0) += bytes / 2;
+            }
+        }
+    }
+    per_isp
+}
+
+fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
+    let n = if quick { 120 } else { 250 };
+    let topo = Topology::barabasi_albert(n, 2, 0.1, 88);
+    let mut sim = Simulator::new(topo, 88);
+    let victim_node = sim.topo.stub_nodes()[2];
+    let mut deployed_nodes = Vec::new();
+    if deploy {
+        let dep = deploy_tcs_static(
+            &mut sim,
+            Prefix::of_node(victim_node),
+            &TcsStaticConfig {
+                fraction: 0.25,
+                // Random placement: entire provider cones stay undeployed,
+                // making the free-rider group visible.
+                placement: Placement::Random,
+                seed: 88,
+                ..Default::default()
+            },
+        );
+        deployed_nodes = dep.nodes;
+    }
+    let dur = if quick { 15u64 } else { 25 };
+    let _attack = ReflectorAttack::install(
+        &mut sim,
+        victim_node,
+        &ReflectorAttackConfig {
+            n_agents: if quick { 60 } else { 100 },
+            n_reflectors: if quick { 80 } else { 150 },
+            agent_rate_pps: 60.0,
+            start_at: SimTime::from_secs(2),
+            stop_at: SimTime::from_secs(dur - 2),
+            seed: 88,
+            ..Default::default()
+        },
+    );
+    let _clients = install_clients(
+        &mut sim,
+        dtcs::netsim::Addr::new(victim_node, dtcs::attack::hosts::SERVICE),
+        15,
+        SimDuration::from_millis(250),
+        SimTime::from_secs(dur),
+        88,
+    );
+    sim.run_until(SimTime::from_secs(dur));
+    (sim, deployed_nodes)
+}
+
+/// Run E12.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new(
+        "e12",
+        "ISP incentives: attack bandwidth saved per provider",
+        "Sec. 4.6",
+    );
+    let (sim_base, _) = run_once(false, quick);
+    let (sim_tcs, deployed) = run_once(true, quick);
+
+    // ISP partition (identical for both runs: same topology/seed).
+    let isps = partition_by_provider(&sim_base);
+    let mut isp_of: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, isp) in isps.iter().enumerate() {
+        for &node in &isp.managed {
+            isp_of.insert(node.0, i);
+        }
+    }
+    let base = attack_bytes_per_isp(&sim_base, &isp_of);
+    let with = attack_bytes_per_isp(&sim_tcs, &isp_of);
+
+    let mut rows: Vec<IspRow> = isps
+        .iter()
+        .enumerate()
+        .map(|(i, isp)| {
+            let b = *base.get(&i).unwrap_or(&0) as f64 / 1e6;
+            let w = *with.get(&i).unwrap_or(&0) as f64 / 1e6;
+            IspRow {
+                isp: i,
+                routers: isp.managed.len(),
+                deployed: isp.managed.iter().any(|n| deployed.contains(n)),
+                attack_mb_undefended: b,
+                attack_mb_defended: w,
+                saved_pct: if b > 0.0 { (1.0 - w / b) * 100.0 } else { 0.0 },
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.attack_mb_undefended.total_cmp(&a.attack_mb_undefended));
+
+    let mut t = Table::new(
+        "attack megabytes carried per ISP, without vs with a 25% TCS deployment",
+        &["isp", "routers", "deployed", "attack_MB_before", "attack_MB_after", "saved_%"],
+    );
+    for r in rows.iter().take(12) {
+        t.push(
+            vec![
+                r.isp.to_string(),
+                r.routers.to_string(),
+                r.deployed.to_string(),
+                f(r.attack_mb_undefended),
+                f(r.attack_mb_defended),
+                format!("{:.1}", r.saved_pct),
+            ],
+            r,
+        );
+    }
+    report.table(t);
+
+    // Aggregate: deployers vs free riders.
+    let agg = |pred: bool| -> (f64, f64) {
+        rows.iter()
+            .filter(|r| r.deployed == pred)
+            .fold((0.0, 0.0), |(b, w), r| {
+                (b + r.attack_mb_undefended, w + r.attack_mb_defended)
+            })
+    };
+    let (db, dw) = agg(true);
+    let (fb, fw) = agg(false);
+    let mut t = Table::new(
+        "aggregate: deployers vs non-deployers",
+        &["group", "attack_MB_before", "attack_MB_after", "saved_%"],
+    );
+    for (name, b, w) in [("deployers", db, dw), ("free-riders", fb, fw)] {
+        t.push(
+            vec![
+                name.to_string(),
+                f(b),
+                f(w),
+                format!("{:.1}", if b > 0.0 { (1.0 - w / b) * 100.0 } else { 0.0 }),
+            ],
+            &(name, b, w),
+        );
+    }
+    report.table(t);
+    report.note(
+        "Deploying ISPs shed the bulk of the attack bytes they previously hauled (the \
+         premium-service pitch of Sec. 4.6), and the savings spill over to non-deployers \
+         too — filtering near the source frees everyone's links, which is simultaneously \
+         the incentive and the free-rider tension of incremental roll-out.",
+    );
+    report
+}

@@ -1,0 +1,235 @@
+//! E3 — Anti-spoofing effectiveness vs deployment coverage
+//! (Sec. 3.2's Park & Lee citation: route-based filtering on power-law
+//! internets is "highly effective … even if only approximately 20% of the
+//! autonomous systems have it in place").
+//!
+//! Spoofed probes (claiming the victim's source address, as reflector
+//! agents do) are injected from random stub ASes toward random
+//! destinations; the metric is the fraction that survive. Swept over the
+//! deployment fraction for four strategies: static ingress filtering vs
+//! the TCS anti-spoofing service, each placed randomly or at top-degree
+//! ASes first. The TCS rows measure *one victim's* on-demand deployment;
+//! the ingress rows require whole-AS altruism for the same effect.
+
+use rayon::prelude::*;
+use serde::Serialize;
+
+use dtcs::attack::hosts;
+use dtcs::mitigation::{deploy_ingress, Placement};
+use dtcs::netsim::rng::{child_seed, seeded};
+use dtcs::netsim::{
+    Addr, PacketBuilder, Prefix, Proto, SimTime, Simulator, Topology, TrafficClass,
+};
+use dtcs::{deploy_tcs_static, TcsStaticConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::util::{f, Report, Table};
+
+#[derive(Serialize, Clone)]
+struct Row {
+    strategy: String,
+    fraction: f64,
+    probes: u64,
+    survived: u64,
+    survival_ratio: f64,
+    mean_stop_distance: Option<f64>,
+}
+
+#[derive(Clone, Copy)]
+enum Strategy {
+    Ingress(Placement),
+    Tcs(Placement),
+}
+
+impl Strategy {
+    fn label(self) -> String {
+        match self {
+            Strategy::Ingress(Placement::Random) => "ingress/random".into(),
+            Strategy::Ingress(_) => "ingress/top-degree".into(),
+            Strategy::Tcs(Placement::Random) => "tcs/random".into(),
+            Strategy::Tcs(_) => "tcs/top-degree".into(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum TopoKind {
+    PowerLaw,
+    Waxman,
+}
+
+fn one(
+    strategy: Strategy,
+    fraction: f64,
+    n_nodes: usize,
+    probes: u64,
+    seed: u64,
+    kind: TopoKind,
+) -> Row {
+    let topo = match kind {
+        TopoKind::PowerLaw => Topology::barabasi_albert(n_nodes, 2, 0.1, seed),
+        TopoKind::Waxman => Topology::waxman(n_nodes, 0.4, 0.15, 0.1, seed),
+    };
+    let mut sim = Simulator::new(topo, seed);
+    let stubs = sim.topo.stub_nodes();
+    let victim_node = stubs[3 % stubs.len()];
+    let victim = Addr::new(victim_node, hosts::SERVICE);
+
+    match strategy {
+        Strategy::Ingress(p) => {
+            deploy_ingress(&mut sim, fraction, p, child_seed(seed, 3));
+        }
+        Strategy::Tcs(p) => {
+            deploy_tcs_static(
+                &mut sim,
+                Prefix::of_node(victim_node),
+                &TcsStaticConfig {
+                    fraction,
+                    placement: p,
+                    dst_firewall: false, // isolate the anti-spoofing effect
+                    seed: child_seed(seed, 3),
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    // Targets: service hosts on random stubs (with listeners, so
+    // deliveries are counted as deliveries, not NoListener drops).
+    let mut rng = seeded(child_seed(seed, 9));
+    let mut targets: Vec<Addr> = stubs
+        .iter()
+        .filter(|&&n| n != victim_node)
+        .map(|&n| Addr::new(n, hosts::SERVICE))
+        .collect();
+    targets.shuffle(&mut rng);
+    targets.truncate(40.min(targets.len()));
+    for &t in &targets {
+        sim.install_app(t, Box::new(dtcs::netsim::SinkApp));
+    }
+
+    // Spoofed probes claiming the victim's address, from random stubs —
+    // exactly the packets a reflector agent emits.
+    for k in 0..probes {
+        let from = stubs[rng.gen_range(0..stubs.len())];
+        if from == victim_node {
+            continue;
+        }
+        let dst = targets[rng.gen_range(0..targets.len())];
+        let at = SimTime(k * 500_000); // 2000 pps total, spread out
+        sim.schedule(at, move |s| {
+            s.emit_now(
+                from,
+                PacketBuilder::new(victim, dst, Proto::TcpSyn, TrafficClass::AttackDirect)
+                    .size(40)
+                    .flow(k),
+            );
+        });
+    }
+    sim.run_until(SimTime::from_secs(10));
+
+    let c = sim.stats.class(TrafficClass::AttackDirect);
+    Row {
+        strategy: strategy.label(),
+        fraction,
+        probes: c.sent_pkts,
+        survived: c.delivered_pkts,
+        survival_ratio: c.delivered_pkts as f64 / c.sent_pkts.max(1) as f64,
+        mean_stop_distance: sim.stats.mean_stop_distance_all(TrafficClass::AttackDirect),
+    }
+}
+
+/// Run E3.
+pub fn run(quick: bool) -> Report {
+    let mut report = Report::new(
+        "e3",
+        "Spoofed-packet survival vs deployment coverage",
+        "Sec. 3.2 (Park & Lee)",
+    );
+    let n_nodes = if quick { 150 } else { 400 };
+    let probes = if quick { 1200 } else { 4000 };
+    let fractions: Vec<f64> = if quick {
+        vec![0.0, 0.1, 0.2, 0.4, 0.8]
+    } else {
+        vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
+    };
+    let strategies = [
+        Strategy::Ingress(Placement::Random),
+        Strategy::Ingress(Placement::TopDegree),
+        Strategy::Tcs(Placement::Random),
+        Strategy::Tcs(Placement::TopDegree),
+    ];
+    let cases: Vec<(Strategy, f64)> = strategies
+        .iter()
+        .flat_map(|&s| fractions.iter().map(move |&fr| (s, fr)))
+        .collect();
+    let rows: Vec<Row> = cases
+        .par_iter()
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::PowerLaw))
+        .collect();
+
+    let mut t = Table::new(
+        "spoofed-probe survival, power-law (BA) internet",
+        &["strategy", "fraction", "probes", "survived", "survival", "stop_dist"],
+    );
+    for r in &rows {
+        t.push(
+            vec![
+                r.strategy.clone(),
+                format!("{:.2}", r.fraction),
+                r.probes.to_string(),
+                r.survived.to_string(),
+                f(r.survival_ratio),
+                crate::util::fopt(r.mean_stop_distance),
+            ],
+            r,
+        );
+    }
+    report.table(t);
+
+    // Topology-family contrast: Park & Lee's striking 20% number is a
+    // *power-law* phenomenon (a few hubs cover most paths). On a Waxman
+    // random-geometric internet there are no such hubs, so top-degree
+    // placement loses most of its edge — measured here with the TCS rows.
+    let wax_cases: Vec<(Strategy, f64)> = [
+        Strategy::Tcs(Placement::Random),
+        Strategy::Tcs(Placement::TopDegree),
+    ]
+    .iter()
+    .flat_map(|&s| fractions.iter().map(move |&fr| (s, fr)))
+    .collect();
+    let wax_rows: Vec<Row> = wax_cases
+        .par_iter()
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::Waxman))
+        .collect();
+    let mut t = Table::new(
+        "same sweep on a Waxman (no-hub) internet",
+        &["strategy", "fraction", "survival", "stop_dist"],
+    );
+    for r in &wax_rows {
+        t.push(
+            vec![
+                r.strategy.clone(),
+                format!("{:.2}", r.fraction),
+                f(r.survival_ratio),
+                crate::util::fopt(r.mean_stop_distance),
+            ],
+            r,
+        );
+    }
+    report.table(t);
+
+    // The headline check: top-degree placement at 20%.
+    if let Some(r) = rows
+        .iter()
+        .find(|r| r.strategy == "tcs/top-degree" && (r.fraction - 0.2).abs() < 1e-9)
+    {
+        report.note(format!(
+            "At 20% coverage (top-degree), TCS anti-spoofing already stops {:.0}% of spoofed \
+             probes — the Park & Lee shape the paper leans on.",
+            (1.0 - r.survival_ratio) * 100.0
+        ));
+    }
+    report
+}

@@ -1,0 +1,47 @@
+//! # dtcs-bench — experiment harness
+//!
+//! One module per experiment of EXPERIMENTS.md (E1–E11), each regenerating
+//! a table/figure-equivalent of the reproduced paper. The `experiments`
+//! binary runs them and writes JSON reports under `results/`.
+
+#![warn(missing_docs)]
+
+pub mod e1;
+pub mod e10;
+pub mod e11;
+pub mod e12;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod e9;
+pub mod util;
+
+use util::Report;
+
+/// All experiment ids in order.
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str, quick: bool) -> Option<Report> {
+    match id {
+        "e1" => Some(e1::run(quick)),
+        "e2" => Some(e2::run(quick)),
+        "e3" => Some(e3::run(quick)),
+        "e4" => Some(e4::run(quick)),
+        "e5" => Some(e5::run(quick)),
+        "e6" => Some(e6::run(quick)),
+        "e7" => Some(e7::run(quick)),
+        "e8" => Some(e8::run(quick)),
+        "e9" => Some(e9::run(quick)),
+        "e10" => Some(e10::run(quick)),
+        "e11" => Some(e11::run(quick)),
+        "e12" => Some(e12::run(quick)),
+        _ => None,
+    }
+}

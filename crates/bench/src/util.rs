@@ -1,0 +1,174 @@
+//! Experiment harness plumbing: reports, tables, JSON output.
+
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// One printable + serialisable table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Display rows.
+    pub rows: Vec<Vec<String>>,
+    /// Raw machine-readable rows.
+    pub raw: Vec<Value>,
+}
+
+impl Table {
+    /// Empty table with a caption and header.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            raw: Vec::new(),
+        }
+    }
+
+    /// Append a display row plus its machine-readable form.
+    pub fn push<T: Serialize>(&mut self, cells: Vec<String>, raw: &T) {
+        self.rows.push(cells);
+        self.raw
+            .push(serde_json::to_value(raw).expect("serialisable row"));
+    }
+
+    /// Print aligned.
+    pub fn print(&self) {
+        println!("\n--- {} ---", self.title);
+        dtcs::print_table(&self.header, &self.rows);
+    }
+}
+
+/// A whole experiment's output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id (e.g. "e3").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Paper anchor (section/figure the experiment reproduces).
+    pub anchor: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Free-form observations recorded by the experiment.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New report.
+    pub fn new(id: &str, title: &str, anchor: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            anchor: anchor.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a table.
+    pub fn table(&mut self, t: Table) {
+        self.tables.push(t);
+    }
+
+    /// Attach a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Print everything.
+    pub fn print(&self) {
+        println!("\n==================================================================");
+        println!("{}: {}   [{}]", self.id.to_uppercase(), self.title, self.anchor);
+        println!("==================================================================");
+        for t in &self.tables {
+            t.print();
+        }
+        for n in &self.notes {
+            println!("note: {n}");
+        }
+    }
+
+    /// Write JSON next to the workspace (`results/<id>.json`).
+    pub fn save(&self, dir: &Path) {
+        fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(&path, serde_json::to_string_pretty(self).expect("json"))
+            .expect("write report");
+        println!("[saved {}]", path.display());
+    }
+}
+
+/// Format a float cell.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Format an optional float cell.
+pub fn fopt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => f(v),
+        None => "-".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_and_raw_stay_in_sync() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push(vec!["1".into(), "2".into()], &(1, 2));
+        t.push(vec!["3".into(), "4".into()], &(3, 4));
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.raw.len(), 2);
+        assert_eq!(t.raw[1], serde_json::json!([3, 4]));
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut r = Report::new("eX", "title", "Sec. 0");
+        let mut t = Table::new("t", &["k"]);
+        t.push(vec!["v".into()], &"v");
+        r.table(t);
+        r.note("a note");
+        let json = serde_json::to_string(&r).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["id"], "eX");
+        assert_eq!(v["tables"][0]["rows"][0][0], "v");
+        assert_eq!(v["notes"][0], "a note");
+    }
+
+    #[test]
+    fn save_writes_json_file() {
+        let dir = std::env::temp_dir().join("dtcs_bench_util_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let r = Report::new("etest", "t", "a");
+        r.save(&dir);
+        let content = std::fs::read_to_string(dir.join("etest.json")).unwrap();
+        assert!(content.contains("\"etest\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(f(1234.0), "1.234e3");
+        assert_eq!(f(0.001), "1.000e-3");
+        assert_eq!(fopt(None), "-");
+        assert_eq!(fopt(Some(2.0)), "2.000");
+    }
+}

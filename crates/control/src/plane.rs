@@ -1,0 +1,1043 @@
+//! The live control plane: protocol agents for the Fig. 4 registration and
+//! Fig. 5 deployment sequences.
+//!
+//! Four roles from the paper's network model (Fig. 3) run as simulator
+//! agents exchanging out-of-band control messages with realistic
+//! path-propagation delays, so experiment E7 can measure real end-to-end
+//! control-plane latency:
+//!
+//! * [`AuthorityAgent`] — the Internet number authority;
+//! * [`TcspAgent`] — the traffic control service provider (one-stop
+//!   registration, request fan-out to ISPs);
+//! * [`NmsAgent`] — an ISP's network management system, driving the
+//!   adaptive devices on that ISP's routers;
+//! * [`UserAgent`] — a network user executing register → deploy →
+//!   confirm, with a timeout fallback straight to the ISPs when the TCSP
+//!   is unreachable (Sec. 5.1: "particularly useful if … the TCSP can no
+//!   longer be reached, e.g. because of an ongoing DDoS attack on the
+//!   TCSP").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dtcs_device::{DeviceCommand, DeviceReply, OwnerId, Stage};
+use dtcs_netsim::{
+    AgentCtx, ControlMsg, LinkId, NodeAgent, NodeId, Packet, Prefix, SimDuration, SimTime,
+    Verdict,
+};
+
+use crate::authority::InternetNumberAuthority;
+use crate::catalog::CatalogService;
+use crate::identity::{Certificate, UserId};
+
+/// Per-message processing overhead added on top of path propagation.
+const PROC_DELAY: SimDuration = SimDuration(2_000_000); // 2 ms
+
+/// Scope of a deployment request (Fig. 5: "the network user may scope the
+/// deployment according to different criteria (e.g. only on border routers
+/// of stub networks)").
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeployScope {
+    /// Every device-equipped router of every contracted ISP.
+    AllManaged,
+    /// Only transit routers with stub customers (stub borders).
+    StubBorders,
+    /// The `k` highest-degree managed routers.
+    TopDegree(usize),
+    /// An explicit node set.
+    Nodes(Vec<NodeId>),
+}
+
+/// Why a registration failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegistrationError {
+    /// The number authority denied ownership of a claimed prefix.
+    OwnershipDenied,
+}
+
+/// Control-plane messages.
+#[derive(Clone, Debug)]
+pub enum CpMsg {
+    /// User → TCSP: register for the TC service (Fig. 4).
+    RegisterRequest {
+        /// The requesting user.
+        user: UserId,
+        /// Claimed prefixes.
+        claimed: Vec<Prefix>,
+        /// Node to confirm to.
+        reply_to: NodeId,
+    },
+    /// TCSP → authority: verify claimed ownership.
+    VerifyOwnership {
+        /// Transaction id.
+        txn: u64,
+        /// The claiming user.
+        user: UserId,
+        /// Claimed prefixes.
+        prefixes: Vec<Prefix>,
+        /// Node to answer to.
+        reply_to: NodeId,
+    },
+    /// Authority → TCSP: verification result.
+    OwnershipResult {
+        /// Transaction id.
+        txn: u64,
+        /// Ownership confirmed?
+        ok: bool,
+    },
+    /// TCSP → user: registration outcome with certificate.
+    RegisterConfirm {
+        /// The certificate, or the failure reason.
+        result: Result<Certificate, RegistrationError>,
+    },
+    /// User → TCSP, or user → NMS (fallback): deploy a catalog service.
+    DeployRequest {
+        /// Authorisation.
+        cert: Certificate,
+        /// Service to deploy.
+        service: CatalogService,
+        /// Deployment scope.
+        scope: DeployScope,
+        /// Transaction id (chosen by the user).
+        txn: u64,
+        /// Node to confirm to.
+        reply_to: NodeId,
+        /// When true, the receiving NMS forwards the request to its peer
+        /// NMSes (ISP-to-ISP propagation, Sec. 5.1).
+        forward_to_peers: bool,
+    },
+    /// TCSP → NMS: deploy on this ISP's listed routers.
+    NmsDeploy {
+        /// Authorisation.
+        cert: Certificate,
+        /// Service to deploy.
+        service: CatalogService,
+        /// Managed nodes to configure.
+        nodes: Vec<NodeId>,
+        /// Transaction id.
+        txn: u64,
+        /// Node to ack to.
+        reply_to: NodeId,
+    },
+    /// NMS → TCSP or user: devices configured.
+    NmsAck {
+        /// Transaction id.
+        txn: u64,
+        /// Devices successfully configured.
+        configured: usize,
+        /// Installs rejected by device safety verifiers.
+        rejected: usize,
+    },
+    /// TCSP → user: whole deployment confirmed.
+    DeployConfirm {
+        /// Transaction id.
+        txn: u64,
+        /// Total devices configured.
+        configured: usize,
+        /// Total rejected installs.
+        rejected: usize,
+        /// ISPs that acked.
+        isps: usize,
+    },
+    /// User → NMS or TCSP: post-deployment operation (activate, tune,
+    /// read logs) relayed to devices.
+    OpRequest {
+        /// Authorisation.
+        cert: Certificate,
+        /// Operation to apply on every device of the user's deployment.
+        op: UserOp,
+        /// Transaction id.
+        txn: u64,
+        /// Node to confirm to.
+        reply_to: NodeId,
+    },
+}
+
+/// Which control-plane role a message is addressed to. Several roles can
+/// share one node (a transit AS may host both the TCSP and its own NMS),
+/// and node-level control delivery reaches every agent on the node, so
+/// messages carry an explicit addressee role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The traffic control service provider.
+    Tcsp,
+    /// An ISP network management system.
+    Nms,
+    /// A network user.
+    User,
+    /// The Internet number authority.
+    Authority,
+}
+
+/// Role-addressed control-plane message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Addressee role.
+    pub to: Role,
+    /// Payload.
+    pub msg: CpMsg,
+}
+
+/// Post-deployment operations (Sec. 5.1: "activate, modify specific
+/// parameters or read logs").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum UserOp {
+    /// Activate or deactivate the service.
+    SetActive(Stage, bool),
+    /// Enable/disable one module.
+    SetModule(Stage, usize, bool),
+}
+
+/// The number authority as an agent.
+pub struct AuthorityAgent {
+    registry: InternetNumberAuthority,
+}
+
+impl AuthorityAgent {
+    /// Wrap a registry.
+    pub fn new(registry: InternetNumberAuthority) -> AuthorityAgent {
+        AuthorityAgent { registry }
+    }
+}
+
+impl NodeAgent for AuthorityAgent {
+    fn name(&self) -> &'static str {
+        "number-authority"
+    }
+
+    fn on_packet(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        _pkt: &mut Packet,
+        _from: Option<LinkId>,
+    ) -> Verdict {
+        Verdict::Forward
+    }
+
+    fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+        let Some(env) = msg.get::<Envelope>() else { return };
+        if env.to != Role::Authority {
+            return;
+        }
+        if let CpMsg::VerifyOwnership {
+            txn,
+            user,
+            prefixes,
+            reply_to,
+        } = &env.msg
+        {
+            let ok = self.registry.verify_claim(*user, prefixes).is_ok();
+            let delay = ctx.path_delay(*reply_to) + PROC_DELAY;
+            ctx.send_control(
+                *reply_to,
+                delay,
+                Envelope {
+                    to: Role::Tcsp,
+                    msg: CpMsg::OwnershipResult { txn: *txn, ok },
+                },
+            );
+        }
+    }
+}
+
+/// One contracted ISP from the TCSP's point of view.
+#[derive(Clone, Debug)]
+pub struct IspContract {
+    /// Where the ISP's NMS agent lives.
+    pub nms_node: NodeId,
+    /// Routers (nodes) this ISP manages; each carries an adaptive device.
+    pub managed: Vec<NodeId>,
+}
+
+struct PendingRegistration {
+    user: UserId,
+    claimed: Vec<Prefix>,
+    reply_to: NodeId,
+}
+
+struct PendingDeploy {
+    reply_to: NodeId,
+    awaiting: usize,
+    configured: usize,
+    rejected: usize,
+    isps_acked: usize,
+}
+
+/// TCSP observability.
+#[derive(Clone, Debug, Default)]
+pub struct TcspStats {
+    /// Registrations completed successfully.
+    pub registrations_ok: u64,
+    /// Registrations denied.
+    pub registrations_denied: u64,
+    /// Deployment requests fanned out.
+    pub deployments: u64,
+    /// Requests dropped because the TCSP was marked unavailable.
+    pub dropped_unavailable: u64,
+}
+
+/// Shared handle to TCSP stats.
+pub type TcspHandle = Arc<Mutex<TcspStats>>;
+
+/// The traffic control service provider.
+pub struct TcspAgent {
+    key: u64,
+    authority_node: NodeId,
+    cert_lifetime: SimDuration,
+    isps: Vec<IspContract>,
+    /// Availability switch: scenario code flips this to simulate a DDoS
+    /// against the TCSP itself (requests are silently dropped).
+    available: Arc<Mutex<bool>>,
+    next_txn: u64,
+    pending_reg: BTreeMap<u64, PendingRegistration>,
+    pending_deploy: BTreeMap<u64, PendingDeploy>,
+    stats: TcspHandle,
+}
+
+impl TcspAgent {
+    /// New TCSP with signing `key` and contracted ISPs. Returns the agent,
+    /// its stats handle, and the availability switch.
+    pub fn new(
+        key: u64,
+        authority_node: NodeId,
+        isps: Vec<IspContract>,
+    ) -> (TcspAgent, TcspHandle, Arc<Mutex<bool>>) {
+        let stats: TcspHandle = Arc::new(Mutex::new(TcspStats::default()));
+        let available = Arc::new(Mutex::new(true));
+        (
+            TcspAgent {
+                key,
+                authority_node,
+                cert_lifetime: SimDuration::from_secs(86_400),
+                isps,
+                available: available.clone(),
+                next_txn: 1,
+                pending_reg: BTreeMap::new(),
+                pending_deploy: BTreeMap::new(),
+                stats: stats.clone(),
+            },
+            stats,
+            available,
+        )
+    }
+
+    fn resolve_scope(
+        ctx: &AgentCtx<'_>,
+        managed: &[NodeId],
+        scope: &DeployScope,
+    ) -> Vec<NodeId> {
+        match scope {
+            DeployScope::AllManaged => managed.to_vec(),
+            DeployScope::Nodes(set) => managed.iter().copied().filter(|n| set.contains(n)).collect(),
+            DeployScope::StubBorders => managed
+                .iter()
+                .copied()
+                .filter(|&n| {
+                    ctx.topo.nodes[n.0].role == dtcs_netsim::NodeRole::Transit
+                        && ctx
+                            .topo
+                            .neighbours(n)
+                            .any(|(p, _)| ctx.topo.is_customer_of(p, n))
+                })
+                .collect(),
+            DeployScope::TopDegree(k) => {
+                let mut v: Vec<NodeId> = managed.to_vec();
+                v.sort_by_key(|&n| (std::cmp::Reverse(ctx.topo.nodes[n.0].degree()), n.0));
+                v.truncate(*k);
+                v
+            }
+        }
+    }
+}
+
+impl NodeAgent for TcspAgent {
+    fn name(&self) -> &'static str {
+        "tcsp"
+    }
+
+    fn on_packet(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        _pkt: &mut Packet,
+        _from: Option<LinkId>,
+    ) -> Verdict {
+        Verdict::Forward
+    }
+
+    fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+        let Some(env) = msg.get::<Envelope>() else { return };
+        if env.to != Role::Tcsp {
+            return;
+        }
+        if !*self.available.lock() {
+            self.stats.lock().dropped_unavailable += 1;
+            return;
+        }
+        match &env.msg {
+            CpMsg::RegisterRequest {
+                user,
+                claimed,
+                reply_to,
+            } => {
+                let txn = self.next_txn;
+                self.next_txn += 1;
+                self.pending_reg.insert(
+                    txn,
+                    PendingRegistration {
+                        user: *user,
+                        claimed: claimed.clone(),
+                        reply_to: *reply_to,
+                    },
+                );
+                let delay = ctx.path_delay(self.authority_node) + PROC_DELAY;
+                ctx.send_control(
+                    self.authority_node,
+                    delay,
+                    Envelope {
+                        to: Role::Authority,
+                        msg: CpMsg::VerifyOwnership {
+                            txn,
+                            user: *user,
+                            prefixes: claimed.clone(),
+                            reply_to: ctx.node,
+                        },
+                    },
+                );
+            }
+            CpMsg::OwnershipResult { txn, ok } => {
+                let Some(pending) = self.pending_reg.remove(txn) else {
+                    return;
+                };
+                let result = if *ok {
+                    self.stats.lock().registrations_ok += 1;
+                    Ok(Certificate::issue(
+                        self.key,
+                        pending.user,
+                        pending.claimed,
+                        ctx.now + self.cert_lifetime,
+                    ))
+                } else {
+                    self.stats.lock().registrations_denied += 1;
+                    Err(RegistrationError::OwnershipDenied)
+                };
+                let delay = ctx.path_delay(pending.reply_to) + PROC_DELAY;
+                ctx.send_control(
+                    pending.reply_to,
+                    delay,
+                    Envelope {
+                        to: Role::User,
+                        msg: CpMsg::RegisterConfirm { result },
+                    },
+                );
+            }
+            CpMsg::DeployRequest {
+                cert,
+                service,
+                scope,
+                txn,
+                reply_to,
+                ..
+            } => {
+                if !cert.verify(self.key, ctx.now) {
+                    return;
+                }
+                self.stats.lock().deployments += 1;
+                let mut awaiting = 0;
+                let isps = self.isps.clone();
+                for isp in &isps {
+                    let nodes = Self::resolve_scope(ctx, &isp.managed, scope);
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    awaiting += 1;
+                    let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
+                    ctx.send_control(
+                        isp.nms_node,
+                        delay,
+                        Envelope {
+                            to: Role::Nms,
+                            msg: CpMsg::NmsDeploy {
+                                cert: cert.clone(),
+                                service: service.clone(),
+                                nodes,
+                                txn: *txn,
+                                reply_to: ctx.node,
+                            },
+                        },
+                    );
+                }
+                self.pending_deploy.insert(
+                    *txn,
+                    PendingDeploy {
+                        reply_to: *reply_to,
+                        awaiting,
+                        configured: 0,
+                        rejected: 0,
+                        isps_acked: 0,
+                    },
+                );
+                if awaiting == 0 {
+                    // Nothing matched the scope: confirm immediately.
+                    let delay = ctx.path_delay(*reply_to) + PROC_DELAY;
+                    ctx.send_control(
+                        *reply_to,
+                        delay,
+                        Envelope {
+                            to: Role::User,
+                            msg: CpMsg::DeployConfirm {
+                                txn: *txn,
+                                configured: 0,
+                                rejected: 0,
+                                isps: 0,
+                            },
+                        },
+                    );
+                    self.pending_deploy.remove(txn);
+                }
+            }
+            CpMsg::NmsAck {
+                txn,
+                configured,
+                rejected,
+            } => {
+                let done = {
+                    let Some(p) = self.pending_deploy.get_mut(txn) else {
+                        return;
+                    };
+                    p.configured += configured;
+                    p.rejected += rejected;
+                    p.isps_acked += 1;
+                    p.isps_acked >= p.awaiting
+                };
+                if done {
+                    let p = self.pending_deploy.remove(txn).expect("just checked");
+                    let delay = ctx.path_delay(p.reply_to) + PROC_DELAY;
+                    ctx.send_control(
+                        p.reply_to,
+                        delay,
+                        Envelope {
+                            to: Role::User,
+                            msg: CpMsg::DeployConfirm {
+                                txn: *txn,
+                                configured: p.configured,
+                                rejected: p.rejected,
+                                isps: p.isps_acked,
+                            },
+                        },
+                    );
+                }
+            }
+            CpMsg::OpRequest {
+                cert,
+                op,
+                txn,
+                reply_to,
+            } => {
+                if !cert.verify(self.key, ctx.now) {
+                    return;
+                }
+                // Relay to every contracted NMS.
+                for isp in self.isps.clone() {
+                    let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
+                    ctx.send_control(
+                        isp.nms_node,
+                        delay,
+                        Envelope {
+                            to: Role::Nms,
+                            msg: CpMsg::OpRequest {
+                                cert: cert.clone(),
+                                op: *op,
+                                txn: *txn,
+                                reply_to: *reply_to,
+                            },
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct NmsPendingDeploy {
+    txn: u64,
+    reply_to: NodeId,
+    reply_role: Role,
+    awaiting: usize,
+    configured: usize,
+    rejected: usize,
+}
+
+/// An ISP's network management system.
+pub struct NmsAgent {
+    tcsp_key: u64,
+    /// Device-equipped routers this ISP manages.
+    managed: Vec<NodeId>,
+    /// Peer NMS nodes for ISP-to-ISP forwarding.
+    peers: Vec<NodeId>,
+    pending: Vec<NmsPendingDeploy>,
+    /// Deployments this NMS has executed (service name, node count).
+    pub log: Vec<(String, usize)>,
+}
+
+impl NmsAgent {
+    /// New NMS managing `managed` routers.
+    pub fn new(tcsp_key: u64, managed: Vec<NodeId>, peers: Vec<NodeId>) -> NmsAgent {
+        NmsAgent {
+            tcsp_key,
+            managed,
+            peers,
+            pending: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deploy_on(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        cert: &Certificate,
+        service: &CatalogService,
+        nodes: &[NodeId],
+        txn: u64,
+        reply_to: NodeId,
+        reply_role: Role,
+    ) {
+        let owner = OwnerId(cert.user.0);
+        let stage = service.stage();
+        let spec = service.compile();
+        let contact = reply_to; // telemetry goes to the requesting user
+        let mut sent = 0;
+        for &node in nodes {
+            if !self.managed.contains(&node) {
+                continue;
+            }
+            let delay = ctx.path_delay(node) + PROC_DELAY;
+            ctx.send_control(
+                node,
+                delay,
+                DeviceCommand::RegisterOwner {
+                    owner,
+                    prefixes: cert.prefixes.clone(),
+                    contact,
+                },
+            );
+            ctx.send_control(
+                node,
+                delay + PROC_DELAY,
+                DeviceCommand::InstallService {
+                    owner,
+                    stage,
+                    spec: spec.clone(),
+                },
+            );
+            sent += 1;
+        }
+        self.log.push((spec.name.clone(), sent));
+        self.pending.push(NmsPendingDeploy {
+            txn,
+            reply_to,
+            reply_role,
+            awaiting: sent,
+            configured: 0,
+            rejected: 0,
+        });
+        if sent == 0 {
+            self.finish_if_done(ctx, self.pending.len() - 1);
+        }
+    }
+
+    fn finish_if_done(&mut self, ctx: &mut AgentCtx<'_>, idx: usize) {
+        let p = &self.pending[idx];
+        if p.configured + p.rejected >= p.awaiting {
+            let delay = ctx.path_delay(p.reply_to) + PROC_DELAY;
+            ctx.send_control(
+                p.reply_to,
+                delay,
+                Envelope {
+                    to: p.reply_role,
+                    msg: CpMsg::NmsAck {
+                        txn: p.txn,
+                        configured: p.configured,
+                        rejected: p.rejected,
+                    },
+                },
+            );
+            self.pending.remove(idx);
+        }
+    }
+}
+
+impl NodeAgent for NmsAgent {
+    fn name(&self) -> &'static str {
+        "isp-nms"
+    }
+
+    fn on_packet(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        _pkt: &mut Packet,
+        _from: Option<LinkId>,
+    ) -> Verdict {
+        Verdict::Forward
+    }
+
+    fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+        if let Some(reply) = msg.get::<DeviceReply>() {
+            match reply {
+                DeviceReply::InstallOk { .. } => {
+                    if let Some(idx) = self.pending.iter().position(|p| p.configured + p.rejected < p.awaiting) {
+                        self.pending[idx].configured += 1;
+                        self.finish_if_done(ctx, idx);
+                    }
+                }
+                DeviceReply::InstallRejected { .. } => {
+                    if let Some(idx) = self.pending.iter().position(|p| p.configured + p.rejected < p.awaiting) {
+                        self.pending[idx].rejected += 1;
+                        self.finish_if_done(ctx, idx);
+                    }
+                }
+                _ => {}
+            }
+            return;
+        }
+        let Some(env) = msg.get::<Envelope>() else { return };
+        if env.to != Role::Nms {
+            return;
+        }
+        match &env.msg {
+            CpMsg::NmsDeploy {
+                cert,
+                service,
+                nodes,
+                txn,
+                reply_to,
+            } => {
+                if !cert.verify(self.tcsp_key, ctx.now) {
+                    return;
+                }
+                let nodes = nodes.clone();
+                self.deploy_on(
+                    ctx,
+                    &cert.clone(),
+                    &service.clone(),
+                    &nodes,
+                    *txn,
+                    *reply_to,
+                    Role::Tcsp,
+                );
+            }
+            CpMsg::DeployRequest {
+                cert,
+                service,
+                scope,
+                txn,
+                reply_to,
+                forward_to_peers,
+            } => {
+                // Direct user → ISP path (TCSP fallback).
+                if !cert.verify(self.tcsp_key, ctx.now) {
+                    return;
+                }
+                let nodes = TcspAgent::resolve_scope(ctx, &self.managed.clone(), scope);
+                self.deploy_on(
+                    ctx,
+                    &cert.clone(),
+                    &service.clone(),
+                    &nodes,
+                    *txn,
+                    *reply_to,
+                    Role::User,
+                );
+                if *forward_to_peers {
+                    for peer in self.peers.clone() {
+                        let delay = ctx.path_delay(peer) + PROC_DELAY;
+                        ctx.send_control(
+                            peer,
+                            delay,
+                            Envelope {
+                                to: Role::Nms,
+                                msg: CpMsg::DeployRequest {
+                                    cert: cert.clone(),
+                                    service: service.clone(),
+                                    scope: scope.clone(),
+                                    txn: *txn,
+                                    reply_to: *reply_to,
+                                    forward_to_peers: false, // one-hop fan-out
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            CpMsg::OpRequest { cert, op, .. } => {
+                if !cert.verify(self.tcsp_key, ctx.now) {
+                    return;
+                }
+                let owner = OwnerId(cert.user.0);
+                for &node in &self.managed.clone() {
+                    let delay = ctx.path_delay(node) + PROC_DELAY;
+                    let cmd = match op {
+                        UserOp::SetActive(stage, active) => DeviceCommand::SetServiceActive {
+                            owner,
+                            stage: *stage,
+                            active: *active,
+                        },
+                        UserOp::SetModule(stage, module, enabled) => {
+                            DeviceCommand::SetModuleEnabled {
+                                owner,
+                                stage: *stage,
+                                module: *module,
+                                enabled: *enabled,
+                            }
+                        }
+                    };
+                    ctx.send_control(node, delay, cmd);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// What a user agent records, for experiment E7.
+#[derive(Clone, Debug, Default)]
+pub struct UserRecord {
+    /// Certificate received at.
+    pub registered_at: Option<SimTime>,
+    /// The certificate.
+    pub cert: Option<Certificate>,
+    /// Registration denied?
+    pub denied: bool,
+    /// Deployment confirmed at.
+    pub deploy_confirmed_at: Option<SimTime>,
+    /// Devices configured per the confirmation.
+    pub devices_configured: usize,
+    /// Rejected installs per the confirmation.
+    pub installs_rejected: usize,
+    /// ISP acks received on the fallback path.
+    pub fallback_acks: usize,
+    /// Did the user fall back to direct-ISP deployment?
+    pub used_fallback: bool,
+}
+
+/// Shared handle to a user's record.
+pub type UserHandle = Arc<Mutex<UserRecord>>;
+
+/// Timer token scenario code passes to
+/// [`Simulator::schedule_agent_timer`](dtcs_netsim::Simulator::schedule_agent_timer)
+/// to kick off a user agent's registration sequence.
+pub const TOKEN_REGISTER: u64 = 1;
+const T_DEPLOY: u64 = 2;
+const T_TIMEOUT: u64 = 3;
+
+/// A network user driving registration and deployment.
+pub struct UserAgent {
+    /// User identity.
+    pub user: UserId,
+    /// Prefixes to claim.
+    pub claim: Vec<Prefix>,
+    /// TCSP location.
+    pub tcsp_node: NodeId,
+    /// Service to deploy once registered.
+    pub service: CatalogService,
+    /// Deployment scope.
+    pub scope: DeployScope,
+    /// When to start registering.
+    pub register_at: SimTime,
+    /// Timeout before falling back to direct-ISP deployment.
+    pub deploy_timeout: SimDuration,
+    /// Pause between receiving the certificate and sending the deploy
+    /// request (lets scenarios stage TCSP outages between the two).
+    pub deploy_delay: SimDuration,
+    /// NMS nodes for the fallback path (first entry is contacted, with
+    /// peer forwarding on).
+    pub fallback_nms: Vec<NodeId>,
+    txn: u64,
+    record: UserHandle,
+    started_deploy: bool,
+}
+
+impl UserAgent {
+    /// New user agent; returns the shared record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        user: UserId,
+        claim: Vec<Prefix>,
+        tcsp_node: NodeId,
+        service: CatalogService,
+        scope: DeployScope,
+        register_at: SimTime,
+    ) -> (UserAgent, UserHandle) {
+        let record: UserHandle = Arc::new(Mutex::new(UserRecord::default()));
+        (
+            UserAgent {
+                user,
+                claim,
+                tcsp_node,
+                service,
+                scope,
+                register_at,
+                deploy_timeout: SimDuration::from_secs(5),
+                deploy_delay: SimDuration::ZERO,
+                fallback_nms: Vec::new(),
+                txn: (user.0 << 16) | 1,
+                record: record.clone(),
+                started_deploy: false,
+            },
+            record,
+        )
+    }
+
+    /// Configure the fallback NMS list.
+    pub fn with_fallback(mut self, nms: Vec<NodeId>) -> UserAgent {
+        self.fallback_nms = nms;
+        self
+    }
+
+    /// Configure the pause between registration and deployment.
+    pub fn with_deploy_delay(mut self, delay: SimDuration) -> UserAgent {
+        self.deploy_delay = delay;
+        self
+    }
+}
+
+impl NodeAgent for UserAgent {
+    fn name(&self) -> &'static str {
+        "tcs-user"
+    }
+
+    fn on_packet(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        _pkt: &mut Packet,
+        _from: Option<LinkId>,
+    ) -> Verdict {
+        Verdict::Forward
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
+        match token {
+            TOKEN_REGISTER => {
+                let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
+                ctx.send_control(
+                    self.tcsp_node,
+                    delay,
+                    Envelope {
+                        to: Role::Tcsp,
+                        msg: CpMsg::RegisterRequest {
+                            user: self.user,
+                            claimed: self.claim.clone(),
+                            reply_to: ctx.node,
+                        },
+                    },
+                );
+            }
+            T_DEPLOY => {
+                let cert = { self.record.lock().cert.clone() };
+                let Some(cert) = cert else { return };
+                self.txn += 1;
+                let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
+                ctx.send_control(
+                    self.tcsp_node,
+                    delay,
+                    Envelope {
+                        to: Role::Tcsp,
+                        msg: CpMsg::DeployRequest {
+                            cert,
+                            service: self.service.clone(),
+                            scope: self.scope.clone(),
+                            txn: self.txn,
+                            reply_to: ctx.node,
+                            forward_to_peers: false,
+                        },
+                    },
+                );
+                ctx.set_timer(self.deploy_timeout, T_TIMEOUT);
+            }
+            T_TIMEOUT => {
+                let confirmed = self.record.lock().deploy_confirmed_at.is_some();
+                if confirmed || self.fallback_nms.is_empty() {
+                    return;
+                }
+                // TCSP unreachable: go straight to the ISPs.
+                let cert = { self.record.lock().cert.clone() };
+                let Some(cert) = cert else { return };
+                self.record.lock().used_fallback = true;
+                self.txn += 1;
+                let first = self.fallback_nms[0];
+                let delay = ctx.path_delay(first) + PROC_DELAY;
+                ctx.send_control(
+                    first,
+                    delay,
+                    Envelope {
+                        to: Role::Nms,
+                        msg: CpMsg::DeployRequest {
+                            cert,
+                            service: self.service.clone(),
+                            scope: self.scope.clone(),
+                            txn: self.txn,
+                            reply_to: ctx.node,
+                            forward_to_peers: true,
+                        },
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+
+    fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+        let Some(env) = msg.get::<Envelope>() else { return };
+        if env.to != Role::User {
+            return;
+        }
+        match &env.msg {
+            CpMsg::RegisterConfirm { result } => match result {
+                Ok(cert) => {
+                    {
+                        let mut r = self.record.lock();
+                        r.registered_at = Some(ctx.now);
+                        r.cert = Some(cert.clone());
+                    }
+                    if !self.started_deploy {
+                        self.started_deploy = true;
+                        ctx.set_timer(self.deploy_delay, T_DEPLOY);
+                    }
+                }
+                Err(_) => {
+                    self.record.lock().denied = true;
+                }
+            },
+            CpMsg::DeployConfirm {
+                configured,
+                rejected,
+                ..
+            } => {
+                let mut r = self.record.lock();
+                if r.deploy_confirmed_at.is_none() {
+                    r.deploy_confirmed_at = Some(ctx.now);
+                }
+                r.devices_configured += configured;
+                r.installs_rejected += rejected;
+            }
+            CpMsg::NmsAck {
+                configured,
+                rejected,
+                ..
+            } => {
+                // Fallback path: NMS acks come straight to the user.
+                let mut r = self.record.lock();
+                r.fallback_acks += 1;
+                r.devices_configured += configured;
+                r.installs_rejected += rejected;
+                if r.deploy_confirmed_at.is_none() {
+                    r.deploy_confirmed_at = Some(ctx.now);
+                }
+            }
+            _ => {}
+        }
+    }
+}

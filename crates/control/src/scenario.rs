@@ -1,0 +1,420 @@
+//! Whole-control-plane installation: builds the Fig. 3 network model —
+//! number authority, TCSP, per-ISP network management systems, and an
+//! adaptive device beside every managed router — inside a simulator.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dtcs_device::{AdaptiveDevice, DeviceHandle};
+use dtcs_netsim::{NodeId, NodeRole, Prefix, SimTime, Simulator};
+
+use crate::authority::InternetNumberAuthority;
+use crate::catalog::CatalogService;
+use crate::identity::UserId;
+use crate::plane::{
+    AuthorityAgent, DeployScope, IspContract, TcspAgent, TcspHandle, UserAgent, UserHandle,
+    TOKEN_REGISTER,
+};
+
+/// Partition a topology into ISPs: every transit node becomes an ISP
+/// managing itself plus the stub ASes closest to it (ties to the
+/// lowest-id transit). Degenerate topologies without transit nodes become
+/// a single ISP run from node 0.
+pub fn partition_by_provider(sim: &Simulator) -> Vec<IspContract> {
+    let transit: Vec<NodeId> = sim
+        .topo
+        .nodes
+        .iter()
+        .filter(|n| n.role == NodeRole::Transit)
+        .map(|n| n.id)
+        .collect();
+    if transit.is_empty() {
+        return vec![IspContract {
+            nms_node: NodeId(0),
+            managed: (0..sim.topo.n()).map(NodeId).collect(),
+        }];
+    }
+    let mut managed: BTreeMap<NodeId, Vec<NodeId>> =
+        transit.iter().map(|&t| (t, vec![t])).collect();
+    for i in 0..sim.topo.n() {
+        let node = NodeId(i);
+        if sim.topo.nodes[i].role == NodeRole::Transit {
+            continue;
+        }
+        let provider = transit
+            .iter()
+            .copied()
+            .min_by_key(|&t| (sim.routing.distance(node, t).unwrap_or(u16::MAX), t.0))
+            .expect("transit set non-empty");
+        managed.get_mut(&provider).expect("provider exists").push(node);
+    }
+    managed
+        .into_iter()
+        .map(|(nms_node, managed)| IspContract { nms_node, managed })
+        .collect()
+}
+
+/// A fully-installed control plane.
+pub struct ControlPlane {
+    /// TCSP signing key (public side used by NMSes to verify certs).
+    pub tcsp_key: u64,
+    /// Node hosting the TCSP.
+    pub tcsp_node: NodeId,
+    /// Node hosting the number authority.
+    pub authority_node: NodeId,
+    /// Contracted ISPs.
+    pub isps: Vec<IspContract>,
+    /// TCSP observability.
+    pub tcsp_stats: TcspHandle,
+    /// Availability switch — set to `false` to simulate a DDoS against the
+    /// TCSP itself.
+    pub tcsp_available: Arc<Mutex<bool>>,
+    /// Per-router device handles.
+    pub devices: BTreeMap<NodeId, DeviceHandle>,
+    user_seq: u64,
+}
+
+impl ControlPlane {
+    /// Install the full control plane: authority at `authority_node`, TCSP
+    /// at `tcsp_node`, one NMS per ISP, and an adaptive device on every
+    /// managed router.
+    pub fn install(
+        sim: &mut Simulator,
+        authority: InternetNumberAuthority,
+        tcsp_key: u64,
+        tcsp_node: NodeId,
+        authority_node: NodeId,
+        isps: Vec<IspContract>,
+    ) -> ControlPlane {
+        sim.add_agent(authority_node, Box::new(AuthorityAgent::new(authority)));
+        let (tcsp, tcsp_stats, tcsp_available) =
+            TcspAgent::new(tcsp_key, authority_node, isps.clone());
+        sim.add_agent(tcsp_node, Box::new(tcsp));
+        let mut devices = BTreeMap::new();
+        for isp in &isps {
+            let peers: Vec<NodeId> = isps
+                .iter()
+                .map(|i| i.nms_node)
+                .filter(|&n| n != isp.nms_node)
+                .collect();
+            sim.add_agent(
+                isp.nms_node,
+                Box::new(crate::plane::NmsAgent::new(
+                    tcsp_key,
+                    isp.managed.clone(),
+                    peers,
+                )),
+            );
+            for &node in &isp.managed {
+                let (dev, handle) = AdaptiveDevice::new(node, Some(isp.nms_node));
+                sim.add_agent(node, Box::new(dev));
+                devices.insert(node, handle);
+            }
+        }
+        ControlPlane {
+            tcsp_key,
+            tcsp_node,
+            authority_node,
+            isps,
+            tcsp_stats,
+            tcsp_available,
+            devices,
+            user_seq: 1,
+        }
+    }
+
+    /// Add a network user at `node` who registers at `register_at`, then
+    /// deploys `service` with `scope`. `fallback` enables the direct-ISP
+    /// path when the TCSP stays silent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_user(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        claim: Vec<Prefix>,
+        service: CatalogService,
+        scope: DeployScope,
+        register_at: SimTime,
+        fallback: bool,
+    ) -> (UserId, UserHandle) {
+        self.add_user_with(sim, node, claim, service, scope, register_at, fallback, |a| a)
+    }
+
+    /// Like [`ControlPlane::add_user`] with a customisation hook for the
+    /// user agent (deploy delay, timeout, …).
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_user_with(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        claim: Vec<Prefix>,
+        service: CatalogService,
+        scope: DeployScope,
+        register_at: SimTime,
+        fallback: bool,
+        customize: impl FnOnce(UserAgent) -> UserAgent,
+    ) -> (UserId, UserHandle) {
+        let user = UserId(0xAA00 + self.user_seq);
+        self.user_seq += 1;
+        let (mut agent, handle) = UserAgent::new(
+            user,
+            claim,
+            self.tcsp_node,
+            service,
+            scope,
+            register_at,
+        );
+        if fallback {
+            agent = agent.with_fallback(self.isps.iter().map(|i| i.nms_node).collect());
+        }
+        agent = customize(agent);
+        let idx = sim.add_agent(node, Box::new(agent));
+        sim.schedule_agent_timer(node, idx, register_at, TOKEN_REGISTER);
+        (user, handle)
+    }
+
+    /// Total rules installed across all devices (E6 metric).
+    pub fn total_rules(&self) -> usize {
+        self.devices.values().map(|h| h.lock().rule_count).sum()
+    }
+
+    /// Number of devices with at least one installed rule.
+    pub fn devices_configured(&self) -> usize {
+        self.devices
+            .values()
+            .filter(|h| h.lock().rule_count > 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::DeployScope;
+    use dtcs_netsim::Topology;
+
+    #[test]
+    fn partition_covers_every_node_exactly_once() {
+        let topo = Topology::transit_stub(4, 6, 0.2, 7);
+        let sim = Simulator::new(topo, 3);
+        let isps = partition_by_provider(&sim);
+        assert_eq!(isps.len(), 4);
+        let mut seen = vec![false; sim.topo.n()];
+        for isp in &isps {
+            for &n in &isp.managed {
+                assert!(!seen[n.0], "node managed twice");
+                seen[n.0] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every node managed");
+    }
+
+    #[test]
+    fn full_registration_and_deployment_flow() {
+        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        // Pre-allocate: the user genuinely owns the victim prefix.
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install(
+            &mut sim,
+            authority,
+            0x5EC, // key
+            tcsp_node,
+            authority_node,
+            isps,
+        );
+        let (_user, record) = cp.add_user(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            false,
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let r = record.lock();
+        assert!(r.registered_at.is_some(), "registration must complete");
+        assert!(!r.denied);
+        assert!(
+            r.deploy_confirmed_at.is_some(),
+            "deployment must be confirmed"
+        );
+        assert!(r.devices_configured > 0, "devices configured: {r:?}");
+        assert_eq!(r.installs_rejected, 0);
+        drop(r);
+        assert!(cp.total_rules() > 0);
+        assert_eq!(cp.devices_configured(), sim.topo.n());
+        assert_eq!(cp.tcsp_stats.lock().registrations_ok, 1);
+    }
+
+    #[test]
+    fn bogus_ownership_claim_is_denied() {
+        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let foreign = Prefix::of_node(sim.topo.stub_nodes()[1]);
+        let authority = InternetNumberAuthority::new(); // no allocations
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+        );
+        let (_user, record) = cp.add_user(
+            &mut sim,
+            victim_node,
+            vec![foreign],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            false,
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let r = record.lock();
+        assert!(r.denied, "claiming someone else's prefix must be denied");
+        assert!(r.deploy_confirmed_at.is_none());
+        assert_eq!(cp.total_rules(), 0, "no rules without a certificate");
+        assert_eq!(cp.tcsp_stats.lock().registrations_denied, 1);
+    }
+
+    #[test]
+    fn tcsp_outage_triggers_isp_fallback() {
+        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+        );
+        let (_user, record) = cp.add_user_with(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            true, // fallback enabled
+            |a| a.with_deploy_delay(dtcs_netsim::SimDuration::from_secs(1)),
+        );
+        // Let registration succeed, then take the TCSP down before the
+        // deployment request lands.
+        let available = cp.tcsp_available.clone();
+        sim.schedule(SimTime::from_millis(500), move |_| {
+            *available.lock() = false;
+        });
+        sim.run_until(SimTime::from_secs(20));
+        let r = record.lock();
+        assert!(r.registered_at.is_some());
+        assert!(r.used_fallback, "user must fall back to the ISPs");
+        assert!(
+            r.devices_configured > 0,
+            "fallback deployment configures devices: {r:?}"
+        );
+        assert!(r.fallback_acks > 0);
+    }
+
+    #[test]
+    fn forged_certificates_deploy_nothing() {
+        // A certificate signed under the wrong key is rejected by every
+        // NMS, on both the TCSP path and the direct fallback path.
+        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let cp = ControlPlane::install(
+            &mut sim,
+            InternetNumberAuthority::new(),
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+        );
+        // Forge: issued under a different key.
+        let forged = crate::identity::Certificate::issue(
+            0xBAD,
+            UserId(0xAA01),
+            vec![Prefix::of_node(victim_node)],
+            SimTime::from_secs(1_000_000),
+        );
+        let nms = cp.isps[0].nms_node;
+        sim.deliver_control(
+            SimTime::from_millis(10),
+            victim_node,
+            nms,
+            crate::plane::Envelope {
+                to: crate::plane::Role::Nms,
+                msg: crate::plane::CpMsg::DeployRequest {
+                    cert: forged,
+                    service: CatalogService::AntiSpoofing,
+                    scope: DeployScope::AllManaged,
+                    txn: 1,
+                    reply_to: victim_node,
+                    forward_to_peers: true,
+                },
+            },
+        );
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(cp.total_rules(), 0, "forged cert must configure nothing");
+    }
+
+    #[test]
+    fn scoped_deployment_configures_fewer_devices() {
+        let topo = Topology::transit_stub(4, 8, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+        );
+        let (_user, record) = cp.add_user(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::StubBorders,
+            SimTime::from_millis(100),
+            false,
+        );
+        sim.run_until(SimTime::from_secs(10));
+        let r = record.lock();
+        assert!(r.deploy_confirmed_at.is_some());
+        // Only the 4 transit (stub-border) routers get rules.
+        assert_eq!(cp.devices_configured(), 4, "{r:?}");
+    }
+}

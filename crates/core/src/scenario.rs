@@ -1,0 +1,560 @@
+//! The scheme-comparison scenario: one reflector attack, one legitimate
+//! workload, one mitigation scheme — measured.
+//!
+//! This is the engine behind experiments E2 (effectiveness), E4
+//! (collateral damage) and E9 (pushback misattribution): the same attack
+//! and workload are replayed under each scheme, and the outcome row
+//! captures who got served, who got cut off, and where attack traffic
+//! died.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dtcs_attack::{
+    hosts, install_clients_at, mean_success, plan_client_addrs, ClientApp, ClientHandle,
+    ReflectorAttack, ReflectorAttackConfig, VictimApp, VictimHandle,
+};
+use dtcs_mitigation::{
+    choose_nodes, deploy_ingress, deploy_ppm_everywhere, deploy_pushback_everywhere,
+    install_traceback_filters, reconstruct_sources, I3Defense, MarkCollectorAgent, Placement,
+    PushbackHandle, SosOverlay,
+};
+use dtcs_netsim::{Addr, NodeId, Prefix, Proto, SimDuration, SimTime, Simulator, Topology};
+
+use crate::metrics::OutcomeRow;
+use crate::schemes::Scheme;
+use crate::tcs::{deploy_tcs_static, TcsDeployment};
+
+/// Which attack the scenario runs (the E2-family row generator covers
+/// both of the paper's threat shapes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Fig. 1 reflector attack: spoofed requests bounced off innocent
+    /// servers.
+    Reflector,
+    /// Classic direct flood straight at the victim.
+    Direct {
+        /// Source forging policy of the flooding agents.
+        spoof: dtcs_attack::SpoofMode,
+    },
+}
+
+/// Scenario parameters shared across every scheme in a comparison.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// AS count of the Barabási–Albert topology.
+    pub n_nodes: usize,
+    /// BA attachment parameter.
+    pub ba_m: usize,
+    /// Fraction of top-degree nodes labelled transit.
+    pub transit_fraction: f64,
+    /// The attack.
+    pub attack: ReflectorAttackConfig,
+    /// Attack shape (the `attack` parameters are reused for both: agent
+    /// counts, rates, timing, victim capacity).
+    pub attack_kind: AttackKind,
+    /// Legitimate clients of the victim.
+    pub n_clients: usize,
+    /// Client request period.
+    pub client_period: SimDuration,
+    /// Third-party clients of reflector-hosted services (collateral
+    /// probes).
+    pub n_collateral_clients: usize,
+    /// Simulated duration.
+    pub duration: SimTime,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            n_nodes: 200,
+            ba_m: 2,
+            transit_fraction: 0.1,
+            attack: ReflectorAttackConfig {
+                n_agents: 80,
+                n_reflectors: 120,
+                agent_rate_pps: 60.0,
+                start_at: SimTime::from_secs(5),
+                stop_at: SimTime::from_secs(25),
+                victim_capacity_pps: 800.0,
+                ..Default::default()
+            },
+            attack_kind: AttackKind::Reflector,
+            n_clients: 30,
+            client_period: SimDuration::from_millis(250),
+            n_collateral_clients: 20,
+            duration: SimTime::from_secs(30),
+            seed: 42,
+        }
+    }
+}
+
+/// Unified ground truth of whichever attack shape was installed.
+struct InstalledAttack {
+    victim_stats: VictimHandle,
+    /// Third-party service addresses for collateral probes (reflectors in
+    /// the reflector case; uninvolved DNS servers in the direct case).
+    service_addrs: Vec<Addr>,
+}
+
+/// Everything a finished run exposes.
+pub struct ScenarioOutput {
+    /// The metrics row.
+    pub row: OutcomeRow,
+    /// Final network statistics.
+    pub stats: dtcs_netsim::Stats,
+}
+
+/// Run one scheme under the configured scenario.
+pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
+    let topo = Topology::barabasi_albert(cfg.n_nodes, cfg.ba_m, cfg.transit_fraction, cfg.seed);
+    let mut sim = Simulator::new(topo, cfg.seed);
+    let stubs = sim.topo.stub_nodes();
+    assert!(!stubs.is_empty(), "need stub nodes for a victim");
+    let victim_node = stubs[cfg.seed as usize % stubs.len()];
+    let victim_addr = Addr::new(victim_node, hosts::SERVICE);
+    let victim_prefix = Prefix::of_node(victim_node);
+    let client_addrs = plan_client_addrs(&sim, victim_node, cfg.n_clients, cfg.seed);
+
+    // --- Scheme pre-attack installation -------------------------------
+    let mut attack_cfg = cfg.attack.clone();
+    attack_cfg.seed = cfg.seed;
+    let mut pushback: Option<PushbackHandle> = None;
+    let mut sos: Option<SosOverlay> = None;
+    let mut i3: Option<(I3Defense, VictimHandle)> = None;
+    let mut tcs: Option<TcsDeployment> = None;
+    let mut marks_for_traceback = None;
+    let identified_sources: Arc<Mutex<usize>> = Arc::new(Mutex::new(0));
+
+    match scheme {
+        Scheme::None => {}
+        Scheme::Ingress {
+            fraction,
+            placement,
+        } => {
+            deploy_ingress(&mut sim, *fraction, *placement, cfg.seed ^ 0x1A);
+        }
+        Scheme::Pushback(pb_cfg) => {
+            pushback = Some(deploy_pushback_everywhere(&mut sim, *pb_cfg));
+        }
+        Scheme::TracebackFilter { marking_p, .. } => {
+            deploy_ppm_everywhere(&mut sim, *marking_p, cfg.seed ^ 0x7B);
+            // The victim can classify attack junk by protocol: unsolicited
+            // replies during a reflector attack, the flood protocol (UDP)
+            // during a direct flood. Only those feed the reconstruction.
+            let protos = match cfg.attack_kind {
+                AttackKind::Reflector => crate::tcs::reflected_reply_protos(),
+                AttackKind::Direct { .. } => vec![Proto::Udp],
+            };
+            let (collector, marks) = MarkCollectorAgent::new(victim_node);
+            let collector = collector.with_proto_filter(protos);
+            sim.add_agent(victim_node, Box::new(collector));
+            marks_for_traceback = Some(marks);
+        }
+        Scheme::Sos {
+            n_soaps,
+            n_servlets,
+        } => {
+            // Overlay nodes drawn from well-connected ASes, away from the
+            // victim.
+            let pool: Vec<NodeId> = sim
+                .topo
+                .top_degree(n_soaps + n_servlets + 2)
+                .into_iter()
+                .filter(|&n| n != victim_node)
+                .collect();
+            let soap_nodes: Vec<NodeId> = pool.iter().copied().take(*n_soaps).collect();
+            let servlet_nodes: Vec<NodeId> =
+                pool.iter().copied().skip(*n_soaps).take(*n_servlets).collect();
+            sos = Some(SosOverlay::install(
+                &mut sim,
+                victim_addr,
+                &soap_nodes,
+                &servlet_nodes,
+                client_addrs.clone(),
+            ));
+        }
+        Scheme::I3 { ip_hidden } => {
+            let relay_node = sim
+                .topo
+                .top_degree(2)
+                .into_iter()
+                .find(|&n| n != victim_node)
+                .expect("topology big enough");
+            let defense = I3Defense::install(&mut sim, victim_addr, relay_node);
+            // The victim serves only its trigger; install it ourselves.
+            let (vapp, vstats) = VictimApp::new(cfg.attack.victim_capacity_pps, 600);
+            sim.install_app(
+                victim_addr,
+                Box::new(vapp.restrict_sources(vec![defense.trigger])),
+            );
+            attack_cfg.install_victim = false;
+            if *ip_hidden {
+                // Attackers cannot name the victim; they aim at the
+                // public trigger instead.
+                attack_cfg.target_override = Some(defense.trigger);
+            }
+            i3 = Some((defense, vstats));
+        }
+        Scheme::Tcs(tcs_cfg) => {
+            let mut tcs_cfg = tcs_cfg.clone();
+            tcs_cfg.seed = cfg.seed ^ 0x7C5;
+            tcs = Some(deploy_tcs_static(&mut sim, victim_prefix, &tcs_cfg));
+        }
+    }
+
+    // --- Attack + victim ------------------------------------------------
+    let attack = match cfg.attack_kind {
+        AttackKind::Reflector => {
+            let a = ReflectorAttack::install(&mut sim, victim_node, &attack_cfg);
+            InstalledAttack {
+                victim_stats: a.victim_stats,
+                service_addrs: a.reflectors,
+            }
+        }
+        AttackKind::Direct { spoof } => {
+            // The victim app: installed here (unless i3 already did).
+            let target = attack_cfg.target_override.unwrap_or(victim_addr);
+            let (vapp, vstats) = VictimApp::new(attack_cfg.victim_capacity_pps, 600);
+            if attack_cfg.install_victim {
+                sim.install_app(target, Box::new(vapp));
+            }
+            let flood = dtcs_attack::DirectFlood::install(
+                &mut sim,
+                target,
+                &dtcs_attack::DirectFloodConfig {
+                    n_agents: attack_cfg.n_agents,
+                    agent_rate_pps: attack_cfg.agent_rate_pps,
+                    pkt_size: attack_cfg.request_size.max(200),
+                    spoof,
+                    start_at: attack_cfg.start_at,
+                    stop_at: attack_cfg.stop_at,
+                    seed: attack_cfg.seed,
+                },
+            );
+            let _ = flood;
+            // Uninvolved third-party services for the collateral probes.
+            let mut services = Vec::new();
+            let stubs = sim.topo.stub_nodes();
+            for i in 0..attack_cfg.n_reflectors.min(stubs.len()) {
+                let node = stubs[stubs.len() - 1 - i];
+                if node == victim_node {
+                    continue;
+                }
+                let addr = Addr::new(node, hosts::SERVICE);
+                let (app, _h) =
+                    dtcs_attack::ReflectorApp::new(dtcs_attack::ReflectorProfile::default());
+                sim.install_app(addr, Box::new(app));
+                services.push(addr);
+            }
+            InstalledAttack {
+                victim_stats: vstats,
+                service_addrs: services,
+            }
+        }
+    };
+    let victim_stats: VictimHandle = match &i3 {
+        Some((_, vstats)) => vstats.clone(),
+        None => attack.victim_stats.clone(),
+    };
+
+    // --- Legitimate workload -------------------------------------------
+    let client_stop = cfg.duration;
+    let clients: Vec<ClientHandle> = match (&sos, &i3) {
+        (Some(overlay), _) => client_addrs
+            .iter()
+            .map(|&a| {
+                let (app, h) = ClientApp::new(overlay.soap_for(a), cfg.client_period);
+                sim.install_app(a, Box::new(app.until(client_stop)));
+                h
+            })
+            .collect(),
+        (_, Some((defense, _))) => client_addrs
+            .iter()
+            .map(|&a| {
+                let (app, h) = ClientApp::new(defense.trigger, cfg.client_period);
+                sim.install_app(a, Box::new(app.until(client_stop)));
+                h
+            })
+            .collect(),
+        _ => install_clients_at(&mut sim, &client_addrs, victim_addr, cfg.client_period, client_stop),
+    };
+
+    // Collateral probes: third parties using reflector-hosted (or simply
+    // third-party) services.
+    let n_coll = cfg.n_collateral_clients.min(attack.service_addrs.len());
+    let coll_addrs = plan_client_addrs(&sim, victim_node, n_coll, cfg.seed ^ 0xC0).into_iter();
+    let collateral: Vec<ClientHandle> = coll_addrs
+        .enumerate()
+        .map(|(i, a)| {
+            let server = attack.service_addrs[i % attack.service_addrs.len()];
+            let (app, h) = ClientApp::new(server, cfg.client_period);
+            let app = app.request(Proto::DnsQuery, 60).until(client_stop);
+            sim.install_app(a, Box::new(app));
+            h
+        })
+        .collect();
+
+    // --- Scheme post-attack steps ----------------------------------------
+    if let Scheme::TracebackFilter {
+        reconstruct_at,
+        scope,
+        min_share,
+        ..
+    } = scheme
+    {
+        let marks = marks_for_traceback.clone().expect("collector installed");
+        let scope = *scope;
+        let min_share = *min_share;
+        let identified = identified_sources.clone();
+        sim.schedule(*reconstruct_at, move |s| {
+            let table = marks.lock().clone();
+            let sources =
+                reconstruct_sources(&s.topo, &s.routing, victim_node, &table, min_share);
+            *identified.lock() = sources.len();
+            install_traceback_filters(s, &sources, victim_node, scope);
+        });
+    }
+
+    // --- Run --------------------------------------------------------------
+    sim.stats.watch(victim_node, SimDuration::from_secs(1));
+    sim.run_until(cfg.duration);
+
+    // --- Collect -----------------------------------------------------------
+    let mut row = OutcomeRow::from_stats(&scheme.label(), &sim.stats);
+    row.legit_success = mean_success(&clients);
+    row.collateral_success = mean_success(&collateral);
+    {
+        let v = victim_stats.lock();
+        row.victim_overloaded = v.overloaded;
+        row.victim_attack_absorbed = v.attack_absorbed;
+    }
+    if let Some(pb) = &pushback {
+        let s = pb.lock();
+        row = row
+            .with_extra("pushback_limits", s.limits_installed.len() as f64)
+            .with_extra("pushback_msgs", s.msgs_sent as f64);
+    }
+    if let Some(overlay) = &sos {
+        row = row.with_extra("trust_relationships", overlay.trust_relationships as f64);
+    }
+    if matches!(scheme, Scheme::TracebackFilter { .. }) {
+        row = row.with_extra("identified_sources", *identified_sources.lock() as f64);
+    }
+    if let Some(dep) = &tcs {
+        row = row
+            .with_extra("tcs_devices", dep.nodes.len() as f64)
+            .with_extra("tcs_rules", dep.total_rules() as f64)
+            .with_extra("tcs_device_drops", dep.total_device_drops() as f64);
+    }
+    // Mean RTT as a path-stretch indicator (overlay detours).
+    let rtts: Vec<f64> = clients
+        .iter()
+        .filter_map(|h| h.lock().mean_rtt())
+        .collect();
+    if !rtts.is_empty() {
+        let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
+        row = row.with_extra("mean_rtt_s", mean);
+    }
+    ScenarioOutput {
+        row,
+        stats: sim.stats.clone(),
+    }
+}
+
+/// Pick deterministic helper nodes for schemes and experiments (exposed
+/// for the bench harness).
+pub fn pick_nodes(topo: &Topology, fraction: f64, placement: Placement, seed: u64) -> Vec<NodeId> {
+    choose_nodes(topo, fraction, placement, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcs::TcsStaticConfig;
+    use dtcs_mitigation::{BlockScope, PushbackConfig};
+
+    fn small_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            n_nodes: 100,
+            attack: ReflectorAttackConfig {
+                n_agents: 40,
+                n_reflectors: 60,
+                agent_rate_pps: 50.0,
+                start_at: SimTime::from_secs(2),
+                stop_at: SimTime::from_secs(10),
+                victim_capacity_pps: 400.0,
+                ..Default::default()
+            },
+            n_clients: 15,
+            n_collateral_clients: 10,
+            duration: SimTime::from_secs(12),
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn undefended_attack_degrades_service() {
+        let out = run_scenario(&small_cfg(), &Scheme::None);
+        assert!(
+            out.row.legit_success < 0.85,
+            "no defense: clients must suffer ({})",
+            out.row.legit_success
+        );
+        assert!(out.row.collateral_success > 0.9, "no collateral without filters");
+        assert!(out.row.victim_overloaded > 0 || out.row.victim_attack_absorbed > 0);
+    }
+
+    #[test]
+    fn tcs_proactive_restores_service() {
+        let none = run_scenario(&small_cfg(), &Scheme::None);
+        let tcs = run_scenario(
+            &small_cfg(),
+            &Scheme::Tcs(TcsStaticConfig {
+                fraction: 1.0,
+                ..Default::default()
+            }),
+        );
+        assert!(
+            tcs.row.legit_success > none.row.legit_success + 0.1,
+            "TCS must beat no-defense: {} vs {}",
+            tcs.row.legit_success,
+            none.row.legit_success
+        );
+        assert!(tcs.row.collateral_success > 0.9, "TCS causes no collateral");
+        // Attack stopped near the sources.
+        assert!(tcs.row.attack_byte_hops < none.row.attack_byte_hops / 2);
+    }
+
+    #[test]
+    fn traceback_null_route_causes_collateral() {
+        let cfg = small_cfg();
+        let out = run_scenario(
+            &cfg,
+            &Scheme::TracebackFilter {
+                marking_p: 0.05,
+                reconstruct_at: SimTime::from_secs(5),
+                scope: BlockScope::AllTraffic,
+                min_share: 0.002,
+            },
+        );
+        // The reconstruction names reflectors, and null-routing them cuts
+        // off their legitimate clients.
+        let identified = out.row.extra["identified_sources"];
+        assert!(identified > 0.0, "some sources must be identified");
+        assert!(
+            out.row.collateral_success < 0.9,
+            "null-routing reflectors must hurt their clients ({})",
+            out.row.collateral_success
+        );
+    }
+
+    #[test]
+    fn sos_protects_members() {
+        let out = run_scenario(
+            &small_cfg(),
+            &Scheme::Sos {
+                n_soaps: 3,
+                n_servlets: 2,
+            },
+        );
+        assert!(
+            out.row.legit_success > 0.85,
+            "overlay members stay served ({})",
+            out.row.legit_success
+        );
+        assert!(out.row.extra["trust_relationships"] > 0.0);
+        // Reflected traffic dies at the perimeter, not at the victim.
+        assert_eq!(out.row.reflected_delivered_to_victim, 0);
+    }
+
+    #[test]
+    fn i3_fails_when_ip_known() {
+        let known = run_scenario(&small_cfg(), &Scheme::I3 { ip_hidden: false });
+        let hidden = run_scenario(&small_cfg(), &Scheme::I3 { ip_hidden: true });
+        assert!(
+            hidden.row.legit_success > known.row.legit_success,
+            "hiding the IP is the only thing that makes i3 work: {} vs {}",
+            hidden.row.legit_success,
+            known.row.legit_success
+        );
+    }
+
+    #[test]
+    fn direct_flood_traceback_finds_true_agents_and_works() {
+        // For a classic spoofed direct flood (no reflectors), traceback
+        // names the real agent ASes; null-routing them actually helps the
+        // victim and leaves third parties mostly alone — the contrast to
+        // the reflector case the paper builds its argument on.
+        let mut cfg = small_cfg();
+        cfg.attack_kind = AttackKind::Direct {
+            spoof: dtcs_attack::SpoofMode::Random,
+        };
+        cfg.attack.agent_rate_pps = 120.0;
+        let none = run_scenario(&cfg, &Scheme::None);
+        let tb = run_scenario(
+            &cfg,
+            &Scheme::TracebackFilter {
+                marking_p: 0.05,
+                reconstruct_at: SimTime::from_secs(5),
+                scope: BlockScope::AllTraffic,
+                min_share: 0.002,
+            },
+        );
+        assert!(tb.row.extra["identified_sources"] > 0.0);
+        assert!(
+            tb.row.legit_success > none.row.legit_success + 0.1,
+            "traceback filtering must HELP against direct floods: {} vs {}",
+            tb.row.legit_success,
+            none.row.legit_success
+        );
+        // The victim actually recovers (attack absorbed drops sharply)...
+        assert!(
+            tb.row.victim_overloaded < none.row.victim_overloaded / 2,
+            "null-routing true agents must relieve the victim: {} vs {}",
+            tb.row.victim_overloaded,
+            none.row.victim_overloaded
+        );
+        // ...and the residual collateral is the paper's Sec. 4.6 kind:
+        // innocents co-located with zombies in "poorly managed access
+        // networks", not the reflector-case cutting of service providers.
+        assert!(tb.row.collateral_success > 0.4, "{}", tb.row.collateral_success);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        // Determinism must hold for every scheme, including those with
+        // internal state machines (pushback) and mid-run reconfiguration
+        // (reactive TCS, traceback).
+        let schemes = vec![
+            Scheme::None,
+            Scheme::Pushback(PushbackConfig::default()),
+            Scheme::Tcs(TcsStaticConfig {
+                fraction: 0.5,
+                activate_at: SimTime::from_secs(4),
+                ..Default::default()
+            }),
+            Scheme::TracebackFilter {
+                marking_p: 0.05,
+                reconstruct_at: SimTime::from_secs(5),
+                scope: BlockScope::AllTraffic,
+                min_share: 0.002,
+            },
+        ];
+        for scheme in schemes {
+            let a = run_scenario(&small_cfg(), &scheme);
+            let b = run_scenario(&small_cfg(), &scheme);
+            assert_eq!(
+                a.row.legit_success, b.row.legit_success,
+                "{} not deterministic",
+                scheme.label()
+            );
+            assert_eq!(a.row.attack_byte_hops, b.row.attack_byte_hops);
+            assert_eq!(a.stats.events, b.stats.events);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Cross-crate integration: the full paper pipeline — control plane
+//! (Fig. 3-5), adaptive devices, reflector attack (Fig. 1), legitimate
+//! workload — in one simulator.
+
+use dtcs::attack::{install_clients, ReflectorAttack, ReflectorAttackConfig};
+use dtcs::control::{
+    partition_by_provider, CatalogService, ControlPlane, DeployScope, InternetNumberAuthority,
+    UserId,
+};
+use dtcs::netsim::{
+    DropReason, Prefix, SimDuration, SimTime, Simulator, Topology, TrafficClass,
+};
+
+/// The quickstart scenario as an assertion: registration mid-attack,
+/// worldwide anti-spoofing deployment, service recovery.
+#[test]
+fn register_deploy_mitigate_end_to_end() {
+    let topo = Topology::transit_stub(4, 12, 0.2, 7);
+    let mut sim = Simulator::new(topo, 7);
+    let victim_node = sim.topo.stub_nodes()[0];
+    let victim_prefix = Prefix::of_node(victim_node);
+
+    let attack = ReflectorAttack::install(
+        &mut sim,
+        victim_node,
+        &ReflectorAttackConfig {
+            n_agents: 50,
+            n_reflectors: 60,
+            agent_rate_pps: 60.0,
+            start_at: SimTime::from_secs(5),
+            stop_at: SimTime::from_secs(30),
+            victim_capacity_pps: 500.0,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let clients = install_clients(
+        &mut sim,
+        attack.victim,
+        15,
+        SimDuration::from_millis(250),
+        SimTime::from_secs(35),
+        7,
+    );
+
+    let mut authority = InternetNumberAuthority::new();
+    authority.allocate(victim_prefix, UserId(0xAA01));
+    let isps = partition_by_provider(&sim);
+    let tcsp_node = sim.topo.transit_nodes()[0];
+    let authority_node = sim.topo.transit_nodes()[1];
+    let mut cp =
+        ControlPlane::install(&mut sim, authority, 0xFACE, tcsp_node, authority_node, isps);
+    let (_user, record) = cp.add_user(
+        &mut sim,
+        victim_node,
+        vec![victim_prefix],
+        CatalogService::AntiSpoofing,
+        DeployScope::AllManaged,
+        SimTime::from_secs(12),
+        false,
+    );
+
+    // Phase 1: attack rages undefended.
+    sim.run_until(SimTime::from_secs(12));
+    let sent_before = clients.iter().map(|h| h.lock().sent).sum::<u64>();
+    let answered_before = clients.iter().map(|h| h.lock().answered).sum::<u64>();
+    let under_attack_ratio = answered_before as f64 / sent_before.max(1) as f64;
+
+    // Phase 2: user registers + deploys; attack continues.
+    sim.run_until(SimTime::from_secs(35));
+    let r = record.lock();
+    assert!(r.registered_at.is_some(), "registration completed");
+    assert!(r.deploy_confirmed_at.is_some(), "deployment confirmed");
+    assert!(r.devices_configured > 0);
+    assert_eq!(r.installs_rejected, 0);
+    drop(r);
+
+    // Spoofed agent requests died at devices.
+    let spoof_drops = sim.stats.drops_for_reason(DropReason::SpoofFilter).pkts;
+    assert!(spoof_drops > 1000, "anti-spoofing engaged: {spoof_drops}");
+
+    // Post-deployment success far exceeds under-attack success.
+    let sent_after = clients.iter().map(|h| h.lock().sent).sum::<u64>() - sent_before;
+    let answered_after = clients.iter().map(|h| h.lock().answered).sum::<u64>() - answered_before;
+    let post_ratio = answered_after as f64 / sent_after.max(1) as f64;
+    assert!(
+        post_ratio > under_attack_ratio + 0.2,
+        "service must recover after deployment: {under_attack_ratio:.3} -> {post_ratio:.3}"
+    );
+    sim.stats.check_conservation().unwrap();
+}
+
+/// Misconfigured users cannot register for prefixes they do not own, and
+/// therefore cannot affect anyone's traffic (Sec. 4.1 safe delegation).
+#[test]
+fn foreign_prefix_claims_are_powerless() {
+    let topo = Topology::transit_stub(3, 8, 0.2, 9);
+    let mut sim = Simulator::new(topo, 9);
+    let victim_node = sim.topo.stub_nodes()[0];
+    let foreign_node = sim.topo.stub_nodes()[3];
+    let authority = {
+        let mut a = InternetNumberAuthority::new();
+        // The attacker-user owns their own prefix but claims the victim's.
+        a.allocate(Prefix::of_node(foreign_node), UserId(0xAA01));
+        a
+    };
+    let isps = partition_by_provider(&sim);
+    let tcsp_node = sim.topo.transit_nodes()[0];
+    let authority_node = sim.topo.transit_nodes()[1];
+    let mut cp =
+        ControlPlane::install(&mut sim, authority, 0xFACE, tcsp_node, authority_node, isps);
+    // A malicious user tries to firewall the *victim's* prefix.
+    let (_user, record) = cp.add_user(
+        &mut sim,
+        foreign_node,
+        vec![Prefix::of_node(victim_node)],
+        CatalogService::FirewallBlock {
+            protos: vec![dtcs::netsim::Proto::TcpSyn],
+        },
+        DeployScope::AllManaged,
+        SimTime::from_millis(100),
+        false,
+    );
+    // Legit traffic to the victim flows meanwhile.
+    let victim = dtcs::netsim::Addr::new(victim_node, 1);
+    sim.install_app(victim, Box::new(dtcs::netsim::SinkApp));
+    for k in 0..50u64 {
+        let from = sim.topo.stub_nodes()[4];
+        let at = SimTime::from_millis(500 + k * 100);
+        sim.schedule(at, move |s| {
+            s.emit_now(
+                from,
+                dtcs::netsim::PacketBuilder::new(
+                    dtcs::netsim::Addr::new(from, 2),
+                    victim,
+                    dtcs::netsim::Proto::TcpSyn,
+                    TrafficClass::LegitRequest,
+                )
+                .size(60)
+                .flow(k),
+            );
+        });
+    }
+    sim.run_until(SimTime::from_secs(10));
+    assert!(record.lock().denied, "ownership check must deny the claim");
+    assert_eq!(cp.total_rules(), 0, "no rules installed anywhere");
+    assert_eq!(
+        sim.stats.class(TrafficClass::LegitRequest).delivered_pkts,
+        50,
+        "victim's traffic untouched"
+    );
+}
+
+/// Scoped deployment: stub-border scoping configures only transit routers
+/// with customers, yet still provides full anti-spoofing coverage for
+/// traffic crossing the core.
+#[test]
+fn stub_border_scope_still_blocks_spoofing() {
+    let topo = Topology::transit_stub(4, 10, 0.0, 11);
+    let mut sim = Simulator::new(topo, 11);
+    let victim_node = sim.topo.stub_nodes()[0];
+    let victim_prefix = Prefix::of_node(victim_node);
+    let mut authority = InternetNumberAuthority::new();
+    authority.allocate(victim_prefix, UserId(0xAA01));
+    let isps = partition_by_provider(&sim);
+    let tcsp_node = sim.topo.transit_nodes()[0];
+    let authority_node = sim.topo.transit_nodes()[1];
+    let mut cp =
+        ControlPlane::install(&mut sim, authority, 0xFACE, tcsp_node, authority_node, isps);
+    let (_user, record) = cp.add_user(
+        &mut sim,
+        victim_node,
+        vec![victim_prefix],
+        CatalogService::AntiSpoofing,
+        DeployScope::StubBorders,
+        SimTime::from_millis(100),
+        false,
+    );
+    sim.run_until(SimTime::from_secs(2));
+    assert!(record.lock().deploy_confirmed_at.is_some());
+    assert_eq!(cp.devices_configured(), 4, "only the 4 transit borders");
+
+    // A spoofed packet from a stub (not the victim's) dies at its border.
+    let agent_node = sim.topo.stub_nodes()[5];
+    let reflector = dtcs::netsim::Addr::new(sim.topo.stub_nodes()[9], 1);
+    sim.install_app(reflector, Box::new(dtcs::netsim::SinkApp));
+    let victim_addr = dtcs::netsim::Addr::new(victim_node, 1);
+    sim.schedule(SimTime::from_secs(3), move |s| {
+        s.emit_now(
+            agent_node,
+            dtcs::netsim::PacketBuilder::new(
+                victim_addr,
+                reflector,
+                dtcs::netsim::Proto::TcpSyn,
+                TrafficClass::AttackDirect,
+            )
+            .size(40),
+        );
+    });
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(
+        sim.stats.drops_for_reason(DropReason::SpoofFilter).pkts,
+        1,
+        "spoofed packet dies at the stub border"
+    );
+    assert_eq!(
+        sim.stats
+            .mean_stop_distance(TrafficClass::AttackDirect, DropReason::SpoofFilter),
+        Some(1.0),
+        "one hop from the agent's AS"
+    );
+}

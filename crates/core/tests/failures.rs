@@ -1,0 +1,161 @@
+//! Failure injection: link failures with rerouting, and their interaction
+//! with route-consistency-based anti-spoofing.
+
+use dtcs::netsim::{
+    Addr, DropReason, NodeId, PacketBuilder, Prefix, Proto, SimTime, Simulator, Topology,
+    TrafficClass,
+};
+use dtcs::{deploy_tcs_static, TcsStaticConfig};
+
+/// A square 0-1-2-3-0: failing one side reroutes around the ring;
+/// restoring it brings the short path back.
+#[test]
+fn traffic_reroutes_around_a_failed_link() {
+    let mut topo = Topology::new();
+    use dtcs::netsim::{LinkProfile, NodeRole};
+    for _ in 0..4 {
+        topo.add_node(NodeRole::Transit);
+    }
+    let l01 = topo
+        .connect(NodeId(0), NodeId(1), LinkProfile::transit())
+        .unwrap();
+    topo.connect(NodeId(1), NodeId(2), LinkProfile::transit())
+        .unwrap();
+    topo.connect(NodeId(2), NodeId(3), LinkProfile::transit())
+        .unwrap();
+    topo.connect(NodeId(3), NodeId(0), LinkProfile::transit())
+        .unwrap();
+    let mut sim = Simulator::new(topo, 5);
+    let dst = Addr::new(NodeId(1), 1);
+    sim.install_app(dst, Box::new(dtcs::netsim::SinkApp));
+    assert_eq!(sim.routing.distance(NodeId(0), NodeId(1)), Some(1));
+
+    let send = |sim: &mut Simulator, at_ms: u64, k: u64| {
+        sim.schedule(SimTime::from_millis(at_ms), move |s| {
+            s.emit_now(
+                NodeId(0),
+                PacketBuilder::new(
+                    Addr::new(NodeId(0), 1),
+                    dst,
+                    Proto::Udp,
+                    TrafficClass::Background,
+                )
+                .size(100)
+                .flow(k),
+            );
+        });
+    };
+    send(&mut sim, 100, 1); // direct path, 1 hop
+    sim.schedule(SimTime::from_millis(500), move |s| s.set_link_up(l01, false));
+    send(&mut sim, 1000, 2); // must go 0-3-2-1
+    sim.schedule(SimTime::from_millis(1500), move |s| s.set_link_up(l01, true));
+    send(&mut sim, 2000, 3); // direct again
+    sim.run_until(SimTime::from_secs(3));
+
+    let c = sim.stats.class(TrafficClass::Background);
+    assert_eq!(c.delivered_pkts, 3, "all packets arrive despite the failure");
+    // Hop accounting: 1 + 3 + 1.
+    assert_eq!(c.delivered_hops, 5);
+    sim.stats.check_conservation().unwrap();
+}
+
+/// Packets already committed toward a link when it fails are dropped at
+/// the dead link, not black-holed silently.
+#[test]
+fn down_link_drops_are_accounted() {
+    let topo = Topology::line(3);
+    let mut sim = Simulator::new(topo, 5);
+    let dst = Addr::new(NodeId(2), 1);
+    sim.install_app(dst, Box::new(dtcs::netsim::SinkApp));
+    let l12 = sim.topo.nodes[2].links[0];
+    // Fail the last link; node 1 has no alternative: NoRoute after
+    // recompute, so emit BEFORE the recompute sees it — schedule ordering:
+    // emit at t=1ms, fail at t=0: the packet finds no route at node 1.
+    sim.schedule(SimTime::from_millis(0), move |s| s.set_link_up(l12, false));
+    sim.schedule(SimTime::from_millis(1), move |s| {
+        s.emit_now(
+            NodeId(0),
+            PacketBuilder::new(
+                Addr::new(NodeId(0), 1),
+                dst,
+                Proto::Udp,
+                TrafficClass::Background,
+            )
+            .size(100),
+        );
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let no_route = sim.stats.drops_for_reason(DropReason::NoRoute).pkts;
+    let overflow = sim.stats.drops_for_reason(DropReason::QueueOverflow).pkts;
+    assert_eq!(
+        no_route + overflow,
+        1,
+        "the packet must die accountably at the failure"
+    );
+    sim.stats.check_conservation().unwrap();
+}
+
+/// Anti-spoofing keeps working — and stays false-positive-free — after a
+/// failure reroutes legitimate traffic, because route-consistency checks
+/// consult the live routing tables.
+#[test]
+fn antispoof_tracks_rerouting_without_false_positives() {
+    let topo = Topology::transit_stub(4, 6, 0.3, 13);
+    let mut sim = Simulator::new(topo, 13);
+    let victim_node = sim.topo.stub_nodes()[0];
+    let victim = Addr::new(victim_node, 1);
+    sim.install_app(victim, Box::new(dtcs::netsim::SinkApp));
+    deploy_tcs_static(
+        &mut sim,
+        Prefix::of_node(victim_node),
+        &TcsStaticConfig {
+            dst_firewall: false,
+            ..Default::default()
+        },
+    );
+    // The victim's own replies (src = victim prefix) to a remote client,
+    // before and after a core link fails.
+    let client_node = sim.topo.stub_nodes()[5];
+    let client = Addr::new(client_node, 2);
+    sim.install_app(client, Box::new(dtcs::netsim::SinkApp));
+    let reply = move |sim: &mut Simulator, at_ms: u64, k: u64| {
+        sim.schedule(SimTime::from_millis(at_ms), move |s| {
+            s.emit_now(
+                victim.node(),
+                PacketBuilder::new(victim, client, Proto::TcpSynAck, TrafficClass::LegitReply)
+                    .size(60)
+                    .flow(k),
+            );
+        });
+    };
+    reply(&mut sim, 100, 1);
+    // Fail a backbone link on the current victim->client path (the first
+    // core-to-core link we can find on it).
+    let routing_path = sim
+        .routing
+        .path(&sim.topo, victim_node, client_node)
+        .expect("path exists");
+    let mut failed = None;
+    for w in routing_path.windows(2) {
+        if let Some((_, link)) = sim.topo.neighbours(w[0]).find(|&(p, _)| p == w[1]) {
+            use dtcs::netsim::NodeRole;
+            if sim.topo.nodes[w[0].0].role == NodeRole::Transit
+                && sim.topo.nodes[w[1].0].role == NodeRole::Transit
+            {
+                failed = Some(link);
+                break;
+            }
+        }
+    }
+    if let Some(link) = failed {
+        sim.schedule(SimTime::from_millis(500), move |s| s.set_link_up(link, false));
+    }
+    reply(&mut sim, 1000, 2);
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(
+        sim.stats.drops_for_reason(DropReason::SpoofFilter).pkts,
+        0,
+        "honest traffic must never trip anti-spoofing, before or after rerouting"
+    );
+    assert_eq!(sim.stats.class(TrafficClass::LegitReply).delivered_pkts, 2);
+}

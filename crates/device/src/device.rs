@@ -1,0 +1,873 @@
+//! The adaptive traffic-processing device (Figs. 2 and 6).
+//!
+//! Attached beside a router as a [`NodeAgent`], the device redirects to
+//! itself exactly the traffic whose source or destination address is
+//! registered to a network user, and runs that user's verified service
+//! graphs over it: the *first processing stage* on behalf of the source
+//! owner, the *second* on behalf of the destination owner (Sec. 4.1's
+//! control handover). Everything else takes "the direct path through the
+//! router" — a longest-prefix-match miss and no further cost.
+//!
+//! Runtime safety (Sec. 4.5) on top of the deployment-time verifier:
+//!
+//! * modules get a shrink-only [`PacketView`] — headers are untouchable by
+//!   construction;
+//! * the device emits no data-plane packets at all, so the packet rate
+//!   cannot increase;
+//! * telemetry (trigger events, log notices) is charged against a byte
+//!   budget proportional to processed traffic (footnote 1 of the paper);
+//!   events beyond the budget are suppressed and counted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use parking_lot::Mutex;
+
+use dtcs_netsim::{
+    AgentCtx, ControlMsg, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix,
+    SimTime, Verdict,
+};
+
+use crate::graph::ServiceGraph;
+use crate::modules::ModuleAction;
+use crate::owner::{OwnerId, OwnerTable};
+use crate::safety::{SafetyVerifier, SafetyViolation};
+use crate::spec::{ServiceSpec, Stage};
+use crate::support::LogEntry;
+use crate::view::{DeviceContext, DeviceEvent, EntryKind, PacketView};
+
+/// Bytes charged per telemetry event (event header + digest payload).
+const EVENT_BYTES: u64 = 64;
+
+/// Management command accepted by a device (sent by its ISP's network
+/// management system, or directly in tests).
+#[derive(Clone, Debug)]
+pub enum DeviceCommand {
+    /// Register an owner's prefix with a telemetry contact node.
+    RegisterOwner {
+        /// The owner.
+        owner: OwnerId,
+        /// Prefixes the owner controls.
+        prefixes: Vec<Prefix>,
+        /// Node that receives this owner's telemetry.
+        contact: NodeId,
+    },
+    /// Remove an owner's prefixes and services.
+    UnregisterOwner {
+        /// The owner.
+        owner: OwnerId,
+    },
+    /// Install (verify + instantiate) a service graph.
+    InstallService {
+        /// Owning user.
+        owner: OwnerId,
+        /// Source- or destination-side stage.
+        stage: Stage,
+        /// The graph description.
+        spec: ServiceSpec,
+    },
+    /// Remove a service graph.
+    RemoveService {
+        /// Owning user.
+        owner: OwnerId,
+        /// Which stage.
+        stage: Stage,
+    },
+    /// Activate or deactivate an installed service.
+    SetServiceActive {
+        /// Owning user.
+        owner: OwnerId,
+        /// Which stage.
+        stage: Stage,
+        /// Desired activation state.
+        active: bool,
+    },
+    /// Flip one module's enable bit inside a service graph.
+    SetModuleEnabled {
+        /// Owning user.
+        owner: OwnerId,
+        /// Which stage.
+        stage: Stage,
+        /// Module index in the graph.
+        module: usize,
+        /// Desired state.
+        enabled: bool,
+    },
+    /// Traceback support: ask whether a packet digest was seen in a window.
+    QueryDigest {
+        /// Owner whose backlog to consult.
+        owner: OwnerId,
+        /// Packet digest.
+        digest: u64,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+        /// Node to send the [`DeviceReply::DigestAnswer`] to.
+        reply_to: NodeId,
+    },
+    /// Collect a service's buffered log entries.
+    ReadLog {
+        /// Owning user.
+        owner: OwnerId,
+        /// Which stage.
+        stage: Stage,
+        /// Node to send the [`DeviceReply::LogData`] to.
+        reply_to: NodeId,
+    },
+}
+
+/// Replies a device sends back over the control plane.
+#[derive(Clone, Debug)]
+pub enum DeviceReply {
+    /// Service installed successfully.
+    InstallOk {
+        /// Device node.
+        node: NodeId,
+        /// Owner.
+        owner: OwnerId,
+        /// Stage.
+        stage: Stage,
+    },
+    /// Safety verifier rejected the spec.
+    InstallRejected {
+        /// Device node.
+        node: NodeId,
+        /// Owner.
+        owner: OwnerId,
+        /// Stage.
+        stage: Stage,
+        /// Why.
+        violation: SafetyViolation,
+    },
+    /// Answer to a [`DeviceCommand::QueryDigest`].
+    DigestAnswer {
+        /// Device node.
+        node: NodeId,
+        /// Queried digest.
+        digest: u64,
+        /// `Some(true)`: seen; `Some(false)`: not seen; `None`: no backlog.
+        hit: Option<bool>,
+    },
+    /// Answer to a [`DeviceCommand::ReadLog`].
+    LogData {
+        /// Device node.
+        node: NodeId,
+        /// Owner.
+        owner: OwnerId,
+        /// Collected entries.
+        entries: Vec<LogEntry>,
+    },
+}
+
+/// Counters shared with the owning scenario via [`DeviceHandle`].
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    /// All packets that transited this node while the device was attached.
+    pub seen_pkts: u64,
+    /// Packets redirected through at least one service graph.
+    pub redirected_pkts: u64,
+    /// Bytes redirected.
+    pub redirected_bytes: u64,
+    /// Drops by reason.
+    pub dropped: HashMap<DropReason, u64>,
+    /// Telemetry events emitted within budget.
+    pub telemetry_events: u64,
+    /// Telemetry bytes emitted.
+    pub telemetry_bytes: u64,
+    /// Telemetry events suppressed by the budget guard.
+    pub suppressed_events: u64,
+    /// Current primitive rule count across installed services.
+    pub rule_count: usize,
+    /// Install attempts rejected by the safety verifier.
+    pub rejected_installs: u64,
+}
+
+/// Shared read handle onto a running device's stats.
+pub type DeviceHandle = Arc<Mutex<DeviceStats>>;
+
+/// The adaptive device agent.
+pub struct AdaptiveDevice {
+    ctx: DeviceContext,
+    owners: OwnerTable,
+    /// Installed service graphs. An `(owner, stage)` slot holds a *list*:
+    /// users compose several services (e.g. a firewall plus statistics)
+    /// and they execute in installation order. Reinstalling a service
+    /// with the same name replaces it in place.
+    services: HashMap<(OwnerId, Stage), Vec<ServiceGraph>>,
+    verifier: SafetyVerifier,
+    /// Only this node's commands are accepted when set (the ISP NMS).
+    manager: Option<NodeId>,
+    stats: DeviceHandle,
+    /// Telemetry bytes allowed per processed byte (footnote 1 allowance).
+    telemetry_ratio: f64,
+    /// Flat telemetry allowance so lightly-loaded devices can still notify.
+    telemetry_floor: u64,
+    processed_bytes: u64,
+    events_buf: Vec<DeviceEvent>,
+    /// Optional synchronous event tap for scenario code / tests.
+    event_tap: Option<Sender<DeviceEvent>>,
+    entry_cache: HashMap<LinkId, EntryKind>,
+}
+
+impl AdaptiveDevice {
+    /// Create a device for `node`. `manager` restricts who may reconfigure
+    /// it (`None` accepts commands from any node — test use only).
+    pub fn new(node: NodeId, manager: Option<NodeId>) -> (AdaptiveDevice, DeviceHandle) {
+        let stats: DeviceHandle = Arc::new(Mutex::new(DeviceStats::default()));
+        let dev = AdaptiveDevice {
+            ctx: DeviceContext {
+                node,
+                local_prefixes: vec![Prefix::of_node(node)],
+                is_transit: false,
+            },
+            owners: OwnerTable::new(),
+            services: HashMap::new(),
+            verifier: SafetyVerifier::default(),
+            manager,
+            stats: stats.clone(),
+            telemetry_ratio: 0.01,
+            telemetry_floor: 64 * 1024,
+            processed_bytes: 0,
+            events_buf: Vec::new(),
+            event_tap: None,
+            entry_cache: HashMap::new(),
+        };
+        (dev, stats)
+    }
+
+    /// Attach a synchronous event tap (scenario/test observation).
+    pub fn set_event_tap(&mut self, tap: Sender<DeviceEvent>) {
+        self.event_tap = Some(tap);
+    }
+
+    /// Configure the telemetry allowance (footnote 1 of the paper): at
+    /// most `ratio` bytes of telemetry per processed data byte, plus a
+    /// flat `floor` so lightly-loaded devices can still notify.
+    pub fn set_telemetry_budget(&mut self, ratio: f64, floor: u64) {
+        self.telemetry_ratio = ratio.clamp(0.0, 1.0);
+        self.telemetry_floor = floor;
+    }
+
+    /// Direct (non-control-plane) command application, for scenario setup
+    /// before the simulation starts.
+    pub fn apply(&mut self, cmd: DeviceCommand) -> Option<DeviceReply> {
+        self.handle_command(cmd)
+    }
+
+    fn handle_command(&mut self, cmd: DeviceCommand) -> Option<DeviceReply> {
+        match cmd {
+            DeviceCommand::RegisterOwner {
+                owner,
+                prefixes,
+                contact,
+            } => {
+                for p in prefixes {
+                    self.owners.register(p, owner, contact);
+                }
+                None
+            }
+            DeviceCommand::UnregisterOwner { owner } => {
+                for p in self.owners.prefixes_of(owner) {
+                    self.owners.unregister(p);
+                }
+                let removed: Vec<(OwnerId, Stage)> = self
+                    .services
+                    .keys()
+                    .filter(|(o, _)| *o == owner)
+                    .copied()
+                    .collect();
+                for k in removed {
+                    self.services.remove(&k);
+                }
+                self.refresh_rule_count();
+                None
+            }
+            DeviceCommand::InstallService { owner, stage, spec } => {
+                let reply = match self.verifier.verify(&spec) {
+                    Ok(()) => {
+                        let graphs = self.services.entry((owner, stage)).or_default();
+                        let graph = ServiceGraph::from_spec(&spec);
+                        let mut delta = graph.rule_count as i64;
+                        match graphs.iter_mut().find(|g| g.name == spec.name) {
+                            Some(slot) => {
+                                delta -= slot.rule_count as i64; // idempotent redeploy
+                                *slot = graph;
+                            }
+                            None => graphs.push(graph),
+                        }
+                        self.adjust_rule_count(delta);
+                        DeviceReply::InstallOk {
+                            node: self.ctx.node,
+                            owner,
+                            stage,
+                        }
+                    }
+                    Err(violation) => {
+                        self.stats.lock().rejected_installs += 1;
+                        DeviceReply::InstallRejected {
+                            node: self.ctx.node,
+                            owner,
+                            stage,
+                            violation,
+                        }
+                    }
+                };
+                Some(reply)
+            }
+            DeviceCommand::RemoveService { owner, stage } => {
+                if let Some(graphs) = self.services.remove(&(owner, stage)) {
+                    let removed: usize = graphs.iter().map(|g| g.rule_count).sum();
+                    self.adjust_rule_count(-(removed as i64));
+                }
+                None
+            }
+            DeviceCommand::SetServiceActive {
+                owner,
+                stage,
+                active,
+            } => {
+                if let Some(graphs) = self.services.get_mut(&(owner, stage)) {
+                    for g in graphs {
+                        g.active = active;
+                    }
+                }
+                None
+            }
+            DeviceCommand::SetModuleEnabled {
+                owner,
+                stage,
+                module,
+                enabled,
+            } => {
+                if let Some(graphs) = self.services.get_mut(&(owner, stage)) {
+                    for g in graphs {
+                        g.set_module_enabled(module, enabled);
+                    }
+                }
+                None
+            }
+            DeviceCommand::QueryDigest {
+                owner,
+                digest,
+                from,
+                to,
+                reply_to: _,
+            } => {
+                let mut hit: Option<bool> = None;
+                for stage in [Stage::Src, Stage::Dst] {
+                    for g in self.services.get(&(owner, stage)).into_iter().flatten() {
+                        if let Some(h) = g.query_digest(digest, from, to) {
+                            hit = Some(hit.unwrap_or(false) || h);
+                        }
+                    }
+                }
+                Some(DeviceReply::DigestAnswer {
+                    node: self.ctx.node,
+                    digest,
+                    hit,
+                })
+            }
+            DeviceCommand::ReadLog {
+                owner,
+                stage,
+                reply_to: _,
+            } => {
+                let entries = self
+                    .services
+                    .get_mut(&(owner, stage))
+                    .map(|graphs| graphs.iter_mut().flat_map(|g| g.drain_logs()).collect())
+                    .unwrap_or_default();
+                Some(DeviceReply::LogData {
+                    node: self.ctx.node,
+                    owner,
+                    entries,
+                })
+            }
+        }
+    }
+
+    fn refresh_rule_count(&mut self) {
+        let count: usize = self
+            .services
+            .values()
+            .flat_map(|graphs| graphs.iter())
+            .map(|g| g.rule_count)
+            .sum();
+        self.stats.lock().rule_count = count;
+    }
+
+    fn adjust_rule_count(&mut self, delta: i64) {
+        let mut s = self.stats.lock();
+        s.rule_count = (s.rule_count as i64 + delta).max(0) as usize;
+    }
+
+    /// Classify how a packet entered this node (cached per link).
+    fn classify_entry(&mut self, ctx: &AgentCtx<'_>, from: Option<LinkId>) -> EntryKind {
+        let Some(link) = from else {
+            return EntryKind::Local;
+        };
+        if let Some(cached) = self.entry_cache.get(&link) {
+            return cached.clone();
+        }
+        let peer = ctx.topo.links[link.0].other(self.ctx.node);
+        let kind = if ctx.topo.is_customer_of(peer, self.ctx.node) {
+            EntryKind::Customer(vec![Prefix::of_node(peer)])
+        } else {
+            EntryKind::Transit
+        };
+        self.entry_cache.insert(link, kind.clone());
+        kind
+    }
+
+    /// Charge and flush buffered telemetry events.
+    fn flush_events(&mut self, ctx: &mut AgentCtx<'_>) {
+        if self.events_buf.is_empty() {
+            return;
+        }
+        let events: Vec<DeviceEvent> = self.events_buf.drain(..).collect();
+        let mut stats = self.stats.lock();
+        for ev in events {
+            let budget =
+                (self.processed_bytes as f64 * self.telemetry_ratio) as u64 + self.telemetry_floor;
+            if stats.telemetry_bytes + EVENT_BYTES > budget {
+                stats.suppressed_events += 1;
+                continue;
+            }
+            stats.telemetry_events += 1;
+            stats.telemetry_bytes += EVENT_BYTES;
+            let owner = match &ev {
+                DeviceEvent::TriggerFired { owner, .. }
+                | DeviceEvent::TriggerRelieved { owner, .. }
+                | DeviceEvent::LogReady { owner, .. } => *owner,
+            };
+            if let Some(tap) = &self.event_tap {
+                let _ = tap.send(ev.clone());
+            }
+            // Deliver to the owner's contact node over the control plane.
+            if let Some(contact) = self
+                .owners
+                .prefixes_of(owner)
+                .first()
+                .and_then(|p| self.owners.owner_of(p.first()))
+                .map(|e| e.contact)
+            {
+                let delay = ctx.path_delay(contact);
+                ctx.send_control(contact, delay, ev);
+            }
+        }
+    }
+
+    /// Shared stats handle.
+    pub fn handle(&self) -> DeviceHandle {
+        self.stats.clone()
+    }
+}
+
+impl NodeAgent for AdaptiveDevice {
+    fn name(&self) -> &'static str {
+        "adaptive-device"
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        pkt: &mut Packet,
+        from: Option<LinkId>,
+    ) -> Verdict {
+        {
+            self.stats.lock().seen_pkts += 1;
+        }
+        // Redirect decision: does anyone own this packet?
+        let src_owner = self.owners.owner_of(pkt.src).copied();
+        let dst_owner = self.owners.owner_of(pkt.dst).copied();
+        if src_owner.is_none() && dst_owner.is_none() {
+            return Verdict::Forward; // direct path through the router
+        }
+        let entry = self.classify_entry(ctx, from);
+        self.processed_bytes += pkt.size as u64;
+        {
+            let mut s = self.stats.lock();
+            s.redirected_pkts += 1;
+            s.redirected_bytes += pkt.size as u64;
+        }
+
+        // Spoof verdict for anti-spoofing modules: local emissions must
+        // carry a local source; customer-side arrivals must be route-
+        // consistent with the claimed source (Park & Lee route-based
+        // filtering); transit arrivals are never judged.
+        let spoof_suspect = match &entry {
+            EntryKind::Local => !self.ctx.local_prefixes.iter().any(|p| p.contains(pkt.src)),
+            EntryKind::Customer(_) => {
+                let expected = ctx.routing.enters_via(
+                    ctx.topo,
+                    pkt.src.node(),
+                    pkt.dst.node(),
+                    self.ctx.node,
+                );
+                match (expected, from) {
+                    (Some(via), Some(link)) => {
+                        ctx.topo.links[link.0].other(self.ctx.node) != via
+                    }
+                    _ => true, // claimed source could not be entering here
+                }
+            }
+            EntryKind::Transit => false,
+        };
+
+        let mut verdict = Verdict::Forward;
+        // Stage 1: source owner's processing; Stage 2: destination owner's
+        // (Sec. 4.1 control handover order).
+        let stages = [
+            (src_owner.map(|e| e.owner), Stage::Src),
+            (dst_owner.map(|e| e.owner), Stage::Dst),
+        ];
+        'stages: for (owner, stage) in stages {
+            let Some(owner) = owner else { continue };
+            let Some(graphs) = self.services.get_mut(&(owner, stage)) else {
+                continue;
+            };
+            for graph in graphs.iter_mut() {
+                let mut view = PacketView::new(pkt);
+                let action = graph.process(
+                    ctx.now,
+                    &self.ctx,
+                    &entry,
+                    spoof_suspect,
+                    from,
+                    owner,
+                    &mut self.events_buf,
+                    &mut view,
+                );
+                if let ModuleAction::Drop(reason) = action {
+                    *self.stats.lock().dropped.entry(reason).or_insert(0) += 1;
+                    verdict = Verdict::Drop(reason);
+                    break 'stages;
+                }
+            }
+        }
+        self.flush_events(ctx);
+        verdict
+    }
+
+    fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+        let Some(cmd) = msg.get::<DeviceCommand>() else {
+            return;
+        };
+        if let Some(mgr) = self.manager {
+            if msg.from != mgr && msg.from != self.ctx.node {
+                return; // not our manager: ignore (Sec. 4.5 misuse guard)
+            }
+        }
+        let reply_to = match cmd {
+            DeviceCommand::QueryDigest { reply_to, .. } => Some(*reply_to),
+            DeviceCommand::ReadLog { reply_to, .. } => Some(*reply_to),
+            _ => Some(msg.from),
+        };
+        if let Some(reply) = self.handle_command(cmd.clone()) {
+            if let Some(to) = reply_to {
+                let delay = ctx.path_delay(to);
+                ctx.send_control(to, delay, reply);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FilterRule, MatchExpr, ModuleSpec};
+    use dtcs_netsim::{
+        Addr, PacketBuilder, Proto, SimDuration, Simulator, TrafficClass, Topology,
+    };
+
+    fn victim_owner() -> OwnerId {
+        OwnerId(42)
+    }
+
+    /// Line topology: 0 (client) - 1 (device here) - 2 (victim).
+    fn sim_with_device() -> (Simulator, DeviceHandle) {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
+        dev.apply(DeviceCommand::RegisterOwner {
+            owner: victim_owner(),
+            prefixes: vec![Prefix::of_node(NodeId(2))],
+            contact: NodeId(2),
+        });
+        dev.apply(DeviceCommand::InstallService {
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain(
+                "fw",
+                vec![ModuleSpec::Filter {
+                    rules: vec![FilterRule {
+                        expr: MatchExpr::proto(Proto::Udp),
+                        drop: true,
+                    }],
+                }],
+            ),
+        });
+        sim.add_agent(NodeId(1), Box::new(dev));
+        sim.install_app(Addr::new(NodeId(2), 1), Box::new(dtcs_netsim::SinkApp));
+        (sim, handle)
+    }
+
+    fn send(sim: &mut Simulator, proto: Proto, dst: Addr) {
+        sim.emit_now(
+            NodeId(0),
+            PacketBuilder::new(Addr::new(NodeId(0), 1), dst, proto, TrafficClass::Background)
+                .size(100),
+        );
+    }
+
+    #[test]
+    fn device_filters_owned_traffic_only() {
+        let (mut sim, handle) = sim_with_device();
+        let victim = Addr::new(NodeId(2), 1);
+        send(&mut sim, Proto::Udp, victim); // owned + matches filter: drop
+        send(&mut sim, Proto::TcpData, victim); // owned, no match: pass
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+        assert_eq!(sim.stats.drops_for_reason(DropReason::DeviceFilter).pkts, 1);
+        let s = handle.lock();
+        assert_eq!(s.redirected_pkts, 2);
+        assert_eq!(s.dropped[&DropReason::DeviceFilter], 1);
+    }
+
+    #[test]
+    fn unowned_traffic_takes_direct_path() {
+        let (mut sim, handle) = sim_with_device();
+        // Node 1 hosts no registered prefix for src node 0 or dst node 1.
+        let unowned_dst = Addr::new(NodeId(1), 7);
+        sim.install_app(unowned_dst, Box::new(dtcs_netsim::SinkApp));
+        send(&mut sim, Proto::Udp, unowned_dst);
+        sim.run_until(SimTime::from_secs(1));
+        let s = handle.lock();
+        assert_eq!(s.seen_pkts, 1);
+        assert_eq!(s.redirected_pkts, 0, "no owner: direct path");
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+    }
+
+    #[test]
+    fn payload_signature_filtering_contains_a_worm() {
+        // Sec. 4.2 payload-hash rules + Sec. 2.1 worm motivation: the
+        // owner blocks packets carrying known worm payload hashes while
+        // identical-header clean traffic passes.
+        let (mut sim, handle) = sim_with_device();
+        let victim = Addr::new(NodeId(2), 1);
+        const WORM_SIG: u64 = 0x5A5A_BEEF;
+        // Replace the UDP firewall with a signature filter.
+        sim.deliver_control(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(1),
+            DeviceCommand::InstallService {
+                owner: victim_owner(),
+                stage: Stage::Dst,
+                spec: ServiceSpec::chain(
+                    "fw", // same name: replaces the UDP filter
+                    vec![ModuleSpec::Filter {
+                        rules: vec![FilterRule {
+                            expr: MatchExpr::any().with_payload_hashes(vec![WORM_SIG]),
+                            drop: true,
+                        }],
+                    }],
+                ),
+            },
+        );
+        sim.run_until(SimTime::from_millis(10));
+        // A worm packet and a clean packet, identical except the payload.
+        for tag in [WORM_SIG, 0x1111] {
+            sim.emit_now(
+                NodeId(0),
+                PacketBuilder::new(
+                    Addr::new(NodeId(0), 1),
+                    victim,
+                    Proto::TcpData,
+                    TrafficClass::Background,
+                )
+                .size(400)
+                .tag(tag),
+            );
+        }
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.drops_for_reason(DropReason::DeviceFilter).pkts, 1);
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+        assert_eq!(handle.lock().dropped[&DropReason::DeviceFilter], 1);
+    }
+
+    #[test]
+    fn unregister_owner_clears_everything() {
+        let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
+        dev.apply(DeviceCommand::RegisterOwner {
+            owner: victim_owner(),
+            prefixes: vec![Prefix::of_node(NodeId(2))],
+            contact: NodeId(2),
+        });
+        dev.apply(DeviceCommand::InstallService {
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
+        });
+        assert_eq!(handle.lock().rule_count, 1);
+        dev.apply(DeviceCommand::UnregisterOwner {
+            owner: victim_owner(),
+        });
+        assert_eq!(handle.lock().rule_count, 0, "services removed with the owner");
+        // Digest queries after removal: no backlog anywhere.
+        let reply = dev.apply(DeviceCommand::QueryDigest {
+            owner: victim_owner(),
+            digest: 1,
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(1),
+            reply_to: NodeId(2),
+        });
+        assert!(matches!(
+            reply,
+            Some(DeviceReply::DigestAnswer { hit: None, .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_install_is_rejected() {
+        let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
+        let reply = dev.apply(DeviceCommand::InstallService {
+            owner: OwnerId(7),
+            stage: Stage::Src,
+            spec: ServiceSpec::chain("evil", vec![ModuleSpec::Amplify { factor: 100 }]),
+        });
+        assert!(matches!(
+            reply,
+            Some(DeviceReply::InstallRejected {
+                violation: SafetyViolation::Amplification { .. },
+                ..
+            })
+        ));
+        assert_eq!(handle.lock().rejected_installs, 1);
+        assert_eq!(handle.lock().rule_count, 0);
+        // A benign install afterwards still works.
+        let reply = dev.apply(DeviceCommand::InstallService {
+            owner: OwnerId(7),
+            stage: Stage::Src,
+            spec: ServiceSpec::chain("ok", vec![ModuleSpec::AntiSpoof]),
+        });
+        assert!(matches!(reply, Some(DeviceReply::InstallOk { .. })));
+        assert_eq!(handle.lock().rule_count, 1);
+    }
+
+    #[test]
+    fn composed_services_run_in_order() {
+        // A firewall plus a logger at the same (owner, Dst) slot: both
+        // execute; reinstalling the firewall by name replaces it instead
+        // of stacking a duplicate.
+        let (mut sim, handle) = sim_with_device();
+        // sim_with_device installed "fw" dropping UDP; add a logger too.
+        // Reach the device via control from its own node (manager None).
+        sim.deliver_control(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(1),
+            DeviceCommand::InstallService {
+                owner: victim_owner(),
+                stage: Stage::Dst,
+                spec: ServiceSpec::chain(
+                    "stats",
+                    vec![ModuleSpec::Logger {
+                        capacity: 64,
+                        sample_one_in: 1,
+                    }],
+                ),
+            },
+        );
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(handle.lock().rule_count, 2, "firewall + logger");
+        // Reinstall the firewall (same name): rule count unchanged.
+        sim.deliver_control(
+            SimTime::from_millis(20),
+            NodeId(1),
+            NodeId(1),
+            DeviceCommand::InstallService {
+                owner: victim_owner(),
+                stage: Stage::Dst,
+                spec: ServiceSpec::chain(
+                    "fw",
+                    vec![ModuleSpec::Filter {
+                        rules: vec![FilterRule {
+                            expr: MatchExpr::proto(Proto::Udp),
+                            drop: true,
+                        }],
+                    }],
+                ),
+            },
+        );
+        sim.run_until(SimTime::from_millis(30));
+        assert_eq!(handle.lock().rule_count, 2, "redeploy replaces in place");
+        // Both services act: UDP dropped by fw, TCP logged+delivered.
+        let victim = Addr::new(NodeId(2), 1);
+        send(&mut sim, Proto::Udp, victim);
+        send(&mut sim, Proto::TcpData, victim);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.drops_for_reason(DropReason::DeviceFilter).pkts, 1);
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+    }
+
+    #[test]
+    fn manager_restriction_blocks_strangers() {
+        let (mut dev, _handle) = AdaptiveDevice::new(NodeId(1), Some(NodeId(5)));
+        // Direct apply is the trusted path; the control path checks
+        // msg.from. Simulate a stranger's control message:
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        dev.apply(DeviceCommand::RegisterOwner {
+            owner: OwnerId(1),
+            prefixes: vec![Prefix::of_node(NodeId(2))],
+            contact: NodeId(2),
+        });
+        let handle = dev.handle();
+        sim.add_agent(NodeId(1), Box::new(dev));
+
+        struct Stranger;
+        impl NodeAgent for Stranger {
+            fn name(&self) -> &'static str {
+                "stranger"
+            }
+            fn on_packet(
+                &mut self,
+                ctx: &mut AgentCtx<'_>,
+                _pkt: &mut Packet,
+                _from: Option<LinkId>,
+            ) -> Verdict {
+                ctx.send_control(
+                    NodeId(1),
+                    SimDuration::from_millis(1),
+                    DeviceCommand::InstallService {
+                        owner: OwnerId(1),
+                        stage: Stage::Dst,
+                        spec: ServiceSpec::chain(
+                            "fw",
+                            vec![ModuleSpec::Filter {
+                                rules: vec![FilterRule {
+                                    expr: MatchExpr::any(),
+                                    drop: true,
+                                }],
+                            }],
+                        ),
+                    },
+                );
+                Verdict::Forward
+            }
+        }
+        sim.add_agent(NodeId(0), Box::new(Stranger));
+        sim.install_app(Addr::new(NodeId(2), 1), Box::new(dtcs_netsim::SinkApp));
+        // Trigger the stranger, then send victim-bound traffic.
+        send(&mut sim, Proto::Udp, Addr::new(NodeId(2), 1));
+        sim.run_until(SimTime::from_millis(100));
+        send(&mut sim, Proto::Udp, Addr::new(NodeId(2), 1));
+        sim.run_until(SimTime::from_secs(1));
+        // The stranger's install was ignored: nothing dropped.
+        assert_eq!(handle.lock().rule_count, 0);
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 2);
+    }
+}

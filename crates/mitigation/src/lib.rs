@@ -1,0 +1,37 @@
+//! # dtcs-mitigation — baseline DDoS mitigation schemes
+//!
+//! Full reimplementations of the prior-art systems the reproduced paper
+//! analyses in Sec. 3, so that its comparative-effectiveness claims can be
+//! measured rather than asserted:
+//!
+//! * [`ingress`] — static RFC 2267 ingress filtering (proactive baseline);
+//! * [`pushback`] — aggregate congestion control with upstream pushback;
+//! * [`ppm`] — Savage-style probabilistic packet-marking traceback;
+//! * [`spie`] — hash-based (Bloom digest) traceback;
+//! * [`filtering`] — reactive filter installation from traceback verdicts;
+//! * [`overlay`] — SOS/Mayday secure overlays and i3-style indirection;
+//! * [`deploy`] — partial-deployment placement strategies.
+
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod filtering;
+pub mod ingress;
+pub mod overlay;
+pub mod ppm;
+pub mod pushback;
+pub mod spie;
+
+pub use deploy::{choose_nodes, Placement};
+pub use filtering::{install_traceback_filters, BlockScope, PrefixBlockAgent};
+pub use ingress::{deploy_ingress, IngressFilterAgent};
+pub use overlay::{I3Defense, PerimeterFilterAgent, RelayApp, RelayNext, SosOverlay};
+pub use ppm::{
+    deploy_ppm_everywhere, reconstruct_sources, MarkCollectorAgent, MarkHandle, MarkTable,
+    PpmMarkerAgent,
+};
+pub use pushback::{
+    deploy_pushback_everywhere, deploy_pushback_on, AggregateKey, PushbackAgent, PushbackConfig,
+    PushbackHandle, PushbackMsg, PushbackStats,
+};
+pub use spie::{SpieAgent, SpieConfig, SpieFleet, SpieHandle, SpieState};

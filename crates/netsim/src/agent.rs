@@ -1,0 +1,174 @@
+//! Node agents: packet-path extensions attached to routers.
+//!
+//! Everything that sits *beside* plain IP forwarding — adaptive devices,
+//! ingress filters, pushback logic, traceback markers — is a [`NodeAgent`].
+//! Agents on a node form an ordered chain; each inbound or locally-emitted
+//! packet passes through the chain before normal forwarding, and any agent
+//! may drop it. Agents communicate with the simulator exclusively through
+//! the [`Outbox`], which keeps the borrow structure simple and the event
+//! order deterministic.
+//!
+//! Control-plane messaging between agents (pushback's upstream rate-limit
+//! requests, the TCSP/ISP management operations of Figs. 4–5) uses
+//! [`AgentCtx::send_control`]: an out-of-band message delivered after an
+//! explicit delay chosen by the sender (typically `hops × RTT`). This is a
+//! documented substitution for in-band signalling — the experiments that
+//! care about control-plane latency (E7) model it explicitly.
+
+use std::any::Any;
+
+use crate::node::{LinkId, NodeId};
+use crate::packet::{Packet, PacketBuilder};
+use crate::routing::Routing;
+use crate::stats::DropReason;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// What an agent decided about a packet.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum Verdict {
+    /// Pass to the next agent / normal forwarding.
+    Forward,
+    /// Drop with the given reason (recorded in [`crate::stats::Stats`]).
+    Drop(DropReason),
+}
+
+/// Out-of-band control message between agents.
+pub struct ControlMsg {
+    /// Node whose agent sent the message.
+    pub from: NodeId,
+    /// Opaque payload; receivers `downcast_ref` to their protocol type.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl ControlMsg {
+    /// Typed view of the payload.
+    pub fn get<T: 'static>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+/// Deferred effects produced by agent / app callbacks, applied by the
+/// simulator after the callback returns.
+#[derive(Default)]
+pub struct Outbox {
+    pub(crate) sends: Vec<(SimDuration, PacketBuilder)>,
+    pub(crate) agent_timers: Vec<(SimDuration, u64)>,
+    pub(crate) controls: Vec<(SimDuration, NodeId, Box<dyn Any + Send>)>,
+}
+
+impl Outbox {
+    pub(crate) fn clear(&mut self) {
+        self.sends.clear();
+        self.agent_timers.clear();
+        self.controls.clear();
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.agent_timers.is_empty() && self.controls.is_empty()
+    }
+}
+
+/// Context handed to every agent callback.
+pub struct AgentCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Node this agent chain is attached to.
+    pub node: NodeId,
+    /// Read-only topology (including live link counters).
+    pub topo: &'a Topology,
+    /// Read-only routing tables.
+    pub routing: &'a Routing,
+    pub(crate) outbox: &'a mut Outbox,
+}
+
+impl<'a> AgentCtx<'a> {
+    /// Emit a new packet from this node after `delay`. The packet enters
+    /// the network at this node and traverses the agent chain like any
+    /// other traffic.
+    pub fn emit(&mut self, delay: SimDuration, builder: PacketBuilder) {
+        self.outbox.sends.push((delay, builder));
+    }
+
+    /// Arrange for `on_timer(token)` on this agent after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.outbox.agent_timers.push((delay, token));
+    }
+
+    /// Send an out-of-band control message to the agents of `to`,
+    /// delivered after `delay`.
+    pub fn send_control<T: Any + Send>(&mut self, to: NodeId, delay: SimDuration, payload: T) {
+        self.outbox.controls.push((delay, to, Box::new(payload)));
+    }
+
+    /// Round-trip-flavoured delay estimate toward `to`: per-hop latency sum
+    /// along the current shortest path (used by control senders to pick a
+    /// realistic delivery delay).
+    pub fn path_delay(&self, to: NodeId) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        let mut at = self.node;
+        let mut guard = 0;
+        while at != to {
+            let Some(l) = self.routing.next_hop(at, to) else {
+                return SimDuration::from_millis(50); // unreachable: flat guess
+            };
+            total += self.topo.links[l.0].latency;
+            at = self.topo.links[l.0].other(at);
+            guard += 1;
+            if guard > self.topo.n() {
+                break;
+            }
+        }
+        total
+    }
+}
+
+/// A packet-path extension attached to a node.
+///
+/// All methods take `&mut self`; an agent is owned by exactly one node and
+/// the simulator is single-threaded per instance (determinism), so no
+/// internal synchronisation is needed.
+pub trait NodeAgent: Send {
+    /// Short stable name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// A packet arrived at this node (either from link `from`, or `None`
+    /// when emitted locally). May mutate mutable packet fields (e.g. the
+    /// marking field); may drop.
+    fn on_packet(&mut self, ctx: &mut AgentCtx<'_>, pkt: &mut Packet, from: Option<LinkId>)
+        -> Verdict;
+
+    /// A timer set via [`AgentCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, _token: u64) {}
+
+    /// A packet this node tried to forward was tail-dropped on `link`.
+    /// This is the congestion-observation hook pushback builds on.
+    fn on_link_drop(&mut self, _ctx: &mut AgentCtx<'_>, _link: LinkId, _pkt: &Packet) {}
+
+    /// An out-of-band control message arrived.
+    fn on_control(&mut self, _ctx: &mut AgentCtx<'_>, _msg: &ControlMsg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_msg_downcast() {
+        let msg = ControlMsg {
+            from: NodeId(3),
+            payload: Box::new(42u32),
+        };
+        assert_eq!(msg.get::<u32>(), Some(&42));
+        assert_eq!(msg.get::<u64>(), None);
+    }
+
+    #[test]
+    fn outbox_clear() {
+        let mut o = Outbox::default();
+        o.agent_timers.push((SimDuration::ZERO, 1));
+        assert!(!o.is_empty());
+        o.clear();
+        assert!(o.is_empty());
+    }
+}

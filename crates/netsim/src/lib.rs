@@ -1,0 +1,60 @@
+//! # dtcs-netsim — deterministic packet-level internetwork simulator
+//!
+//! The substrate every other crate in this workspace runs on. It models the
+//! Internet at autonomous-system granularity: nodes are ASes/sites, links
+//! have bandwidth / latency / drop-tail queues, routing is hop-count
+//! shortest path, and both the attack workloads and the defenses of the
+//! reproduced paper plug in as [`agent::NodeAgent`]s (router-side) and
+//! [`app::App`]s (host-side).
+//!
+//! Design pillars (see the workspace DESIGN.md):
+//!
+//! * **Determinism** — integer nanosecond clock, `(time, seq)` event
+//!   ordering, one seeded ChaCha8 RNG stream; identical seeds give
+//!   bit-identical runs on every platform.
+//! * **Allocation-free hot path** — packets are `Copy`, queues are virtual
+//!   (closed-form backlog), payloads are sizes + tags.
+//! * **Parallelism at the sweep level** — a `Simulator` is single-threaded;
+//!   experiments run many simulators concurrently via rayon.
+//!
+//! ```
+//! use dtcs_netsim::*;
+//!
+//! // Two hosts on a 3-AS line; one UDP packet end to end.
+//! let mut sim = Simulator::new(Topology::line(3), 42);
+//! let dst = Addr::new(NodeId(2), 1);
+//! sim.install_app(dst, Box::new(SinkApp));
+//! sim.emit_now(
+//!     NodeId(0),
+//!     PacketBuilder::new(Addr::new(NodeId(0), 1), dst, Proto::Udp, TrafficClass::Background),
+//! );
+//! sim.run_until(SimTime::from_secs(1));
+//! assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod agent;
+pub mod app;
+pub mod link;
+pub mod node;
+pub mod packet;
+pub mod routing;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod topology;
+
+pub use addr::{Addr, Prefix};
+pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
+pub use app::{App, AppApi, Disposition, SinkApp};
+pub use link::{Admission, Link, LinkProfile};
+pub use node::{LinkId, Node, NodeId, NodeRole};
+pub use packet::{Packet, PacketBuilder, Proto, Provenance, TrafficClass, DEFAULT_TTL};
+pub use routing::Routing;
+pub use sim::Simulator;
+pub use stats::{DropReason, Stats};
+pub use time::{SimDuration, SimTime};
+pub use topology::Topology;

@@ -1,0 +1,278 @@
+//! Routing: all-pairs next-hop tables.
+//!
+//! Shortest paths with deterministic tie-breaking stand in for BGP, with
+//! one policy nod: paths that would *transit* a stub AS pay a heavy
+//! penalty, because in the real Internet a customer AS does not carry
+//! third-party traffic (valley-free routing). Without this, multihomed
+//! stubs land on shortest paths and ingress filters at their providers
+//! falsely drop legitimate transit traffic. The penalty (rather than a
+//! hard ban) keeps degenerate test topologies — lines, all-stub graphs —
+//! connected. The recorded distance is the *hop count* of the chosen
+//! path, so hop-based metrics stay meaningful.
+//!
+//! Tables are computed with one Dijkstra per destination, parallelised
+//! across destinations with rayon (outer-loop data parallelism per the
+//! HPC guides; each run is independent and writes only its own row).
+
+use rayon::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::node::{LinkId, NodeId, NodeRole};
+use crate::topology::Topology;
+
+/// Cost added for each stub AS a path transits (valley avoidance).
+const STUB_TRANSIT_PENALTY: u32 = 1000;
+
+/// Sentinel for "no route" in the flat next-hop table.
+const NO_ROUTE: u32 = u32::MAX;
+
+/// All-pairs next-hop forwarding state.
+#[derive(Clone, Debug)]
+pub struct Routing {
+    n: usize,
+    /// `next_hop[d * n + u]` = link to take from node `u` toward destination
+    /// node `d` (`NO_ROUTE` if unreachable or `u == d`).
+    next_hop: Vec<u32>,
+    /// `dist[d * n + u]` = hop distance from `u` to `d` (`u16::MAX` if
+    /// unreachable).
+    dist: Vec<u16>,
+}
+
+impl Routing {
+    /// Compute routing tables for a topology.
+    pub fn compute(topo: &Topology) -> Routing {
+        let n = topo.n();
+        let mut next_hop = vec![NO_ROUTE; n * n];
+        let mut dist = vec![u16::MAX; n * n];
+
+        next_hop
+            .par_chunks_mut(n)
+            .zip(dist.par_chunks_mut(n))
+            .enumerate()
+            .for_each(|(d, (hops_row, dist_row))| {
+                bfs_from(topo, NodeId(d), hops_row, dist_row);
+            });
+
+        Routing { n, next_hop, dist }
+    }
+
+    /// Link to take from `at` toward destination node `dst`, or `None` when
+    /// `at == dst` or `dst` is unreachable.
+    #[inline]
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<LinkId> {
+        let v = self.next_hop[dst.0 * self.n + at.0];
+        if v == NO_ROUTE {
+            None
+        } else {
+            Some(LinkId(v as usize))
+        }
+    }
+
+    /// Hop distance from `from` to `to`; `None` if unreachable.
+    #[inline]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u16> {
+        let d = self.dist[to.0 * self.n + from.0];
+        if d == u16::MAX {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The node sequence of the path from `from` to `to` (inclusive), or
+    /// `None` if unreachable.
+    pub fn path(&self, topo: &Topology, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![from];
+        let mut at = from;
+        while at != to {
+            let link = self.next_hop(at, to)?;
+            at = topo.links[link.0].other(at);
+            path.push(at);
+            if path.len() > self.n + 1 {
+                return None; // defensive: inconsistent table
+            }
+        }
+        Some(path)
+    }
+
+    /// Does the shortest path from `from` to `to` traverse `via`?
+    pub fn path_contains(&self, topo: &Topology, from: NodeId, to: NodeId, via: NodeId) -> bool {
+        match self.path(topo, from, to) {
+            Some(p) => p.contains(&via),
+            None => false,
+        }
+    }
+
+    /// Route-consistency check (Park & Lee route-based filtering): on the
+    /// forwarding path from `src` to `dst`, which neighbour hands traffic
+    /// to `at`? Returns `None` when `at` is not on that path (or is the
+    /// path's first node), i.e. when a packet claiming `src` could not
+    /// legitimately be entering `at` at all. Out-of-range `src`/`dst`
+    /// (addresses outside the topology) also return `None`.
+    pub fn enters_via(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        at: NodeId,
+    ) -> Option<NodeId> {
+        if src.0 >= self.n || dst.0 >= self.n || at.0 >= self.n {
+            return None;
+        }
+        let mut prev = src;
+        let mut cur = src;
+        let mut guard = 0;
+        while cur != dst {
+            let link = self.next_hop(cur, dst)?;
+            let next = topo.links[link.0].other(cur);
+            if next == at {
+                return Some(cur);
+            }
+            prev = cur;
+            cur = next;
+            guard += 1;
+            if guard > self.n {
+                return None;
+            }
+        }
+        let _ = prev;
+        None
+    }
+
+    /// Number of nodes this table was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// Dijkstra from destination `d`, filling that destination's next-hop and
+/// distance rows. Edge cost is 1, plus [`STUB_TRANSIT_PENALTY`] when the
+/// hop would make a stub AS carry third-party traffic. Ties break on
+/// `(cost, node id)`, so results are deterministic. The distance row
+/// records the hop count of the selected (cost-minimal) path.
+fn bfs_from(topo: &Topology, d: NodeId, hops_row: &mut [u32], dist_row: &mut [u16]) {
+    // The penalty only applies when the topology distinguishes roles at
+    // all; otherwise (all-stub test shapes) plain hop counting applies.
+    let has_transit = topo.nodes.iter().any(|n| n.role == NodeRole::Transit);
+    let n = topo.n();
+    let mut cost = vec![u32::MAX; n];
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
+    cost[d.0] = 0;
+    dist_row[d.0] = 0;
+    heap.push(Reverse((0, d.0)));
+    while let Some(Reverse((cu, ui))) = heap.pop() {
+        if cu > cost[ui] {
+            continue; // stale entry
+        }
+        let u = NodeId(ui);
+        // Cost of extending the path one hop beyond `u`: traffic would
+        // then *transit* `u` (unless `u` is the destination itself).
+        let transit_penalty = if u != d
+            && has_transit
+            && topo.nodes[ui].role == NodeRole::Stub
+        {
+            STUB_TRANSIT_PENALTY
+        } else {
+            0
+        };
+        for &lid in &topo.nodes[ui].links {
+            if !topo.links[lid.0].up {
+                continue; // failed links carry nothing
+            }
+            let v = topo.links[lid.0].other(u);
+            let nc = cu.saturating_add(1).saturating_add(transit_penalty);
+            if nc < cost[v.0] {
+                cost[v.0] = nc;
+                dist_row[v.0] = dist_row[ui] + 1;
+                // From v, the way toward d is the link back to u.
+                hops_row[v.0] = lid.0 as u32;
+                heap.push(Reverse((nc, v.0)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    #[test]
+    fn line_routes_are_sequential() {
+        let topo = Topology::line(5);
+        let r = Routing::compute(&topo);
+        assert_eq!(r.distance(NodeId(0), NodeId(4)), Some(4));
+        let p = r.path(&topo, NodeId(0), NodeId(4)).unwrap();
+        assert_eq!(p, (0..5).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn self_route_is_none() {
+        let topo = Topology::line(3);
+        let r = Routing::compute(&topo);
+        assert_eq!(r.next_hop(NodeId(1), NodeId(1)), None);
+        assert_eq!(r.distance(NodeId(1), NodeId(1)), Some(0));
+    }
+
+    #[test]
+    fn star_all_pairs_via_hub() {
+        let topo = Topology::star(5);
+        let r = Routing::compute(&topo);
+        for i in 1..=5 {
+            for j in 1..=5 {
+                if i != j {
+                    assert_eq!(r.distance(NodeId(i), NodeId(j)), Some(2));
+                    assert!(r.path_contains(&topo, NodeId(i), NodeId(j), NodeId(0)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_has_no_route() {
+        let mut topo = Topology::line(2);
+        let lonely = topo.add_node(crate::node::NodeRole::Stub);
+        let r = Routing::compute(&topo);
+        assert_eq!(r.next_hop(NodeId(0), lonely), None);
+        assert_eq!(r.distance(NodeId(0), lonely), None);
+    }
+
+    #[test]
+    fn paths_are_shortest_on_ba() {
+        let topo = Topology::barabasi_albert(120, 2, 0.1, 17);
+        let r = Routing::compute(&topo);
+        // Spot-check: path length equals reported distance.
+        for (from, to) in [(0usize, 119usize), (5, 80), (33, 34)] {
+            let d = r.distance(NodeId(from), NodeId(to)).unwrap() as usize;
+            let p = r.path(&topo, NodeId(from), NodeId(to)).unwrap();
+            assert_eq!(p.len(), d + 1);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let topo = Topology::barabasi_albert(80, 2, 0.1, 23);
+        let a = Routing::compute(&topo);
+        let b = Routing::compute(&topo);
+        assert_eq!(a.next_hop, b.next_hop);
+    }
+
+    #[test]
+    fn next_hop_moves_closer() {
+        let topo = Topology::barabasi_albert(100, 2, 0.1, 29);
+        let r = Routing::compute(&topo);
+        for u in 0..topo.n() {
+            let dst = NodeId((u + 37) % topo.n());
+            if NodeId(u) == dst {
+                continue;
+            }
+            let l = r.next_hop(NodeId(u), dst).unwrap();
+            let v = topo.links[l.0].other(NodeId(u));
+            assert_eq!(
+                r.distance(v, dst).unwrap() + 1,
+                r.distance(NodeId(u), dst).unwrap()
+            );
+        }
+    }
+}

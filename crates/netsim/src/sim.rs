@@ -1,0 +1,765 @@
+//! The discrete-event simulator.
+//!
+//! Single-threaded and deterministic: events are ordered by `(time, seq)`
+//! where `seq` is a monotone tie-breaker, all randomness flows from one
+//! seeded ChaCha8 stream, and agent/app callbacks interact with the engine
+//! only through outbox buffers that are flushed in callback order.
+//! Parallelism lives one level up — experiment sweeps run many independent
+//! `Simulator` instances across threads with rayon (DESIGN.md §6).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::addr::Addr;
+use crate::agent::{AgentCtx, ControlMsg, NodeAgent, Outbox, Verdict};
+use crate::app::{App, AppApi, Disposition};
+use crate::link::Admission;
+use crate::node::{LinkId, NodeId};
+use crate::packet::{Packet, PacketBuilder};
+use crate::routing::Routing;
+use crate::rng::seeded;
+use crate::stats::{DropReason, Stats};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// A scheduled simulator callback.
+type Call = Box<dyn FnOnce(&mut Simulator) + Send>;
+
+enum EventKind {
+    Arrive {
+        at: NodeId,
+        from: Option<LinkId>,
+        pkt: Packet,
+    },
+    AgentTimer {
+        node: NodeId,
+        agent: usize,
+        token: u64,
+    },
+    AppTimer {
+        addr: Addr,
+        token: u64,
+    },
+    ControlDeliver {
+        to: NodeId,
+        msg: ControlMsg,
+    },
+    Call(Call),
+}
+
+struct EventEntry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    /// The network graph (owned; link state lives inside).
+    pub topo: Topology,
+    /// Shortest-path forwarding tables.
+    pub routing: Routing,
+    /// Global measurement state.
+    pub stats: Stats,
+    agents: Vec<Vec<Box<dyn NodeAgent>>>,
+    apps: BTreeMap<Addr, Box<dyn App>>,
+    queue: BinaryHeap<EventEntry>,
+    now: SimTime,
+    seq: u64,
+    next_packet_id: u64,
+    rng: ChaCha8Rng,
+    outbox: Outbox,
+    app_timer_buf: Vec<(SimDuration, u64)>,
+    started: bool,
+    event_limit: u64,
+}
+
+impl Simulator {
+    /// Build a simulator over a topology, computing routing tables.
+    pub fn new(topo: Topology, seed: u64) -> Simulator {
+        let routing = Routing::compute(&topo);
+        let n = topo.n();
+        Simulator {
+            topo,
+            routing,
+            stats: Stats::new(),
+            agents: (0..n).map(|_| Vec::new()).collect(),
+            apps: BTreeMap::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            next_packet_id: 1,
+            rng: seeded(seed),
+            outbox: Outbox::default(),
+            app_timer_buf: Vec::new(),
+            started: false,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Cap total processed events (runaway guard for tests); the run stops
+    /// once the cap is reached.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Attach an agent to a node's chain; returns its chain index.
+    ///
+    /// Must be called from scenario code or a scheduled [`Simulator::schedule`]
+    /// callback — never from inside an agent/app callback.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn NodeAgent>) -> usize {
+        let chain = &mut self.agents[node.0];
+        chain.push(agent);
+        chain.len() - 1
+    }
+
+    /// Install an application at an address. Replaces any existing app
+    /// at that address (returned to the caller).
+    pub fn install_app(&mut self, addr: Addr, app: Box<dyn App>) -> Option<Box<dyn App>> {
+        assert!(
+            (addr.node().0) < self.topo.n(),
+            "address {addr:?} does not belong to a topology node"
+        );
+        self.apps.insert(addr, app)
+    }
+
+    /// Schedule an arbitrary callback at an absolute time. This is how
+    /// scenario scripts stage mid-run reconfiguration (e.g. "deploy the TCS
+    /// filter at t=20 s").
+    pub fn schedule<F: FnOnce(&mut Simulator) + Send + 'static>(&mut self, at: SimTime, f: F) {
+        self.push(at, EventKind::Call(Box::new(f)));
+    }
+
+    /// Fail or restore a link and recompute routing (failure injection).
+    /// In-flight packets already past the link are unaffected; packets
+    /// offered to a down link are dropped as queue losses. Call from
+    /// scenario code or a [`Simulator::schedule`] callback.
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.topo.links[link.0].up = up;
+        self.routing = Routing::compute(&self.topo);
+    }
+
+    /// Deliver a control message to a node's agents at an absolute time,
+    /// from scenario code (e.g. staged device reconfiguration). `from`
+    /// names the apparent sender node.
+    pub fn deliver_control<T: std::any::Any + Send>(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: T,
+    ) {
+        self.push(
+            at,
+            EventKind::ControlDeliver {
+                to,
+                msg: ControlMsg {
+                    from,
+                    payload: Box::new(payload),
+                },
+            },
+        );
+    }
+
+    /// Schedule a timer for an installed agent from scenario code (the
+    /// in-simulation way for agents to bootstrap themselves is
+    /// [`AgentCtx::set_timer`]; this is the outside-in equivalent, used to
+    /// kick off protocol drivers like the TCS user agent).
+    pub fn schedule_agent_timer(&mut self, node: NodeId, agent: usize, at: SimTime, token: u64) {
+        self.push(at, EventKind::AgentTimer { node, agent, token });
+    }
+
+    /// Emit a packet from `node` right now. Counted as sent; traverses the
+    /// node's agent chain like host-originated traffic.
+    pub fn emit_now(&mut self, node: NodeId, builder: PacketBuilder) {
+        let pkt = self.stamp(node, builder);
+        self.push(
+            self.now,
+            EventKind::Arrive {
+                at: node,
+                from: None,
+                pkt,
+            },
+        );
+    }
+
+    /// Run every event up to and including `until`, then set the clock to
+    /// `until`. Calls app `on_start` hooks on first use.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.ensure_started();
+        while let Some(head) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            if self.stats.events >= self.event_limit {
+                break;
+            }
+            self.step_one();
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Run for a span from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let until = self.now + span;
+        self.run_until(until);
+    }
+
+    /// Drain every remaining event (careful with self-sustaining workloads).
+    pub fn run_to_idle(&mut self) {
+        self.ensure_started();
+        while self.queue.peek().is_some() && self.stats.events < self.event_limit {
+            self.step_one();
+        }
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // Deterministic start order: BTreeMap iterates addresses ascending.
+        let addrs: Vec<Addr> = self.apps.keys().copied().collect();
+        for addr in addrs {
+            self.with_app(addr, |app, api| {
+                app.on_start(api);
+                Disposition::Consumed
+            });
+        }
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(EventEntry { time, seq, kind });
+    }
+
+    fn alloc_pkt_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    fn stamp(&mut self, node: NodeId, builder: PacketBuilder) -> Packet {
+        let pkt = builder.build(self.alloc_pkt_id(), node);
+        self.stats.record_sent(&pkt);
+        pkt
+    }
+
+    fn step_one(&mut self) {
+        let Some(ev) = self.queue.pop() else { return };
+        debug_assert!(ev.time >= self.now, "event from the past");
+        self.now = ev.time;
+        self.stats.events += 1;
+        match ev.kind {
+            EventKind::Arrive { at, from, pkt } => self.handle_arrival(at, from, pkt),
+            EventKind::AgentTimer { node, agent, token } => {
+                self.with_agent(node, agent, |a, ctx| a.on_timer(ctx, token));
+            }
+            EventKind::AppTimer { addr, token } => {
+                self.with_app(addr, |app, api| {
+                    app.on_timer(api, token);
+                    Disposition::Consumed
+                });
+            }
+            EventKind::ControlDeliver { to, msg } => {
+                let mut chain = std::mem::take(&mut self.agents[to.0]);
+                for (i, agent) in chain.iter_mut().enumerate() {
+                    let mut ctx = AgentCtx {
+                        now: self.now,
+                        node: to,
+                        topo: &self.topo,
+                        routing: &self.routing,
+                        outbox: &mut self.outbox,
+                    };
+                    agent.on_control(&mut ctx, &msg);
+                    self.flush_agent_outbox(to, i);
+                }
+                self.agents[to.0] = chain;
+            }
+            EventKind::Call(f) => f(self),
+        }
+    }
+
+    fn handle_arrival(&mut self, at: NodeId, from: Option<LinkId>, mut pkt: Packet) {
+        // 1. Agent chain.
+        let mut chain = std::mem::take(&mut self.agents[at.0]);
+        let mut verdict = Verdict::Forward;
+        for (i, agent) in chain.iter_mut().enumerate() {
+            let mut ctx = AgentCtx {
+                now: self.now,
+                node: at,
+                topo: &self.topo,
+                routing: &self.routing,
+                outbox: &mut self.outbox,
+            };
+            let v = agent.on_packet(&mut ctx, &mut pkt, from);
+            self.flush_agent_outbox(at, i);
+            if let Verdict::Drop(reason) = v {
+                verdict = Verdict::Drop(reason);
+                break;
+            }
+        }
+        self.agents[at.0] = chain;
+        if let Verdict::Drop(reason) = verdict {
+            self.stats.record_dropped(&pkt, reason);
+            return;
+        }
+
+        // 2. Local delivery.
+        if pkt.dst.node() == at {
+            if self.apps.contains_key(&pkt.dst) {
+                let now = self.now;
+                let disposition = self.with_app(pkt.dst, |app, api| app.on_packet(api, &pkt));
+                match disposition {
+                    Disposition::Consumed => self.stats.record_delivered(now, at, &pkt),
+                    Disposition::Overloaded => {
+                        self.stats.record_dropped(&pkt, DropReason::HostOverload)
+                    }
+                }
+            } else {
+                self.stats.record_dropped(&pkt, DropReason::NoListener);
+            }
+            return;
+        }
+
+        // 3. Forwarding.
+        if pkt.ttl <= 1 {
+            self.stats.record_dropped(&pkt, DropReason::TtlExpired);
+            return;
+        }
+        pkt.ttl -= 1;
+        let Some(link) = self.routing.next_hop(at, pkt.dst.node()) else {
+            self.stats.record_dropped(&pkt, DropReason::NoRoute);
+            return;
+        };
+        let is_attack = pkt.provenance.class.is_attack();
+        let admission = self.topo.links[link.0].offer(at, self.now, pkt.size, is_attack);
+        match admission {
+            Admission::Dropped => {
+                self.stats.record_dropped(&pkt, DropReason::QueueOverflow);
+                // Congestion observation hook (pushback).
+                let mut chain = std::mem::take(&mut self.agents[at.0]);
+                for (i, agent) in chain.iter_mut().enumerate() {
+                    let mut ctx = AgentCtx {
+                        now: self.now,
+                        node: at,
+                        topo: &self.topo,
+                        routing: &self.routing,
+                        outbox: &mut self.outbox,
+                    };
+                    agent.on_link_drop(&mut ctx, link, &pkt);
+                    self.flush_agent_outbox(at, i);
+                }
+                self.agents[at.0] = chain;
+            }
+            Admission::Deliver(when) => {
+                pkt.hops = pkt.hops.saturating_add(1);
+                let next = self.topo.links[link.0].other(at);
+                self.push(
+                    when,
+                    EventKind::Arrive {
+                        at: next,
+                        from: Some(link),
+                        pkt,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Run one agent callback with a context, then flush its outbox.
+    fn with_agent<F: FnOnce(&mut Box<dyn NodeAgent>, &mut AgentCtx<'_>)>(
+        &mut self,
+        node: NodeId,
+        idx: usize,
+        f: F,
+    ) {
+        let mut chain = std::mem::take(&mut self.agents[node.0]);
+        if let Some(agent) = chain.get_mut(idx) {
+            let mut ctx = AgentCtx {
+                now: self.now,
+                node,
+                topo: &self.topo,
+                routing: &self.routing,
+                outbox: &mut self.outbox,
+            };
+            f(agent, &mut ctx);
+            self.flush_agent_outbox(node, idx);
+        }
+        self.agents[node.0] = chain;
+    }
+
+    /// Run one app callback with an API, then flush its outbox.
+    fn with_app<F: FnOnce(&mut Box<dyn App>, &mut AppApi<'_>) -> Disposition>(
+        &mut self,
+        addr: Addr,
+        f: F,
+    ) -> Disposition {
+        let Some(mut app) = self.apps.remove(&addr) else {
+            return Disposition::Consumed;
+        };
+        let node = addr.node();
+        let mut api = AppApi {
+            now: self.now,
+            node,
+            self_addr: addr,
+            rng: &mut self.rng,
+            outbox: &mut self.outbox,
+            timers: &mut self.app_timer_buf,
+        };
+        let disposition = f(&mut app, &mut api);
+        self.apps.insert(addr, app);
+        self.flush_app_outbox(addr);
+        disposition
+    }
+
+    fn flush_agent_outbox(&mut self, node: NodeId, agent_idx: usize) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let sends: Vec<_> = self.outbox.sends.drain(..).collect();
+        let timers: Vec<_> = self.outbox.agent_timers.drain(..).collect();
+        let controls: Vec<_> = self.outbox.controls.drain(..).collect();
+        self.outbox.clear();
+        for (delay, builder) in sends {
+            let pkt = self.stamp(node, builder);
+            self.push(
+                self.now + delay,
+                EventKind::Arrive {
+                    at: node,
+                    from: None,
+                    pkt,
+                },
+            );
+        }
+        for (delay, token) in timers {
+            self.push(
+                self.now + delay,
+                EventKind::AgentTimer {
+                    node,
+                    agent: agent_idx,
+                    token,
+                },
+            );
+        }
+        for (delay, to, payload) in controls {
+            self.push(
+                self.now + delay,
+                EventKind::ControlDeliver {
+                    to,
+                    msg: ControlMsg {
+                        from: node,
+                        payload,
+                    },
+                },
+            );
+        }
+    }
+
+    fn flush_app_outbox(&mut self, addr: Addr) {
+        let node = addr.node();
+        let sends: Vec<_> = self.outbox.sends.drain(..).collect();
+        let controls: Vec<_> = self.outbox.controls.drain(..).collect();
+        self.outbox.clear();
+        for (delay, builder) in sends {
+            let pkt = self.stamp(node, builder);
+            self.push(
+                self.now + delay,
+                EventKind::Arrive {
+                    at: node,
+                    from: None,
+                    pkt,
+                },
+            );
+        }
+        // Apps do not send control messages, but tolerate it (delivered
+        // as if from this node's agents).
+        for (delay, to, payload) in controls {
+            self.push(
+                self.now + delay,
+                EventKind::ControlDeliver {
+                    to,
+                    msg: ControlMsg {
+                        from: node,
+                        payload,
+                    },
+                },
+            );
+        }
+        let timers: Vec<_> = self.app_timer_buf.drain(..).collect();
+        for (delay, token) in timers {
+            self.push(self.now + delay, EventKind::AppTimer { addr, token });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Proto, TrafficClass};
+    use crate::stats::DropReason;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    use std::sync::Arc;
+
+    /// App counting deliveries into a shared atomic.
+    struct Counter(Arc<AtomicU64>);
+    impl App for Counter {
+        fn on_packet(&mut self, _api: &mut AppApi<'_>, _pkt: &Packet) -> Disposition {
+            self.0.fetch_add(1, AtomicOrdering::Relaxed);
+            Disposition::Consumed
+        }
+    }
+
+    fn udp(src: Addr, dst: Addr) -> PacketBuilder {
+        PacketBuilder::new(src, dst, Proto::Udp, TrafficClass::Background).size(100)
+    }
+
+    #[test]
+    fn end_to_end_delivery_on_line() {
+        let topo = Topology::line(4);
+        let mut sim = Simulator::new(topo, 1);
+        let count = Arc::new(AtomicU64::new(0));
+        let dst = Addr::new(NodeId(3), 1);
+        sim.install_app(dst, Box::new(Counter(count.clone())));
+        sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 1);
+        let c = sim.stats.class(TrafficClass::Background);
+        assert_eq!(c.sent_pkts, 1);
+        assert_eq!(c.delivered_pkts, 1);
+        assert_eq!(c.delivered_hops, 3);
+        sim.stats.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn no_listener_is_counted() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        sim.emit_now(
+            NodeId(0),
+            udp(Addr::new(NodeId(0), 1), Addr::new(NodeId(1), 9)),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let agg = sim.stats.drops_for_reason(DropReason::NoListener);
+        assert_eq!(agg.pkts, 1);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let topo = Topology::line(10);
+        let mut sim = Simulator::new(topo, 1);
+        let dst = Addr::new(NodeId(9), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst).ttl(3));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sim.stats.drops_for_reason(DropReason::TtlExpired).pkts,
+            1
+        );
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 0);
+    }
+
+    struct SinkAppProbe;
+    impl App for SinkAppProbe {
+        fn on_packet(&mut self, _api: &mut AppApi<'_>, _pkt: &Packet) -> Disposition {
+            Disposition::Consumed
+        }
+    }
+
+    #[test]
+    fn no_route_drop() {
+        let mut topo = Topology::line(2);
+        let lonely = topo.add_node(crate::node::NodeRole::Stub);
+        let mut sim = Simulator::new(topo, 1);
+        sim.emit_now(
+            NodeId(0),
+            udp(Addr::new(NodeId(0), 1), Addr::new(lonely, 1)),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.drops_for_reason(DropReason::NoRoute).pkts, 1);
+    }
+
+    /// Agent dropping everything of a given protocol.
+    struct ProtoBlock(Proto);
+    impl NodeAgent for ProtoBlock {
+        fn name(&self) -> &'static str {
+            "proto-block"
+        }
+        fn on_packet(
+            &mut self,
+            _ctx: &mut AgentCtx<'_>,
+            pkt: &mut Packet,
+            _from: Option<LinkId>,
+        ) -> Verdict {
+            if pkt.proto == self.0 {
+                Verdict::Drop(DropReason::DeviceFilter)
+            } else {
+                Verdict::Forward
+            }
+        }
+    }
+
+    #[test]
+    fn agent_can_drop() {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        sim.add_agent(NodeId(1), Box::new(ProtoBlock(Proto::Udp)));
+        let dst = Addr::new(NodeId(2), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.drops_for_reason(DropReason::DeviceFilter).pkts, 1);
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 0);
+    }
+
+    /// App replying to every packet (reflector shape).
+    struct Echo;
+    impl App for Echo {
+        fn on_packet(&mut self, api: &mut AppApi<'_>, pkt: &Packet) -> Disposition {
+            let reply = PacketBuilder::new(
+                api.self_addr,
+                pkt.src,
+                Proto::IcmpEchoReply,
+                TrafficClass::Background,
+            )
+            .size(pkt.size);
+            api.send(reply);
+            Disposition::Consumed
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        let client = Addr::new(NodeId(0), 1);
+        let server = Addr::new(NodeId(2), 1);
+        let count = Arc::new(AtomicU64::new(0));
+        sim.install_app(client, Box::new(Counter(count.clone())));
+        sim.install_app(server, Box::new(Echo));
+        sim.emit_now(NodeId(0), udp(client, server));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(count.load(AtomicOrdering::Relaxed), 1, "reply came back");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let topo = Topology::barabasi_albert(60, 2, 0.1, 5);
+            let mut sim = Simulator::new(topo, 99);
+            let dst = Addr::new(NodeId(10), 1);
+            sim.install_app(dst, Box::new(SinkAppProbe));
+            for i in 0..50 {
+                let src_node = NodeId(i % 60);
+                sim.emit_now(src_node, udp(Addr::new(src_node, 1), dst).flow(i as u64));
+            }
+            sim.run_until(SimTime::from_secs(2));
+            (
+                sim.stats.class(TrafficClass::Background).delivered_pkts,
+                sim.stats.events,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scheduled_call_runs_at_time() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = flag.clone();
+        sim.schedule(SimTime::from_millis(500), move |sim| {
+            f2.store(sim.now().as_nanos(), AtomicOrdering::Relaxed);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            flag.load(AtomicOrdering::Relaxed),
+            SimTime::from_millis(500).as_nanos()
+        );
+    }
+
+    /// Agent timer behaviour.
+    struct TickAgent {
+        ticks: Arc<AtomicU64>,
+    }
+    impl NodeAgent for TickAgent {
+        fn name(&self) -> &'static str {
+            "tick"
+        }
+        fn on_packet(
+            &mut self,
+            ctx: &mut AgentCtx<'_>,
+            _pkt: &mut Packet,
+            _from: Option<LinkId>,
+        ) -> Verdict {
+            ctx.set_timer(SimDuration::from_millis(10), 7);
+            Verdict::Forward
+        }
+        fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, token: u64) {
+            assert_eq!(token, 7);
+            self.ticks.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn agent_timers_fire() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        let ticks = Arc::new(AtomicU64::new(0));
+        sim.add_agent(NodeId(0), Box::new(TickAgent { ticks: ticks.clone() }));
+        sim.emit_now(
+            NodeId(0),
+            udp(Addr::new(NodeId(0), 1), Addr::new(NodeId(1), 1)),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(ticks.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    #[test]
+    fn event_limit_stops_runaway() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        // Self-perpetuating echo pair.
+        let a = Addr::new(NodeId(0), 1);
+        let b = Addr::new(NodeId(1), 1);
+        sim.install_app(a, Box::new(Echo));
+        sim.install_app(b, Box::new(Echo));
+        sim.emit_now(NodeId(0), udp(a, b));
+        sim.set_event_limit(100);
+        sim.run_until(SimTime::from_secs(3600));
+        assert!(sim.stats.events <= 100);
+    }
+}

@@ -1,0 +1,403 @@
+//! Network-wide statistics: the measurement substrate for every experiment.
+//!
+//! Counters are attributed by ground-truth [`TrafficClass`] (carried on each
+//! packet's provenance) and, for drops, by [`DropReason`]. The stop-distance
+//! and wasted-bandwidth metrics of experiments E5/E2 come straight from the
+//! per-drop and per-delivery hop counts recorded here.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::node::NodeId;
+use crate::packet::{Packet, TrafficClass};
+use crate::time::{SimDuration, SimTime};
+
+/// Why a packet died.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Tail-dropped at a congested link queue.
+    QueueOverflow,
+    /// TTL reached zero.
+    TtlExpired,
+    /// No route to the destination.
+    NoRoute,
+    /// Delivered to a node with no listening application.
+    NoListener,
+    /// Static ingress filtering (RFC 2267 baseline).
+    IngressFilter,
+    /// Anti-spoofing module on an adaptive device (TCS).
+    SpoofFilter,
+    /// Firewall/classifier module on an adaptive device (TCS).
+    DeviceFilter,
+    /// Rate-limiter module on an adaptive device (TCS).
+    DeviceRateLimit,
+    /// Source blacklisted on an adaptive device (TCS).
+    Blacklist,
+    /// Pushback aggregate rate limit.
+    PushbackLimit,
+    /// Filter installed from a traceback verdict.
+    TracebackFilter,
+    /// Rejected at a secure-overlay (SOS/Mayday) perimeter.
+    OverlayReject,
+    /// Rejected by the i3 indirection defense (direct-IP traffic under
+    /// attack).
+    IndirectionReject,
+    /// Receiving host out of processing capacity (resource exhaustion,
+    /// Sec. 2.1).
+    HostOverload,
+    /// A module violated the device safety contract at run time and the
+    /// packet was quarantined.
+    SafetyGuard,
+}
+
+/// All drop reasons, for iteration in reports.
+pub const ALL_DROP_REASONS: [DropReason; 15] = [
+    DropReason::QueueOverflow,
+    DropReason::TtlExpired,
+    DropReason::NoRoute,
+    DropReason::NoListener,
+    DropReason::IngressFilter,
+    DropReason::SpoofFilter,
+    DropReason::DeviceFilter,
+    DropReason::DeviceRateLimit,
+    DropReason::Blacklist,
+    DropReason::PushbackLimit,
+    DropReason::TracebackFilter,
+    DropReason::OverlayReject,
+    DropReason::IndirectionReject,
+    DropReason::HostOverload,
+    DropReason::SafetyGuard,
+];
+
+/// Number of traffic classes (see [`class_index`]).
+pub const N_CLASSES: usize = 7;
+
+/// Dense index for a traffic class.
+pub fn class_index(c: TrafficClass) -> usize {
+    match c {
+        TrafficClass::LegitRequest => 0,
+        TrafficClass::LegitReply => 1,
+        TrafficClass::AttackDirect => 2,
+        TrafficClass::AttackReflected => 3,
+        TrafficClass::AttackControl => 4,
+        TrafficClass::Management => 5,
+        TrafficClass::Background => 6,
+    }
+}
+
+/// All classes in dense-index order.
+pub const ALL_CLASSES: [TrafficClass; N_CLASSES] = [
+    TrafficClass::LegitRequest,
+    TrafficClass::LegitReply,
+    TrafficClass::AttackDirect,
+    TrafficClass::AttackReflected,
+    TrafficClass::AttackControl,
+    TrafficClass::Management,
+    TrafficClass::Background,
+];
+
+/// Per-class send/deliver/drop counters.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// Packets emitted.
+    pub sent_pkts: u64,
+    /// Bytes emitted.
+    pub sent_bytes: u64,
+    /// Packets delivered to an application.
+    pub delivered_pkts: u64,
+    /// Bytes delivered to an application.
+    pub delivered_bytes: u64,
+    /// Packets dropped anywhere.
+    pub dropped_pkts: u64,
+    /// Bytes dropped anywhere.
+    pub dropped_bytes: u64,
+    /// Sum of hop counts at delivery (path-length accounting).
+    pub delivered_hops: u64,
+    /// Sum over deliveries of `bytes * hops` (bandwidth actually consumed).
+    pub delivered_byte_hops: u64,
+    /// Sum over drops of `bytes * hops` (bandwidth wasted before the drop).
+    pub dropped_byte_hops: u64,
+}
+
+/// Aggregate for one `(class, reason)` drop bucket.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct DropAgg {
+    /// Packets.
+    pub pkts: u64,
+    /// Bytes.
+    pub bytes: u64,
+    /// Sum of hop counts at the drop point (stop-distance numerator).
+    pub hops_sum: u64,
+}
+
+/// Optional time series of delivered bytes at one watched node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Bucket width.
+    pub bucket: SimDuration,
+    /// Node whose inbound deliveries are sampled.
+    pub watch: NodeId,
+    /// Per-bucket delivered bytes, one slot per traffic class.
+    pub delivered_bytes: Vec<[u64; N_CLASSES]>,
+}
+
+impl Series {
+    fn record(&mut self, now: SimTime, class: TrafficClass, bytes: u32) {
+        let idx = (now.as_nanos() / self.bucket.as_nanos().max(1)) as usize;
+        if idx >= self.delivered_bytes.len() {
+            self.delivered_bytes.resize(idx + 1, [0; N_CLASSES]);
+        }
+        self.delivered_bytes[idx][class_index(class)] += bytes as u64;
+    }
+}
+
+/// Global statistics collected by the simulator.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Per-class counters, indexed by [`class_index`].
+    pub per_class: [ClassCounters; N_CLASSES],
+    /// Drop breakdown.
+    pub drops: HashMap<(TrafficClass, DropReason), DropAgg>,
+    /// Optional watched-node delivery series.
+    pub series: Option<Series>,
+    /// Total events processed (engine health metric).
+    pub events: u64,
+}
+
+impl Stats {
+    /// Fresh statistics.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Enable a delivery time series at `watch` with the given bucket width.
+    pub fn watch(&mut self, watch: NodeId, bucket: SimDuration) {
+        self.series = Some(Series {
+            bucket,
+            watch,
+            delivered_bytes: Vec::new(),
+        });
+    }
+
+    /// Record a packet emission.
+    pub fn record_sent(&mut self, pkt: &Packet) {
+        let c = &mut self.per_class[class_index(pkt.provenance.class)];
+        c.sent_pkts += 1;
+        c.sent_bytes += pkt.size as u64;
+    }
+
+    /// Record a delivery to an application at `node`.
+    pub fn record_delivered(&mut self, now: SimTime, node: NodeId, pkt: &Packet) {
+        let c = &mut self.per_class[class_index(pkt.provenance.class)];
+        c.delivered_pkts += 1;
+        c.delivered_bytes += pkt.size as u64;
+        c.delivered_hops += pkt.hops as u64;
+        c.delivered_byte_hops += pkt.size as u64 * pkt.hops as u64;
+        if let Some(s) = &mut self.series {
+            if s.watch == node {
+                s.record(now, pkt.provenance.class, pkt.size);
+            }
+        }
+    }
+
+    /// Record a drop.
+    pub fn record_dropped(&mut self, pkt: &Packet, reason: DropReason) {
+        let class = pkt.provenance.class;
+        let c = &mut self.per_class[class_index(class)];
+        c.dropped_pkts += 1;
+        c.dropped_bytes += pkt.size as u64;
+        c.dropped_byte_hops += pkt.size as u64 * pkt.hops as u64;
+        let agg = self.drops.entry((class, reason)).or_default();
+        agg.pkts += 1;
+        agg.bytes += pkt.size as u64;
+        agg.hops_sum += pkt.hops as u64;
+    }
+
+    /// Counters for one class.
+    pub fn class(&self, class: TrafficClass) -> &ClassCounters {
+        &self.per_class[class_index(class)]
+    }
+
+    /// Delivery ratio (delivered/sent packets) for a class; 1.0 when none
+    /// were sent.
+    pub fn delivery_ratio(&self, class: TrafficClass) -> f64 {
+        let c = self.class(class);
+        if c.sent_pkts == 0 {
+            1.0
+        } else {
+            c.delivered_pkts as f64 / c.sent_pkts as f64
+        }
+    }
+
+    /// Mean hop count at which packets of `class` were dropped for `reason`
+    /// — the "stop distance from source" of E5. `None` when no such drops.
+    pub fn mean_stop_distance(&self, class: TrafficClass, reason: DropReason) -> Option<f64> {
+        let agg = self.drops.get(&(class, reason))?;
+        if agg.pkts == 0 {
+            None
+        } else {
+            Some(agg.hops_sum as f64 / agg.pkts as f64)
+        }
+    }
+
+    /// Mean drop distance over all reasons for a class.
+    pub fn mean_stop_distance_all(&self, class: TrafficClass) -> Option<f64> {
+        let mut pkts = 0u64;
+        let mut hops = 0u64;
+        for ((c, _), agg) in &self.drops {
+            if *c == class {
+                pkts += agg.pkts;
+                hops += agg.hops_sum;
+            }
+        }
+        if pkts == 0 {
+            None
+        } else {
+            Some(hops as f64 / pkts as f64)
+        }
+    }
+
+    /// Total bandwidth consumed by attack traffic, in byte·hops (delivered +
+    /// wasted-before-drop). This is the paper's "network resources wasted
+    /// for transporting attack traffic around the globe" (Sec. 6).
+    pub fn attack_byte_hops(&self) -> u64 {
+        [TrafficClass::AttackDirect, TrafficClass::AttackReflected]
+            .iter()
+            .map(|&c| {
+                let cc = self.class(c);
+                cc.delivered_byte_hops + cc.dropped_byte_hops
+            })
+            .sum()
+    }
+
+    /// Total drops for a reason across classes.
+    pub fn drops_for_reason(&self, reason: DropReason) -> DropAgg {
+        let mut out = DropAgg::default();
+        for ((_, r), agg) in &self.drops {
+            if *r == reason {
+                out.pkts += agg.pkts;
+                out.bytes += agg.bytes;
+                out.hops_sum += agg.hops_sum;
+            }
+        }
+        out
+    }
+
+    /// Consistency invariant: for every class,
+    /// `delivered + dropped <= sent` (the remainder is in flight).
+    pub fn check_conservation(&self) -> Result<(), String> {
+        for (i, c) in self.per_class.iter().enumerate() {
+            if c.delivered_pkts + c.dropped_pkts > c.sent_pkts {
+                return Err(format!(
+                    "class {i}: delivered {} + dropped {} > sent {}",
+                    c.delivered_pkts, c.dropped_pkts, c.sent_pkts
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::packet::{PacketBuilder, Proto};
+
+    fn mk(class: TrafficClass, size: u32, hops: u8) -> Packet {
+        let mut p = PacketBuilder::new(
+            Addr::new(NodeId(0), 0),
+            Addr::new(NodeId(1), 0),
+            Proto::Udp,
+            class,
+        )
+        .size(size)
+        .build(1, NodeId(0));
+        p.hops = hops;
+        p
+    }
+
+    #[test]
+    fn sent_delivered_dropped_accounting() {
+        let mut s = Stats::new();
+        let p = mk(TrafficClass::LegitRequest, 100, 3);
+        s.record_sent(&p);
+        s.record_delivered(SimTime::ZERO, NodeId(1), &p);
+        let c = s.class(TrafficClass::LegitRequest);
+        assert_eq!(c.sent_pkts, 1);
+        assert_eq!(c.delivered_bytes, 100);
+        assert_eq!(c.delivered_byte_hops, 300);
+        assert_eq!(s.delivery_ratio(TrafficClass::LegitRequest), 1.0);
+        s.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn stop_distance_mean() {
+        let mut s = Stats::new();
+        for hops in [2u8, 4u8] {
+            let p = mk(TrafficClass::AttackDirect, 64, hops);
+            s.record_sent(&p);
+            s.record_dropped(&p, DropReason::SpoofFilter);
+        }
+        assert_eq!(
+            s.mean_stop_distance(TrafficClass::AttackDirect, DropReason::SpoofFilter),
+            Some(3.0)
+        );
+        assert_eq!(s.mean_stop_distance_all(TrafficClass::AttackDirect), Some(3.0));
+        assert_eq!(
+            s.mean_stop_distance(TrafficClass::AttackDirect, DropReason::TtlExpired),
+            None
+        );
+    }
+
+    #[test]
+    fn attack_byte_hops_counts_both_flavours() {
+        let mut s = Stats::new();
+        let d = mk(TrafficClass::AttackDirect, 100, 2);
+        s.record_sent(&d);
+        s.record_dropped(&d, DropReason::QueueOverflow);
+        let r = mk(TrafficClass::AttackReflected, 200, 5);
+        s.record_sent(&r);
+        s.record_delivered(SimTime::ZERO, NodeId(1), &r);
+        assert_eq!(s.attack_byte_hops(), 100 * 2 + 200 * 5);
+    }
+
+    #[test]
+    fn series_buckets() {
+        let mut s = Stats::new();
+        s.watch(NodeId(1), SimDuration::from_millis(100));
+        let p = mk(TrafficClass::LegitReply, 500, 1);
+        s.record_delivered(SimTime::from_millis(50), NodeId(1), &p);
+        s.record_delivered(SimTime::from_millis(250), NodeId(1), &p);
+        // A delivery at another node is not sampled.
+        s.record_delivered(SimTime::from_millis(250), NodeId(9), &p);
+        let series = s.series.as_ref().unwrap();
+        assert_eq!(series.delivered_bytes.len(), 3);
+        let li = class_index(TrafficClass::LegitReply);
+        assert_eq!(series.delivered_bytes[0][li], 500);
+        assert_eq!(series.delivered_bytes[1][li], 0);
+        assert_eq!(series.delivered_bytes[2][li], 500);
+    }
+
+    #[test]
+    fn conservation_violation_detected() {
+        let mut s = Stats::new();
+        let p = mk(TrafficClass::Background, 10, 0);
+        s.record_delivered(SimTime::ZERO, NodeId(1), &p); // never sent
+        assert!(s.check_conservation().is_err());
+    }
+
+    #[test]
+    fn drops_for_reason_sums_classes() {
+        let mut s = Stats::new();
+        let a = mk(TrafficClass::AttackDirect, 10, 1);
+        let b = mk(TrafficClass::LegitRequest, 20, 2);
+        s.record_sent(&a);
+        s.record_sent(&b);
+        s.record_dropped(&a, DropReason::IngressFilter);
+        s.record_dropped(&b, DropReason::IngressFilter);
+        let agg = s.drops_for_reason(DropReason::IngressFilter);
+        assert_eq!(agg.pkts, 2);
+        assert_eq!(agg.bytes, 30);
+    }
+}

@@ -1,0 +1,593 @@
+//! Topology: the AS-level graph and its generators.
+//!
+//! Three families are provided:
+//!
+//! * [`Topology::barabasi_albert`] — preferential attachment, yielding the
+//!   power-law degree distribution of the real AS graph. Park & Lee's
+//!   route-based filtering result (cited in Sec. 3.2 of the paper) is
+//!   specifically about power-law internets, so experiment E3 runs here.
+//! * [`Topology::transit_stub`] — an explicit two-level hierarchy with a
+//!   transit core and stub edges, used when experiments need a crisp notion
+//!   of "border router of a stub network" (deployment scoping, Fig. 5).
+//! * small hand-built shapes (line, star, dumbbell) for unit tests.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::link::{Link, LinkProfile};
+use crate::node::{LinkId, Node, NodeId, NodeRole};
+use crate::rng::seeded;
+
+/// The static network graph.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// All nodes; `nodes[i].id == NodeId(i)`.
+    pub nodes: Vec<Node>,
+    /// All links.
+    pub links: Vec<Link>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Topology {
+        Topology {
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Append a node with the given role.
+    pub fn add_node(&mut self, role: NodeRole) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            id,
+            role,
+            links: Vec::new(),
+        });
+        id
+    }
+
+    /// Connect two nodes with a link built from `profile`.
+    ///
+    /// Returns `None` if the link would be a duplicate or a self-loop.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, profile: LinkProfile) -> Option<LinkId> {
+        if a == b || self.are_connected(a, b) {
+            return None;
+        }
+        let id = LinkId(self.links.len());
+        self.links.push(profile.link(a, b));
+        self.nodes[a.0].links.push(id);
+        self.nodes[b.0].links.push(id);
+        Some(id)
+    }
+
+    /// Is there a direct link between `a` and `b`?
+    pub fn are_connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.nodes[a.0]
+            .links
+            .iter()
+            .any(|&l| self.links[l.0].other(a) == b)
+    }
+
+    /// Neighbours of `node` with the connecting link.
+    pub fn neighbours(&self, node: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        self.nodes[node.0]
+            .links
+            .iter()
+            .map(move |&l| (self.links[l.0].other(node), l))
+    }
+
+    /// All stub-role node ids.
+    pub fn stub_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Stub)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// All transit-role node ids.
+    pub fn transit_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Transit)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// The `k` nodes of highest degree (ties broken by lower id), i.e. the
+    /// "large ISPs" a deployment would court first.
+    pub fn top_degree(&self, k: usize) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = (0..self.n()).map(NodeId).collect();
+        ids.sort_by_key(|&id| (std::cmp::Reverse(self.nodes[id.0].degree()), id.0));
+        ids.truncate(k);
+        ids
+    }
+
+    /// Is the whole graph one connected component?
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.n()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbours(u) {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == self.n()
+    }
+
+    /// Barabási–Albert preferential attachment graph of `n` nodes, each new
+    /// node attaching `m` links. Nodes whose final degree lands in the top
+    /// `transit_fraction` are labelled `Transit` (they get backbone links);
+    /// the rest are `Stub`.
+    pub fn barabasi_albert(n: usize, m: usize, transit_fraction: f64, seed: u64) -> Topology {
+        assert!(m >= 1, "m must be >= 1");
+        assert!(n > m, "need more nodes than attachment edges");
+        let mut rng = seeded(seed ^ 0xBA5E);
+        let mut topo = Topology::new();
+        // Start from a small clique of m+1 nodes so every new node has
+        // enough targets.
+        for _ in 0..=m {
+            topo.add_node(NodeRole::Stub);
+        }
+        // `targets` holds one entry per link endpoint, so sampling uniformly
+        // from it is degree-proportional sampling.
+        let mut targets: Vec<NodeId> = Vec::new();
+        for i in 0..=m {
+            for j in (i + 1)..=m {
+                if topo
+                    .connect(NodeId(i), NodeId(j), LinkProfile::transit())
+                    .is_some()
+                {
+                    targets.push(NodeId(i));
+                    targets.push(NodeId(j));
+                }
+            }
+        }
+        while topo.n() < n {
+            let new = topo.add_node(NodeRole::Stub);
+            let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+            // Sample m distinct targets preferentially.
+            let mut guard = 0;
+            while chosen.len() < m && guard < 10_000 {
+                guard += 1;
+                let &cand = targets.choose(&mut rng).expect("targets non-empty");
+                if cand != new && !chosen.contains(&cand) {
+                    chosen.push(cand);
+                }
+            }
+            for t in chosen {
+                if topo.connect(new, t, LinkProfile::transit()).is_some() {
+                    targets.push(new);
+                    targets.push(t);
+                }
+            }
+        }
+        topo.assign_roles_by_degree(transit_fraction);
+        topo.upgrade_core_links();
+        topo
+    }
+
+    /// Two-level transit–stub hierarchy: `transit` core nodes joined into a
+    /// connected backbone (ring plus random chords), and `stubs_per_transit`
+    /// stub nodes hanging off each core node. `multihome_prob` gives each
+    /// stub a chance of a second uplink to another random transit node.
+    pub fn transit_stub(
+        transit: usize,
+        stubs_per_transit: usize,
+        multihome_prob: f64,
+        seed: u64,
+    ) -> Topology {
+        assert!(transit >= 1);
+        let mut rng = seeded(seed ^ 0x57AB);
+        let mut topo = Topology::new();
+        let core: Vec<NodeId> = (0..transit)
+            .map(|_| topo.add_node(NodeRole::Transit))
+            .collect();
+        // Ring backbone for guaranteed connectivity.
+        for i in 0..transit {
+            if transit > 1 {
+                let a = core[i];
+                let b = core[(i + 1) % transit];
+                topo.connect(a, b, LinkProfile::backbone());
+            }
+        }
+        // Random chords: densify to mean core degree ~4.
+        let extra = transit; // one extra chord per core node on average
+        for _ in 0..extra {
+            if transit >= 4 {
+                let a = core[rng.gen_range(0..transit)];
+                let b = core[rng.gen_range(0..transit)];
+                topo.connect(a, b, LinkProfile::backbone());
+            }
+        }
+        for &t in &core {
+            for _ in 0..stubs_per_transit {
+                let s = topo.add_node(NodeRole::Stub);
+                topo.connect(s, t, LinkProfile::access());
+                if transit > 1 && rng.gen_bool(multihome_prob) {
+                    let t2 = core[rng.gen_range(0..transit)];
+                    topo.connect(s, t2, LinkProfile::access());
+                }
+            }
+        }
+        topo
+    }
+
+    /// Waxman random-geometric graph (the other classic internet-topology
+    /// generator of the paper's era): nodes are placed uniformly in the
+    /// unit square and each pair is connected with probability
+    /// `alpha * exp(-d / (beta * sqrt(2)))` where `d` is their Euclidean
+    /// distance. A spanning pass afterwards connects any isolated
+    /// components through their geometrically closest pair, so the result
+    /// is always connected. Roles are assigned by degree like BA.
+    pub fn waxman(n: usize, alpha: f64, beta: f64, transit_fraction: f64, seed: u64) -> Topology {
+        assert!(n >= 2);
+        assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive");
+        let mut rng = seeded(seed ^ 0x3A77);
+        let mut topo = Topology::new();
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                topo.add_node(NodeRole::Stub);
+                (rng.gen::<f64>(), rng.gen::<f64>())
+            })
+            .collect();
+        let l = std::f64::consts::SQRT_2;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = pos[i].0 - pos[j].0;
+                let dy = pos[i].1 - pos[j].1;
+                let d = (dx * dx + dy * dy).sqrt();
+                let p = alpha * (-d / (beta * l)).exp();
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    topo.connect(NodeId(i), NodeId(j), LinkProfile::transit());
+                }
+            }
+        }
+        // Connect components: repeatedly join the closest cross-component
+        // pair until one component remains.
+        loop {
+            let comp = topo.components();
+            if comp.iter().max().copied() == Some(0) {
+                break;
+            }
+            let mut best: Option<(f64, usize, usize)> = None;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if comp[i] != comp[j] {
+                        let dx = pos[i].0 - pos[j].0;
+                        let dy = pos[i].1 - pos[j].1;
+                        let d = dx * dx + dy * dy;
+                        if best.map(|(bd, _, _)| d < bd).unwrap_or(true) {
+                            best = Some((d, i, j));
+                        }
+                    }
+                }
+            }
+            let (_, i, j) = best.expect("disconnected pair exists");
+            topo.connect(NodeId(i), NodeId(j), LinkProfile::transit());
+        }
+        topo.assign_roles_by_degree(transit_fraction);
+        topo.upgrade_core_links();
+        topo
+    }
+
+    /// Component label per node (0 = the component of node 0's
+    /// representative; labels are the smallest node id in each component).
+    pub fn components(&self) -> Vec<usize> {
+        let n = self.n();
+        let mut label = vec![usize::MAX; n];
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![NodeId(start)];
+            label[start] = start;
+            while let Some(u) = stack.pop() {
+                for (v, _) in self.neighbours(u) {
+                    if label[v.0] == usize::MAX {
+                        label[v.0] = start;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// A path of `n` nodes (tests).
+    pub fn line(n: usize) -> Topology {
+        let mut topo = Topology::new();
+        for _ in 0..n {
+            topo.add_node(NodeRole::Stub);
+        }
+        for i in 1..n {
+            topo.connect(NodeId(i - 1), NodeId(i), LinkProfile::transit());
+        }
+        topo
+    }
+
+    /// A star: node 0 is the hub (tests).
+    pub fn star(leaves: usize) -> Topology {
+        let mut topo = Topology::new();
+        let hub = topo.add_node(NodeRole::Transit);
+        for _ in 0..leaves {
+            let leaf = topo.add_node(NodeRole::Stub);
+            topo.connect(hub, leaf, LinkProfile::access());
+        }
+        topo
+    }
+
+    /// Classic dumbbell: `left` sources and `right` sinks joined by one
+    /// bottleneck link between two transit nodes (tests, pushback).
+    pub fn dumbbell(left: usize, right: usize, bottleneck: LinkProfile) -> Topology {
+        let mut topo = Topology::new();
+        let l_hub = topo.add_node(NodeRole::Transit);
+        let r_hub = topo.add_node(NodeRole::Transit);
+        topo.connect(l_hub, r_hub, bottleneck);
+        for _ in 0..left {
+            let s = topo.add_node(NodeRole::Stub);
+            topo.connect(s, l_hub, LinkProfile::access());
+        }
+        for _ in 0..right {
+            let s = topo.add_node(NodeRole::Stub);
+            topo.connect(s, r_hub, LinkProfile::access());
+        }
+        topo
+    }
+
+    /// Label the `frac` highest-degree nodes as transit, the rest stub.
+    fn assign_roles_by_degree(&mut self, frac: f64) {
+        let k = ((self.n() as f64 * frac).ceil() as usize).clamp(1, self.n());
+        let top = self.top_degree(k);
+        for n in &mut self.nodes {
+            n.role = NodeRole::Stub;
+        }
+        for id in top {
+            self.nodes[id.0].role = NodeRole::Transit;
+        }
+    }
+
+    /// Upgrade links between two transit nodes to the backbone profile and
+    /// stub uplinks to the access profile, preserving graph structure.
+    fn upgrade_core_links(&mut self) {
+        for l in &mut self.links {
+            let ra = self.nodes[l.a.0].role;
+            let rb = self.nodes[l.b.0].role;
+            let profile = match (ra, rb) {
+                (NodeRole::Transit, NodeRole::Transit) => LinkProfile::backbone(),
+                (NodeRole::Stub, NodeRole::Stub) => LinkProfile::access(),
+                _ => LinkProfile::transit(),
+            };
+            l.bandwidth_bps = profile.bandwidth_bps;
+            l.latency = profile.latency;
+            l.queue_limit_bytes = profile.queue_limit_bytes;
+        }
+    }
+
+    /// Is `customer` on the customer side of `provider` (i.e. may the
+    /// provider assume everything arriving from `customer` carries
+    /// `customer`-owned sources)? True when the peer is a stub AS and the
+    /// provider either is transit or has strictly higher degree — the
+    /// degree heuristic covers flat topologies without explicit roles.
+    /// This single definition is shared by ingress filtering, the
+    /// anti-spoofing device module, and deployment scoping, so all three
+    /// judge "customer interfaces" identically.
+    pub fn is_customer_of(&self, customer: NodeId, provider: NodeId) -> bool {
+        let c = &self.nodes[customer.0];
+        let p = &self.nodes[provider.0];
+        c.role == NodeRole::Stub
+            && (p.role == NodeRole::Transit || c.degree() < p.degree())
+    }
+
+    /// For a node, the set of neighbour nodes that are "customer side".
+    /// Used by ingress filtering and the anti-spoofing device module to
+    /// know which interfaces may only carry customer-owned sources.
+    pub fn customer_neighbours(&self, node: NodeId) -> Vec<NodeId> {
+        self.neighbours(node)
+            .filter(|&(peer, _)| self.is_customer_of(peer, node))
+            .map(|(peer, _)| peer)
+            .collect()
+    }
+
+    /// Mean degree of the graph.
+    pub fn mean_degree(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.links.len() as f64 / self.n() as f64
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::new()
+    }
+}
+
+/// Degree histogram helper for verifying power-law shape in tests.
+pub fn degree_histogram(topo: &Topology) -> Vec<(usize, usize)> {
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for n in &topo.nodes {
+        *counts.entry(n.degree()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Convenience: a deterministic RNG type alias for generator internals.
+pub type TopoRng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ba_is_connected_and_right_size() {
+        let t = Topology::barabasi_albert(200, 2, 0.1, 1);
+        assert_eq!(t.n(), 200);
+        assert!(t.is_connected());
+        // m=2 attachment: |E| ~ 2n.
+        assert!(t.links.len() >= 2 * (200 - 3));
+    }
+
+    #[test]
+    fn ba_determinism() {
+        let a = Topology::barabasi_albert(100, 2, 0.1, 7);
+        let b = Topology::barabasi_albert(100, 2, 0.1, 7);
+        assert_eq!(a.links.len(), b.links.len());
+        for (la, lb) in a.links.iter().zip(&b.links) {
+            assert_eq!((la.a, la.b), (lb.a, lb.b));
+        }
+    }
+
+    #[test]
+    fn ba_degree_skew() {
+        let t = Topology::barabasi_albert(500, 2, 0.1, 3);
+        let max_deg = t.nodes.iter().map(Node::degree).max().unwrap();
+        let mean = t.mean_degree();
+        // Power-law graphs have hubs far above the mean.
+        assert!(
+            max_deg as f64 > 4.0 * mean,
+            "max {max_deg} vs mean {mean:.2}"
+        );
+    }
+
+    #[test]
+    fn ba_roles_cover_requested_fraction() {
+        let t = Topology::barabasi_albert(300, 2, 0.1, 5);
+        let transit = t.transit_nodes().len();
+        assert_eq!(transit, 30);
+        assert_eq!(t.stub_nodes().len(), 270);
+    }
+
+    #[test]
+    fn transit_stub_structure() {
+        let t = Topology::transit_stub(5, 10, 0.2, 11);
+        assert_eq!(t.n(), 5 + 50);
+        assert!(t.is_connected());
+        assert_eq!(t.transit_nodes().len(), 5);
+        // Every stub has at least one uplink.
+        for s in t.stub_nodes() {
+            assert!(t.nodes[s.0].degree() >= 1);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_links_or_self_loops() {
+        let t = Topology::barabasi_albert(150, 3, 0.1, 9);
+        for (i, l) in t.links.iter().enumerate() {
+            assert_ne!(l.a, l.b);
+            for l2 in &t.links[i + 1..] {
+                assert!(
+                    !((l.a, l.b) == (l2.a, l2.b) || (l.a, l.b) == (l2.b, l2.a)),
+                    "duplicate link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn line_and_star_shapes() {
+        let line = Topology::line(4);
+        assert_eq!(line.links.len(), 3);
+        assert!(line.is_connected());
+        let star = Topology::star(6);
+        assert_eq!(star.nodes[0].degree(), 6);
+        assert!(star.is_connected());
+    }
+
+    #[test]
+    fn dumbbell_has_single_bottleneck() {
+        let t = Topology::dumbbell(3, 3, LinkProfile::access());
+        assert!(t.is_connected());
+        assert_eq!(t.n(), 8);
+        assert!(t.are_connected(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn top_degree_deterministic_order() {
+        let t = Topology::barabasi_albert(100, 2, 0.1, 13);
+        let a = t.top_degree(5);
+        let b = t.top_degree(5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // Degrees are non-increasing along the list.
+        for w in a.windows(2) {
+            assert!(t.nodes[w[0].0].degree() >= t.nodes[w[1].0].degree());
+        }
+    }
+
+    #[test]
+    fn waxman_is_connected_and_sized() {
+        let t = Topology::waxman(150, 0.4, 0.25, 0.1, 7);
+        assert_eq!(t.n(), 150);
+        assert!(t.is_connected());
+        assert!(t.mean_degree() > 2.0, "mean degree {}", t.mean_degree());
+    }
+
+    #[test]
+    fn waxman_is_deterministic() {
+        let a = Topology::waxman(80, 0.4, 0.2, 0.1, 3);
+        let b = Topology::waxman(80, 0.4, 0.2, 0.1, 3);
+        assert_eq!(a.links.len(), b.links.len());
+        for (la, lb) in a.links.iter().zip(&b.links) {
+            assert_eq!((la.a, la.b), (lb.a, lb.b));
+        }
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        // With strong distance decay, the graph still connects but sparser
+        // than with weak decay.
+        let tight = Topology::waxman(100, 0.5, 0.05, 0.1, 9);
+        let loose = Topology::waxman(100, 0.5, 0.5, 0.1, 9);
+        assert!(tight.links.len() < loose.links.len());
+        assert!(tight.is_connected());
+    }
+
+    #[test]
+    fn components_labels_partition() {
+        let mut t = Topology::line(3);
+        let lonely = t.add_node(NodeRole::Stub);
+        let comp = t.components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[lonely.0]);
+    }
+
+    #[test]
+    fn degree_histogram_counts_nodes() {
+        let t = Topology::star(4);
+        let h = degree_histogram(&t);
+        // 4 leaves of degree 1, one hub of degree 4.
+        assert_eq!(h, vec![(1, 4), (4, 1)]);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, t.n());
+    }
+
+    #[test]
+    fn customer_neighbours_only_stubs() {
+        let t = Topology::transit_stub(3, 5, 0.0, 2);
+        for tr in t.transit_nodes() {
+            for c in t.customer_neighbours(tr) {
+                assert_eq!(t.nodes[c.0].role, NodeRole::Stub);
+            }
+        }
+    }
+}
