@@ -273,9 +273,14 @@ impl App for AttackerApp {
             _ => return,
         };
         for &m in &self.masters {
-            let b = PacketBuilder::new(api.self_addr, m, Proto::Control, TrafficClass::AttackControl)
-                .size(64)
-                .tag(cmd);
+            let b = PacketBuilder::new(
+                api.self_addr,
+                m,
+                Proto::Control,
+                TrafficClass::AttackControl,
+            )
+            .size(64)
+            .tag(cmd);
             api.send(b);
         }
     }

@@ -36,7 +36,9 @@ pub mod reflector;
 pub mod scenario;
 pub mod victim;
 
-pub use agent::{AgentApp, AgentMode, AgentTrigger, AttackerApp, MasterApp, SpoofMode, CMD_START, CMD_STOP};
+pub use agent::{
+    AgentApp, AgentMode, AgentTrigger, AttackerApp, MasterApp, SpoofMode, CMD_START, CMD_STOP,
+};
 pub use botnet::SiModel;
 pub use misuse::{ConnClientApp, ConnHandle, ConnServerApp, ConnStats};
 pub use reflector::{ReflectorApp, ReflectorHandle, ReflectorProfile, ReflectorStats};

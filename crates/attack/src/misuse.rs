@@ -152,8 +152,7 @@ mod tests {
         // (the attacker's position).
         sim.emit_now(
             NodeId(1),
-            PacketBuilder::new(server, client, Proto::TcpRst, TrafficClass::AttackDirect)
-                .size(40),
+            PacketBuilder::new(server, client, Proto::TcpRst, TrafficClass::AttackDirect).size(40),
         );
         sim.run_until(SimTime::from_secs(4));
         let s = stats.lock();

@@ -15,9 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dtcs_netsim::{
-    App, AppApi, Disposition, Packet, PacketBuilder, Proto, TrafficClass,
-};
+use dtcs_netsim::{App, AppApi, Disposition, Packet, PacketBuilder, Proto, TrafficClass};
 
 /// Per-protocol reply sizing for a reflector.
 #[derive(Clone, Copy, Debug)]
@@ -99,9 +97,7 @@ impl App for ReflectorApp {
                 Proto::DnsResponse,
                 (pkt.size as f64 * self.profile.dns_amplification) as u32,
             )),
-            Proto::IcmpEcho if self.profile.echo_mirror => {
-                Some((Proto::IcmpEchoReply, pkt.size))
-            }
+            Proto::IcmpEcho if self.profile.echo_mirror => Some((Proto::IcmpEchoReply, pkt.size)),
             Proto::TcpData | Proto::TcpSynAck if self.profile.rst_on_unexpected => {
                 Some((Proto::TcpRst, 40))
             }
@@ -159,7 +155,9 @@ mod tests {
         // The reflected SYN-ACK reached the victim and is labelled
         // AttackReflected.
         assert_eq!(
-            sim.stats.class(TrafficClass::AttackReflected).delivered_pkts,
+            sim.stats
+                .class(TrafficClass::AttackReflected)
+                .delivered_pkts,
             1
         );
     }

@@ -479,8 +479,7 @@ mod tests {
             }),
             ..Default::default()
         };
-        sim.stats
-            .watch(victim_node, SimDuration::from_secs(1));
+        sim.stats.watch(victim_node, SimDuration::from_secs(1));
         let _attack = ReflectorAttack::install(&mut sim, victim_node, &cfg);
         sim.run_until(SimTime::from_secs(12));
         let series = sim.stats.series.as_ref().unwrap();

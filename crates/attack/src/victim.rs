@@ -125,16 +125,24 @@ impl App for VictimApp {
             }
         }
         // Serve legitimate requests.
-        if matches!(pkt.proto, Proto::TcpSyn | Proto::TcpData | Proto::DnsQuery | Proto::Udp) {
+        if matches!(
+            pkt.proto,
+            Proto::TcpSyn | Proto::TcpData | Proto::DnsQuery | Proto::Udp
+        ) {
             let reply_proto = match pkt.proto {
                 Proto::TcpSyn => Proto::TcpSynAck,
                 Proto::DnsQuery => Proto::DnsResponse,
                 _ => Proto::TcpData,
             };
-            let b = PacketBuilder::new(api.self_addr, pkt.src, reply_proto, TrafficClass::LegitReply)
-                .size(self.reply_size)
-                .flow(pkt.flow)
-                .tag(pkt.payload_tag);
+            let b = PacketBuilder::new(
+                api.self_addr,
+                pkt.src,
+                reply_proto,
+                TrafficClass::LegitReply,
+            )
+            .size(self.reply_size)
+            .flow(pkt.flow)
+            .tag(pkt.payload_tag);
             api.send(b);
             self.stats.lock().served_legit += 1;
         }

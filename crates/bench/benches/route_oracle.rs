@@ -1,0 +1,74 @@
+//! Route-consistency query cost: the per-packet check every route-based
+//! ingress filter and anti-spoofing device pays. Compares the direct
+//! next-hop walk (`Routing::enters_via`) against the memoizing
+//! [`RouteOracle`] on realistic query mixes — a small working set of
+//! (src, dst) pairs (steady flows, cache-friendly) and a uniformly random
+//! mix (spoof flood, cache-hostile).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::{NodeId, RouteOracle, Routing, Topology};
+
+const N_NODES: usize = 400;
+const AT: NodeId = NodeId(0);
+
+fn query_mix(n_nodes: usize, pairs: usize) -> Vec<(NodeId, NodeId)> {
+    // Deterministic LCG so the mix is identical across runs without rand.
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..pairs)
+        .map(|_| (NodeId(next() % n_nodes), NodeId(next() % n_nodes)))
+        .collect()
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let topo = Topology::barabasi_albert(N_NODES, 2, 0.1, 5);
+    let routing = Routing::compute(&topo);
+
+    let mut group = c.benchmark_group("route_oracle");
+    // Steady-flow mix: 256 distinct pairs queried round-robin, the shape a
+    // filtering node sees from established flows.
+    let flows = query_mix(N_NODES, 256);
+    group.bench_with_input(BenchmarkId::new("walk", "flows256"), &(), |b, _| {
+        b.iter(|| {
+            for &(src, dst) in &flows {
+                black_box(routing.enters_via(&topo, src, dst, AT));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("oracle", "flows256"), &(), |b, _| {
+        let mut oracle = RouteOracle::new(AT);
+        b.iter(|| {
+            for &(src, dst) in &flows {
+                black_box(oracle.enters_via(&routing, &topo, src, dst));
+            }
+        })
+    });
+    // Spoof-flood mix: 65536 near-unique pairs, exercising insert churn and
+    // the bounded-table reset path.
+    let flood = query_mix(N_NODES, 65_536);
+    group.bench_with_input(BenchmarkId::new("walk", "flood64k"), &(), |b, _| {
+        b.iter(|| {
+            for &(src, dst) in &flood {
+                black_box(routing.enters_via(&topo, src, dst, AT));
+            }
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("oracle", "flood64k"), &(), |b, _| {
+        let mut oracle = RouteOracle::new(AT);
+        b.iter(|| {
+            for &(src, dst) in &flood {
+                black_box(oracle.enters_via(&routing, &topo, src, dst));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

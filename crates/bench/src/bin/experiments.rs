@@ -7,18 +7,45 @@
 use std::path::PathBuf;
 
 const INDEX: &[(&str, &str)] = &[
-    ("e1", "Reflector-attack anatomy: amplification factors [Fig. 1 / Sec. 2.2]"),
-    ("e2", "Scheme comparison under reflector + direct attacks [Sec. 3 + 4.3]"),
-    ("e3", "Spoofed-packet survival vs deployment coverage [Sec. 3.2, Park & Lee]"),
-    ("e4", "Collateral damage of reactive filtering [Secs. 1 / 3.1 / 3.4]"),
-    ("e5", "Stop distance & wasted bandwidth vs TCS coverage [Secs. 4.3 / 6]"),
+    (
+        "e1",
+        "Reflector-attack anatomy: amplification factors [Fig. 1 / Sec. 2.2]",
+    ),
+    (
+        "e2",
+        "Scheme comparison under reflector + direct attacks [Sec. 3 + 4.3]",
+    ),
+    (
+        "e3",
+        "Spoofed-packet survival vs deployment coverage [Sec. 3.2, Park & Lee]",
+    ),
+    (
+        "e4",
+        "Collateral damage of reactive filtering [Secs. 1 / 3.1 / 3.4]",
+    ),
+    (
+        "e5",
+        "Stop distance & wasted bandwidth vs TCS coverage [Secs. 4.3 / 6]",
+    ),
     ("e6", "Device and rule-table scalability [Sec. 5.3]"),
-    ("e7", "Control-plane latency: registration + deployment [Figs. 4-5 / Sec. 5.1]"),
+    (
+        "e7",
+        "Control-plane latency: registration + deployment [Figs. 4-5 / Sec. 5.1]",
+    ),
     ("e8", "Safety of delegated control [Sec. 4.5]"),
     ("e9", "Pushback vs reflector attacks [Sec. 3.1]"),
-    ("e10", "Traceback accuracy + anomaly-reaction latency [Sec. 4.4]"),
-    ("e11", "Botnet recruitment dynamics and attack ramp [Sec. 2.1]"),
-    ("e12", "ISP incentives: attack bandwidth saved per provider [Sec. 4.6]"),
+    (
+        "e10",
+        "Traceback accuracy + anomaly-reaction latency [Sec. 4.4]",
+    ),
+    (
+        "e11",
+        "Botnet recruitment dynamics and attack ramp [Sec. 2.1]",
+    ),
+    (
+        "e12",
+        "ISP incentives: attack bandwidth saved per provider [Sec. 4.6]",
+    ),
 ];
 
 fn main() {

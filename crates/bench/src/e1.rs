@@ -58,8 +58,7 @@ fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> Row {
         reflectors,
         control_pkts: control.sent_pkts,
         attack_pkts: direct.sent_pkts + reflected.sent_pkts,
-        rate_amp: (direct.sent_pkts + reflected.sent_pkts) as f64
-            / control.sent_pkts.max(1) as f64,
+        rate_amp: (direct.sent_pkts + reflected.sent_pkts) as f64 / control.sent_pkts.max(1) as f64,
         byte_amp: reflected.sent_bytes as f64 / direct.sent_bytes.max(1) as f64,
         victim_inbound_pps: v.received as f64 / active_secs,
         victim_srcs_are_reflectors: v.attack_absorbed + v.overloaded > 0 || v.received > 0,
@@ -76,14 +75,16 @@ pub fn run(quick: bool) -> Report {
 
     // Sweep 1: protocol (byte amplification differs per reflector type).
     let protos = [Proto::TcpSyn, Proto::DnsQuery, Proto::IcmpEcho];
-    let rows: Vec<Row> = protos
-        .par_iter()
-        .map(|&p| one(p, 60, 120, quick))
-        .collect();
+    let rows: Vec<Row> = protos.par_iter().map(|&p| one(p, 60, 120, quick)).collect();
     let mut t = Table::new(
         "amplification by reflector protocol (60 agents, 120 reflectors)",
         &[
-            "proto", "ctrl_pkts", "attack_pkts", "rate_amp", "byte_amp", "victim_pps",
+            "proto",
+            "ctrl_pkts",
+            "attack_pkts",
+            "rate_amp",
+            "byte_amp",
+            "victim_pps",
         ],
     );
     for r in &rows {

@@ -181,7 +181,14 @@ pub fn run(quick: bool) -> Report {
     let cases: Vec<(f64, usize)> = if quick {
         vec![(1.0, 30), (0.5, 30), (1.0, 4)]
     } else {
-        vec![(1.0, 30), (0.75, 30), (0.5, 30), (0.25, 30), (1.0, 8), (1.0, 4)]
+        vec![
+            (1.0, 30),
+            (0.75, 30),
+            (0.5, 30),
+            (0.25, 30),
+            (1.0, 8),
+            (1.0, 4),
+        ]
     };
     let rows: Vec<TraceRow> = cases
         .par_iter()
@@ -189,7 +196,15 @@ pub fn run(quick: bool) -> Report {
         .collect();
     let mut t = Table::new(
         "digest-backlog traceback of spoofed packets",
-        &["coverage", "windows", "queries", "exact", "truncated", "missed", "accuracy"],
+        &[
+            "coverage",
+            "windows",
+            "queries",
+            "exact",
+            "truncated",
+            "missed",
+            "accuracy",
+        ],
     );
     for r in &rows {
         t.push(
@@ -214,7 +229,12 @@ pub fn run(quick: bool) -> Report {
         .collect();
     let mut t = Table::new(
         "anomaly-reaction latency (5000 pps flood, 200 ms windows)",
-        &["threshold_pps", "attack_pps", "reaction_ms", "limiter_drops"],
+        &[
+            "threshold_pps",
+            "attack_pps",
+            "reaction_ms",
+            "limiter_drops",
+        ],
     );
     for r in &rows {
         t.push(

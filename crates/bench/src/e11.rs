@@ -109,9 +109,7 @@ pub fn run(quick: bool) -> Report {
             RampRow {
                 beta,
                 agents,
-                time_to_overload_s: v
-                    .first_overload_nanos
-                    .map(|ns| (ns as f64 / 1e9) - 2.0),
+                time_to_overload_s: v.first_overload_nanos.map(|ns| (ns as f64 / 1e9) - 2.0),
                 victim_overloaded: v.overloaded,
             }
         })

@@ -136,7 +136,14 @@ pub fn run(quick: bool) -> Report {
 
     let mut t = Table::new(
         "attack megabytes carried per ISP, without vs with a 25% TCS deployment",
-        &["isp", "routers", "deployed", "attack_MB_before", "attack_MB_after", "saved_%"],
+        &[
+            "isp",
+            "routers",
+            "deployed",
+            "attack_MB_before",
+            "attack_MB_after",
+            "saved_%",
+        ],
     );
     for r in rows.iter().take(12) {
         t.push(

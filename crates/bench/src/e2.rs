@@ -75,12 +75,12 @@ pub fn run(quick: bool) -> Report {
     let mut all = schemes;
     all.push(Scheme::I3 { ip_hidden: true });
 
-    let rows: Vec<OutcomeRow> = all
-        .par_iter()
-        .map(|s| run_scenario(&cfg, s).row)
-        .collect();
+    let rows: Vec<OutcomeRow> = all.par_iter().map(|s| run_scenario(&cfg, s).row).collect();
 
-    let mut t = Table::new("scheme outcomes (identical attack + workload)", &outcome_header());
+    let mut t = Table::new(
+        "scheme outcomes (identical attack + workload)",
+        &outcome_header(),
+    );
     for r in &rows {
         t.push(outcome_cells(r), r);
     }

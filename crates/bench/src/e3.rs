@@ -171,7 +171,14 @@ pub fn run(quick: bool) -> Report {
 
     let mut t = Table::new(
         "spoofed-probe survival, power-law (BA) internet",
-        &["strategy", "fraction", "probes", "survived", "survival", "stop_dist"],
+        &[
+            "strategy",
+            "fraction",
+            "probes",
+            "survived",
+            "survival",
+            "stop_dist",
+        ],
     );
     for r in &rows {
         t.push(

@@ -14,9 +14,7 @@ use serde::Serialize;
 
 use dtcs::control::CatalogService;
 use dtcs::device::trie::LinearTable;
-use dtcs::device::{
-    AdaptiveDevice, DeviceCommand, OwnerId, Stage,
-};
+use dtcs::device::{AdaptiveDevice, DeviceCommand, OwnerId, Stage};
 use dtcs::netsim::rng::seeded;
 use dtcs::netsim::{
     Addr, NodeId, PacketBuilder, Prefix, Proto, SimTime, Simulator, Topology, TrafficClass,
@@ -122,9 +120,14 @@ fn device_throughput(owners: usize, pkts: u64) -> ThroughputRow {
         sim.schedule(at, move |s| {
             s.emit_now(
                 NodeId(0),
-                PacketBuilder::new(Addr::new(NodeId(0), 1), dst, Proto::Udp, TrafficClass::Background)
-                    .size(100)
-                    .flow(k),
+                PacketBuilder::new(
+                    Addr::new(NodeId(0), 1),
+                    dst,
+                    Proto::Udp,
+                    TrafficClass::Background,
+                )
+                .size(100)
+                .flow(k),
             );
         });
     }
@@ -198,7 +201,12 @@ pub fn run(quick: bool) -> Report {
     let rows = rules_vs_subscribers(&subs);
     let mut t = Table::new(
         "rules vs subscribers (3 services each)",
-        &["subscribers", "services_each", "total_rules", "rules_per_sub"],
+        &[
+            "subscribers",
+            "services_each",
+            "total_rules",
+            "rules_per_sub",
+        ],
     );
     for r in &rows {
         t.push(
@@ -252,7 +260,11 @@ pub fn run(quick: bool) -> Report {
     for &size in &sizes {
         for r in lookup_ablation(size, if quick { 200_000 } else { 1_000_000 }) {
             t.push(
-                vec![r.structure.clone(), r.entries.to_string(), f(r.ns_per_lookup)],
+                vec![
+                    r.structure.clone(),
+                    r.entries.to_string(),
+                    f(r.ns_per_lookup),
+                ],
                 &r,
             );
         }

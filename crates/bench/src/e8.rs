@@ -10,8 +10,8 @@
 use serde::Serialize;
 
 use dtcs::device::{
-    AdaptiveDevice, DeviceCommand, DeviceReply, MatchExpr, ModuleSpec, OwnerId,
-    SafetyVerifier, ServiceSpec, Stage, TriggerAction, TriggerMetric,
+    AdaptiveDevice, DeviceCommand, DeviceReply, MatchExpr, ModuleSpec, OwnerId, SafetyVerifier,
+    ServiceSpec, Stage, TriggerAction, TriggerMetric,
 };
 use dtcs::netsim::{
     Addr, NodeId, PacketBuilder, Prefix, Proto, SimDuration, SimTime, Simulator, Topology,
@@ -117,7 +117,12 @@ pub fn run(_quick: bool) -> Report {
         };
         let ok = got.starts_with(expected);
         t.push(
-            vec![name.clone(), expected.to_string(), got.clone(), ok.to_string()],
+            vec![
+                name.clone(),
+                expected.to_string(),
+                got.clone(),
+                ok.to_string(),
+            ],
             &CaseRow {
                 case: name,
                 expected: expected.to_string(),
@@ -230,7 +235,13 @@ pub fn run(_quick: bool) -> Report {
     // extract, linearly and predictably.
     let mut t = Table::new(
         "telemetry allowance sweep under the same event storm",
-        &["ratio", "floor_kib", "events_emitted", "events_suppressed", "telemetry/data"],
+        &[
+            "ratio",
+            "floor_kib",
+            "events_emitted",
+            "events_suppressed",
+            "telemetry/data",
+        ],
     );
     for (ratio, floor_kib) in [(0.0, 0u64), (0.001, 16), (0.01, 64), (0.1, 64)] {
         let (emitted, suppressed, tbytes, dbytes) = storm_with_budget(ratio, floor_kib * 1024);

@@ -14,9 +14,7 @@ use serde::Serialize;
 
 use dtcs::attack::{install_clients, mean_success, ReflectorAttack, ReflectorAttackConfig};
 use dtcs::mitigation::{deploy_pushback_everywhere, AggregateKey, PushbackConfig};
-use dtcs::netsim::{
-    DropReason, Proto, SimDuration, SimTime, Simulator, Topology,
-};
+use dtcs::netsim::{DropReason, Proto, SimDuration, SimTime, Simulator, Topology};
 
 use crate::util::{f, Report, Table};
 

@@ -84,7 +84,12 @@ impl Report {
     /// Print everything.
     pub fn print(&self) {
         println!("\n==================================================================");
-        println!("{}: {}   [{}]", self.id.to_uppercase(), self.title, self.anchor);
+        println!(
+            "{}: {}   [{}]",
+            self.id.to_uppercase(),
+            self.title,
+            self.anchor
+        );
         println!("==================================================================");
         for t in &self.tables {
             t.print();
@@ -98,8 +103,7 @@ impl Report {
     pub fn save(&self, dir: &Path) {
         fs::create_dir_all(dir).expect("create results dir");
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(&path, serde_json::to_string_pretty(self).expect("json"))
-            .expect("write report");
+        fs::write(&path, serde_json::to_string_pretty(self).expect("json")).expect("write report");
         println!("[saved {}]", path.display());
     }
 }

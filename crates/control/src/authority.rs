@@ -31,9 +31,9 @@ impl InternetNumberAuthority {
 
     /// Does `user` hold `prefix` (exactly, or via a covering allocation)?
     pub fn owns(&self, user: UserId, prefix: Prefix) -> bool {
-        self.allocations.iter().any(|(&(bits, len), &holder)| {
-            holder == user && Prefix { bits, len }.covers(prefix)
-        })
+        self.allocations
+            .iter()
+            .any(|(&(bits, len), &holder)| holder == user && Prefix { bits, len }.covers(prefix))
     }
 
     /// Verify a whole claim set; returns the first prefix that fails, if
@@ -80,7 +80,10 @@ mod tests {
         let mut a = InternetNumberAuthority::new();
         a.allocate(Prefix::new(0x0A00_0000, 8), UserId(1));
         assert!(a.owns(UserId(1), Prefix::new(0x0A00_0000, 8)));
-        assert!(a.owns(UserId(1), Prefix::new(0x0A0B_0000, 16)), "sub-prefix");
+        assert!(
+            a.owns(UserId(1), Prefix::new(0x0A0B_0000, 16)),
+            "sub-prefix"
+        );
         assert!(!a.owns(UserId(2), Prefix::new(0x0A00_0000, 8)));
         assert!(!a.owns(UserId(1), Prefix::new(0x0B00_0000, 8)));
     }
@@ -90,7 +93,10 @@ mod tests {
         let mut a = InternetNumberAuthority::new();
         a.allocate(Prefix::of_node(NodeId(1)), UserId(1));
         let claim = vec![Prefix::of_node(NodeId(1)), Prefix::of_node(NodeId(2))];
-        assert_eq!(a.verify_claim(UserId(1), &claim), Err(Prefix::of_node(NodeId(2))));
+        assert_eq!(
+            a.verify_claim(UserId(1), &claim),
+            Err(Prefix::of_node(NodeId(2)))
+        );
         assert_eq!(a.verify_claim(UserId(1), &claim[..1]), Ok(()));
     }
 }

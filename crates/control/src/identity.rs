@@ -47,7 +47,12 @@ pub struct Certificate {
 
 impl Certificate {
     /// Issue a certificate under the TCSP's key.
-    pub fn issue(key: u64, user: UserId, prefixes: Vec<Prefix>, expires_at: SimTime) -> Certificate {
+    pub fn issue(
+        key: u64,
+        user: UserId,
+        prefixes: Vec<Prefix>,
+        expires_at: SimTime,
+    ) -> Certificate {
         let sig = tag(key, user, &prefixes, expires_at);
         Certificate {
             user,

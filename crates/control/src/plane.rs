@@ -24,8 +24,7 @@ use parking_lot::Mutex;
 
 use dtcs_device::{DeviceCommand, DeviceReply, OwnerId, Stage};
 use dtcs_netsim::{
-    AgentCtx, ControlMsg, LinkId, NodeAgent, NodeId, Packet, Prefix, SimDuration, SimTime,
-    Verdict,
+    AgentCtx, ControlMsg, LinkId, NodeAgent, NodeId, Packet, Prefix, SimDuration, SimTime, Verdict,
 };
 
 use crate::authority::InternetNumberAuthority;
@@ -217,7 +216,9 @@ impl NodeAgent for AuthorityAgent {
     }
 
     fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
-        let Some(env) = msg.get::<Envelope>() else { return };
+        let Some(env) = msg.get::<Envelope>() else {
+            return;
+        };
         if env.to != Role::Authority {
             return;
         }
@@ -323,14 +324,14 @@ impl TcspAgent {
         )
     }
 
-    fn resolve_scope(
-        ctx: &AgentCtx<'_>,
-        managed: &[NodeId],
-        scope: &DeployScope,
-    ) -> Vec<NodeId> {
+    fn resolve_scope(ctx: &AgentCtx<'_>, managed: &[NodeId], scope: &DeployScope) -> Vec<NodeId> {
         match scope {
             DeployScope::AllManaged => managed.to_vec(),
-            DeployScope::Nodes(set) => managed.iter().copied().filter(|n| set.contains(n)).collect(),
+            DeployScope::Nodes(set) => managed
+                .iter()
+                .copied()
+                .filter(|n| set.contains(n))
+                .collect(),
             DeployScope::StubBorders => managed
                 .iter()
                 .copied()
@@ -367,7 +368,9 @@ impl NodeAgent for TcspAgent {
     }
 
     fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
-        let Some(env) = msg.get::<Envelope>() else { return };
+        let Some(env) = msg.get::<Envelope>() else {
+            return;
+        };
         if env.to != Role::Tcsp {
             return;
         }
@@ -688,13 +691,21 @@ impl NodeAgent for NmsAgent {
         if let Some(reply) = msg.get::<DeviceReply>() {
             match reply {
                 DeviceReply::InstallOk { .. } => {
-                    if let Some(idx) = self.pending.iter().position(|p| p.configured + p.rejected < p.awaiting) {
+                    if let Some(idx) = self
+                        .pending
+                        .iter()
+                        .position(|p| p.configured + p.rejected < p.awaiting)
+                    {
                         self.pending[idx].configured += 1;
                         self.finish_if_done(ctx, idx);
                     }
                 }
                 DeviceReply::InstallRejected { .. } => {
-                    if let Some(idx) = self.pending.iter().position(|p| p.configured + p.rejected < p.awaiting) {
+                    if let Some(idx) = self
+                        .pending
+                        .iter()
+                        .position(|p| p.configured + p.rejected < p.awaiting)
+                    {
                         self.pending[idx].rejected += 1;
                         self.finish_if_done(ctx, idx);
                     }
@@ -703,7 +714,9 @@ impl NodeAgent for NmsAgent {
             }
             return;
         }
-        let Some(env) = msg.get::<Envelope>() else { return };
+        let Some(env) = msg.get::<Envelope>() else {
+            return;
+        };
         if env.to != Role::Nms {
             return;
         }
@@ -990,7 +1003,9 @@ impl NodeAgent for UserAgent {
     }
 
     fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
-        let Some(env) = msg.get::<Envelope>() else { return };
+        let Some(env) = msg.get::<Envelope>() else {
+            return;
+        };
         if env.to != Role::User {
             return;
         }

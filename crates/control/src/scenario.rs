@@ -48,7 +48,10 @@ pub fn partition_by_provider(sim: &Simulator) -> Vec<IspContract> {
             .copied()
             .min_by_key(|&t| (sim.routing.distance(node, t).unwrap_or(u16::MAX), t.0))
             .expect("transit set non-empty");
-        managed.get_mut(&provider).expect("provider exists").push(node);
+        managed
+            .get_mut(&provider)
+            .expect("provider exists")
+            .push(node);
     }
     managed
         .into_iter()
@@ -139,7 +142,16 @@ impl ControlPlane {
         register_at: SimTime,
         fallback: bool,
     ) -> (UserId, UserHandle) {
-        self.add_user_with(sim, node, claim, service, scope, register_at, fallback, |a| a)
+        self.add_user_with(
+            sim,
+            node,
+            claim,
+            service,
+            scope,
+            register_at,
+            fallback,
+            |a| a,
+        )
     }
 
     /// Like [`ControlPlane::add_user`] with a customisation hook for the
@@ -158,14 +170,8 @@ impl ControlPlane {
     ) -> (UserId, UserHandle) {
         let user = UserId(0xAA00 + self.user_seq);
         self.user_seq += 1;
-        let (mut agent, handle) = UserAgent::new(
-            user,
-            claim,
-            self.tcsp_node,
-            service,
-            scope,
-            register_at,
-        );
+        let (mut agent, handle) =
+            UserAgent::new(user, claim, self.tcsp_node, service, scope, register_at);
         if fallback {
             agent = agent.with_fallback(self.isps.iter().map(|i| i.nms_node).collect());
         }
@@ -266,14 +272,8 @@ mod tests {
         let isps = partition_by_provider(&sim);
         let tcsp_node = sim.topo.transit_nodes()[0];
         let authority_node = sim.topo.transit_nodes()[1];
-        let mut cp = ControlPlane::install(
-            &mut sim,
-            authority,
-            0x5EC,
-            tcsp_node,
-            authority_node,
-            isps,
-        );
+        let mut cp =
+            ControlPlane::install(&mut sim, authority, 0x5EC, tcsp_node, authority_node, isps);
         let (_user, record) = cp.add_user(
             &mut sim,
             victim_node,
@@ -302,14 +302,8 @@ mod tests {
         let isps = partition_by_provider(&sim);
         let tcsp_node = sim.topo.transit_nodes()[0];
         let authority_node = sim.topo.transit_nodes()[1];
-        let mut cp = ControlPlane::install(
-            &mut sim,
-            authority,
-            0x5EC,
-            tcsp_node,
-            authority_node,
-            isps,
-        );
+        let mut cp =
+            ControlPlane::install(&mut sim, authority, 0x5EC, tcsp_node, authority_node, isps);
         let (_user, record) = cp.add_user_with(
             &mut sim,
             victim_node,
@@ -394,14 +388,8 @@ mod tests {
         let isps = partition_by_provider(&sim);
         let tcsp_node = sim.topo.transit_nodes()[0];
         let authority_node = sim.topo.transit_nodes()[1];
-        let mut cp = ControlPlane::install(
-            &mut sim,
-            authority,
-            0x5EC,
-            tcsp_node,
-            authority_node,
-            isps,
-        );
+        let mut cp =
+            ControlPlane::install(&mut sim, authority, 0x5EC, tcsp_node, authority_node, isps);
         let (_user, record) = cp.add_user(
             &mut sim,
             victim_node,

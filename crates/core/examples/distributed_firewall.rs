@@ -179,7 +179,10 @@ fn trigger_vignette() {
         }
     }
     let limited = sim.stats.drops_for_reason(DropReason::DeviceRateLimit);
-    println!("   packets dropped by the auto-armed limiter: {}\n", limited.pkts);
+    println!(
+        "   packets dropped by the auto-armed limiter: {}\n",
+        limited.pkts
+    );
 }
 
 fn misuse_vignette() {
@@ -225,7 +228,11 @@ fn misuse_vignette() {
         println!(
             "   {}: connection {} ({} heartbeats)",
             if defended { "defended  " } else { "undefended" },
-            if c.killed { "KILLED by forged RST" } else { "alive" },
+            if c.killed {
+                "KILLED by forged RST"
+            } else {
+                "alive"
+            },
             c.heartbeats
         );
     }

@@ -56,7 +56,14 @@ fn main() {
     let isps = dtcs::control::partition_by_provider(&sim);
     let tcsp_node = sim.topo.transit_nodes()[0];
     let authority_node = sim.topo.transit_nodes()[1];
-    let mut cp = ControlPlane::install(&mut sim, authority, 0xC0FFEE, tcsp_node, authority_node, isps);
+    let mut cp = ControlPlane::install(
+        &mut sim,
+        authority,
+        0xC0FFEE,
+        tcsp_node,
+        authority_node,
+        isps,
+    );
 
     // The victim registers at t=20 s — mid-attack — and deploys
     // anti-spoofing everywhere its ISPs reach.
@@ -114,7 +121,10 @@ fn main() {
         "anti-spoofing dropped {} spoofed packets at mean distance {:.1} hops from their source",
         spoof_drops.pkts,
         sim.stats
-            .mean_stop_distance(TrafficClass::AttackDirect, dtcs::netsim::DropReason::SpoofFilter)
+            .mean_stop_distance(
+                TrafficClass::AttackDirect,
+                dtcs::netsim::DropReason::SpoofFilter
+            )
             .unwrap_or(0.0),
     );
     println!(

@@ -74,7 +74,9 @@ fn main() {
     // The victim computes the digest of the offending packet it received.
     let offending = evil.build(0, attacker_node);
     let digest = dtcs::device::view::digest_packet(&offending);
-    println!("\noffending packet: src={spoofed_src} (claims AS {framed_node:?}), digest {digest:#x}");
+    println!(
+        "\noffending packet: src={spoofed_src} (claims AS {framed_node:?}), digest {digest:#x}"
+    );
 
     // Live in-simulation query: a DeviceCommand::QueryDigest goes to every
     // device at t=2 s; the replies land on a probe agent at the victim.
@@ -87,7 +89,12 @@ fn main() {
         fn name(&self) -> &'static str {
             "query-probe"
         }
-        fn on_packet(&mut self, _: &mut AgentCtx<'_>, _: &mut Packet, _: Option<LinkId>) -> Verdict {
+        fn on_packet(
+            &mut self,
+            _: &mut AgentCtx<'_>,
+            _: &mut Packet,
+            _: Option<LinkId>,
+        ) -> Verdict {
             Verdict::Forward
         }
         fn on_control(&mut self, _ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {

@@ -191,7 +191,11 @@ mod tests {
         }
         stats.record_dropped(&p, DropReason::PushbackLimit);
         assert!(
-            (drop_fraction(&stats, TrafficClass::LegitRequest, DropReason::PushbackLimit) - 0.25)
+            (drop_fraction(
+                &stats,
+                TrafficClass::LegitRequest,
+                DropReason::PushbackLimit
+            ) - 0.25)
                 .abs()
                 < 1e-9
         );

@@ -167,8 +167,12 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
                 .filter(|&n| n != victim_node)
                 .collect();
             let soap_nodes: Vec<NodeId> = pool.iter().copied().take(*n_soaps).collect();
-            let servlet_nodes: Vec<NodeId> =
-                pool.iter().copied().skip(*n_soaps).take(*n_servlets).collect();
+            let servlet_nodes: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .skip(*n_soaps)
+                .take(*n_servlets)
+                .collect();
             sos = Some(SosOverlay::install(
                 &mut sim,
                 victim_addr,
@@ -280,7 +284,13 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
                 h
             })
             .collect(),
-        _ => install_clients_at(&mut sim, &client_addrs, victim_addr, cfg.client_period, client_stop),
+        _ => install_clients_at(
+            &mut sim,
+            &client_addrs,
+            victim_addr,
+            cfg.client_period,
+            client_stop,
+        ),
     };
 
     // Collateral probes: third parties using reflector-hosted (or simply
@@ -312,8 +322,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
         let identified = identified_sources.clone();
         sim.schedule(*reconstruct_at, move |s| {
             let table = marks.lock().clone();
-            let sources =
-                reconstruct_sources(&s.topo, &s.routing, victim_node, &table, min_share);
+            let sources = reconstruct_sources(&s.topo, &s.routing, victim_node, &table, min_share);
             *identified.lock() = sources.len();
             install_traceback_filters(s, &sources, victim_node, scope);
         });
@@ -351,10 +360,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
             .with_extra("tcs_device_drops", dep.total_device_drops() as f64);
     }
     // Mean RTT as a path-stretch indicator (overlay detours).
-    let rtts: Vec<f64> = clients
-        .iter()
-        .filter_map(|h| h.lock().mean_rtt())
-        .collect();
+    let rtts: Vec<f64> = clients.iter().filter_map(|h| h.lock().mean_rtt()).collect();
     if !rtts.is_empty() {
         let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
         row = row.with_extra("mean_rtt_s", mean);
@@ -405,7 +411,10 @@ mod tests {
             "no defense: clients must suffer ({})",
             out.row.legit_success
         );
-        assert!(out.row.collateral_success > 0.9, "no collateral without filters");
+        assert!(
+            out.row.collateral_success > 0.9,
+            "no collateral without filters"
+        );
         assert!(out.row.victim_overloaded > 0 || out.row.victim_attack_absorbed > 0);
     }
 
@@ -522,7 +531,11 @@ mod tests {
         // ...and the residual collateral is the paper's Sec. 4.6 kind:
         // innocents co-located with zombies in "poorly managed access
         // networks", not the reflector-case cutting of service providers.
-        assert!(tb.row.collateral_success > 0.4, "{}", tb.row.collateral_success);
+        assert!(
+            tb.row.collateral_success > 0.4,
+            "{}",
+            tb.row.collateral_success
+        );
     }
 
     #[test]
@@ -549,7 +562,8 @@ mod tests {
             let a = run_scenario(&small_cfg(), &scheme);
             let b = run_scenario(&small_cfg(), &scheme);
             assert_eq!(
-                a.row.legit_success, b.row.legit_success,
+                a.row.legit_success,
+                b.row.legit_success,
                 "{} not deterministic",
                 scheme.label()
             );

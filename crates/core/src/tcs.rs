@@ -195,7 +195,7 @@ pub fn deploy_tcs_static(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{Addr, DropReason, PacketBuilder, TrafficClass, Topology};
+    use dtcs_netsim::{Addr, DropReason, PacketBuilder, Topology, TrafficClass};
 
     /// Star: hub 0 (transit), leaves 1..=3. Victim at leaf 1, spoofing
     /// agent at leaf 2.
@@ -321,7 +321,10 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.stats.drops_for_reason(DropReason::DeviceFilter).pkts, 1);
-        assert_eq!(sim.stats.class(TrafficClass::LegitRequest).delivered_pkts, 1);
+        assert_eq!(
+            sim.stats.class(TrafficClass::LegitRequest).delivered_pkts,
+            1
+        );
     }
 
     #[test]

@@ -7,9 +7,7 @@ use dtcs::control::{
     partition_by_provider, CatalogService, ControlPlane, DeployScope, InternetNumberAuthority,
     UserId,
 };
-use dtcs::netsim::{
-    DropReason, Prefix, SimDuration, SimTime, Simulator, Topology, TrafficClass,
-};
+use dtcs::netsim::{DropReason, Prefix, SimDuration, SimTime, Simulator, Topology, TrafficClass};
 
 /// The quickstart scenario as an assertion: registration mid-attack,
 /// worldwide anti-spoofing deployment, service recovery.

@@ -46,14 +46,21 @@ fn traffic_reroutes_around_a_failed_link() {
         });
     };
     send(&mut sim, 100, 1); // direct path, 1 hop
-    sim.schedule(SimTime::from_millis(500), move |s| s.set_link_up(l01, false));
+    sim.schedule(SimTime::from_millis(500), move |s| {
+        s.set_link_up(l01, false)
+    });
     send(&mut sim, 1000, 2); // must go 0-3-2-1
-    sim.schedule(SimTime::from_millis(1500), move |s| s.set_link_up(l01, true));
+    sim.schedule(SimTime::from_millis(1500), move |s| {
+        s.set_link_up(l01, true)
+    });
     send(&mut sim, 2000, 3); // direct again
     sim.run_until(SimTime::from_secs(3));
 
     let c = sim.stats.class(TrafficClass::Background);
-    assert_eq!(c.delivered_pkts, 3, "all packets arrive despite the failure");
+    assert_eq!(
+        c.delivered_pkts, 3,
+        "all packets arrive despite the failure"
+    );
     // Hop accounting: 1 + 3 + 1.
     assert_eq!(c.delivered_hops, 5);
     sim.stats.check_conservation().unwrap();
@@ -148,7 +155,9 @@ fn antispoof_tracks_rerouting_without_false_positives() {
         }
     }
     if let Some(link) = failed {
-        sim.schedule(SimTime::from_millis(500), move |s| s.set_link_up(link, false));
+        sim.schedule(SimTime::from_millis(500), move |s| {
+            s.set_link_up(link, false)
+        });
     }
     reply(&mut sim, 1000, 2);
     sim.run_until(SimTime::from_secs(2));

@@ -73,7 +73,11 @@ fn owners_policies_do_not_leak_onto_each_other() {
 
     let s = handle.lock();
     // A's firewall dropped A-bound UDP (20 packets, minus none).
-    assert_eq!(s.dropped[&DropReason::DeviceFilter], 20, "A's policy binds A");
+    assert_eq!(
+        s.dropped[&DropReason::DeviceFilter],
+        20,
+        "A's policy binds A"
+    );
     // B's limiter dropped most of B's 20 (2/s allowed over ~2s + burst).
     let b_limited = s.dropped[&DropReason::DeviceRateLimit];
     assert!(

@@ -9,8 +9,8 @@ use dtcs::device::{
     ServiceSpec, TriggerAction, TriggerMetric,
 };
 use dtcs::netsim::{
-    Addr, NodeId, Packet, PacketBuilder, Prefix, Proto, Routing, SimDuration, SimTime,
-    Simulator, Topology, TrafficClass,
+    Addr, NodeId, Packet, PacketBuilder, Prefix, Proto, Routing, SimDuration, SimTime, Simulator,
+    Topology, TrafficClass,
 };
 
 // ---------------------------------------------------------------------
@@ -74,10 +74,8 @@ fn arb_safe_module() -> impl Strategy<Value = ModuleSpec> {
         proptest::collection::vec(arb_prefix(), 0..4)
             .prop_map(|sources| ModuleSpec::Blacklist { sources }),
         Just(ModuleSpec::AntiSpoof),
-        (arb_match(), 0u32..200).prop_map(|(expr, keep_bytes)| ModuleSpec::PayloadDelete {
-            expr,
-            keep_bytes
-        }),
+        (arb_match(), 0u32..200)
+            .prop_map(|(expr, keep_bytes)| ModuleSpec::PayloadDelete { expr, keep_bytes }),
         (1usize..2000, 1u32..64).prop_map(|(capacity, sample_one_in)| ModuleSpec::Logger {
             capacity,
             sample_one_in

@@ -25,7 +25,7 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
 use dtcs_netsim::{
-    AgentCtx, ControlMsg, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix,
+    AgentCtx, ControlMsg, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix, RouteOracle,
     SimTime, Verdict,
 };
 
@@ -209,6 +209,9 @@ pub struct AdaptiveDevice {
     /// Optional synchronous event tap for scenario code / tests.
     event_tap: Option<Sender<DeviceEvent>>,
     entry_cache: HashMap<LinkId, EntryKind>,
+    /// Memoized route-consistency queries for the anti-spoofing check;
+    /// epoch-invalidated on routing recomputes (see `dtcs_netsim::oracle`).
+    oracle: RouteOracle,
 }
 
 impl AdaptiveDevice {
@@ -233,6 +236,7 @@ impl AdaptiveDevice {
             events_buf: Vec::new(),
             event_tap: None,
             entry_cache: HashMap::new(),
+            oracle: RouteOracle::new(node),
         };
         (dev, stats)
     }
@@ -500,16 +504,11 @@ impl NodeAgent for AdaptiveDevice {
         let spoof_suspect = match &entry {
             EntryKind::Local => !self.ctx.local_prefixes.iter().any(|p| p.contains(pkt.src)),
             EntryKind::Customer(_) => {
-                let expected = ctx.routing.enters_via(
-                    ctx.topo,
-                    pkt.src.node(),
-                    pkt.dst.node(),
-                    self.ctx.node,
-                );
+                let expected =
+                    self.oracle
+                        .enters_via(ctx.routing, ctx.topo, pkt.src.node(), pkt.dst.node());
                 match (expected, from) {
-                    (Some(via), Some(link)) => {
-                        ctx.topo.links[link.0].other(self.ctx.node) != via
-                    }
+                    (Some(via), Some(link)) => ctx.topo.links[link.0].other(self.ctx.node) != via,
                     _ => true, // claimed source could not be entering here
                 }
             }
@@ -578,9 +577,7 @@ impl NodeAgent for AdaptiveDevice {
 mod tests {
     use super::*;
     use crate::spec::{FilterRule, MatchExpr, ModuleSpec};
-    use dtcs_netsim::{
-        Addr, PacketBuilder, Proto, SimDuration, Simulator, TrafficClass, Topology,
-    };
+    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimDuration, Simulator, Topology, TrafficClass};
 
     fn victim_owner() -> OwnerId {
         OwnerId(42)
@@ -617,8 +614,13 @@ mod tests {
     fn send(sim: &mut Simulator, proto: Proto, dst: Addr) {
         sim.emit_now(
             NodeId(0),
-            PacketBuilder::new(Addr::new(NodeId(0), 1), dst, proto, TrafficClass::Background)
-                .size(100),
+            PacketBuilder::new(
+                Addr::new(NodeId(0), 1),
+                dst,
+                proto,
+                TrafficClass::Background,
+            )
+            .size(100),
         );
     }
 
@@ -715,7 +717,11 @@ mod tests {
         dev.apply(DeviceCommand::UnregisterOwner {
             owner: victim_owner(),
         });
-        assert_eq!(handle.lock().rule_count, 0, "services removed with the owner");
+        assert_eq!(
+            handle.lock().rule_count,
+            0,
+            "services removed with the owner"
+        );
         // Digest queries after removal: no backlog anywhere.
         let reply = dev.apply(DeviceCommand::QueryDigest {
             owner: victim_owner(),

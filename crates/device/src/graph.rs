@@ -196,7 +196,16 @@ mod tests {
         let ctx = dctx();
         let entry = EntryKind::Transit;
         let mut view = PacketView::new(pkt);
-        g.process(now, &ctx, &entry, false, None, OwnerId(1), events, &mut view)
+        g.process(
+            now,
+            &ctx,
+            &entry,
+            false,
+            None,
+            OwnerId(1),
+            events,
+            &mut view,
+        )
     }
 
     fn drop_udp_spec() -> ServiceSpec {

@@ -11,9 +11,9 @@ use dtcs_netsim::{DropReason, Prefix, SimDuration, SimTime};
 
 use crate::spec::{FilterRule, MatchExpr, ModuleSpec, TriggerAction, TriggerMetric};
 use crate::support::{Bloom, LogEntry, RingLog, TokenBucket, WindowRate};
-use crate::view::{DeviceEvent, ModuleEnv, PacketView};
 #[cfg(test)]
 use crate::view::EntryKind;
+use crate::view::{DeviceEvent, ModuleEnv, PacketView};
 
 /// Pass/drop decision from one module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -311,7 +311,8 @@ impl DigestBacklogModule {
         let start = SimTime((now.as_nanos() / w) * w);
         if self.blooms.is_empty() || start > self.current_start {
             self.current_start = start;
-            self.blooms.push((start, Bloom::new(self.bits, self.hashes)));
+            self.blooms
+                .push((start, Bloom::new(self.bits, self.hashes)));
             while self.blooms.len() > self.windows {
                 self.blooms.remove(0);
             }

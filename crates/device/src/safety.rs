@@ -290,7 +290,10 @@ mod tests {
         ));
         // Self-activation.
         let s = svc(vec![trig(TriggerAction::ActivateModule(0))]);
-        assert!(matches!(v.verify(&s), Err(SafetyViolation::SelfTrigger { .. })));
+        assert!(matches!(
+            v.verify(&s),
+            Err(SafetyViolation::SelfTrigger { .. })
+        ));
         // Valid target.
         let s = ServiceSpec {
             name: "t".into(),

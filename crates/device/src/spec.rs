@@ -359,12 +359,7 @@ mod tests {
     #[test]
     fn any_matches_everything() {
         let e = MatchExpr::any();
-        assert!(e.matches(
-            Addr(0),
-            Addr(u32::MAX),
-            Proto::IcmpTimeExceeded,
-            1_000_000
-        ));
+        assert!(e.matches(Addr(0), Addr(u32::MAX), Proto::IcmpTimeExceeded, 1_000_000));
     }
 
     #[test]

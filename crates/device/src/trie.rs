@@ -116,12 +116,7 @@ impl<T> PrefixTrie<T> {
                 best = Some((depth + 1, v));
             }
         }
-        best.map(|(len, v)| {
-            (
-                Prefix::new(addr.0 & Prefix::mask(len), len),
-                v,
-            )
-        })
+        best.map(|(len, v)| (Prefix::new(addr.0 & Prefix::mask(len), len), v))
     }
 
     /// Value stored at exactly `prefix`.

@@ -128,7 +128,7 @@ pub fn install_traceback_filters(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimTime, TrafficClass, Topology};
+    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimTime, Topology, TrafficClass};
 
     #[test]
     fn all_traffic_scope_cuts_everything_from_source() {
@@ -154,7 +154,10 @@ mod tests {
             sim.stats.drops_for_reason(DropReason::TracebackFilter).pkts,
             2
         );
-        assert_eq!(sim.stats.class(TrafficClass::LegitRequest).delivered_pkts, 0);
+        assert_eq!(
+            sim.stats.class(TrafficClass::LegitRequest).delivered_pkts,
+            0
+        );
     }
 
     #[test]
@@ -192,6 +195,9 @@ mod tests {
             sim.stats.drops_for_reason(DropReason::TracebackFilter).pkts,
             1
         );
-        assert_eq!(sim.stats.class(TrafficClass::LegitRequest).delivered_pkts, 1);
+        assert_eq!(
+            sim.stats.class(TrafficClass::LegitRequest).delivered_pkts,
+            1
+        );
     }
 }

@@ -10,7 +10,8 @@
 //! applied worldwide as current attacks show").
 
 use dtcs_netsim::{
-    AgentCtx, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix, Simulator, Verdict,
+    AgentCtx, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix, RouteOracle, Simulator,
+    Verdict,
 };
 
 use crate::deploy::{choose_nodes, Placement};
@@ -19,6 +20,10 @@ use crate::deploy::{choose_nodes, Placement};
 pub struct IngressFilterAgent {
     node: NodeId,
     local: Prefix,
+    /// Memoizes the per-packet route-consistency query; answers are
+    /// identical to walking the routing table and survive failure injection
+    /// via the routing epoch (see `dtcs_netsim::oracle`).
+    oracle: RouteOracle,
 }
 
 impl IngressFilterAgent {
@@ -27,6 +32,7 @@ impl IngressFilterAgent {
         IngressFilterAgent {
             node,
             local: Prefix::of_node(node),
+            oracle: RouteOracle::new(node),
         }
     }
 }
@@ -62,8 +68,8 @@ impl NodeAgent for IngressFilterAgent {
                 // This accepts multi-AS customer cones (a stub behind a
                 // stub) that a bare prefix check would false-positive on.
                 let expected =
-                    ctx.routing
-                        .enters_via(ctx.topo, pkt.src.node(), pkt.dst.node(), self.node);
+                    self.oracle
+                        .enters_via(ctx.routing, ctx.topo, pkt.src.node(), pkt.dst.node());
                 if expected == Some(peer) {
                     Verdict::Forward
                 } else {
@@ -91,9 +97,7 @@ pub fn deploy_ingress(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{
-        Addr, PacketBuilder, Proto, SimTime, TrafficClass, Topology,
-    };
+    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimTime, Topology, TrafficClass};
 
     fn spoofed(from_node: NodeId, claimed: Addr, dst: Addr) -> (NodeId, PacketBuilder) {
         (
@@ -122,8 +126,14 @@ mod tests {
             ),
         );
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.stats.drops_for_reason(DropReason::IngressFilter).pkts, 1);
-        assert_eq!(sim.stats.class(TrafficClass::LegitRequest).delivered_pkts, 1);
+        assert_eq!(
+            sim.stats.drops_for_reason(DropReason::IngressFilter).pkts,
+            1
+        );
+        assert_eq!(
+            sim.stats.class(TrafficClass::LegitRequest).delivered_pkts,
+            1
+        );
     }
 
     #[test]
@@ -137,7 +147,10 @@ mod tests {
         let (n, b) = spoofed(NodeId(1), Addr::new(NodeId(2), 9), Addr::new(NodeId(3), 1));
         sim.emit_now(n, b);
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.stats.drops_for_reason(DropReason::IngressFilter).pkts, 1);
+        assert_eq!(
+            sim.stats.drops_for_reason(DropReason::IngressFilter).pkts,
+            1
+        );
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
         let (n, b) = spoofed(NodeId(0), Addr::new(NodeId(9), 1), Addr::new(NodeId(3), 1));
         sim.emit_now(n, b);
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(sim.stats.drops_for_reason(DropReason::IngressFilter).pkts, 1);
+        assert_eq!(
+            sim.stats.drops_for_reason(DropReason::IngressFilter).pkts,
+            1
+        );
 
         // But traffic between equal-degree transit nodes is not judged:
         // spoofed packet entering node 2 from node 1 (degree 2 == 2).

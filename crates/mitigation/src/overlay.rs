@@ -115,10 +115,11 @@ impl App for RelayApp {
                 let oldest = *self.back.keys().next().unwrap();
                 self.back.remove(&oldest);
             }
-            let b = PacketBuilder::new(api.self_addr, target, pkt.proto, TrafficClass::LegitRequest)
-                .size(pkt.size)
-                .flow(pkt.flow)
-                .tag(pkt.payload_tag);
+            let b =
+                PacketBuilder::new(api.self_addr, target, pkt.proto, TrafficClass::LegitRequest)
+                    .size(pkt.size)
+                    .flow(pkt.flow)
+                    .tag(pkt.payload_tag);
             api.send(b);
             self.stats.lock().relayed += 1;
         } else if is_reply(pkt.proto) {
@@ -227,11 +228,7 @@ impl SosOverlay {
         // Perimeter at every neighbour of the victim's AS. The victim's
         // replies (src in victim prefix) are untouched.
         let victim_prefix = Prefix::of_node(victim.node());
-        let neighbours: Vec<NodeId> = sim
-            .topo
-            .neighbours(victim.node())
-            .map(|(n, _)| n)
-            .collect();
+        let neighbours: Vec<NodeId> = sim.topo.neighbours(victim.node()).map(|(n, _)| n).collect();
         let mut allowed = servlets.clone();
         allowed.push(victim); // victim-originated traffic via its own AS
         for n in neighbours {
@@ -301,15 +298,10 @@ mod tests {
         sim.install_app(victim, Box::new(vapp));
 
         let client = Addr::new(stubs[5], 2);
-        let overlay = SosOverlay::install(
-            &mut sim,
-            victim,
-            &[stubs[2]],
-            &[stubs[3]],
-            vec![client],
-        );
+        let overlay = SosOverlay::install(&mut sim, victim, &[stubs[2]], &[stubs[3]], vec![client]);
         // Member client goes through its SOAP.
-        let (capp, cstats) = ClientApp::new(overlay.soap_for(client), SimDuration::from_millis(200));
+        let (capp, cstats) =
+            ClientApp::new(overlay.soap_for(client), SimDuration::from_millis(200));
         sim.install_app(client, Box::new(capp.until(SimTime::from_secs(5))));
         // A direct (non-overlay) sender is blocked at the perimeter.
         sim.emit_now(
@@ -347,8 +339,7 @@ mod tests {
         let (vapp, _vstats) = VictimApp::new(10_000.0, 400);
         sim.install_app(victim, Box::new(vapp));
         let member = Addr::new(stubs[5], 2);
-        let overlay =
-            SosOverlay::install(&mut sim, victim, &[stubs[2]], &[stubs[3]], vec![member]);
+        let overlay = SosOverlay::install(&mut sim, victim, &[stubs[2]], &[stubs[3]], vec![member]);
         // A non-member hits the SOAP directly.
         sim.emit_now(
             stubs[8],
@@ -377,10 +368,7 @@ mod tests {
         // Victim only serves its trigger; tiny capacity so the direct
         // flood exhausts it.
         let (vapp, vstats) = VictimApp::new(50.0, 400);
-        sim.install_app(
-            victim,
-            Box::new(vapp.restrict_sources(vec![i3.trigger])),
-        );
+        sim.install_app(victim, Box::new(vapp.restrict_sources(vec![i3.trigger])));
         let client = Addr::new(stubs[6], 2);
         let (capp, cstats) = ClientApp::new(i3.trigger, SimDuration::from_millis(200));
         sim.install_app(client, Box::new(capp.until(SimTime::from_secs(8))));
@@ -403,7 +391,10 @@ mod tests {
             });
         }
         sim.run_until(SimTime::from_secs(8));
-        assert!(i3.relay_stats.lock().relayed > 0, "relay did carry requests");
+        assert!(
+            i3.relay_stats.lock().relayed > 0,
+            "relay did carry requests"
+        );
         // But the known-IP flood exhausted the host anyway.
         let cs = cstats.lock();
         assert!(

@@ -35,7 +35,10 @@ fn decode(mark: u32) -> Option<(NodeId, u8)> {
     if mark & 0x8000_0000 == 0 {
         return None;
     }
-    Some((NodeId(((mark >> 16) & 0x7FFF) as usize), (mark & 0xFF) as u8))
+    Some((
+        NodeId(((mark >> 16) & 0x7FFF) as usize),
+        (mark & 0xFF) as u8,
+    ))
 }
 
 /// Router-side marking agent.
@@ -213,7 +216,7 @@ pub fn deploy_ppm_everywhere(sim: &mut Simulator, p: f64, seed: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimTime, TrafficClass, Topology};
+    use dtcs_netsim::{Addr, PacketBuilder, Proto, SimTime, Topology, TrafficClass};
 
     #[test]
     fn mark_roundtrip() {
@@ -239,7 +242,12 @@ mod tests {
         sim.install_app(dst, Box::new(dtcs_netsim::SinkApp));
         sim.emit_now(
             NodeId(0),
-            PacketBuilder::new(Addr::new(NodeId(0), 1), dst, Proto::Udp, TrafficClass::Background),
+            PacketBuilder::new(
+                Addr::new(NodeId(0), 1),
+                dst,
+                Proto::Udp,
+                TrafficClass::Background,
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         let m = marks.lock();

@@ -343,7 +343,10 @@ impl NodeAgent for PushbackAgent {
 pub fn deploy_pushback_everywhere(sim: &mut Simulator, cfg: PushbackConfig) -> PushbackHandle {
     let stats: PushbackHandle = Arc::new(Mutex::new(PushbackStats::default()));
     for i in 0..sim.topo.n() {
-        sim.add_agent(NodeId(i), Box::new(PushbackAgent::new(NodeId(i), cfg, stats.clone())));
+        sim.add_agent(
+            NodeId(i),
+            Box::new(PushbackAgent::new(NodeId(i), cfg, stats.clone())),
+        );
     }
     stats
 }
@@ -365,9 +368,7 @@ pub fn deploy_pushback_on(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{
-        Addr, LinkProfile, PacketBuilder, Proto, SimTime, TrafficClass, Topology,
-    };
+    use dtcs_netsim::{Addr, LinkProfile, PacketBuilder, Proto, SimTime, Topology, TrafficClass};
 
     /// Dumbbell with a skinny bottleneck; flood from left leaves to the
     /// right service until pushback engages.
@@ -431,11 +432,7 @@ mod tests {
         // At least one limit sits on a node other than the bottleneck
         // heads (0/1): it reached the source-side stubs.
         let s = stats.lock();
-        let upstream = s
-            .limits_installed
-            .iter()
-            .filter(|(n, _)| n.0 >= 2)
-            .count();
+        let upstream = s.limits_installed.iter().filter(|(n, _)| n.0 >= 2).count();
         assert!(upstream > 0, "limits: {:?}", s.limits_installed);
     }
 

@@ -17,8 +17,7 @@ use parking_lot::Mutex;
 use dtcs_device::support::Bloom;
 use dtcs_device::view::digest_packet;
 use dtcs_netsim::{
-    AgentCtx, LinkId, NodeAgent, NodeId, Packet, SimDuration, SimTime, Simulator, Topology,
-    Verdict,
+    AgentCtx, LinkId, NodeAgent, NodeId, Packet, SimDuration, SimTime, Simulator, Topology, Verdict,
 };
 
 /// One router's digest history.
@@ -108,7 +107,8 @@ impl NodeAgent for SpieAgent {
         if !self.started || start > self.current_start {
             self.started = true;
             self.current_start = start;
-            st.windows.push((start, Bloom::new(self.cfg.bits, self.cfg.hashes)));
+            st.windows
+                .push((start, Bloom::new(self.cfg.bits, self.cfg.hashes)));
             while st.windows.len() > self.cfg.retain {
                 st.windows.remove(0);
             }
@@ -208,7 +208,7 @@ impl SpieFleet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dtcs_netsim::{Addr, PacketBuilder, Proto, TrafficClass, Topology};
+    use dtcs_netsim::{Addr, PacketBuilder, Proto, Topology, TrafficClass};
 
     #[test]
     fn trace_follows_the_true_path_despite_spoofing() {

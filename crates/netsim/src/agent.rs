@@ -135,8 +135,12 @@ pub trait NodeAgent: Send {
     /// A packet arrived at this node (either from link `from`, or `None`
     /// when emitted locally). May mutate mutable packet fields (e.g. the
     /// marking field); may drop.
-    fn on_packet(&mut self, ctx: &mut AgentCtx<'_>, pkt: &mut Packet, from: Option<LinkId>)
-        -> Verdict;
+    fn on_packet(
+        &mut self,
+        ctx: &mut AgentCtx<'_>,
+        pkt: &mut Packet,
+        from: Option<LinkId>,
+    ) -> Verdict;
 
     /// A timer set via [`AgentCtx::set_timer`] fired.
     fn on_timer(&mut self, _ctx: &mut AgentCtx<'_>, _token: u64) {}

@@ -157,12 +157,16 @@ mod tests {
         let _ = sink;
         sim.emit_now(
             NodeId(0),
-            PacketBuilder::new(Addr::new(NodeId(0), 1), a, Proto::Udp, TrafficClass::Background),
+            PacketBuilder::new(
+                Addr::new(NodeId(0), 1),
+                a,
+                Proto::Udp,
+                TrafficClass::Background,
+            ),
         );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(
-            sim.stats.per_class[crate::stats::class_index(TrafficClass::Background)]
-                .delivered_pkts,
+            sim.stats.per_class[crate::stats::class_index(TrafficClass::Background)].delivered_pkts,
             1
         );
     }

@@ -39,9 +39,10 @@ pub mod agent;
 pub mod app;
 pub mod link;
 pub mod node;
+pub mod oracle;
 pub mod packet;
-pub mod routing;
 pub mod rng;
+pub mod routing;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -52,6 +53,7 @@ pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
 pub use link::{Admission, Link, LinkProfile};
 pub use node::{LinkId, Node, NodeId, NodeRole};
+pub use oracle::RouteOracle;
 pub use packet::{Packet, PacketBuilder, Proto, Provenance, TrafficClass, DEFAULT_TTL};
 pub use routing::Routing;
 pub use sim::Simulator;

@@ -323,10 +323,7 @@ mod tests {
         // 10 kB queue because the backlog drains as transmissions complete.
         for i in 0..10u64 {
             let now = SimTime::from_millis(i * 10);
-            assert_ne!(
-                l.offer(NodeId(0), now, 1250, false),
-                Admission::Dropped
-            );
+            assert_ne!(l.offer(NodeId(0), now, 1250, false), Admission::Dropped);
         }
         let u = l.utilisation(NodeId(0), SimTime::from_secs(1));
         assert!((u - 0.1).abs() < 1e-9, "u={u}");

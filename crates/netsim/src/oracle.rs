@@ -1,0 +1,374 @@
+//! Route-consistency oracle: memoized `enters_via` queries in amortized O(1).
+//!
+//! The route-based anti-spoofing check (Park & Lee, Sec. 3.2) asks, per
+//! packet arriving at a filtering node: "on the real forwarding path from
+//! the claimed source to the destination, which neighbour hands traffic to
+//! this node?" [`Routing::enters_via`] answers by re-walking the src→dst
+//! next-hop chain — O(path length) per packet, per filtering node. DDoS
+//! workloads are massively flow-repetitive (the same spoofed (src, dst)
+//! pairs arrive millions of times), so an E3-style coverage sweep pays that
+//! walk over and over for answers that never change between routing
+//! recomputes.
+//!
+//! A [`RouteOracle`] sits in front of the walk with a per-node cache keyed
+//! by `(src_node, dst_node)` (the querying node `at` is fixed per oracle).
+//! Both positive and negative answers are cached — negative answers are the
+//! common case under spoofing, since most claimed sources do not enter via
+//! the observed link. Correctness across failure injection comes from the
+//! routing *epoch*: every [`Routing`] table carries a generation counter
+//! which [`crate::sim::Simulator::set_link_up`] bumps when it recomputes
+//! routes, and the oracle drops its whole cache the moment it sees a new
+//! epoch. The oracle is therefore answer-for-answer identical to calling
+//! [`Routing::enters_via`] directly — it is pure memoization, with zero
+//! behavioral drift (property-tested in this module and used by the
+//! deterministic-replay suite).
+//!
+//! The cache itself is a small open-addressed table with a packed
+//! `(src << 32) | dst` key and Fibonacci hashing, not a `std::collections::
+//! HashMap`: at internet-realistic path lengths the walk costs only tens of
+//! nanoseconds, so a SipHash lookup would eat most of the win. Lookups here
+//! are a multiply, a shift and (almost always) one probe.
+
+use crate::node::NodeId;
+use crate::routing::Routing;
+use crate::topology::Topology;
+
+/// Slot sentinel: no key. Valid keys always have `src < n <= u32::MAX` and
+/// `dst < n`, checked before insertion, so the all-ones pattern never
+/// collides with a real `(src, dst)` pair that reaches the table.
+const EMPTY: u64 = u64::MAX;
+
+/// Cached "not on path / unreachable" answer.
+const NONE_VAL: u32 = u32::MAX;
+
+/// Initial table capacity (slots; power of two).
+const INITIAL_SLOTS: usize = 1 << 10;
+
+/// Largest table before the oracle resets instead of growing further.
+/// Random-spoof floods can synthesize up to n² distinct keys; capping the
+/// table bounds memory per filtering node (≤ 12 B × 2^17 ≈ 1.5 MiB) and
+/// degrades gracefully to periodic full resets under that adversarial mix.
+const MAX_SLOTS: usize = 1 << 17;
+
+/// Open-addressed `(u64 key → u32 value)` map with linear probing.
+#[derive(Clone, Debug)]
+struct FlatCache {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    /// `slots - 1`; slots is a power of two.
+    mask: usize,
+    /// Bits to right-shift the mixed hash so the top bits index the table.
+    shift: u32,
+    len: usize,
+}
+
+#[inline]
+fn mix(key: u64) -> u64 {
+    // Fibonacci hashing: top bits of the product are well distributed.
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl FlatCache {
+    fn with_slots(slots: usize) -> FlatCache {
+        debug_assert!(slots.is_power_of_two());
+        FlatCache {
+            keys: vec![EMPTY; slots],
+            vals: vec![0; slots],
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<u32> {
+        let mut i = (mix(key) >> self.shift) as usize;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: u32) {
+        // Keep load below 1/2 so probe chains stay short.
+        if (self.len + 1) * 2 > self.keys.len() {
+            if self.keys.len() >= MAX_SLOTS {
+                self.clear();
+            } else {
+                self.grow();
+            }
+        }
+        let mut i = (mix(key) >> self.shift) as usize;
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = FlatCache::with_slots(self.keys.len() * 2);
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != EMPTY {
+                bigger.insert(k, self.vals[i]);
+            }
+        }
+        *self = bigger;
+    }
+
+    fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+}
+
+/// Amortized-O(1) route-consistency oracle for one filtering node.
+///
+/// Owned by the agent that queries it (one oracle per `at` node). Answers
+/// are always identical to [`Routing::enters_via`]; a routing-epoch bump
+/// (failure injection recomputing tables) invalidates the cache wholesale
+/// on the next query.
+#[derive(Clone, Debug)]
+pub struct RouteOracle {
+    /// Node whose entry links are being checked (`at` in `enters_via`).
+    at: NodeId,
+    /// Routing epoch the cache contents were computed under.
+    epoch: u64,
+    cache: FlatCache,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteOracle {
+    /// Oracle for route-consistency queries at node `at`.
+    pub fn new(at: NodeId) -> RouteOracle {
+        RouteOracle {
+            at,
+            epoch: 0,
+            cache: FlatCache::with_slots(INITIAL_SLOTS),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The node this oracle answers for.
+    pub fn at(&self) -> NodeId {
+        self.at
+    }
+
+    /// `(cache hits, cache misses)` since construction — observability for
+    /// benches and perf assertions.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Memoized [`Routing::enters_via`]`(topo, src, dst, self.at())`: on the
+    /// forwarding path `src → dst`, which neighbour hands traffic to this
+    /// oracle's node? `None` when the node is not on that path, is the
+    /// path's first node, or src/dst are unreachable or out of range.
+    #[inline]
+    pub fn enters_via(
+        &mut self,
+        routing: &Routing,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Option<NodeId> {
+        if routing.epoch() != self.epoch {
+            self.cache.clear();
+            self.epoch = routing.epoch();
+        }
+        let n = routing.n();
+        if src.0 >= n || dst.0 >= n || self.at.0 >= n {
+            return None; // out-of-range addresses never route here
+        }
+        let key = ((src.0 as u64) << 32) | dst.0 as u64;
+        if let Some(v) = self.cache.get(key) {
+            self.hits += 1;
+            return if v == NONE_VAL {
+                None
+            } else {
+                Some(NodeId(v as usize))
+            };
+        }
+        self.misses += 1;
+        let answer = routing.enters_via(topo, src, dst, self.at);
+        let encoded = match answer {
+            Some(via) => {
+                debug_assert!(via.0 < NONE_VAL as usize);
+                via.0 as u32
+            }
+            None => NONE_VAL,
+        };
+        self.cache.insert(key, encoded);
+        answer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::LinkId;
+    use crate::rng::seeded;
+    use crate::topology::Topology;
+    use rand::Rng;
+
+    /// Every (src, dst, at) triple answers exactly like the direct walk,
+    /// repeatedly (exercising both fill and hit paths).
+    #[test]
+    fn oracle_matches_direct_walk() {
+        let topo = Topology::barabasi_albert(60, 2, 0.1, 7);
+        let routing = Routing::compute(&topo);
+        for at in 0..topo.n() {
+            let mut oracle = RouteOracle::new(NodeId(at));
+            for _round in 0..2 {
+                for src in 0..topo.n() {
+                    for dst in 0..topo.n() {
+                        let want = routing.enters_via(&topo, NodeId(src), NodeId(dst), NodeId(at));
+                        let got = oracle.enters_via(&routing, &topo, NodeId(src), NodeId(dst));
+                        assert_eq!(got, want, "src={src} dst={dst} at={at}");
+                    }
+                }
+            }
+            let (hits, misses) = oracle.stats();
+            assert_eq!(misses, (topo.n() * topo.n()) as u64, "one walk per pair");
+            assert_eq!(hits, (topo.n() * topo.n()) as u64, "second round all hits");
+        }
+    }
+
+    #[test]
+    fn out_of_range_queries_answer_none_and_do_not_cache() {
+        let topo = Topology::line(4);
+        let routing = Routing::compute(&topo);
+        let mut oracle = RouteOracle::new(NodeId(1));
+        assert_eq!(
+            oracle.enters_via(&routing, &topo, NodeId(9999), NodeId(3)),
+            None
+        );
+        assert_eq!(
+            oracle.enters_via(&routing, &topo, NodeId(0), NodeId(77777)),
+            None
+        );
+        assert_eq!(oracle.stats(), (0, 0), "range rejects bypass the cache");
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        // Ring of 4: 0-1-2-3-0. Path 0→2 tie-breaks via one side; failing
+        // the link on that side must flip the cached answer.
+        use crate::link::LinkProfile;
+        use crate::node::NodeRole;
+        let mut topo = Topology::new();
+        for _ in 0..4 {
+            topo.add_node(NodeRole::Stub);
+        }
+        for i in 0..4usize {
+            topo.connect(NodeId(i), NodeId((i + 1) % 4), LinkProfile::transit());
+        }
+        let routing = Routing::compute(&topo);
+        let mut oracle = RouteOracle::new(NodeId(1));
+        let before = oracle.enters_via(&routing, &topo, NodeId(0), NodeId(2));
+        assert_eq!(before, Some(NodeId(0)), "0→2 goes 0-1-2 by tie-break");
+
+        // Fail link 0-1; recompute with a bumped epoch (as the simulator's
+        // failure injection does).
+        let l01 = topo.nodes[0]
+            .links
+            .iter()
+            .copied()
+            .find(|&l| topo.links[l.0].other(NodeId(0)) == NodeId(1))
+            .unwrap();
+        topo.links[l01.0].up = false;
+        let mut recomputed = Routing::compute(&topo);
+        recomputed.set_epoch(routing.epoch() + 1);
+
+        let after = oracle.enters_via(&recomputed, &topo, NodeId(0), NodeId(2));
+        assert_eq!(after, None, "0→2 now goes 0-3-2, bypassing node 1");
+        assert_eq!(
+            after,
+            recomputed.enters_via(&topo, NodeId(0), NodeId(2), NodeId(1))
+        );
+    }
+
+    /// Property: over random topologies and random link-failure schedules,
+    /// the oracle (which only ever sees epoch bumps) answers identically to
+    /// a fresh `Routing::compute` at every step.
+    #[test]
+    fn random_failures_never_desync_oracle() {
+        for seed in 0..8u64 {
+            let mut topo = Topology::barabasi_albert(40, 2, 0.1, seed);
+            let mut routing = Routing::compute(&topo);
+            let mut rng = seeded(seed ^ 0xFA11);
+            let n = topo.n();
+            let mut oracles: Vec<RouteOracle> =
+                (0..n).map(|i| RouteOracle::new(NodeId(i))).collect();
+
+            for _step in 0..6 {
+                // Warm the caches with a batch of random queries, checking
+                // against the walk.
+                for _q in 0..300 {
+                    let src = NodeId(rng.gen_range(0..n));
+                    let dst = NodeId(rng.gen_range(0..n));
+                    let at = rng.gen_range(0..n);
+                    let want = routing.enters_via(&topo, src, dst, NodeId(at));
+                    assert_eq!(
+                        oracles[at].enters_via(&routing, &topo, src, dst),
+                        want,
+                        "seed={seed} src={src:?} dst={dst:?} at={at}"
+                    );
+                }
+                // Flip a random link and recompute, as set_link_up does.
+                let lid = LinkId(rng.gen_range(0..topo.links.len()));
+                let up = topo.links[lid.0].up;
+                topo.links[lid.0].up = !up;
+                let epoch = routing.epoch();
+                routing = Routing::compute(&topo);
+                routing.set_epoch(epoch + 1);
+                // Answers after the failure must match a *fresh* compute.
+                let fresh = Routing::compute(&topo);
+                for _q in 0..300 {
+                    let src = NodeId(rng.gen_range(0..n));
+                    let dst = NodeId(rng.gen_range(0..n));
+                    let at = rng.gen_range(0..n);
+                    let want = fresh.enters_via(&topo, src, dst, NodeId(at));
+                    assert_eq!(
+                        oracles[at].enters_via(&routing, &topo, src, dst),
+                        want,
+                        "post-failure seed={seed} src={src:?} dst={dst:?} at={at}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The flat cache stays correct across growth and adversarial key mixes.
+    #[test]
+    fn flat_cache_grows_and_resets() {
+        let mut c = FlatCache::with_slots(8);
+        for k in 0..10_000u64 {
+            c.insert(k * 2, (k % 1000) as u32);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(c.get(k * 2), Some((k % 1000) as u32));
+            assert_eq!(c.get(k * 2 + 1), None);
+        }
+        c.clear();
+        assert_eq!(c.get(0), None);
+        assert_eq!(c.len, 0);
+    }
+}

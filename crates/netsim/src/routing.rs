@@ -31,6 +31,12 @@ const NO_ROUTE: u32 = u32::MAX;
 #[derive(Clone, Debug)]
 pub struct Routing {
     n: usize,
+    /// Generation counter for cache invalidation: consumers that memoize
+    /// answers derived from this table (e.g. [`crate::oracle::RouteOracle`])
+    /// compare epochs and drop their caches on mismatch. Freshly computed
+    /// tables start at epoch 0; the simulator's failure injection bumps the
+    /// epoch every time it swaps in a recomputed table.
+    epoch: u64,
     /// `next_hop[d * n + u]` = link to take from node `u` toward destination
     /// node `d` (`NO_ROUTE` if unreachable or `u == d`).
     next_hop: Vec<u32>,
@@ -54,7 +60,24 @@ impl Routing {
                 bfs_from(topo, NodeId(d), hops_row, dist_row);
             });
 
-        Routing { n, next_hop, dist }
+        Routing {
+            n,
+            epoch: 0,
+            next_hop,
+            dist,
+        }
+    }
+
+    /// This table's generation (see the `epoch` field).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Tag this table with a generation, typically `old.epoch() + 1` when
+    /// swapping in a recompute after a topology change.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Link to take from `at` toward destination node `dst`, or `None` when
@@ -120,7 +143,6 @@ impl Routing {
         if src.0 >= self.n || dst.0 >= self.n || at.0 >= self.n {
             return None;
         }
-        let mut prev = src;
         let mut cur = src;
         let mut guard = 0;
         while cur != dst {
@@ -129,14 +151,12 @@ impl Routing {
             if next == at {
                 return Some(cur);
             }
-            prev = cur;
             cur = next;
             guard += 1;
             if guard > self.n {
                 return None;
             }
         }
-        let _ = prev;
         None
     }
 
@@ -168,10 +188,7 @@ fn bfs_from(topo: &Topology, d: NodeId, hops_row: &mut [u32], dist_row: &mut [u1
         let u = NodeId(ui);
         // Cost of extending the path one hop beyond `u`: traffic would
         // then *transit* `u` (unless `u` is the destination itself).
-        let transit_penalty = if u != d
-            && has_transit
-            && topo.nodes[ui].role == NodeRole::Stub
-        {
+        let transit_penalty = if u != d && has_transit && topo.nodes[ui].role == NodeRole::Stub {
             STUB_TRANSIT_PENALTY
         } else {
             0
@@ -256,6 +273,57 @@ mod tests {
         let a = Routing::compute(&topo);
         let b = Routing::compute(&topo);
         assert_eq!(a.next_hop, b.next_hop);
+    }
+
+    #[test]
+    fn enters_via_edge_cases() {
+        // Line 0-1-2-3-4.
+        let topo = Topology::line(5);
+        let r = Routing::compute(&topo);
+        // Mid-path: 0→4 enters 2 from 1.
+        assert_eq!(
+            r.enters_via(&topo, NodeId(0), NodeId(4), NodeId(2)),
+            Some(NodeId(1))
+        );
+        // src == at: the path's first node has no entering neighbour.
+        assert_eq!(r.enters_via(&topo, NodeId(2), NodeId(4), NodeId(2)), None);
+        // at == dst: the last hop still enters via its neighbour.
+        assert_eq!(
+            r.enters_via(&topo, NodeId(0), NodeId(4), NodeId(4)),
+            Some(NodeId(3))
+        );
+        // at off-path: 0→2 never touches 4.
+        assert_eq!(r.enters_via(&topo, NodeId(0), NodeId(2), NodeId(4)), None);
+        // src == dst: empty path contains no entry point.
+        assert_eq!(r.enters_via(&topo, NodeId(3), NodeId(3), NodeId(2)), None);
+    }
+
+    #[test]
+    fn enters_via_unreachable_dst() {
+        let mut topo = Topology::line(3);
+        let lonely = topo.add_node(crate::node::NodeRole::Stub);
+        let r = Routing::compute(&topo);
+        assert_eq!(r.enters_via(&topo, NodeId(0), lonely, NodeId(1)), None);
+        assert_eq!(r.enters_via(&topo, lonely, NodeId(2), NodeId(1)), None);
+    }
+
+    #[test]
+    fn enters_via_out_of_range_nodes() {
+        let topo = Topology::line(3);
+        let r = Routing::compute(&topo);
+        // Spoofed sources can name addresses outside the topology entirely.
+        assert_eq!(r.enters_via(&topo, NodeId(99), NodeId(2), NodeId(1)), None);
+        assert_eq!(r.enters_via(&topo, NodeId(0), NodeId(99), NodeId(1)), None);
+        assert_eq!(r.enters_via(&topo, NodeId(0), NodeId(2), NodeId(99)), None);
+    }
+
+    #[test]
+    fn epoch_roundtrip() {
+        let topo = Topology::line(3);
+        let mut r = Routing::compute(&topo);
+        assert_eq!(r.epoch(), 0, "fresh tables start at generation 0");
+        r.set_epoch(7);
+        assert_eq!(r.epoch(), 7);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::app::{App, AppApi, Disposition};
 use crate::link::Admission;
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
-use crate::routing::Routing;
 use crate::rng::seeded;
+use crate::routing::Routing;
 use crate::stats::{DropReason, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
@@ -31,7 +31,11 @@ enum EventKind {
     Arrive {
         at: NodeId,
         from: Option<LinkId>,
-        pkt: Packet,
+        /// Boxed so [`EventEntry`] stays small: the `Packet` would otherwise
+        /// dominate the enum and every `BinaryHeap` sift would move it. The
+        /// box is recycled through [`Simulator::pkt_pool`], so steady-state
+        /// forwarding allocates nothing.
+        pkt: Box<Packet>,
     },
     AgentTimer {
         node: NodeId,
@@ -90,9 +94,19 @@ pub struct Simulator {
     rng: ChaCha8Rng,
     outbox: Outbox,
     app_timer_buf: Vec<(SimDuration, u64)>,
+    /// Recycled `Arrive` packet boxes; terminal packet events (delivery or
+    /// drop) return their box here, emissions take one back out, so the
+    /// per-hop event path allocates only while the in-flight population is
+    /// still growing toward its peak.
+    pkt_pool: Vec<Box<Packet>>,
     started: bool,
     event_limit: u64,
 }
+
+/// Retained [`Simulator::pkt_pool`] capacity: enough boxes for the steady
+/// in-flight packet population of large sweeps while bounding idle memory
+/// (4096 × ~88 B ≈ 360 KiB).
+const PKT_POOL_CAP: usize = 4096;
 
 impl Simulator {
     /// Build a simulator over a topology, computing routing tables.
@@ -112,6 +126,7 @@ impl Simulator {
             rng: seeded(seed),
             outbox: Outbox::default(),
             app_timer_buf: Vec::new(),
+            pkt_pool: Vec::new(),
             started: false,
             event_limit: u64::MAX,
         }
@@ -159,9 +174,15 @@ impl Simulator {
     /// In-flight packets already past the link are unaffected; packets
     /// offered to a down link are dropped as queue losses. Call from
     /// scenario code or a [`Simulator::schedule`] callback.
+    ///
+    /// The recomputed table gets a bumped routing epoch so that epoch-keyed
+    /// caches ([`crate::oracle::RouteOracle`]) drop memoized answers derived
+    /// from the old routes.
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
         self.topo.links[link.0].up = up;
+        let epoch = self.routing.epoch();
         self.routing = Routing::compute(&self.topo);
+        self.routing.set_epoch(epoch + 1);
     }
 
     /// Deliver a control message to a node's agents at an absolute time,
@@ -198,6 +219,7 @@ impl Simulator {
     /// node's agent chain like host-originated traffic.
     pub fn emit_now(&mut self, node: NodeId, builder: PacketBuilder) {
         let pkt = self.stamp(node, builder);
+        let pkt = self.boxed(pkt);
         self.push(
             self.now,
             EventKind::Arrive {
@@ -278,6 +300,26 @@ impl Simulator {
         pkt
     }
 
+    /// Move a packet into a (recycled, if available) heap box.
+    #[inline]
+    fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
+        match self.pkt_pool.pop() {
+            Some(mut b) => {
+                *b = pkt;
+                b
+            }
+            None => Box::new(pkt),
+        }
+    }
+
+    /// Return a finished packet's box to the pool.
+    #[inline]
+    fn recycle(&mut self, b: Box<Packet>) {
+        if self.pkt_pool.len() < PKT_POOL_CAP {
+            self.pkt_pool.push(b);
+        }
+    }
+
     fn step_one(&mut self) {
         let Some(ev) = self.queue.pop() else { return };
         debug_assert!(ev.time >= self.now, "event from the past");
@@ -313,7 +355,7 @@ impl Simulator {
         }
     }
 
-    fn handle_arrival(&mut self, at: NodeId, from: Option<LinkId>, mut pkt: Packet) {
+    fn handle_arrival(&mut self, at: NodeId, from: Option<LinkId>, mut pkt: Box<Packet>) {
         // 1. Agent chain.
         let mut chain = std::mem::take(&mut self.agents[at.0]);
         let mut verdict = Verdict::Forward;
@@ -335,6 +377,7 @@ impl Simulator {
         self.agents[at.0] = chain;
         if let Verdict::Drop(reason) = verdict {
             self.stats.record_dropped(&pkt, reason);
+            self.recycle(pkt);
             return;
         }
 
@@ -352,17 +395,20 @@ impl Simulator {
             } else {
                 self.stats.record_dropped(&pkt, DropReason::NoListener);
             }
+            self.recycle(pkt);
             return;
         }
 
         // 3. Forwarding.
         if pkt.ttl <= 1 {
             self.stats.record_dropped(&pkt, DropReason::TtlExpired);
+            self.recycle(pkt);
             return;
         }
         pkt.ttl -= 1;
         let Some(link) = self.routing.next_hop(at, pkt.dst.node()) else {
             self.stats.record_dropped(&pkt, DropReason::NoRoute);
+            self.recycle(pkt);
             return;
         };
         let is_attack = pkt.provenance.class.is_attack();
@@ -384,10 +430,13 @@ impl Simulator {
                     self.flush_agent_outbox(at, i);
                 }
                 self.agents[at.0] = chain;
+                self.recycle(pkt);
             }
             Admission::Deliver(when) => {
                 pkt.hops = pkt.hops.saturating_add(1);
                 let next = self.topo.links[link.0].other(at);
+                // The box rides on into the next hop's event: the per-hop
+                // path neither allocates nor frees.
                 self.push(
                     when,
                     EventKind::Arrive {
@@ -450,12 +499,17 @@ impl Simulator {
         if self.outbox.is_empty() {
             return;
         }
-        let sends: Vec<_> = self.outbox.sends.drain(..).collect();
-        let timers: Vec<_> = self.outbox.agent_timers.drain(..).collect();
-        let controls: Vec<_> = self.outbox.controls.drain(..).collect();
-        self.outbox.clear();
-        for (delay, builder) in sends {
+        // Move the buffers out wholesale (a pointer swap, not a copy),
+        // convert their contents into events, and hand the — now empty but
+        // still allocated — buffers back. Unlike `drain(..).collect()` this
+        // costs no allocation per flush, and the hot agent path flushes
+        // after every callback.
+        let mut sends = std::mem::take(&mut self.outbox.sends);
+        let mut timers = std::mem::take(&mut self.outbox.agent_timers);
+        let mut controls = std::mem::take(&mut self.outbox.controls);
+        for (delay, builder) in sends.drain(..) {
             let pkt = self.stamp(node, builder);
+            let pkt = self.boxed(pkt);
             self.push(
                 self.now + delay,
                 EventKind::Arrive {
@@ -465,7 +519,7 @@ impl Simulator {
                 },
             );
         }
-        for (delay, token) in timers {
+        for (delay, token) in timers.drain(..) {
             self.push(
                 self.now + delay,
                 EventKind::AgentTimer {
@@ -475,7 +529,7 @@ impl Simulator {
                 },
             );
         }
-        for (delay, to, payload) in controls {
+        for (delay, to, payload) in controls.drain(..) {
             self.push(
                 self.now + delay,
                 EventKind::ControlDeliver {
@@ -487,15 +541,26 @@ impl Simulator {
                 },
             );
         }
+        // Nothing refills the outbox while events are being pushed
+        // (callbacks only run from `step_one`), so restoring the drained
+        // buffers cannot clobber pending entries.
+        debug_assert!(self.outbox.is_empty());
+        self.outbox.sends = sends;
+        self.outbox.agent_timers = timers;
+        self.outbox.controls = controls;
     }
 
     fn flush_app_outbox(&mut self, addr: Addr) {
+        if self.outbox.is_empty() && self.app_timer_buf.is_empty() {
+            return;
+        }
         let node = addr.node();
-        let sends: Vec<_> = self.outbox.sends.drain(..).collect();
-        let controls: Vec<_> = self.outbox.controls.drain(..).collect();
-        self.outbox.clear();
-        for (delay, builder) in sends {
+        let mut sends = std::mem::take(&mut self.outbox.sends);
+        let mut controls = std::mem::take(&mut self.outbox.controls);
+        let mut timers = std::mem::take(&mut self.app_timer_buf);
+        for (delay, builder) in sends.drain(..) {
             let pkt = self.stamp(node, builder);
+            let pkt = self.boxed(pkt);
             self.push(
                 self.now + delay,
                 EventKind::Arrive {
@@ -507,7 +572,7 @@ impl Simulator {
         }
         // Apps do not send control messages, but tolerate it (delivered
         // as if from this node's agents).
-        for (delay, to, payload) in controls {
+        for (delay, to, payload) in controls.drain(..) {
             self.push(
                 self.now + delay,
                 EventKind::ControlDeliver {
@@ -519,10 +584,13 @@ impl Simulator {
                 },
             );
         }
-        let timers: Vec<_> = self.app_timer_buf.drain(..).collect();
-        for (delay, token) in timers {
+        for (delay, token) in timers.drain(..) {
             self.push(self.now + delay, EventKind::AppTimer { addr, token });
         }
+        debug_assert!(self.outbox.is_empty() && self.app_timer_buf.is_empty());
+        self.outbox.sends = sends;
+        self.outbox.controls = controls;
+        self.app_timer_buf = timers;
     }
 }
 
@@ -585,10 +653,7 @@ mod tests {
         sim.install_app(dst, Box::new(SinkAppProbe));
         sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst).ttl(3));
         sim.run_until(SimTime::from_secs(1));
-        assert_eq!(
-            sim.stats.drops_for_reason(DropReason::TtlExpired).pkts,
-            1
-        );
+        assert_eq!(sim.stats.drops_for_reason(DropReason::TtlExpired).pkts, 1);
         assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 0);
     }
 
@@ -739,7 +804,12 @@ mod tests {
         let topo = Topology::line(2);
         let mut sim = Simulator::new(topo, 1);
         let ticks = Arc::new(AtomicU64::new(0));
-        sim.add_agent(NodeId(0), Box::new(TickAgent { ticks: ticks.clone() }));
+        sim.add_agent(
+            NodeId(0),
+            Box::new(TickAgent {
+                ticks: ticks.clone(),
+            }),
+        );
         sim.emit_now(
             NodeId(0),
             udp(Addr::new(NodeId(0), 1), Addr::new(NodeId(1), 1)),

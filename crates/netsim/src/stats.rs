@@ -343,7 +343,10 @@ mod tests {
             s.mean_stop_distance(TrafficClass::AttackDirect, DropReason::SpoofFilter),
             Some(3.0)
         );
-        assert_eq!(s.mean_stop_distance_all(TrafficClass::AttackDirect), Some(3.0));
+        assert_eq!(
+            s.mean_stop_distance_all(TrafficClass::AttackDirect),
+            Some(3.0)
+        );
         assert_eq!(
             s.mean_stop_distance(TrafficClass::AttackDirect, DropReason::TtlExpired),
             None

@@ -392,8 +392,7 @@ impl Topology {
     pub fn is_customer_of(&self, customer: NodeId, provider: NodeId) -> bool {
         let c = &self.nodes[customer.0];
         let p = &self.nodes[provider.0];
-        c.role == NodeRole::Stub
-            && (p.role == NodeRole::Transit || c.degree() < p.degree())
+        c.role == NodeRole::Stub && (p.role == NodeRole::Transit || c.degree() < p.degree())
     }
 
     /// For a node, the set of neighbour nodes that are "customer side".
