@@ -1,8 +1,15 @@
 //! Engine benches: raw event throughput of the discrete-event core under
-//! a steady packet workload (the substrate cost every experiment pays).
+//! a steady packet workload (the substrate cost every experiment pays),
+//! plus a scheduler-only comparison of the hierarchical timing wheel
+//! against the `(time, seq)` binary heap it replaced (DESIGN.md §6.2;
+//! numbers recorded in `BENCH_event_wheel.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::wheel::TimingWheel;
 use dtcs::netsim::{
     Addr, App, AppApi, Disposition, NodeId, Packet, PacketBuilder, Proto, SimTime, Simulator,
     Topology, TrafficClass,
@@ -63,7 +70,7 @@ fn run_workload(n_nodes: usize, pkts: u64) -> u64 {
     for k in 0..pkts {
         let from = (k as usize * 17) % n_nodes;
         let to = Addr::new(NodeId((k as usize * 31 + 7) % n_nodes), 1);
-        schedules[from].push((SimTime(k * 10_000), k, to));
+        schedules[from].push((SimTime::from_nanos(k * 10_000), k, to));
     }
     for (i, schedule) in schedules.into_iter().enumerate() {
         if !schedule.is_empty() {
@@ -88,6 +95,73 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hold-and-churn scheduler workload: keep `pending` events queued, then
+/// pop-one/push-one `churn` times with near-uniform spacing plus periodic
+/// same-tick bursts and occasional far timers — the event mix
+/// `run_workload` produces, minus the packet handling, so the two queue
+/// implementations are compared on scheduling cost alone.
+fn churn_wheel(pending: u64, churn: u64) -> u64 {
+    let mut q = TimingWheel::new();
+    let mut seq = 0u64;
+    for i in 0..pending {
+        q.push(i * 9_973, seq, ());
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for i in 0..churn {
+        let e = q.pop_next(u64::MAX).expect("queue never empties");
+        acc = acc.wrapping_add(e.time);
+        let off = match i % 97 {
+            0 => 0,                      // same-tick burst
+            96 => 40_000_000,            // coarse timer, cascades down
+            _ => 9_000 + (i % 13) * 157, // near-uniform per-hop delay
+        };
+        q.push(e.time + off, seq, ());
+        seq += 1;
+    }
+    acc
+}
+
+/// Same workload over the old scheduler's exact ordering structure.
+fn churn_heap(pending: u64, churn: u64) -> u64 {
+    let mut q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for i in 0..pending {
+        q.push(Reverse((i * 9_973, seq)));
+        seq += 1;
+    }
+    let mut acc = 0u64;
+    for i in 0..churn {
+        let Reverse((t, _)) = q.pop().expect("queue never empties");
+        acc = acc.wrapping_add(t);
+        let off = match i % 97 {
+            0 => 0,
+            96 => 40_000_000,
+            _ => 9_000 + (i % 13) * 157,
+        };
+        q.push(Reverse((t + off, seq)));
+        seq += 1;
+    }
+    acc
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &pending in &[1_000u64, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::new("timing_wheel", pending),
+            &pending,
+            |b, &p| b.iter(|| black_box(churn_wheel(p, 200_000))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_heap", pending),
+            &pending,
+            |b, &p| b.iter(|| black_box(churn_heap(p, 200_000))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_topology(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_generation");
     group.sample_size(10);
@@ -99,5 +173,5 @@ fn bench_topology(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_topology);
+criterion_group!(benches, bench_engine, bench_event_queue, bench_topology);
 criterion_main!(benches);

@@ -37,6 +37,7 @@
 pub mod addr;
 pub mod agent;
 pub mod app;
+pub mod arena;
 pub mod link;
 pub mod node;
 pub mod oracle;
@@ -47,10 +48,15 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod wheel;
+
+#[cfg(test)]
+mod proptests;
 
 pub use addr::{Addr, Prefix};
 pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
+pub use arena::{Arena, Handle as ArenaHandle};
 pub use link::{Admission, Link, LinkProfile};
 pub use node::{LinkId, Node, NodeId, NodeRole};
 pub use oracle::RouteOracle;
@@ -60,3 +66,4 @@ pub use sim::Simulator;
 pub use stats::{DropReason, Stats};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
+pub use wheel::TimingWheel;

@@ -1,0 +1,172 @@
+//! Property-based tests for the engine's scheduling substrate: the timing
+//! wheel must pop events in *exactly* the order the `(time, seq)` binary
+//! heap it replaced would have — that equivalence is what makes the
+//! scheduler swap behaviour-preserving for every experiment (DESIGN.md
+//! §6.2).
+
+#![cfg(test)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+
+use crate::wheel::TimingWheel;
+
+/// Reference scheduler: the exact `(time, seq)` min-ordering the old
+/// `BinaryHeap<EventEntry>` implemented.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+}
+
+impl RefHeap {
+    fn push(&mut self, time: u64, seq: u64) {
+        self.heap.push(Reverse((time, seq)));
+    }
+
+    fn pop_next(&mut self, limit: u64) -> Option<(u64, u64)> {
+        match self.heap.peek() {
+            Some(&Reverse((t, _))) if t <= limit => {
+                let Reverse(key) = self.heap.pop().unwrap();
+                Some(key)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Time offsets mixing same-tick bursts (0), near-uniform spacing (the
+/// steady workload the wheel is tuned for) and far jumps that force
+/// multi-level cascades.
+fn offset_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => Just(0u64),                 // same-tick burst
+        8 => 1u64..20_000,               // per-hop delays / timers
+        2 => 20_000u64..5_000_000,       // coarse timers
+        1 => 5_000_000u64..(1u64 << 40), // idle gaps across cascade levels
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Batch workload: push a random multiset of times (with bursts of
+    /// identical ticks), then drain. Pop order must equal the reference
+    /// heap's exactly, including seq tie-breaks within a tick.
+    #[test]
+    fn wheel_drains_in_heap_order(
+        offsets in proptest::collection::vec(offset_strategy(), 1..400),
+    ) {
+        let mut wheel = TimingWheel::new();
+        let mut heap = RefHeap::default();
+        let mut t = 0u64;
+        for (seq, &off) in offsets.iter().enumerate() {
+            // Random walk keeps times non-decreasing only on average;
+            // revisit earlier ticks by alternating small and zero offsets.
+            t = t.wrapping_add(off) % (1u64 << 41);
+            wheel.push(t, seq as u64, ());
+            heap.push(t, seq as u64);
+        }
+        loop {
+            let expect = heap.pop_next(u64::MAX);
+            let got = wheel.pop_next(u64::MAX).map(|e| (e.time, e.seq));
+            prop_assert_eq!(got, expect);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Interleaved workload shaped like the simulator's run loop: pops
+    /// (some bounded by a `run_until`-style limit) alternate with pushes
+    /// whose times are offsets from the last popped instant — exactly the
+    /// "handler schedules relative to now" pattern. The wheel and the
+    /// reference heap must agree on every single answer.
+    #[test]
+    fn wheel_matches_heap_under_interleaved_push_pop(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                3 => offset_strategy().prop_map(Some),  // push now+offset
+                2 => Just(None),                        // unbounded pop
+                1 => (1u64..100_000).prop_map(|w| Some(u64::MAX - w)), // bounded pop marker
+            ],
+            1..300,
+        ),
+    ) {
+        let mut wheel = TimingWheel::new();
+        let mut heap = RefHeap::default();
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Some(x) if x > u64::MAX - 100_000 => {
+                    // Bounded pop: limit a little past `now`. Per the
+                    // run_until contract, a `None` answer advances the
+                    // clock to the limit (the wheel may have cascaded up
+                    // to it); a `Some` advances it to the popped time.
+                    let limit = now + (u64::MAX - x);
+                    let expect = heap.pop_next(limit);
+                    let got = wheel.pop_next(limit).map(|e| (e.time, e.seq));
+                    prop_assert_eq!(got, expect);
+                    now = match got {
+                        Some((t, _)) => t,
+                        None => limit,
+                    };
+                }
+                Some(off) => {
+                    let t = now.saturating_add(off);
+                    wheel.push(t, seq, ());
+                    heap.push(t, seq);
+                    seq += 1;
+                }
+                None => {
+                    let expect = heap.pop_next(u64::MAX);
+                    let got = wheel.pop_next(u64::MAX).map(|e| (e.time, e.seq));
+                    prop_assert_eq!(got, expect);
+                    if let Some((t, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+        }
+        // Drain the remainder; orders must stay identical to the end.
+        loop {
+            let expect = heap.pop_next(u64::MAX);
+            let got = wheel.pop_next(u64::MAX).map(|e| (e.time, e.seq));
+            prop_assert_eq!(got, expect);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// A bounded pop that answers `None` must leave the wheel able to
+    /// accept pushes at any time ≥ the bound (the `run_until` contract:
+    /// the wheel never advances past the limit).
+    #[test]
+    fn bounded_none_preserves_pushability(
+        far in (1u64 << 20)..(1u64 << 45),
+        limit_frac in 0.0f64..1.0,
+        later in 0u64..1_000_000,
+    ) {
+        let mut wheel = TimingWheel::new();
+        wheel.push(far, 0, ());
+        let limit = (far as f64 * limit_frac) as u64;
+        if limit < far {
+            prop_assert!(wheel.pop_next(limit).is_none());
+            // Pushing anywhere in [limit, far] must still be legal and
+            // ordered before the far event.
+            let t = limit.saturating_add(later).min(far);
+            wheel.push(t, 1, ());
+            let first = wheel.pop_next(u64::MAX).unwrap();
+            if t < far {
+                prop_assert_eq!((first.time, first.seq), (t, 1));
+            } else {
+                // Same tick: seq 0 was pushed first and must win.
+                prop_assert_eq!((first.time, first.seq), (far, 0));
+            }
+        }
+    }
+}

@@ -6,15 +6,20 @@
 //! only through outbox buffers that are flushed in callback order.
 //! Parallelism lives one level up — experiment sweeps run many independent
 //! `Simulator` instances across threads with rayon (DESIGN.md §6).
+//!
+//! The event queue is a hierarchical timing wheel ([`crate::wheel`]) and
+//! in-flight packets live in a generation-tagged slab arena
+//! ([`crate::arena`]), so the steady-state hot path is allocation-free and
+//! every queue operation is O(1) amortized (DESIGN.md §6.2).
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use rand_chacha::ChaCha8Rng;
 
 use crate::addr::Addr;
 use crate::agent::{AgentCtx, ControlMsg, NodeAgent, Outbox, Verdict};
 use crate::app::{App, AppApi, Disposition};
+use crate::arena::{Arena, Handle as PktHandle};
 use crate::link::Admission;
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
@@ -23,6 +28,7 @@ use crate::routing::Routing;
 use crate::stats::{DropReason, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+use crate::wheel::TimingWheel;
 
 /// A scheduled simulator callback.
 type Call = Box<dyn FnOnce(&mut Simulator) + Send>;
@@ -31,11 +37,11 @@ enum EventKind {
     Arrive {
         at: NodeId,
         from: Option<LinkId>,
-        /// Boxed so [`EventEntry`] stays small: the `Packet` would otherwise
-        /// dominate the enum and every `BinaryHeap` sift would move it. The
-        /// box is recycled through [`Simulator::pkt_pool`], so steady-state
-        /// forwarding allocates nothing.
-        pkt: Box<Packet>,
+        /// Generation-tagged ticket into [`Simulator::arena`]. Index-based
+        /// so the entry stays small — the `Packet` itself never moves
+        /// during timing-wheel cascades — and so a freed packet cannot be
+        /// silently resurrected: a stale ticket fails its tag check.
+        pkt: PktHandle,
     },
     AgentTimer {
         node: NodeId,
@@ -53,30 +59,6 @@ enum EventKind {
     Call(Call),
 }
 
-struct EventEntry {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
-
 /// The simulator.
 pub struct Simulator {
     /// The network graph (owned; link state lives inside).
@@ -87,26 +69,21 @@ pub struct Simulator {
     pub stats: Stats,
     agents: Vec<Vec<Box<dyn NodeAgent>>>,
     apps: BTreeMap<Addr, Box<dyn App>>,
-    queue: BinaryHeap<EventEntry>,
+    queue: TimingWheel<EventKind>,
     now: SimTime,
     seq: u64,
     next_packet_id: u64,
     rng: ChaCha8Rng,
     outbox: Outbox,
     app_timer_buf: Vec<(SimDuration, u64)>,
-    /// Recycled `Arrive` packet boxes; terminal packet events (delivery or
-    /// drop) return their box here, emissions take one back out, so the
-    /// per-hop event path allocates only while the in-flight population is
-    /// still growing toward its peak.
-    pkt_pool: Vec<Box<Packet>>,
+    /// In-flight packet store: every queued `Arrive` event owns exactly
+    /// one live arena slot, released when the packet reaches a terminal
+    /// event (delivery or drop). Slots are reused, so steady-state
+    /// forwarding allocates nothing.
+    arena: Arena<Packet>,
     started: bool,
     event_limit: u64,
 }
-
-/// Retained [`Simulator::pkt_pool`] capacity: enough boxes for the steady
-/// in-flight packet population of large sweeps while bounding idle memory
-/// (4096 × ~88 B ≈ 360 KiB).
-const PKT_POOL_CAP: usize = 4096;
 
 impl Simulator {
     /// Build a simulator over a topology, computing routing tables.
@@ -119,14 +96,14 @@ impl Simulator {
             stats: Stats::new(),
             agents: (0..n).map(|_| Vec::new()).collect(),
             apps: BTreeMap::new(),
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             next_packet_id: 1,
             rng: seeded(seed),
             outbox: Outbox::default(),
             app_timer_buf: Vec::new(),
-            pkt_pool: Vec::new(),
+            arena: Arena::new(),
             started: false,
             event_limit: u64::MAX,
         }
@@ -165,7 +142,8 @@ impl Simulator {
 
     /// Schedule an arbitrary callback at an absolute time. This is how
     /// scenario scripts stage mid-run reconfiguration (e.g. "deploy the TCS
-    /// filter at t=20 s").
+    /// filter at t=20 s"). A time already in the past is clamped to the
+    /// current instant (see [`Stats::past_events_clamped`]).
     pub fn schedule<F: FnOnce(&mut Simulator) + Send + 'static>(&mut self, at: SimTime, f: F) {
         self.push(at, EventKind::Call(Box::new(f)));
     }
@@ -219,7 +197,7 @@ impl Simulator {
     /// node's agent chain like host-originated traffic.
     pub fn emit_now(&mut self, node: NodeId, builder: PacketBuilder) {
         let pkt = self.stamp(node, builder);
-        let pkt = self.boxed(pkt);
+        let pkt = self.arena.alloc(pkt);
         self.push(
             self.now,
             EventKind::Arrive {
@@ -234,14 +212,15 @@ impl Simulator {
     /// `until`. Calls app `on_start` hooks on first use.
     pub fn run_until(&mut self, until: SimTime) {
         self.ensure_started();
-        while let Some(head) = self.queue.peek() {
-            if head.time > until {
+        while self.stats.events < self.event_limit {
+            // The bounded pop never advances the wheel past `until`, so
+            // pushes made after this run (all ≥ the new `now`) stay valid.
+            let Some(entry) = self.queue.pop_next(until.as_nanos()) else {
                 break;
-            }
-            if self.stats.events >= self.event_limit {
-                break;
-            }
-            self.step_one();
+            };
+            self.now = SimTime::from_nanos(entry.time);
+            self.stats.events += 1;
+            self.dispatch(entry.kind);
         }
         if self.now < until {
             self.now = until;
@@ -257,8 +236,13 @@ impl Simulator {
     /// Drain every remaining event (careful with self-sustaining workloads).
     pub fn run_to_idle(&mut self) {
         self.ensure_started();
-        while self.queue.peek().is_some() && self.stats.events < self.event_limit {
-            self.step_one();
+        while self.stats.events < self.event_limit {
+            let Some(entry) = self.queue.pop_next(u64::MAX) else {
+                break;
+            };
+            self.now = SimTime::from_nanos(entry.time);
+            self.stats.events += 1;
+            self.dispatch(entry.kind);
         }
     }
 
@@ -282,10 +266,26 @@ impl Simulator {
         }
     }
 
+    /// Enqueue an event. Events dated in the past — a module bug the old
+    /// queue only caught with a `debug_assert` at pop time, silently
+    /// rewinding the clock in release builds — are clamped to the current
+    /// instant and counted in [`Stats::past_events_clamped`], preserving
+    /// the engine's monotone-clock invariant in every build profile.
+    ///
+    /// Overflow audit: `seq` is a `u64` bumped once per event; even at
+    /// 10⁹ events per wall-second it cannot wrap within ~584 years of
+    /// compute, and the wheel's slot arithmetic is closed over the full
+    /// `u64` tick range (see [`crate::wheel`]'s cascade-boundary tests).
     fn push(&mut self, time: SimTime, kind: EventKind) {
+        let time = if time < self.now {
+            self.stats.past_events_clamped += 1;
+            self.now
+        } else {
+            time
+        };
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(EventEntry { time, seq, kind });
+        self.queue.push(time.as_nanos(), seq, kind);
     }
 
     fn alloc_pkt_id(&mut self) -> u64 {
@@ -300,32 +300,8 @@ impl Simulator {
         pkt
     }
 
-    /// Move a packet into a (recycled, if available) heap box.
-    #[inline]
-    fn boxed(&mut self, pkt: Packet) -> Box<Packet> {
-        match self.pkt_pool.pop() {
-            Some(mut b) => {
-                *b = pkt;
-                b
-            }
-            None => Box::new(pkt),
-        }
-    }
-
-    /// Return a finished packet's box to the pool.
-    #[inline]
-    fn recycle(&mut self, b: Box<Packet>) {
-        if self.pkt_pool.len() < PKT_POOL_CAP {
-            self.pkt_pool.push(b);
-        }
-    }
-
-    fn step_one(&mut self) {
-        let Some(ev) = self.queue.pop() else { return };
-        debug_assert!(ev.time >= self.now, "event from the past");
-        self.now = ev.time;
-        self.stats.events += 1;
-        match ev.kind {
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
             EventKind::Arrive { at, from, pkt } => self.handle_arrival(at, from, pkt),
             EventKind::AgentTimer { node, agent, token } => {
                 self.with_agent(node, agent, |a, ctx| a.on_timer(ctx, token));
@@ -355,7 +331,12 @@ impl Simulator {
         }
     }
 
-    fn handle_arrival(&mut self, at: NodeId, from: Option<LinkId>, mut pkt: Box<Packet>) {
+    fn handle_arrival(&mut self, at: NodeId, from: Option<LinkId>, handle: PktHandle) {
+        // Work on a stack copy; the arena slot stays live and is either
+        // refreshed (packet forwarded: same ticket rides into the next
+        // hop's event) or freed (terminal delivery/drop).
+        let mut pkt = self.arena.take(handle);
+
         // 1. Agent chain.
         let mut chain = std::mem::take(&mut self.agents[at.0]);
         let mut verdict = Verdict::Forward;
@@ -377,7 +358,7 @@ impl Simulator {
         self.agents[at.0] = chain;
         if let Verdict::Drop(reason) = verdict {
             self.stats.record_dropped(&pkt, reason);
-            self.recycle(pkt);
+            self.arena.free(handle);
             return;
         }
 
@@ -395,20 +376,20 @@ impl Simulator {
             } else {
                 self.stats.record_dropped(&pkt, DropReason::NoListener);
             }
-            self.recycle(pkt);
+            self.arena.free(handle);
             return;
         }
 
         // 3. Forwarding.
         if pkt.ttl <= 1 {
             self.stats.record_dropped(&pkt, DropReason::TtlExpired);
-            self.recycle(pkt);
+            self.arena.free(handle);
             return;
         }
         pkt.ttl -= 1;
         let Some(link) = self.routing.next_hop(at, pkt.dst.node()) else {
             self.stats.record_dropped(&pkt, DropReason::NoRoute);
-            self.recycle(pkt);
+            self.arena.free(handle);
             return;
         };
         let is_attack = pkt.provenance.class.is_attack();
@@ -430,19 +411,20 @@ impl Simulator {
                     self.flush_agent_outbox(at, i);
                 }
                 self.agents[at.0] = chain;
-                self.recycle(pkt);
+                self.arena.free(handle);
             }
             Admission::Deliver(when) => {
                 pkt.hops = pkt.hops.saturating_add(1);
                 let next = self.topo.links[link.0].other(at);
-                // The box rides on into the next hop's event: the per-hop
-                // path neither allocates nor frees.
+                // The ticket rides on into the next hop's event: the
+                // per-hop path neither allocates nor frees.
+                self.arena.store(handle, pkt);
                 self.push(
                     when,
                     EventKind::Arrive {
                         at: next,
                         from: Some(link),
-                        pkt,
+                        pkt: handle,
                     },
                 );
             }
@@ -509,7 +491,7 @@ impl Simulator {
         let mut controls = std::mem::take(&mut self.outbox.controls);
         for (delay, builder) in sends.drain(..) {
             let pkt = self.stamp(node, builder);
-            let pkt = self.boxed(pkt);
+            let pkt = self.arena.alloc(pkt);
             self.push(
                 self.now + delay,
                 EventKind::Arrive {
@@ -542,7 +524,7 @@ impl Simulator {
             );
         }
         // Nothing refills the outbox while events are being pushed
-        // (callbacks only run from `step_one`), so restoring the drained
+        // (callbacks only run from `dispatch`), so restoring the drained
         // buffers cannot clobber pending entries.
         debug_assert!(self.outbox.is_empty());
         self.outbox.sends = sends;
@@ -560,7 +542,7 @@ impl Simulator {
         let mut timers = std::mem::take(&mut self.app_timer_buf);
         for (delay, builder) in sends.drain(..) {
             let pkt = self.stamp(node, builder);
-            let pkt = self.boxed(pkt);
+            let pkt = self.arena.alloc(pkt);
             self.push(
                 self.now + delay,
                 EventKind::Arrive {
@@ -600,7 +582,7 @@ mod tests {
     use crate::packet::{Proto, TrafficClass};
     use crate::stats::DropReason;
     use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
 
     /// App counting deliveries into a shared atomic.
     struct Counter(Arc<AtomicU64>);
@@ -774,6 +756,92 @@ mod tests {
             flag.load(AtomicOrdering::Relaxed),
             SimTime::from_millis(500).as_nanos()
         );
+    }
+
+    /// Regression for the past-event hazard: a callback scheduling another
+    /// event dated before `now` must not rewind the clock (release builds
+    /// used to process it at its stale timestamp); the event runs at the
+    /// current instant and the clamp is counted.
+    #[test]
+    fn past_dated_event_is_clamped_not_rewound() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        sim.schedule(SimTime::from_millis(500), move |sim| {
+            let s3 = s2.clone();
+            // Dated 499 ms in the past relative to the running clock.
+            sim.schedule(SimTime::from_millis(1), move |sim| {
+                s3.store(sim.now().as_nanos(), AtomicOrdering::Relaxed);
+            });
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            seen.load(AtomicOrdering::Relaxed),
+            SimTime::from_millis(500).as_nanos(),
+            "past-dated event must execute at the clamped (current) time"
+        );
+        assert_eq!(sim.stats.past_events_clamped, 1);
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+    }
+
+    /// Every terminal packet path must release its arena slot: after a
+    /// workload with deliveries, agent drops, TTL expiries and no-route
+    /// drops has fully drained, no packet may remain live.
+    #[test]
+    fn arena_drains_to_zero_live_packets() {
+        let mut topo = Topology::line(6);
+        let lonely = topo.add_node(crate::node::NodeRole::Stub);
+        let mut sim = Simulator::new(topo, 7);
+        sim.add_agent(NodeId(2), Box::new(ProtoBlock(Proto::TcpSyn)));
+        let dst = Addr::new(NodeId(5), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        for i in 0..40u64 {
+            let src = Addr::new(NodeId((i % 5) as usize), 1);
+            // Mix delivered, filtered, TTL-expired and unroutable packets.
+            let b = match i % 4 {
+                0 => udp(src, dst),
+                1 => PacketBuilder::new(src, dst, Proto::TcpSyn, TrafficClass::Background),
+                2 => udp(src, dst).ttl(2),
+                _ => udp(src, Addr::new(lonely, 1)),
+            };
+            sim.emit_now(src.node(), b.flow(i));
+        }
+        sim.run_to_idle();
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.arena.live(), 0, "leaked in-flight packet slots");
+        sim.stats.check_conservation().unwrap();
+    }
+
+    /// Scheduled callbacks spread across several timing-wheel levels (1 ns
+    /// to tens of minutes) must fire in exact chronological order.
+    #[test]
+    fn events_across_cascade_levels_fire_in_order() {
+        let topo = Topology::line(2);
+        let mut sim = Simulator::new(topo, 1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Times straddling level boundaries of the 64-slot wheel.
+        let times: Vec<u64> = vec![
+            1,
+            63,
+            64,
+            65,
+            4_095,
+            4_096,
+            262_143,
+            262_144,
+            1 << 30,
+            (1 << 36) + 17,
+        ];
+        // Schedule in scrambled order to exercise placement at all levels.
+        for &t in times.iter().rev() {
+            let o = order.clone();
+            sim.schedule(SimTime::from_nanos(t), move |sim| {
+                o.lock().unwrap().push(sim.now().as_nanos());
+            });
+        }
+        sim.run_to_idle();
+        assert_eq!(*order.lock().unwrap(), times);
     }
 
     /// Agent timer behaviour.

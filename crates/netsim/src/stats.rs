@@ -162,6 +162,11 @@ pub struct Stats {
     pub series: Option<Series>,
     /// Total events processed (engine health metric).
     pub events: u64,
+    /// Events scheduled with a timestamp already in the past and clamped
+    /// to the current instant. Always zero for well-behaved modules; a
+    /// nonzero count flags a scheduling bug that, before the clamp, would
+    /// have silently rewound the simulated clock in release builds.
+    pub past_events_clamped: u64,
 }
 
 impl Stats {

@@ -38,6 +38,12 @@ impl SimTime {
         SimTime(us * 1_000)
     }
 
+    /// Construct from raw nanoseconds (the clock's native tick — also the
+    /// timing wheel's slot granularity, see `dtcs_netsim::wheel`).
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
     /// This instant expressed in (fractional) seconds.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e9
@@ -71,6 +77,11 @@ impl SimDuration {
     /// Construct from whole microseconds.
     pub const fn from_micros(us: u64) -> Self {
         SimDuration(us * 1_000)
+    }
+
+    /// Construct from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
@@ -165,7 +176,9 @@ mod tests {
         assert_eq!(SimTime::from_secs(2).0, 2_000_000_000);
         assert_eq!(SimTime::from_millis(2_000), SimTime::from_secs(2));
         assert_eq!(SimTime::from_micros(5).0, 5_000);
+        assert_eq!(SimTime::from_nanos(7).0, 7);
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(SimDuration::from_nanos(1_000), SimDuration::from_micros(1));
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Hierarchical timing wheel — the simulator's event queue.
+//!
+//! Replaces the `(time, seq)` `BinaryHeap`: under the near-uniform event
+//! spacing our workloads produce (per-hop transmission delays, periodic
+//! timers), a calendar-style wheel gives O(1) amortized push/pop where the
+//! heap pays O(log n) sift moves per operation.
+//!
+//! # Structure
+//!
+//! [`LEVELS`] wheels of [`SLOTS`] slots each. Level `k` buckets times by
+//! bits `[6k, 6k+6)` of the tick count, so level 0 resolves single
+//! nanosecond ticks and each level up is 64× coarser; 11 levels × 6 bits
+//! cover the whole `u64` tick range. An event is filed at the level of the
+//! *highest* bit in which its time differs from the wheel's current
+//! position (`horizon`): near events land in level 0, far events higher
+//! up, and every event cascades down at most [`LEVELS`]−1 times before it
+//! is popped. A per-level 64-bit occupancy bitmap turns "find the earliest
+//! non-empty slot" into a `trailing_zeros`, so advancing over empty time
+//! needs no per-tick scan — the wheel jumps.
+//!
+//! # Determinism
+//!
+//! Pop order is exactly ascending `(time, seq)`, bit-identical to the
+//! heap it replaces:
+//!
+//! * A level-0 slot holds a single exact tick (1 ns granularity), so
+//!   within-slot FIFO order *is* seq order, provided entries arrive in seq
+//!   order — which they do: direct pushes carry globally increasing seqs,
+//!   and a cascade (which preserves the relative order of the slot it
+//!   drains) always lands in a lower-level slot *before* any direct push
+//!   can target it, because a push only reaches a slot whose window
+//!   contains `horizon` and cascades run exactly when `horizon` enters a
+//!   window (see `pop_next`).
+//! * Levels partition future time in increasing ranges — all level-k
+//!   events precede all level-(k+1) events — so the earliest event always
+//!   sits in the first occupied slot of the lowest occupied level.
+//!
+//! # Bounded advance
+//!
+//! [`TimingWheel::pop_next`] takes a `limit` and never advances `horizon`
+//! beyond it. This matters for `Simulator::run_until`: the wheel's
+//! position must stay ≤ simulated "now" so later pushes (which are ≥ now)
+//! are never behind the wheel.
+
+use std::collections::VecDeque;
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of levels; `LEVELS * SLOT_BITS >= 64` so any `u64` time is
+/// representable (the top level only ever uses its first 16 slots).
+pub const LEVELS: usize = 11;
+
+/// One queued event: an exact tick, a tie-breaking sequence number, and
+/// the caller's payload.
+#[derive(Debug)]
+pub struct Entry<K> {
+    /// Absolute event time, in ticks (nanoseconds for the simulator).
+    pub time: u64,
+    /// Monotone tie-breaker assigned by the caller at push time.
+    pub seq: u64,
+    /// Caller payload.
+    pub kind: K,
+}
+
+/// A hierarchical timing wheel priority queue over `(time, seq)` keys.
+///
+/// Not a general-purpose priority queue: pushes must not be earlier than
+/// the wheel's current position (the last popped time, or the furthest
+/// `pop_next` advanced to). The simulator guarantees this by clamping
+/// past-dated events to `now` before pushing.
+pub struct TimingWheel<K> {
+    /// Current position in ticks. Invariant: `horizon <= e.time` for every
+    /// stored entry, and `horizon` never exceeds the `limit` of any
+    /// `pop_next` call.
+    horizon: u64,
+    /// Total stored entries.
+    len: usize,
+    /// Per-level occupancy bitmaps; bit `i` of `occupied[k]` set iff slot
+    /// `k * SLOTS + i` is non-empty.
+    occupied: [u64; LEVELS],
+    /// `LEVELS × SLOTS` slot buffers, row-major by level. FIFO within a
+    /// slot (cascades preserve relative order; pushes append).
+    slots: Vec<VecDeque<Entry<K>>>,
+}
+
+impl<K> Default for TimingWheel<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K> TimingWheel<K> {
+    /// Empty wheel positioned at tick 0. Allocates the (empty) slot table
+    /// only; slot buffers allocate lazily and retain their capacity, so a
+    /// steady workload reaches a fixed memory footprint.
+    pub fn new() -> Self {
+        TimingWheel {
+            horizon: 0,
+            len: 0,
+            occupied: [0; LEVELS],
+            slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current position: a lower bound on every stored entry's
+    /// time, and the earliest time a future [`TimingWheel::push`] may use.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Level at which a time belongs relative to the current horizon: the
+    /// index of the highest differing bit, divided by `SLOT_BITS`.
+    #[inline]
+    fn level_of(&self, time: u64) -> usize {
+        let diff = time ^ self.horizon;
+        if diff == 0 {
+            0
+        } else {
+            ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+        }
+    }
+
+    /// Slot index of `time` within `level` (a pure function of `time`).
+    #[inline]
+    fn slot_index(level: usize, time: u64) -> usize {
+        ((time >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    /// Earliest tick covered by slot `idx` of `level`, relative to the
+    /// current horizon's window at that level. Shifts are guarded so the
+    /// top level (whose window spans the whole `u64` range) cannot
+    /// overflow the shift amount.
+    #[inline]
+    fn slot_base(&self, level: usize, idx: usize) -> u64 {
+        let low = SLOT_BITS as usize * level;
+        let high = SLOT_BITS as usize * (level + 1);
+        let high_bits = if high >= 64 {
+            0
+        } else {
+            (self.horizon >> high) << high
+        };
+        high_bits | ((idx as u64) << low)
+    }
+
+    /// Insert an entry. `time` must be ≥ [`TimingWheel::horizon`]; an
+    /// earlier time would land in a slot the wheel has already passed and
+    /// never be popped, so this is enforced unconditionally (the check is
+    /// one predictable branch on the hot path).
+    ///
+    /// For exact heap-equivalent ordering, callers must assign `seq`
+    /// monotonically increasing across pushes.
+    pub fn push(&mut self, time: u64, seq: u64, kind: K) {
+        assert!(
+            time >= self.horizon,
+            "timing wheel push at t={time} behind horizon {}",
+            self.horizon
+        );
+        let level = self.level_of(time);
+        let idx = Self::slot_index(level, time);
+        self.slots[level * SLOTS + idx].push_back(Entry { time, seq, kind });
+        self.occupied[level] |= 1 << idx;
+        self.len += 1;
+    }
+
+    /// Pop the earliest `(time, seq)` entry whose time is ≤ `limit`, or
+    /// `None` if the wheel is empty or the earliest entry is later.
+    ///
+    /// Never advances `horizon` beyond `limit`: before cascading a
+    /// coarse-level slot the wheel checks the slot's base tick (a lower
+    /// bound on everything inside it) against `limit`, so a `None` answer
+    /// leaves the wheel positioned no later than `limit` and later pushes
+    /// at ≥ `limit` remain valid. Note the contract is asymmetric: after
+    /// `Some(e)` the position is exactly `e.time`, but after `None` the
+    /// wheel may sit anywhere in `(old position, limit]` — callers must
+    /// treat a bounded `None` as "time advanced to `limit`", which is
+    /// precisely what `Simulator::run_until` does by setting `now = until`
+    /// before accepting further pushes.
+    pub fn pop_next(&mut self, limit: u64) -> Option<Entry<K>> {
+        loop {
+            // Lowest occupied level holds the earliest event (levels
+            // partition future time in increasing ranges).
+            let level = (0..LEVELS).find(|&l| self.occupied[l] != 0)?;
+            let idx = self.occupied[level].trailing_zeros() as usize;
+            let base = self.slot_base(level, idx);
+            if base > limit {
+                return None;
+            }
+            // `base` can sit at or before the horizon when the slot was
+            // filed against an older horizon (the entry's true level has
+            // since shrunk); never move backwards.
+            if base > self.horizon {
+                self.horizon = base;
+            }
+            if level == 0 {
+                // A level-0 slot is one exact tick; FIFO order is seq
+                // order (see module docs).
+                let slot = &mut self.slots[idx];
+                let e = slot.pop_front().expect("occupied bit on empty slot");
+                if slot.is_empty() {
+                    self.occupied[0] &= !(1 << idx);
+                }
+                self.len -= 1;
+                return Some(e);
+            }
+            // Cascade: drain the coarse slot and refile its entries
+            // against the advanced horizon. Each entry's level strictly
+            // decreases, so an entry cascades at most LEVELS-1 times
+            // over its lifetime. The drained buffer is handed back to
+            // keep its capacity.
+            self.occupied[level] &= !(1 << idx);
+            let mut moved = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+            for e in moved.drain(..) {
+                let l = self.level_of(e.time);
+                debug_assert!(l < level, "cascade must strictly descend");
+                let i = Self::slot_index(l, e.time);
+                self.slots[l * SLOTS + i].push_back(e);
+                self.occupied[l] |= 1 << i;
+            }
+            self.slots[level * SLOTS + idx] = moved;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain everything; assert ascending (time, seq) and return the keys.
+    fn drain_all(w: &mut TimingWheel<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(e) = w.pop_next(u64::MAX) {
+            out.push((e.time, e.seq));
+        }
+        for win in out.windows(2) {
+            assert!(win[0] < win[1], "pop order not ascending: {win:?}");
+        }
+        assert!(w.is_empty());
+        out
+    }
+
+    #[test]
+    fn pops_in_time_seq_order() {
+        let mut w = TimingWheel::new();
+        let times = [5u64, 1, 1, 700, 64, 63, 65, 5, 4096, 4095, 1 << 30];
+        for (seq, &t) in times.iter().enumerate() {
+            w.push(t, seq as u64, 0);
+        }
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| (t, s as u64))
+            .collect();
+        expect.sort();
+        assert_eq!(drain_all(&mut w), expect);
+    }
+
+    #[test]
+    fn same_tick_burst_pops_in_seq_order() {
+        let mut w = TimingWheel::new();
+        for seq in 0..1000u64 {
+            w.push(42, seq, 0);
+        }
+        let popped = drain_all(&mut w);
+        assert_eq!(popped, (0..1000).map(|s| (42, s)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_level_cascade_boundaries() {
+        // Straddle every level boundary: one event just below and one just
+        // above each 64^k edge, plus the extreme top of the tick range.
+        let mut w = TimingWheel::new();
+        let mut times = Vec::new();
+        for level in 1..LEVELS {
+            let edge = 1u64 << (SLOT_BITS as usize * level);
+            times.push(edge - 1);
+            times.push(edge);
+            times.push(edge + 1);
+        }
+        times.push(u64::MAX);
+        times.push(u64::MAX - 1);
+        for (seq, &t) in times.iter().enumerate() {
+            w.push(t, seq as u64, 0);
+        }
+        let popped = drain_all(&mut w);
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(s, &t)| (t, s as u64))
+            .collect();
+        expect.sort();
+        assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn far_jump_then_refill_near_the_new_horizon() {
+        // A long idle gap forces a top-down cascade chain; pushes issued
+        // after the jump interleave correctly with events filed before it.
+        let mut w = TimingWheel::new();
+        let far = (1u64 << 40) + 12345;
+        w.push(far, 0, 0);
+        w.push(far + 3, 1, 0);
+        let e = w.pop_next(u64::MAX).unwrap();
+        assert_eq!((e.time, e.seq), (far, 0));
+        // Horizon has advanced; same-tick and near-future pushes are live.
+        w.push(far, 2, 0);
+        w.push(far + 1, 3, 0);
+        w.push(far + (1 << 20), 4, 0);
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| w.pop_next(u64::MAX))
+            .map(|e| (e.time, e.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(far, 2), (far + 1, 3), (far + 3, 1), (far + (1 << 20), 4)]
+        );
+    }
+
+    #[test]
+    fn pop_next_limit_is_exclusive_of_later_events() {
+        let mut w = TimingWheel::new();
+        w.push(100, 0, 0);
+        w.push(200_000, 1, 0); // level 2 relative to horizon 0
+        assert!(w.pop_next(99).is_none());
+        assert_eq!(w.pop_next(100).unwrap().time, 100);
+        // The next event is far; a bounded pop must neither return it nor
+        // advance the horizon beyond the bound.
+        assert!(w.pop_next(150).is_none());
+        assert!(w.horizon() <= 150);
+        // A push between the bounded pop and the event must still be
+        // accepted and ordered first.
+        w.push(160, 2, 0);
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop_next(u64::MAX))
+            .map(|e| e.time)
+            .collect();
+        assert_eq!(order, vec![160, 200_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind horizon")]
+    fn push_behind_horizon_panics() {
+        let mut w = TimingWheel::new();
+        w.push(1000, 0, 0u32);
+        w.pop_next(u64::MAX);
+        w.push(999, 1, 0);
+    }
+
+    #[test]
+    fn len_tracks_push_and_pop() {
+        let mut w = TimingWheel::new();
+        assert!(w.is_empty());
+        for i in 0..10 {
+            w.push(i * 1000, i, 0u32);
+        }
+        assert_eq!(w.len(), 10);
+        w.pop_next(u64::MAX);
+        assert_eq!(w.len(), 9);
+        drain_all(&mut w);
+        assert_eq!(w.len(), 0);
+    }
+}
