@@ -1,0 +1,241 @@
+//! Route-churn under link flaps: the hot path ISSUE 3 targets.
+//!
+//! Reflector floods saturate links and operators fail/restore them while
+//! ingress filters keep asking route-consistency questions. Every flap
+//! used to cost a whole-table `Routing::compute` plus a wholesale
+//! `RouteOracle` clear at *every* filtering node. With link-stamped
+//! invalidation the repair recomputes only the damaged destination trees
+//! and evicts only their cached answers.
+//!
+//! Two arms over the identical flap + query schedule on the E3 topology
+//! (Barabási–Albert, 400 ASes — the power-law shape of Park & Lee):
+//!
+//! * `wholesale_clear` — the old semantics: full recompute, epoch bump
+//!   with no delta record, so every oracle clears wholesale;
+//! * `warm_reuse` — `Routing::apply_link_flip` + delta-synced oracles.
+//!
+//! The flapped links are *localized*: the lowest-blast-radius links that
+//! still carry traffic (fewest destination trees crossing them), the
+//! realistic case of access/edge links — which fail most often in
+//! practice — as opposed to backbone cuts. An audit pass (run once, before
+//! timing) verifies the spliced tables stay bit-identical to cold
+//! recomputes and prints the recompute/eviction counters that
+//! BENCH_route_churn.json records.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use dtcs::netsim::{LinkId, NodeId, RouteOracle, Routing, Topology};
+
+/// E3 full-size topology (matches `dtcs_bench::e3`).
+const N_NODES: usize = 400;
+const TOPO_SEED: u64 = 5;
+/// How many low-impact links the schedule flaps (each down then up).
+const FLAP_LINKS: usize = 8;
+/// Filtering nodes holding warm oracles.
+const FILTER_ATS: [usize; 4] = [0, 7, 31, 101];
+/// Route-consistency queries fired between consecutive flips.
+const QUERIES_PER_FLIP: usize = 2048;
+
+/// Deterministic (src, dst) mix without rand — same LCG as route_oracle.
+fn query_mix(n_nodes: usize, pairs: usize) -> Vec<(NodeId, NodeId)> {
+    let mut state = 0x9E37_79B9u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..pairs)
+        .map(|_| (NodeId(next() % n_nodes), NodeId(next() % n_nodes)))
+        .collect()
+}
+
+/// The `FLAP_LINKS` up-links with the fewest destination trees crossing
+/// them (but at least one): localized damage, the common failure case.
+fn low_impact_links(topo: &Topology, routing: &Routing) -> Vec<LinkId> {
+    let mut scored: Vec<(usize, usize)> = (0..topo.links.len())
+        .filter(|&l| topo.links[l].up)
+        .map(|l| {
+            let coverage = (0..topo.n())
+                .filter(|&d| routing.tree_contains(NodeId(d), LinkId(l)))
+                .count();
+            (coverage, l)
+        })
+        .filter(|&(coverage, _)| coverage > 0)
+        .collect();
+    scored.sort_unstable();
+    scored
+        .into_iter()
+        .take(FLAP_LINKS)
+        .map(|(_, l)| LinkId(l))
+        .collect()
+}
+
+/// One full schedule pass with the OLD semantics: every flip recomputes
+/// the whole table and bumps the epoch with no delta record (wholesale
+/// oracle clears). Returns a checksum so the work cannot be elided.
+fn run_wholesale(
+    topo: &mut Topology,
+    routing: &mut Routing,
+    oracles: &mut [RouteOracle],
+    links: &[LinkId],
+    queries: &[(NodeId, NodeId)],
+) -> u64 {
+    let mut check = 0u64;
+    for &link in links {
+        for up in [false, true] {
+            topo.links[link.0].up = up;
+            let epoch = routing.epoch();
+            *routing = Routing::compute(topo);
+            routing.set_epoch(epoch + 1);
+            for oracle in oracles.iter_mut() {
+                for &(src, dst) in queries {
+                    if oracle.enters_via(routing, topo, src, dst).is_some() {
+                        check += 1;
+                    }
+                }
+            }
+        }
+    }
+    check
+}
+
+/// The same schedule with incremental repair + delta-synced warm oracles.
+fn run_warm(
+    topo: &mut Topology,
+    routing: &mut Routing,
+    oracles: &mut [RouteOracle],
+    links: &[LinkId],
+    queries: &[(NodeId, NodeId)],
+) -> u64 {
+    let mut check = 0u64;
+    for &link in links {
+        for up in [false, true] {
+            topo.links[link.0].up = up;
+            routing.apply_link_flip(topo, link);
+            for oracle in oracles.iter_mut() {
+                for &(src, dst) in queries {
+                    if oracle.enters_via(routing, topo, src, dst).is_some() {
+                        check += 1;
+                    }
+                }
+            }
+        }
+    }
+    check
+}
+
+/// Correctness + counter audit, run once before timing: spliced tables
+/// must match cold recomputes at every step, both arms must answer
+/// identically, and the recompute/eviction counters are printed for
+/// BENCH_route_churn.json.
+fn audit(topo: &Topology, links: &[LinkId], queries: &[(NodeId, NodeId)]) {
+    let n = topo.n();
+    let mut topo_a = topo.clone();
+    let mut warm = Routing::compute(&topo_a);
+    let mut warm_oracles: Vec<RouteOracle> = FILTER_ATS
+        .iter()
+        .map(|&a| RouteOracle::new(NodeId(a)))
+        .collect();
+    let mut trees = 0u64;
+    let mut fulls = 0u64;
+    for &link in links {
+        for up in [false, true] {
+            topo_a.links[link.0].up = up;
+            let out = warm.apply_link_flip(&topo_a, link);
+            trees += out.trees_recomputed as u64;
+            fulls += u64::from(out.full);
+            let cold = Routing::compute(&topo_a);
+            assert!(
+                warm.tables_match(&cold),
+                "splice diverged at {link:?} up={up}"
+            );
+            for oracle in warm_oracles.iter_mut() {
+                for &(src, dst) in queries {
+                    let want = cold.enters_via(&topo_a, src, dst, oracle.at());
+                    assert_eq!(oracle.enters_via(&warm, &topo_a, src, dst), want);
+                }
+            }
+        }
+    }
+    let flips = (2 * links.len()) as u64;
+    let (partials, clears, evicted) = warm_oracles
+        .iter()
+        .map(|o| o.invalidation_stats())
+        .fold((0, 0, 0), |a, s| (a.0 + s.0, a.1 + s.1, a.2 + s.2));
+    eprintln!("route_churn audit: {flips} flips on {n}-node E3 topology");
+    eprintln!(
+        "  full table recomputes: wholesale {flips} vs warm {fulls}  \
+         ({}x fewer)",
+        if fulls == 0 {
+            flips
+        } else {
+            flips / fulls.max(1)
+        }
+    );
+    eprintln!(
+        "  destination trees recomputed: wholesale {} vs warm {trees}  ({:.1}x fewer)",
+        flips * n as u64,
+        (flips * n as u64) as f64 / trees.max(1) as f64
+    );
+    eprintln!(
+        "  oracle epoch syncs across {} filters: {partials} partial evictions \
+         ({evicted} entries), {clears} wholesale clears \
+         (baseline: {} wholesale clears)",
+        FILTER_ATS.len(),
+        flips * FILTER_ATS.len() as u64
+    );
+}
+
+fn bench_route_churn(c: &mut Criterion) {
+    let base = Topology::barabasi_albert(N_NODES, 2, 0.1, TOPO_SEED);
+    let cold = Routing::compute(&base);
+    let links = low_impact_links(&base, &cold);
+    assert!(!links.is_empty(), "E3 topology has localized links");
+    let queries = query_mix(N_NODES, QUERIES_PER_FLIP);
+    audit(&base, &links, &queries);
+
+    let mut group = c.benchmark_group("route_churn");
+    group.sample_size(10);
+
+    group.bench_function("wholesale_clear", |b| {
+        let mut topo = base.clone();
+        let mut routing = Routing::compute(&topo);
+        let mut oracles: Vec<RouteOracle> = FILTER_ATS
+            .iter()
+            .map(|&a| RouteOracle::new(NodeId(a)))
+            .collect();
+        b.iter(|| {
+            black_box(run_wholesale(
+                &mut topo,
+                &mut routing,
+                &mut oracles,
+                &links,
+                &queries,
+            ))
+        });
+    });
+
+    group.bench_function("warm_reuse", |b| {
+        let mut topo = base.clone();
+        let mut routing = Routing::compute(&topo);
+        let mut oracles: Vec<RouteOracle> = FILTER_ATS
+            .iter()
+            .map(|&a| RouteOracle::new(NodeId(a)))
+            .collect();
+        b.iter(|| {
+            black_box(run_warm(
+                &mut topo,
+                &mut routing,
+                &mut oracles,
+                &links,
+                &queries,
+            ))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_route_churn);
+criterion_main!(benches);

@@ -16,7 +16,7 @@ use dtcs::mitigation::{BlockScope, Placement};
 use dtcs::netsim::SimTime;
 use dtcs::{run_scenario, AttackKind, OutcomeRow, ScenarioConfig, Scheme, TcsStaticConfig};
 
-use crate::util::{f, fopt, Report, Table};
+use crate::util::{f, fopt, wheel_health, Report, Table};
 
 /// The scenario config E2/E4/E9 share.
 pub fn scenario(quick: bool) -> ScenarioConfig {
@@ -75,7 +75,9 @@ pub fn run(quick: bool) -> Report {
     let mut all = schemes;
     all.push(Scheme::I3 { ip_hidden: true });
 
-    let rows: Vec<OutcomeRow> = all.par_iter().map(|s| run_scenario(&cfg, s).row).collect();
+    let outs: Vec<_> = all.par_iter().map(|s| run_scenario(&cfg, s)).collect();
+    let rows: Vec<OutcomeRow> = outs.iter().map(|o| o.row.clone()).collect();
+    report.health(wheel_health(outs.iter().map(|o| &o.stats)));
 
     let mut t = Table::new(
         "scheme outcomes (identical attack + workload)",

@@ -66,7 +66,7 @@ fn one(
     probes: u64,
     seed: u64,
     kind: TopoKind,
-) -> Row {
+) -> (Row, dtcs::netsim::Stats) {
     let topo = match kind {
         TopoKind::PowerLaw => Topology::barabasi_albert(n_nodes, 2, 0.1, seed),
         TopoKind::Waxman => Topology::waxman(n_nodes, 0.4, 0.15, 0.1, seed),
@@ -130,14 +130,15 @@ fn one(
     sim.run_until(SimTime::from_secs(10));
 
     let c = sim.stats.class(TrafficClass::AttackDirect);
-    Row {
+    let row = Row {
         strategy: strategy.label(),
         fraction,
         probes: c.sent_pkts,
         survived: c.delivered_pkts,
         survival_ratio: c.delivered_pkts as f64 / c.sent_pkts.max(1) as f64,
         mean_stop_distance: sim.stats.mean_stop_distance_all(TrafficClass::AttackDirect),
-    }
+    };
+    (row, sim.stats)
 }
 
 /// Run E3.
@@ -164,10 +165,13 @@ pub fn run(quick: bool) -> Report {
         .iter()
         .flat_map(|&s| fractions.iter().map(move |&fr| (s, fr)))
         .collect();
-    let rows: Vec<Row> = cases
+    let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
         .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::PowerLaw))
-        .collect();
+        .collect::<Vec<_>>()
+        .into_iter()
+        .unzip();
+    report.health(crate::util::wheel_health(run_stats.iter()));
 
     let mut t = Table::new(
         "spoofed-probe survival, power-law (BA) internet",
@@ -208,7 +212,7 @@ pub fn run(quick: bool) -> Report {
     .collect();
     let wax_rows: Vec<Row> = wax_cases
         .par_iter()
-        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::Waxman))
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::Waxman).0)
         .collect();
     let mut t = Table::new(
         "same sweep on a Waxman (no-hub) internet",

@@ -22,26 +22,43 @@ pub mod util;
 
 use util::Report;
 
-/// All experiment ids in order.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+/// One registered experiment: its id and runner.
+type ExperimentEntry = (&'static str, fn(bool) -> Report);
+
+/// The experiment registry — the *single* source of truth for dispatch.
+/// [`ALL`] and [`run_experiment`] both derive from this table, so adding
+/// an experiment (say e13) is one new row here plus its module; the id
+/// list and the dispatch can no longer drift apart.
+pub const EXPERIMENTS: [ExperimentEntry; 12] = [
+    ("e1", e1::run),
+    ("e2", e2::run),
+    ("e3", e3::run),
+    ("e4", e4::run),
+    ("e5", e5::run),
+    ("e6", e6::run),
+    ("e7", e7::run),
+    ("e8", e8::run),
+    ("e9", e9::run),
+    ("e10", e10::run),
+    ("e11", e11::run),
+    ("e12", e12::run),
 ];
+
+/// All experiment ids in order (derived from [`EXPERIMENTS`]).
+pub const ALL: [&str; EXPERIMENTS.len()] = {
+    let mut ids = [""; EXPERIMENTS.len()];
+    let mut i = 0;
+    while i < EXPERIMENTS.len() {
+        ids[i] = EXPERIMENTS[i].0;
+        i += 1;
+    }
+    ids
+};
 
 /// Run one experiment by id.
 pub fn run_experiment(id: &str, quick: bool) -> Option<Report> {
-    match id {
-        "e1" => Some(e1::run(quick)),
-        "e2" => Some(e2::run(quick)),
-        "e3" => Some(e3::run(quick)),
-        "e4" => Some(e4::run(quick)),
-        "e5" => Some(e5::run(quick)),
-        "e6" => Some(e6::run(quick)),
-        "e7" => Some(e7::run(quick)),
-        "e8" => Some(e8::run(quick)),
-        "e9" => Some(e9::run(quick)),
-        "e10" => Some(e10::run(quick)),
-        "e11" => Some(e11::run(quick)),
-        "e12" => Some(e12::run(quick)),
-        _ => None,
-    }
+    EXPERIMENTS
+        .iter()
+        .find(|(eid, _)| *eid == id)
+        .map(|&(_, run)| run(quick))
 }

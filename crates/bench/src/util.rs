@@ -57,6 +57,11 @@ pub struct Report {
     pub tables: Vec<Table>,
     /// Free-form observations recorded by the experiment.
     pub notes: Vec<String>,
+    /// Engine-health lines (timing-wheel occupancy, cascade rates, route
+    /// churn). Printed with the summary but **never serialised** — golden
+    /// report JSON stays byte-identical whether or not health is recorded.
+    #[serde(skip)]
+    pub health: Vec<String>,
 }
 
 impl Report {
@@ -68,6 +73,7 @@ impl Report {
             anchor: anchor.to_string(),
             tables: Vec::new(),
             notes: Vec::new(),
+            health: Vec::new(),
         }
     }
 
@@ -79,6 +85,11 @@ impl Report {
     /// Attach a note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Attach a print-only engine-health line (see [`Report::health`]).
+    pub fn health(&mut self, s: impl Into<String>) {
+        self.health.push(s.into());
     }
 
     /// Print everything.
@@ -97,6 +108,9 @@ impl Report {
         for n in &self.notes {
             println!("note: {n}");
         }
+        for h in &self.health {
+            println!("health: {h}");
+        }
     }
 
     /// Write JSON next to the workspace (`results/<id>.json`).
@@ -106,6 +120,31 @@ impl Report {
         fs::write(&path, serde_json::to_string_pretty(self).expect("json")).expect("write report");
         println!("[saved {}]", path.display());
     }
+}
+
+/// One-line timing-wheel health summary aggregated over simulator runs:
+/// worst slot/queue high-water marks and the cascade rate (events refiled
+/// from coarser wheel levels per processed event). A cascade rate near 0
+/// means almost every event lands directly in a level-0 slot; sustained
+/// growth flags a schedule horizon outgrowing the wheel's inner levels.
+pub fn wheel_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>) -> String {
+    let (mut slot, mut len, mut cascades, mut events, mut n) = (0u64, 0u64, 0u64, 0u64, 0usize);
+    for s in runs {
+        slot = slot.max(s.wheel_slot_occupancy_hwm);
+        len = len.max(s.wheel_len_hwm);
+        cascades += s.wheel_cascade_moves;
+        events += s.events;
+        n += 1;
+    }
+    let rate = if events == 0 {
+        0.0
+    } else {
+        cascades as f64 / events as f64
+    };
+    format!(
+        "timing wheel over {n} runs: slot occupancy hwm {slot}, queue len hwm {len}, \
+         {cascades} cascade moves across {events} events ({rate:.4}/event)"
+    )
 }
 
 /// Format a float cell.
@@ -153,6 +192,17 @@ mod tests {
         assert_eq!(v["id"], "eX");
         assert_eq!(v["tables"][0]["rows"][0][0], "v");
         assert_eq!(v["notes"][0], "a note");
+    }
+
+    #[test]
+    fn health_lines_never_reach_the_json() {
+        let mut r = Report::new("eX", "t", "a");
+        r.health("timing wheel: hwm 3");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(
+            !json.contains("health"),
+            "health must stay print-only so golden reports are unaffected: {json}"
+        );
     }
 
     #[test]

@@ -209,8 +209,10 @@ pub struct AdaptiveDevice {
     /// Optional synchronous event tap for scenario code / tests.
     event_tap: Option<Sender<DeviceEvent>>,
     entry_cache: HashMap<LinkId, EntryKind>,
-    /// Memoized route-consistency queries for the anti-spoofing check;
-    /// epoch-invalidated on routing recomputes (see `dtcs_netsim::oracle`).
+    /// Memoized route-consistency queries for the anti-spoofing check.
+    /// Epoch-synced against the routing table's delta history: a localized
+    /// link flip evicts only the damaged destinations' answers, keeping
+    /// the rest warm across failure injection (see `dtcs_netsim::oracle`).
     oracle: RouteOracle,
 }
 

@@ -22,7 +22,10 @@ pub struct IngressFilterAgent {
     local: Prefix,
     /// Memoizes the per-packet route-consistency query; answers are
     /// identical to walking the routing table and survive failure injection
-    /// via the routing epoch (see `dtcs_netsim::oracle`).
+    /// via the routing epoch's delta protocol: a localized link flip only
+    /// evicts cached answers whose destination the flip actually damaged,
+    /// so under flap churn most of the cache stays warm (see
+    /// `dtcs_netsim::oracle`).
     oracle: RouteOracle,
 }
 

@@ -61,7 +61,7 @@ pub use link::{Admission, Link, LinkProfile};
 pub use node::{LinkId, Node, NodeId, NodeRole};
 pub use oracle::RouteOracle;
 pub use packet::{Packet, PacketBuilder, Proto, Provenance, TrafficClass, DEFAULT_TTL};
-pub use routing::Routing;
+pub use routing::{FlipOutcome, Routing};
 pub use sim::Simulator;
 pub use stats::{DropReason, Stats};
 pub use time::{SimDuration, SimTime};

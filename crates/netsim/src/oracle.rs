@@ -15,13 +15,19 @@
 //! Both positive and negative answers are cached — negative answers are the
 //! common case under spoofing, since most claimed sources do not enter via
 //! the observed link. Correctness across failure injection comes from the
-//! routing *epoch*: every [`Routing`] table carries a generation counter
-//! which [`crate::sim::Simulator::set_link_up`] bumps when it recomputes
-//! routes, and the oracle drops its whole cache the moment it sees a new
-//! epoch. The oracle is therefore answer-for-answer identical to calling
-//! [`Routing::enters_via`] directly — it is pure memoization, with zero
-//! behavioral drift (property-tested in this module and used by the
-//! deterministic-replay suite).
+//! routing *epoch* plus a delta protocol: every [`Routing`] table carries a
+//! generation counter which [`crate::sim::Simulator::set_link_up`] bumps
+//! when it applies a link flip, and on the next query the oracle asks
+//! [`Routing::dsts_invalidated_since`] which destinations actually changed.
+//! A cached `(src, dst)` answer depends only on destination `dst`'s
+//! next-hop row (the walk follows `next_hop(·, dst)`), so entries whose
+//! destination survived the flip stay warm; only damaged destinations are
+//! evicted. When the history cannot answer precisely (full recompute,
+//! manually tagged epoch, consumer too far behind) the oracle falls back to
+//! the wholesale clear. Either way it is answer-for-answer identical to
+//! calling [`Routing::enters_via`] directly — pure memoization, with zero
+//! behavioral drift (property-tested in this module and in
+//! `crate::proptests` under random flap schedules).
 //!
 //! The cache itself is a small open-addressed table with a packed
 //! `(src << 32) | dst` key and Fibonacci hashing, not a `std::collections::
@@ -135,14 +141,40 @@ impl FlatCache {
         self.keys.fill(EMPTY);
         self.len = 0;
     }
+
+    /// Drop every entry whose key matches `pred`, keeping the rest warm.
+    /// Returns how many entries were evicted. Rebuilds in place: linear
+    /// probing cannot punch holes without breaking probe chains, and a
+    /// single O(slots) rebuild costs the same order as the wholesale
+    /// `clear` it replaces.
+    fn evict_where(&mut self, mut pred: impl FnMut(u64) -> bool) -> usize {
+        let slots = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; slots]);
+        self.len = 0;
+        let mut evicted = 0;
+        for (i, &k) in old_keys.iter().enumerate() {
+            if k == EMPTY {
+                continue;
+            }
+            if pred(k) {
+                evicted += 1;
+            } else {
+                self.insert(k, old_vals[i]);
+            }
+        }
+        evicted
+    }
 }
 
 /// Amortized-O(1) route-consistency oracle for one filtering node.
 ///
 /// Owned by the agent that queries it (one oracle per `at` node). Answers
 /// are always identical to [`Routing::enters_via`]; a routing-epoch bump
-/// (failure injection recomputing tables) invalidates the cache wholesale
-/// on the next query.
+/// (failure injection applying a link flip) invalidates — on the next
+/// query — exactly the cached entries whose destination the flip damaged,
+/// falling back to a wholesale clear when the table's delta history cannot
+/// pinpoint the damage.
 #[derive(Clone, Debug)]
 pub struct RouteOracle {
     /// Node whose entry links are being checked (`at` in `enters_via`).
@@ -152,6 +184,12 @@ pub struct RouteOracle {
     cache: FlatCache,
     hits: u64,
     misses: u64,
+    /// Epoch syncs resolved by targeted per-destination eviction.
+    partial_evictions: u64,
+    /// Epoch syncs that fell back to dropping the whole cache.
+    full_clears: u64,
+    /// Total cached entries dropped by targeted evictions.
+    entries_evicted: u64,
 }
 
 impl RouteOracle {
@@ -163,6 +201,9 @@ impl RouteOracle {
             cache: FlatCache::with_slots(INITIAL_SLOTS),
             hits: 0,
             misses: 0,
+            partial_evictions: 0,
+            full_clears: 0,
+            entries_evicted: 0,
         }
     }
 
@@ -175,6 +216,45 @@ impl RouteOracle {
     /// benches and perf assertions.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// `(partial evictions, full clears, entries evicted)` since
+    /// construction: how often epoch syncs kept the cache warm vs dropped
+    /// it, and how many entries the targeted path actually removed.
+    pub fn invalidation_stats(&self) -> (u64, u64, u64) {
+        (
+            self.partial_evictions,
+            self.full_clears,
+            self.entries_evicted,
+        )
+    }
+
+    /// Catch up with `routing`'s epoch: evict precisely the entries whose
+    /// destination changed since we last looked, or everything when the
+    /// delta history cannot say.
+    #[cold]
+    fn sync_epoch(&mut self, routing: &Routing) {
+        match routing.dsts_invalidated_since(self.epoch) {
+            Some(dsts) => {
+                if !dsts.is_empty() {
+                    let n = routing.n();
+                    let mut damaged = vec![0u64; n.div_ceil(64).max(1)];
+                    for d in dsts {
+                        damaged[d.0 >> 6] |= 1u64 << (d.0 & 63);
+                    }
+                    self.entries_evicted += self.cache.evict_where(|key| {
+                        let dst = (key & u64::from(u32::MAX)) as usize;
+                        dst < n && damaged[dst >> 6] & (1u64 << (dst & 63)) != 0
+                    }) as u64;
+                }
+                self.partial_evictions += 1;
+            }
+            None => {
+                self.cache.clear();
+                self.full_clears += 1;
+            }
+        }
+        self.epoch = routing.epoch();
     }
 
     /// Memoized [`Routing::enters_via`]`(topo, src, dst, self.at())`: on the
@@ -190,8 +270,7 @@ impl RouteOracle {
         dst: NodeId,
     ) -> Option<NodeId> {
         if routing.epoch() != self.epoch {
-            self.cache.clear();
-            self.epoch = routing.epoch();
+            self.sync_epoch(routing);
         }
         let n = routing.n();
         if src.0 >= n || dst.0 >= n || self.at.0 >= n {
@@ -354,6 +433,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A localized flip evicts exactly the damaged destinations' entries;
+    /// everything else answers from cache without re-walking.
+    #[test]
+    fn partial_eviction_keeps_undamaged_destinations_warm() {
+        use crate::link::LinkProfile;
+        let mut topo = Topology::star(5);
+        let chord = topo
+            .connect(NodeId(1), NodeId(2), LinkProfile::access())
+            .unwrap();
+        let mut routing = Routing::compute(&topo);
+        let mut oracle = RouteOracle::new(NodeId(0)); // the hub sees all paths
+        let n = topo.n();
+        for src in 0..n {
+            for dst in 0..n {
+                oracle.enters_via(&routing, &topo, NodeId(src), NodeId(dst));
+            }
+        }
+        let (_, misses_before) = oracle.stats();
+        assert_eq!(misses_before, (n * n) as u64);
+
+        // Flip the leaf-leaf shortcut: only destinations 1 and 2 change.
+        topo.links[chord.0].up = false;
+        routing.apply_link_flip(&topo, chord);
+
+        // Undamaged destination: served warm, no new walk.
+        assert_eq!(
+            oracle.enters_via(&routing, &topo, NodeId(4), NodeId(3)),
+            routing.enters_via(&topo, NodeId(4), NodeId(3), NodeId(0))
+        );
+        let (_, misses) = oracle.stats();
+        assert_eq!(misses, misses_before, "undamaged dst stayed cached");
+        let (partial, full, evicted) = oracle.invalidation_stats();
+        assert_eq!((partial, full), (1, 0), "sync used the targeted path");
+        assert_eq!(evicted as usize, 2 * n, "all entries for dsts 1 and 2");
+
+        // Damaged destination: evicted, re-walks, still matches the table.
+        assert_eq!(
+            oracle.enters_via(&routing, &topo, NodeId(1), NodeId(2)),
+            routing.enters_via(&topo, NodeId(1), NodeId(2), NodeId(0))
+        );
+        let (_, misses_after) = oracle.stats();
+        assert_eq!(misses_after, misses + 1, "damaged dst was re-derived");
+    }
+
+    /// Targeted eviction drops matching keys, keeps the rest findable, and
+    /// leaves the table consistent for further inserts.
+    #[test]
+    fn flat_cache_evict_where() {
+        let mut c = FlatCache::with_slots(8);
+        for k in 0..1000u64 {
+            c.insert(k, k as u32);
+        }
+        let evicted = c.evict_where(|k| k % 3 == 0);
+        assert_eq!(evicted, 334, "multiples of 3 in 0..1000");
+        for k in 0..1000u64 {
+            if k % 3 == 0 {
+                assert_eq!(c.get(k), None);
+            } else {
+                assert_eq!(c.get(k), Some(k as u32));
+            }
+        }
+        c.insert(999_999, 7);
+        assert_eq!(c.get(999_999), Some(7));
     }
 
     /// The flat cache stays correct across growth and adversarial key mixes.

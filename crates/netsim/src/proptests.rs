@@ -1,8 +1,11 @@
-//! Property-based tests for the engine's scheduling substrate: the timing
-//! wheel must pop events in *exactly* the order the `(time, seq)` binary
-//! heap it replaced would have — that equivalence is what makes the
-//! scheduler swap behaviour-preserving for every experiment (DESIGN.md
-//! §6.2).
+//! Property-based tests for the engine's invariants that every experiment
+//! rides on:
+//!
+//! * the timing wheel must pop events in *exactly* the order the
+//!   `(time, seq)` binary heap it replaced would have (DESIGN.md §6.2);
+//! * incremental route repair plus warm oracle eviction must be
+//!   answer-for-answer identical to a cold `Routing::compute` and a fresh
+//!   walk at every step of any link-flap schedule (DESIGN.md §6.3).
 
 #![cfg(test)]
 
@@ -10,7 +13,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use proptest::prelude::*;
+use rand::Rng;
 
+use crate::node::{LinkId, NodeId};
+use crate::oracle::RouteOracle;
+use crate::rng::seeded;
+use crate::routing::Routing;
+use crate::topology::Topology;
 use crate::wheel::TimingWheel;
 
 /// Reference scheduler: the exact `(time, seq)` min-ordering the old
@@ -138,6 +147,55 @@ proptest! {
             prop_assert_eq!(got, expect);
             if got.is_none() {
                 break;
+            }
+        }
+    }
+
+    /// Link-flap churn: random schedules where each step flips one to
+    /// three links *in the same tick* (consecutive deltas with no
+    /// recompute or query between them) and then fires mid-epoch queries
+    /// at randomly chosen filtering nodes. Asserts, at every step:
+    ///
+    /// * the incrementally spliced tables equal a cold
+    ///   [`Routing::compute`] on the flipped topology bit for bit
+    ///   (next-hop, distance, cost and stamp planes);
+    /// * every warm [`RouteOracle`] — including ones that last synced many
+    ///   epochs ago and must now absorb a multi-delta window, and ones
+    ///   that hit the delta-history fallback — answers exactly like a
+    ///   fresh walk of the cold tables.
+    #[test]
+    fn flap_schedule_keeps_tables_and_warm_oracles_exact(
+        topo_seed in 0u64..10_000,
+        ops in proptest::collection::vec(0u64..3, 2..8),
+    ) {
+        let mut topo = Topology::barabasi_albert(26, 2, 0.1, topo_seed);
+        let n = topo.n();
+        let n_links = topo.links.len();
+        let mut routing = Routing::compute(&topo);
+        let mut oracles: Vec<RouteOracle> =
+            (0..n).map(|i| RouteOracle::new(NodeId(i))).collect();
+        let mut rng = seeded(topo_seed ^ 0xF1A9);
+        for (i, &op) in ops.iter().enumerate() {
+            // 1..=3 flips in one tick; links may repeat (down then up).
+            for _ in 0..=op {
+                let l = LinkId(rng.gen_range(0..n_links));
+                topo.links[l.0].up = !topo.links[l.0].up;
+                routing.apply_link_flip(&topo, l);
+            }
+            let cold = Routing::compute(&topo);
+            prop_assert!(routing.tables_match(&cold), "step {}: tables diverged", i);
+            // Mid-epoch queries: only the queried oracles sync; the rest
+            // fall further behind and exercise wider windows next time.
+            for _q in 0..60 {
+                let src = NodeId(rng.gen_range(0..n));
+                let dst = NodeId(rng.gen_range(0..n));
+                let at = rng.gen_range(0..n);
+                let want = cold.enters_via(&topo, src, dst, NodeId(at));
+                let got = oracles[at].enters_via(&routing, &topo, src, dst);
+                prop_assert_eq!(
+                    got, want,
+                    "step {} src={:?} dst={:?} at={}", i, src, dst, at
+                );
             }
         }
     }

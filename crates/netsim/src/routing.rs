@@ -13,10 +13,19 @@
 //! Tables are computed with one Dijkstra per destination, parallelised
 //! across destinations with rayon (outer-loop data parallelism per the
 //! HPC guides; each run is independent and writes only its own row).
+//!
+//! Beyond the tables themselves, each destination's forwarding tree
+//! carries a *link stamp*: a bitset over the dense link index recording
+//! which links the tree crosses. Stamps make route-change invalidation
+//! proportional to the damage — a single link flip recomputes only the
+//! trees whose stamp covers the flipped link ([`Routing::apply_link_flip`]),
+//! and downstream caches ([`crate::oracle::RouteOracle`]) learn *which*
+//! destinations changed through the delta history
+//! ([`Routing::dsts_invalidated_since`]) instead of clearing wholesale.
 
 use rayon::prelude::*;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::node::{LinkId, NodeId, NodeRole};
 use crate::topology::Topology;
@@ -27,15 +36,49 @@ const STUB_TRANSIT_PENALTY: u32 = 1000;
 /// Sentinel for "no route" in the flat next-hop table.
 const NO_ROUTE: u32 = u32::MAX;
 
+/// How many per-epoch delta records to retain for consumers syncing via
+/// [`Routing::dsts_invalidated_since`]. Consumers further behind than this
+/// fall back to a wholesale cache clear.
+const DELTA_HISTORY: usize = 32;
+
+/// What a recorded epoch transition invalidated.
+#[derive(Clone, Debug)]
+enum DeltaScope {
+    /// Whole-table recompute: every row may have changed.
+    Full,
+    /// Only these destinations' rows changed (dense node indices).
+    Dsts(Vec<u32>),
+}
+
+/// One epoch transition in the delta history.
+#[derive(Clone, Debug)]
+struct Delta {
+    /// The epoch this transition produced.
+    epoch: u64,
+    scope: DeltaScope,
+}
+
+/// Outcome of [`Routing::apply_link_flip`], for stats plumbing.
+#[derive(Clone, Copy, Debug)]
+pub struct FlipOutcome {
+    /// Destination trees re-derived by this flip (`n` on a full recompute,
+    /// the damaged few on an incremental splice).
+    pub trees_recomputed: usize,
+    /// True when the flip fell back to a whole-table recompute.
+    pub full: bool,
+}
+
 /// All-pairs next-hop forwarding state.
 #[derive(Clone, Debug)]
 pub struct Routing {
     n: usize,
+    /// u64 words per destination stamp (≥ 1 even for linkless topologies).
+    words: usize,
     /// Generation counter for cache invalidation: consumers that memoize
     /// answers derived from this table (e.g. [`crate::oracle::RouteOracle`])
-    /// compare epochs and drop their caches on mismatch. Freshly computed
-    /// tables start at epoch 0; the simulator's failure injection bumps the
-    /// epoch every time it swaps in a recomputed table.
+    /// compare epochs and drop stale entries on mismatch. Freshly computed
+    /// tables start at epoch 0; [`Routing::apply_link_flip`] bumps the epoch
+    /// on every applied link delta.
     epoch: u64,
     /// `next_hop[d * n + u]` = link to take from node `u` toward destination
     /// node `d` (`NO_ROUTE` if unreachable or `u == d`).
@@ -43,29 +86,55 @@ pub struct Routing {
     /// `dist[d * n + u]` = hop distance from `u` to `d` (`u16::MAX` if
     /// unreachable).
     dist: Vec<u16>,
+    /// `cost[d * n + u]` = Dijkstra cost (hops + transit penalties) from `u`
+    /// to `d` (`u32::MAX` if unreachable). Needed by link-up flips: a
+    /// restored link can only change routes toward `d` if it would relax
+    /// one of its endpoints under the old costs.
+    cost: Vec<u32>,
+    /// `stamps[d * words .. (d + 1) * words]` = bitset (by dense link id) of
+    /// links destination `d`'s forwarding tree crosses.
+    stamps: Vec<u64>,
+    /// Recent epoch transitions, oldest first, contiguous in epoch. Capped
+    /// at [`DELTA_HISTORY`]; gaps (e.g. a manual [`Routing::set_epoch`])
+    /// reset it.
+    deltas: VecDeque<Delta>,
 }
 
 impl Routing {
     /// Compute routing tables for a topology.
     pub fn compute(topo: &Topology) -> Routing {
         let n = topo.n();
-        let mut next_hop = vec![NO_ROUTE; n * n];
-        let mut dist = vec![u16::MAX; n * n];
-
-        next_hop
-            .par_chunks_mut(n)
-            .zip(dist.par_chunks_mut(n))
-            .enumerate()
-            .for_each(|(d, (hops_row, dist_row))| {
-                bfs_from(topo, NodeId(d), hops_row, dist_row);
-            });
-
-        Routing {
+        let words = stamp_words(topo.links.len());
+        let mut r = Routing {
             n,
+            words,
             epoch: 0,
-            next_hop,
-            dist,
-        }
+            next_hop: vec![NO_ROUTE; n * n],
+            dist: vec![u16::MAX; n * n],
+            cost: vec![u32::MAX; n * n],
+            stamps: vec![0; n * words],
+            deltas: VecDeque::new(),
+        };
+        r.fill_all_rows(topo);
+        r
+    }
+
+    /// (Re)derive every destination's row in parallel into the existing
+    /// buffers, which must already be reset to their sentinels.
+    fn fill_all_rows(&mut self, topo: &Topology) {
+        let n = self.n;
+        let words = self.words;
+        let has_transit = topo.has_transit_roles();
+        self.next_hop
+            .par_chunks_mut(n)
+            .zip(self.dist.par_chunks_mut(n))
+            .zip(self.cost.par_chunks_mut(n))
+            .zip(self.stamps.par_chunks_mut(words))
+            .enumerate()
+            .for_each(|(d, (((hops_row, dist_row), cost_row), stamp_row))| {
+                bfs_from(topo, NodeId(d), has_transit, hops_row, dist_row, cost_row);
+                fill_stamp(hops_row, stamp_row);
+            });
     }
 
     /// This table's generation (see the `epoch` field).
@@ -75,9 +144,169 @@ impl Routing {
     }
 
     /// Tag this table with a generation, typically `old.epoch() + 1` when
-    /// swapping in a recompute after a topology change.
+    /// swapping in a recompute after a topology change. Manual tagging
+    /// leaves no delta record, so syncing consumers clear wholesale —
+    /// the safe answer for an arbitrary replacement table.
     pub fn set_epoch(&mut self, epoch: u64) {
         self.epoch = epoch;
+        self.deltas.clear();
+    }
+
+    /// Apply a single link state flip *already written to `topo`*: recompute
+    /// only the destination trees the flip can affect, splice them into the
+    /// existing tables, bump the epoch, and record a delta so warm caches
+    /// can evict precisely. Falls back to a full parallel recompute when
+    /// the damage covers more than half the destinations (the per-tree
+    /// splice is sequential, so beyond that point the parallel rebuild is
+    /// both simpler and faster).
+    ///
+    /// Equivalence to a cold [`Routing::compute`] on the flipped topology is
+    /// exact (same tables, bit for bit) and pinned by the flap-schedule
+    /// proptest in `crate::proptests`:
+    /// - *Link down*: with strict-improvement relaxation, a destination's
+    ///   row can only change if the tree actually crossed the dead link —
+    ///   i.e. the link is in the stamp. Non-final relaxations through the
+    ///   link never leak into settled entries.
+    /// - *Link up*: the stamp cannot see a link that was down at compute
+    ///   time, so the test uses stored costs: the restored link `(a, b)`
+    ///   can only matter for `d` if it would relax an endpoint under the
+    ///   old costs, `cost(a) + w(a) <= cost(b)` or vice versa. Equality
+    ///   counts — an equal-cost path through the new link can win the
+    ///   deterministic tie-break.
+    pub fn apply_link_flip(&mut self, topo: &Topology, link: LinkId) -> FlipOutcome {
+        debug_assert_eq!(self.n, topo.n(), "table/topology size mismatch");
+        let n = self.n;
+        self.epoch += 1;
+        if link.0 >= self.words * 64 {
+            // Link added after compute(): no stamp coverage, rebuild fully.
+            return self.full_rebuild(topo);
+        }
+        let l = &topo.links[link.0];
+        let affected: Vec<u32> = if l.up {
+            let (a, b) = (l.a, l.b);
+            let has_transit = topo.has_transit_roles();
+            (0..n)
+                .filter(|&d| {
+                    let ca = self.cost[d * n + a.0];
+                    let cb = self.cost[d * n + b.0];
+                    if ca == u32::MAX && cb == u32::MAX {
+                        return false; // both endpoints unreachable from d
+                    }
+                    let wa = hop_weight(topo, has_transit, a, d);
+                    let wb = hop_weight(topo, has_transit, b, d);
+                    ca.saturating_add(wa) <= cb || cb.saturating_add(wb) <= ca
+                })
+                .map(|d| d as u32)
+                .collect()
+        } else {
+            let (w, bit) = (link.0 >> 6, 1u64 << (link.0 & 63));
+            (0..n)
+                .filter(|&d| self.stamps[d * self.words + w] & bit != 0)
+                .map(|d| d as u32)
+                .collect()
+        };
+        if affected.len() * 2 > n {
+            return self.full_rebuild(topo);
+        }
+        let has_transit = topo.has_transit_roles();
+        let words = self.words;
+        for &d in &affected {
+            let d = d as usize;
+            let hops_row = &mut self.next_hop[d * n..(d + 1) * n];
+            let dist_row = &mut self.dist[d * n..(d + 1) * n];
+            let cost_row = &mut self.cost[d * n..(d + 1) * n];
+            hops_row.fill(NO_ROUTE);
+            dist_row.fill(u16::MAX);
+            cost_row.fill(u32::MAX);
+            bfs_from(topo, NodeId(d), has_transit, hops_row, dist_row, cost_row);
+            fill_stamp(hops_row, &mut self.stamps[d * words..(d + 1) * words]);
+        }
+        let trees_recomputed = affected.len();
+        self.push_delta(DeltaScope::Dsts(affected));
+        FlipOutcome {
+            trees_recomputed,
+            full: false,
+        }
+    }
+
+    /// Whole-table recompute into the existing buffers; records a `Full`
+    /// delta under the already-bumped epoch.
+    fn full_rebuild(&mut self, topo: &Topology) -> FlipOutcome {
+        self.next_hop.fill(NO_ROUTE);
+        self.dist.fill(u16::MAX);
+        self.cost.fill(u32::MAX);
+        self.stamps.fill(0);
+        self.fill_all_rows(topo);
+        self.push_delta(DeltaScope::Full);
+        FlipOutcome {
+            trees_recomputed: self.n,
+            full: true,
+        }
+    }
+
+    fn push_delta(&mut self, scope: DeltaScope) {
+        self.deltas.push_back(Delta {
+            epoch: self.epoch,
+            scope,
+        });
+        if self.deltas.len() > DELTA_HISTORY {
+            self.deltas.pop_front();
+        }
+    }
+
+    /// Which destinations' rows changed since `epoch`? Returns the union of
+    /// affected destinations across every transition in `(epoch, self.epoch]`
+    /// (possibly with duplicates), or `None` when the history cannot answer
+    /// precisely — a full recompute in the window, a transition older than
+    /// the retained history, or a manually tagged epoch. `None` means the
+    /// caller must assume everything changed.
+    pub fn dsts_invalidated_since(&self, epoch: u64) -> Option<Vec<NodeId>> {
+        if epoch > self.epoch {
+            return None; // consumer synced to a different (replaced) table
+        }
+        if epoch == self.epoch {
+            return Some(Vec::new());
+        }
+        let mut need = epoch + 1;
+        let mut out = Vec::new();
+        for d in &self.deltas {
+            if d.epoch < need {
+                continue;
+            }
+            if d.epoch > need {
+                return None; // gap: part of the window left no record
+            }
+            match &d.scope {
+                DeltaScope::Full => return None,
+                DeltaScope::Dsts(v) => out.extend(v.iter().map(|&x| NodeId(x as usize))),
+            }
+            need += 1;
+        }
+        if need == self.epoch + 1 {
+            Some(out)
+        } else {
+            None // window extends past the retained history
+        }
+    }
+
+    /// Does destination `dst`'s forwarding tree cross `link`? (Stamp probe;
+    /// used by churn benchmarks to pick low-blast-radius links.)
+    pub fn tree_contains(&self, dst: NodeId, link: LinkId) -> bool {
+        if dst.0 >= self.n || link.0 >= self.words * 64 {
+            return false;
+        }
+        self.stamps[dst.0 * self.words + (link.0 >> 6)] & (1u64 << (link.0 & 63)) != 0
+    }
+
+    /// Bit-exact table comparison (next-hop, distance, and cost planes).
+    /// Verification helper for tests and benches asserting that incremental
+    /// splices match a cold recompute.
+    pub fn tables_match(&self, other: &Routing) -> bool {
+        self.n == other.n
+            && self.next_hop == other.next_hop
+            && self.dist == other.dist
+            && self.cost == other.cost
+            && self.stamps == other.stamps
     }
 
     /// Link to take from `at` toward destination node `dst`, or `None` when
@@ -166,23 +395,56 @@ impl Routing {
     }
 }
 
-/// Dijkstra from destination `d`, filling that destination's next-hop and
-/// distance rows. Edge cost is 1, plus [`STUB_TRANSIT_PENALTY`] when the
-/// hop would make a stub AS carry third-party traffic. Ties break on
-/// `(cost, node id)`, so results are deterministic. The distance row
-/// records the hop count of the selected (cost-minimal) path.
-fn bfs_from(topo: &Topology, d: NodeId, hops_row: &mut [u32], dist_row: &mut [u16]) {
-    // The penalty only applies when the topology distinguishes roles at
-    // all; otherwise (all-stub test shapes) plain hop counting applies.
-    let has_transit = topo.nodes.iter().any(|n| n.role == NodeRole::Transit);
-    let n = topo.n();
-    let mut cost = vec![u32::MAX; n];
+/// u64 words needed to stamp `links` links (at least one, so slicing per
+/// destination stays well-defined on linkless topologies).
+fn stamp_words(links: usize) -> usize {
+    links.div_ceil(64).max(1)
+}
+
+/// Set `stamp_row` to the bitset of links appearing in `hops_row` — exactly
+/// the edges of this destination's forwarding tree.
+fn fill_stamp(hops_row: &[u32], stamp_row: &mut [u64]) {
+    stamp_row.fill(0);
+    for &h in hops_row {
+        if h != NO_ROUTE {
+            stamp_row[(h as usize) >> 6] |= 1u64 << (h & 63);
+        }
+    }
+}
+
+/// Dijkstra edge weight for extending a path one hop beyond `u` toward
+/// destination `d`: 1, plus the stub-transit penalty when `u` (not the
+/// destination itself) is a stub in a topology that distinguishes roles.
+/// Must mirror the relaxation in [`bfs_from`] exactly.
+#[inline]
+fn hop_weight(topo: &Topology, has_transit: bool, u: NodeId, d: usize) -> u32 {
+    if u.0 != d && has_transit && topo.nodes[u.0].role == NodeRole::Stub {
+        1 + STUB_TRANSIT_PENALTY
+    } else {
+        1
+    }
+}
+
+/// Dijkstra from destination `d`, filling that destination's next-hop,
+/// distance, and cost rows (all pre-reset to their sentinels). Edge cost is
+/// 1, plus [`STUB_TRANSIT_PENALTY`] when the hop would make a stub AS carry
+/// third-party traffic. Ties break on `(cost, node id)`, so results are
+/// deterministic. The distance row records the hop count of the selected
+/// (cost-minimal) path.
+fn bfs_from(
+    topo: &Topology,
+    d: NodeId,
+    has_transit: bool,
+    hops_row: &mut [u32],
+    dist_row: &mut [u16],
+    cost_row: &mut [u32],
+) {
     let mut heap: BinaryHeap<Reverse<(u32, usize)>> = BinaryHeap::new();
-    cost[d.0] = 0;
+    cost_row[d.0] = 0;
     dist_row[d.0] = 0;
     heap.push(Reverse((0, d.0)));
     while let Some(Reverse((cu, ui))) = heap.pop() {
-        if cu > cost[ui] {
+        if cu > cost_row[ui] {
             continue; // stale entry
         }
         let u = NodeId(ui);
@@ -199,8 +461,8 @@ fn bfs_from(topo: &Topology, d: NodeId, hops_row: &mut [u32], dist_row: &mut [u1
             }
             let v = topo.links[lid.0].other(u);
             let nc = cu.saturating_add(1).saturating_add(transit_penalty);
-            if nc < cost[v.0] {
-                cost[v.0] = nc;
+            if nc < cost_row[v.0] {
+                cost_row[v.0] = nc;
                 dist_row[v.0] = dist_row[ui] + 1;
                 // From v, the way toward d is the link back to u.
                 hops_row[v.0] = lid.0 as u32;
@@ -342,5 +604,133 @@ mod tests {
                 r.distance(NodeId(u), dst).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn stamps_cover_exactly_the_tree_links() {
+        let topo = Topology::barabasi_albert(60, 2, 0.1, 31);
+        let r = Routing::compute(&topo);
+        for d in 0..topo.n() {
+            // A link is stamped iff some node's next hop toward d uses it.
+            let mut used = vec![false; topo.links.len()];
+            for u in 0..topo.n() {
+                if let Some(l) = r.next_hop(NodeId(u), NodeId(d)) {
+                    used[l.0] = true;
+                }
+            }
+            for (l, &u) in used.iter().enumerate() {
+                assert_eq!(r.tree_contains(NodeId(d), LinkId(l)), u, "d={d} l={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_down_and_up_matches_cold_recompute() {
+        let mut topo = Topology::barabasi_albert(60, 2, 0.1, 41);
+        let mut r = Routing::compute(&topo);
+        for lid in [3usize, 17, 44, 80] {
+            let lid = lid % topo.links.len();
+            topo.links[lid].up = false;
+            r.apply_link_flip(&topo, LinkId(lid));
+            assert!(
+                r.tables_match(&Routing::compute(&topo)),
+                "down flip of link {lid} diverged"
+            );
+            topo.links[lid].up = true;
+            r.apply_link_flip(&topo, LinkId(lid));
+            assert!(
+                r.tables_match(&Routing::compute(&topo)),
+                "up flip of link {lid} diverged"
+            );
+        }
+        assert_eq!(r.epoch(), 8, "each flip bumps the epoch once");
+    }
+
+    #[test]
+    fn flip_reports_global_damage_as_full_rebuild() {
+        // Line 0-1-2-3-4-5: every destination's tree spans all nodes, so
+        // the end link 4-5 is in every tree (node 5 exits through it). Its
+        // failure damages everything: the flip must fall back to a full
+        // rebuild and still match a cold recompute. Restoring it likewise
+        // changes every destination (5 becomes reachable / reaches all).
+        let mut topo = Topology::line(6);
+        let mut r = Routing::compute(&topo);
+        let last = topo.links.len() - 1;
+        topo.links[last].up = false;
+        let out = r.apply_link_flip(&topo, LinkId(last));
+        assert!(out.full, "spanning-tree link damages every destination");
+        assert!(r.tables_match(&Routing::compute(&topo)));
+
+        topo.links[last].up = true;
+        let out = r.apply_link_flip(&topo, LinkId(last));
+        assert!(out.full, "reattaching a node touches every tree");
+        assert!(r.tables_match(&Routing::compute(&topo)));
+    }
+
+    /// Hub-and-spoke star plus one redundant leaf-leaf shortcut: the
+    /// shortcut only appears in the two leaf destinations' trees, so its
+    /// flips must splice exactly those two rows.
+    fn star_with_shortcut() -> (Topology, LinkId) {
+        let mut topo = Topology::star(5);
+        let chord = topo
+            .connect(NodeId(1), NodeId(2), crate::link::LinkProfile::access())
+            .expect("leaves 1 and 2 start unconnected");
+        (topo, chord)
+    }
+
+    #[test]
+    fn redundant_link_flip_is_incremental() {
+        let (mut topo, chord) = star_with_shortcut();
+        let mut r = Routing::compute(&topo);
+        assert!(r.tree_contains(NodeId(1), chord));
+        assert!(!r.tree_contains(NodeId(3), chord));
+
+        topo.links[chord.0].up = false;
+        let out = r.apply_link_flip(&topo, chord);
+        assert!(!out.full, "shortcut removal should splice incrementally");
+        assert_eq!(out.trees_recomputed, 2, "only the two leaf dsts change");
+        assert!(r.tables_match(&Routing::compute(&topo)));
+
+        topo.links[chord.0].up = true;
+        let out = r.apply_link_flip(&topo, chord);
+        assert!(!out.full, "shortcut restore should splice incrementally");
+        assert_eq!(out.trees_recomputed, 2);
+        assert!(r.tables_match(&Routing::compute(&topo)));
+    }
+
+    #[test]
+    fn delta_history_reports_damage_precisely() {
+        let (mut topo, chord) = star_with_shortcut();
+        let mut r = Routing::compute(&topo);
+        assert_eq!(r.dsts_invalidated_since(0), Some(vec![]));
+
+        topo.links[chord.0].up = false;
+        let out = r.apply_link_flip(&topo, chord);
+        let dsts = r.dsts_invalidated_since(0).expect("delta recorded");
+        assert_eq!(dsts.len(), out.trees_recomputed);
+        assert_eq!(dsts, vec![NodeId(1), NodeId(2)]);
+        // The dead link left the spliced trees.
+        for d in &dsts {
+            assert!(!r.tree_contains(*d, chord));
+        }
+
+        // A manual epoch tag wipes the history: precise answers are gone.
+        r.set_epoch(r.epoch() + 1);
+        assert_eq!(r.dsts_invalidated_since(0), None);
+        // And a consumer from a "future" epoch (stale table swap) gets None.
+        assert_eq!(r.dsts_invalidated_since(r.epoch() + 5), None);
+    }
+
+    #[test]
+    fn delta_history_is_bounded() {
+        let (mut topo, chord) = star_with_shortcut();
+        let mut r = Routing::compute(&topo);
+        for _ in 0..2 * DELTA_HISTORY {
+            topo.links[chord.0].up = !topo.links[chord.0].up;
+            r.apply_link_flip(&topo, chord);
+        }
+        // Recent windows answer precisely; ancient ones fall off the cap.
+        assert!(r.dsts_invalidated_since(r.epoch() - 4).is_some());
+        assert_eq!(r.dsts_invalidated_since(0), None);
     }
 }

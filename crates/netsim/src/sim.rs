@@ -148,19 +148,29 @@ impl Simulator {
         self.push(at, EventKind::Call(Box::new(f)));
     }
 
-    /// Fail or restore a link and recompute routing (failure injection).
+    /// Fail or restore a link and repair routing (failure injection).
     /// In-flight packets already past the link are unaffected; packets
     /// offered to a down link are dropped as queue losses. Call from
     /// scenario code or a [`Simulator::schedule`] callback.
     ///
-    /// The recomputed table gets a bumped routing epoch so that epoch-keyed
-    /// caches ([`crate::oracle::RouteOracle`]) drop memoized answers derived
-    /// from the old routes.
+    /// Repair is incremental ([`Routing::apply_link_flip`]): only the
+    /// destination trees the flip can affect are re-derived, the epoch is
+    /// bumped, and a delta record lets epoch-keyed caches
+    /// ([`crate::oracle::RouteOracle`]) evict just the damaged
+    /// destinations instead of clearing wholesale. Redundant calls (link
+    /// already in the requested state) change nothing and leave the epoch
+    /// alone.
     pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        if self.topo.links[link.0].up == up {
+            return;
+        }
         self.topo.links[link.0].up = up;
-        let epoch = self.routing.epoch();
-        self.routing = Routing::compute(&self.topo);
-        self.routing.set_epoch(epoch + 1);
+        let outcome = self.routing.apply_link_flip(&self.topo, link);
+        self.stats.route_link_flips += 1;
+        self.stats.route_trees_recomputed += outcome.trees_recomputed as u64;
+        if outcome.full {
+            self.stats.route_full_recomputes += 1;
+        }
     }
 
     /// Deliver a control message to a node's agents at an absolute time,
@@ -225,6 +235,7 @@ impl Simulator {
         if self.now < until {
             self.now = until;
         }
+        self.sync_wheel_stats();
     }
 
     /// Run for a span from the current clock.
@@ -244,11 +255,24 @@ impl Simulator {
             self.stats.events += 1;
             self.dispatch(entry.kind);
         }
+        self.sync_wheel_stats();
     }
 
     /// Number of pending events.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Mirror the wheel's health counters into [`Stats`] so reports can
+    /// read scheduler health without holding the queue. High-water marks
+    /// merge by max; cascade moves are cumulative on the wheel side.
+    fn sync_wheel_stats(&mut self) {
+        self.stats.wheel_slot_occupancy_hwm = self
+            .stats
+            .wheel_slot_occupancy_hwm
+            .max(self.queue.slot_depth_hwm() as u64);
+        self.stats.wheel_len_hwm = self.stats.wheel_len_hwm.max(self.queue.len_hwm() as u64);
+        self.stats.wheel_cascade_moves = self.queue.cascade_moves();
     }
 
     fn ensure_started(&mut self) {

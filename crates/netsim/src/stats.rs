@@ -167,6 +167,24 @@ pub struct Stats {
     /// nonzero count flags a scheduling bug that, before the clamp, would
     /// have silently rewound the simulated clock in release builds.
     pub past_events_clamped: u64,
+    /// Link flips applied by failure injection (`Simulator::set_link_up`
+    /// calls that actually changed a link's state).
+    pub route_link_flips: u64,
+    /// Flips whose damage covered more than half the destinations, falling
+    /// back to a whole-table parallel recompute.
+    pub route_full_recomputes: u64,
+    /// Destination trees re-derived across all flips (`n` per full
+    /// recompute, only the damaged few per incremental splice). The ratio
+    /// to `route_link_flips * n` measures how localized the churn was.
+    pub route_trees_recomputed: u64,
+    /// Timing wheel: deepest any single slot got (scheduler health; a
+    /// runaway slot means pathological same-window event clustering).
+    pub wheel_slot_occupancy_hwm: u64,
+    /// Timing wheel: most events pending at once.
+    pub wheel_len_hwm: u64,
+    /// Timing wheel: entries refiled by cascades. See
+    /// [`Stats::wheel_cascades_per_event`].
+    pub wheel_cascade_moves: u64,
 }
 
 impl Stats {
@@ -286,6 +304,18 @@ impl Stats {
             }
         }
         out
+    }
+
+    /// Mean cascade refiles per processed event. Should stay roughly
+    /// constant (and well below 1) for healthy workload spacing; upward
+    /// drift flags event patterns that keep landing in coarse wheel levels.
+    /// Zero when no events ran.
+    pub fn wheel_cascades_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.wheel_cascade_moves as f64 / self.events as f64
+        }
     }
 
     /// Consistency invariant: for every class,

@@ -42,6 +42,14 @@ impl Topology {
         self.nodes.len()
     }
 
+    /// Does this topology distinguish roles at all? Routing's stub-transit
+    /// penalty only applies when it does; all-stub test shapes fall back to
+    /// plain hop counting. Hoisted out of the per-destination Dijkstra so
+    /// callers pay the scan once per (re)compute, not once per tree.
+    pub fn has_transit_roles(&self) -> bool {
+        self.nodes.iter().any(|n| n.role == NodeRole::Transit)
+    }
+
     /// Append a node with the given role.
     pub fn add_node(&mut self, role: NodeRole) -> NodeId {
         let id = NodeId(self.nodes.len());

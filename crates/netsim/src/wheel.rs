@@ -83,6 +83,14 @@ pub struct TimingWheel<K> {
     /// `LEVELS × SLOTS` slot buffers, row-major by level. FIFO within a
     /// slot (cascades preserve relative order; pushes append).
     slots: Vec<VecDeque<Entry<K>>>,
+    /// Deepest any single slot has ever been (scheduler-health signal: a
+    /// runaway slot means pathological same-window clustering).
+    slot_depth_hwm: usize,
+    /// Most entries ever stored at once.
+    len_hwm: usize,
+    /// Total entries refiled by cascades. Divided by events popped this
+    /// should stay ≈ constant; drift signals pathological event spacing.
+    cascade_moves: u64,
 }
 
 impl<K> Default for TimingWheel<K> {
@@ -101,12 +109,30 @@ impl<K> TimingWheel<K> {
             len: 0,
             occupied: [0; LEVELS],
             slots: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            slot_depth_hwm: 0,
+            len_hwm: 0,
+            cascade_moves: 0,
         }
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// High-water mark of any single slot's depth since construction.
+    pub fn slot_depth_hwm(&self) -> usize {
+        self.slot_depth_hwm
+    }
+
+    /// High-water mark of total stored entries since construction.
+    pub fn len_hwm(&self) -> usize {
+        self.len_hwm
+    }
+
+    /// Total entries refiled by cascades since construction.
+    pub fn cascade_moves(&self) -> u64 {
+        self.cascade_moves
     }
 
     /// True when no entries are stored.
@@ -169,9 +195,16 @@ impl<K> TimingWheel<K> {
         );
         let level = self.level_of(time);
         let idx = Self::slot_index(level, time);
-        self.slots[level * SLOTS + idx].push_back(Entry { time, seq, kind });
+        let slot = &mut self.slots[level * SLOTS + idx];
+        slot.push_back(Entry { time, seq, kind });
+        if slot.len() > self.slot_depth_hwm {
+            self.slot_depth_hwm = slot.len();
+        }
         self.occupied[level] |= 1 << idx;
         self.len += 1;
+        if self.len > self.len_hwm {
+            self.len_hwm = self.len;
+        }
     }
 
     /// Pop the earliest `(time, seq)` entry whose time is ≤ `limit`, or
@@ -221,11 +254,16 @@ impl<K> TimingWheel<K> {
             // keep its capacity.
             self.occupied[level] &= !(1 << idx);
             let mut moved = std::mem::take(&mut self.slots[level * SLOTS + idx]);
+            self.cascade_moves += moved.len() as u64;
             for e in moved.drain(..) {
                 let l = self.level_of(e.time);
                 debug_assert!(l < level, "cascade must strictly descend");
                 let i = Self::slot_index(l, e.time);
-                self.slots[l * SLOTS + i].push_back(e);
+                let slot = &mut self.slots[l * SLOTS + i];
+                slot.push_back(e);
+                if slot.len() > self.slot_depth_hwm {
+                    self.slot_depth_hwm = slot.len();
+                }
                 self.occupied[l] |= 1 << i;
             }
             self.slots[level * SLOTS + idx] = moved;
@@ -353,6 +391,24 @@ mod tests {
         w.push(1000, 0, 0u32);
         w.pop_next(u64::MAX);
         w.push(999, 1, 0);
+    }
+
+    #[test]
+    fn health_counters_track_depth_and_cascades() {
+        let mut w = TimingWheel::new();
+        for seq in 0..5u64 {
+            w.push(42, seq, 0u32);
+        }
+        assert_eq!(w.slot_depth_hwm(), 5);
+        assert_eq!(w.len_hwm(), 5);
+        assert_eq!(w.cascade_moves(), 0, "level-0 pops never cascade");
+        drain_all(&mut w);
+        // A far event files coarse and must cascade down once popped; each
+        // level it descends counts one move.
+        w.push((1 << 30) + 7, 10, 0);
+        assert!(w.pop_next(u64::MAX).is_some());
+        assert!(w.cascade_moves() >= 1);
+        assert_eq!(w.slot_depth_hwm(), 5, "high-water marks are sticky");
     }
 
     #[test]
