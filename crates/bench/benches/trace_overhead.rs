@@ -1,0 +1,107 @@
+//! Flight-recorder overhead bench: the same steady packet workload as
+//! `sim_engine`'s `ba_nodes` arm, run three ways — tracing disabled
+//! (the default every experiment pays), sampled at 1-in-64, and full
+//! 1-in-1 capture. The disabled arm is the contract: attaching the
+//! telemetry layer to the engine must cost nothing when no sink is set
+//! (a `None` branch per packet emission/drop/delivery, no allocation).
+//! Numbers are recorded in `BENCH_trace_overhead.json`.
+
+use std::sync::{Arc, Mutex};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::{
+    Addr, App, AppApi, Disposition, FlightRecorder, NodeId, Packet, PacketBuilder, Proto, SimTime,
+    Simulator, Topology, TrafficClass,
+};
+
+/// Source app replaying a precomputed emission schedule (mirrors
+/// `sim_engine::SprayApp` so the baseline numbers are comparable).
+struct SprayApp {
+    /// `(when, flow, dst)`, sorted by `when`.
+    schedule: Vec<(SimTime, u64, Addr)>,
+    next: usize,
+}
+
+impl SprayApp {
+    fn arm(&mut self, api: &mut AppApi<'_>) {
+        if let Some(&(when, _, _)) = self.schedule.get(self.next) {
+            api.set_timer(when.saturating_since(api.now), 0);
+        }
+    }
+}
+
+impl App for SprayApp {
+    fn on_start(&mut self, api: &mut AppApi<'_>) {
+        self.arm(api);
+    }
+
+    fn on_packet(&mut self, _api: &mut AppApi<'_>, _pkt: &Packet) -> Disposition {
+        Disposition::Consumed
+    }
+
+    fn on_timer(&mut self, api: &mut AppApi<'_>, _token: u64) {
+        while let Some(&(when, flow, dst)) = self.schedule.get(self.next) {
+            if when > api.now {
+                break;
+            }
+            self.next += 1;
+            api.send(
+                PacketBuilder::new(api.self_addr, dst, Proto::Udp, TrafficClass::Background)
+                    .size(200)
+                    .flow(flow),
+            );
+        }
+        self.arm(api);
+    }
+}
+
+/// `sampling`: None = tracing disabled; Some(n) = record 1-in-n packets
+/// into a flight recorder big enough never to evict.
+fn run_workload(n_nodes: usize, pkts: u64, sampling: Option<u64>) -> u64 {
+    let topo = Topology::barabasi_albert(n_nodes, 2, 0.1, 3);
+    let mut sim = Simulator::new(topo, 3);
+    if let Some(one_in) = sampling {
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(1 << 22)));
+        sim.set_trace_sink(Box::new(rec), one_in);
+    }
+    for i in 0..n_nodes {
+        sim.install_app(Addr::new(NodeId(i), 1), Box::new(dtcs::netsim::SinkApp));
+    }
+    let mut schedules: Vec<Vec<(SimTime, u64, Addr)>> = vec![Vec::new(); n_nodes];
+    for k in 0..pkts {
+        let from = (k as usize * 17) % n_nodes;
+        let to = Addr::new(NodeId((k as usize * 31 + 7) % n_nodes), 1);
+        schedules[from].push((SimTime::from_nanos(k * 10_000), k, to));
+    }
+    for (i, schedule) in schedules.into_iter().enumerate() {
+        if !schedule.is_empty() {
+            sim.install_app(
+                Addr::new(NodeId(i), 2),
+                Box::new(SprayApp { schedule, next: 0 }),
+            );
+        }
+    }
+    sim.run_until(SimTime::from_secs(600));
+    sim.stats.events
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let n = 200usize;
+    let pkts = 5_000u64;
+    for (label, sampling) in [
+        ("disabled", None),
+        ("sampled_1_in_64", Some(64)),
+        ("full_1_in_1", Some(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+            b.iter(|| run_workload(n, pkts, sampling))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

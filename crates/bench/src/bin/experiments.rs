@@ -2,7 +2,11 @@
 //! reproduced paper (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments [--quick] [--out DIR] [all | e1 e2 ...]
+//!   experiments [--quick] [--out DIR] [--trace FILE] [all | e1 e2 ...]
+//!
+//! `--trace FILE` asks trace-wired experiments (e2, e3) to capture a JSONL
+//! packet flight record of one designated run into FILE (overwritten per
+//! traced experiment). Golden report JSON is unaffected.
 
 use std::path::PathBuf;
 
@@ -63,16 +67,29 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
+    let trace = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    // Ids are the non-flag args minus any flag *values* (`--out`'s and
+    // `--trace`'s operands must not be mistaken for experiment ids).
+    let flag_values: Vec<&str> = [Some(&out_dir), trace.as_ref()]
+        .into_iter()
+        .flatten()
+        .filter_map(|p| p.to_str())
+        .collect();
     let mut ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != out_dir.to_str())
+        .filter(|a| !a.starts_with("--") && !flag_values.contains(&a.as_str()))
         .cloned()
         .collect();
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = dtcs_bench::ALL.iter().map(|s| s.to_string()).collect();
     }
+    let opts = dtcs_bench::RunOpts { quick, trace };
     for id in &ids {
-        match dtcs_bench::run_experiment(id, quick) {
+        match dtcs_bench::run_experiment(id, &opts) {
             Some(report) => {
                 report.print();
                 report.save(&out_dir);

@@ -27,7 +27,7 @@ struct Row {
     victim_srcs_are_reflectors: bool,
 }
 
-fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> Row {
+fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> (Row, dtcs::netsim::Stats) {
     let n = if quick { 120 } else { 300 };
     let topo = Topology::barabasi_albert(n, 2, 0.1, 101);
     let mut sim = Simulator::new(topo, 101);
@@ -52,7 +52,7 @@ fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> Row {
     let reflected = sim.stats.class(TrafficClass::AttackReflected);
     let v = attack.victim_stats.lock();
     let active_secs = (dur - 1) as f64;
-    Row {
+    let row = Row {
         proto: format!("{proto:?}"),
         agents,
         reflectors,
@@ -62,11 +62,14 @@ fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> Row {
         byte_amp: reflected.sent_bytes as f64 / direct.sent_bytes.max(1) as f64,
         victim_inbound_pps: v.received as f64 / active_secs,
         victim_srcs_are_reflectors: v.attack_absorbed + v.overloaded > 0 || v.received > 0,
-    }
+    };
+    drop(v);
+    (row, sim.stats)
 }
 
 /// Run E1.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e1",
         "Reflector-attack anatomy: amplification factors",
@@ -75,7 +78,12 @@ pub fn run(quick: bool) -> Report {
 
     // Sweep 1: protocol (byte amplification differs per reflector type).
     let protos = [Proto::TcpSyn, Proto::DnsQuery, Proto::IcmpEcho];
-    let rows: Vec<Row> = protos.par_iter().map(|&p| one(p, 60, 120, quick)).collect();
+    let (rows, mut run_stats): (Vec<Row>, Vec<_>) = protos
+        .par_iter()
+        .map(|&p| one(p, 60, 120, quick))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .unzip();
     let mut t = Table::new(
         "amplification by reflector protocol (60 agents, 120 reflectors)",
         &[
@@ -108,10 +116,18 @@ pub fn run(quick: bool) -> Report {
     } else {
         vec![10, 25, 50, 100, 200, 400]
     };
-    let rows: Vec<Row> = agent_counts
+    let (rows, stats2): (Vec<Row>, Vec<_>) = agent_counts
         .par_iter()
         .map(|&a| one(Proto::TcpSyn, a, 120, quick))
-        .collect();
+        .collect::<Vec<_>>()
+        .into_iter()
+        .unzip();
+    run_stats.extend(stats2);
+    for s in &run_stats {
+        crate::util::enforce_run_invariants("e1", s);
+    }
+    report.health(crate::util::wheel_health(run_stats.iter()));
+    report.health(crate::util::hist_health(run_stats.iter()));
     let mut t = Table::new(
         "scaling with agent population (TcpSyn, 120 reflectors)",
         &["agents", "attack_pkts", "rate_amp", "victim_pps"],

@@ -70,6 +70,7 @@ fn trace_case(coverage: f64, retain: usize, quick: bool) -> TraceRow {
         sim.schedule(at, move |s| s.emit_now(from, b));
     }
     sim.run_until(SimTime::from_secs(10));
+    crate::util::enforce_run_invariants("e10/traceback", &sim.stats);
 
     let mut exact = 0;
     let mut truncated = 0;
@@ -154,6 +155,7 @@ fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
         ),
     );
     sim.run_until(SimTime::from_secs(12));
+    crate::util::enforce_run_invariants("e10/trigger", &sim.stats);
     let fired_at = rx.try_iter().find_map(|ev| match ev {
         DeviceEvent::TriggerFired { at, .. } => Some(at),
         _ => None,
@@ -171,7 +173,8 @@ fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
 }
 
 /// Run E10.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e10",
         "TCS applications: traceback accuracy, anomaly-reaction latency",

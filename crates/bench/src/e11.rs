@@ -34,7 +34,8 @@ struct RampRow {
 }
 
 /// Run E11.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e11",
         "Botnet recruitment dynamics and attack ramp",
@@ -105,6 +106,7 @@ pub fn run(quick: bool) -> Report {
                 },
             );
             sim.run_until(SimTime::from_secs(dur));
+            crate::util::enforce_run_invariants("e11", &sim.stats);
             let v = attack.victim_stats.lock();
             RampRow {
                 beta,

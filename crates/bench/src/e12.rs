@@ -92,11 +92,13 @@ fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
         88,
     );
     sim.run_until(SimTime::from_secs(dur));
+    crate::util::enforce_run_invariants("e12", &sim.stats);
     (sim, deployed_nodes)
 }
 
 /// Run E12.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e12",
         "ISP incentives: attack bandwidth saved per provider",

@@ -14,9 +14,11 @@ use rayon::prelude::*;
 use dtcs::attack::SpoofMode;
 use dtcs::mitigation::{BlockScope, Placement};
 use dtcs::netsim::SimTime;
-use dtcs::{run_scenario, AttackKind, OutcomeRow, ScenarioConfig, Scheme, TcsStaticConfig};
+use dtcs::{
+    run_scenario, AttackKind, OutcomeRow, ScenarioConfig, Scheme, TcsStaticConfig, TraceSpec,
+};
 
-use crate::util::{f, fopt, wheel_health, Report, Table};
+use crate::util::{f, fopt, hist_health, wheel_health, Report, Table};
 
 /// The scenario config E2/E4/E9 share.
 pub fn scenario(quick: bool) -> ScenarioConfig {
@@ -62,7 +64,8 @@ pub fn outcome_header() -> Vec<&'static str> {
 }
 
 /// Run E2.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e2",
         "Scheme comparison under a reflector attack",
@@ -78,6 +81,27 @@ pub fn run(quick: bool) -> Report {
     let outs: Vec<_> = all.par_iter().map(|s| run_scenario(&cfg, s)).collect();
     let rows: Vec<OutcomeRow> = outs.iter().map(|o| o.row.clone()).collect();
     report.health(wheel_health(outs.iter().map(|o| &o.stats)));
+    report.health(hist_health(outs.iter().map(|o| &o.stats)));
+
+    // --trace: replay the undefended baseline with a flight recorder
+    // attached and export the JSONL record. A separate run so the golden
+    // comparison rows above stay untouched, and print-only reporting so
+    // the golden report JSON does too.
+    if let Some(path) = &opts.trace {
+        let mut tcfg = cfg.clone();
+        tcfg.trace = Some(TraceSpec::default());
+        let out = run_scenario(&tcfg, &Scheme::None);
+        let rec = out.trace.expect("trace requested");
+        let mut file = std::fs::File::create(path).expect("create trace file");
+        rec.export_jsonl(&mut file).expect("write trace file");
+        report.health(format!(
+            "trace: wrote {} events ({} recorded, {} evicted) to {}",
+            rec.len(),
+            rec.recorded(),
+            rec.evicted(),
+            path.display()
+        ));
+    }
 
     let mut t = Table::new(
         "scheme outcomes (identical attack + workload)",

@@ -66,12 +66,23 @@ fn one(
     probes: u64,
     seed: u64,
     kind: TopoKind,
+    trace: Option<&std::path::Path>,
 ) -> (Row, dtcs::netsim::Stats) {
     let topo = match kind {
         TopoKind::PowerLaw => Topology::barabasi_albert(n_nodes, 2, 0.1, seed),
         TopoKind::Waxman => Topology::waxman(n_nodes, 0.4, 0.15, 0.1, seed),
     };
     let mut sim = Simulator::new(topo, seed);
+    // --trace: attach a flight recorder directly to this simulator (the
+    // bare-sim wiring, vs e2's ScenarioConfig route) and record every
+    // probe's lifecycle.
+    let recorder = trace.map(|_| {
+        let rec = std::sync::Arc::new(std::sync::Mutex::new(dtcs::netsim::FlightRecorder::new(
+            1 << 20,
+        )));
+        sim.set_trace_sink(Box::new(std::sync::Arc::clone(&rec)), 1);
+        rec
+    });
     let stubs = sim.topo.stub_nodes();
     let victim_node = stubs[3 % stubs.len()];
     let victim = Addr::new(victim_node, hosts::SERVICE);
@@ -138,11 +149,22 @@ fn one(
         survival_ratio: c.delivered_pkts as f64 / c.sent_pkts.max(1) as f64,
         mean_stop_distance: sim.stats.mean_stop_distance_all(TrafficClass::AttackDirect),
     };
+    if let (Some(path), Some(rec)) = (trace, recorder) {
+        drop(sim.take_trace_sink());
+        let rec = std::sync::Arc::try_unwrap(rec)
+            .ok()
+            .expect("recorder uniquely owned once the sink is detached")
+            .into_inner()
+            .expect("flight recorder mutex poisoned");
+        let mut file = std::fs::File::create(path).expect("create trace file");
+        rec.export_jsonl(&mut file).expect("write trace file");
+    }
     (row, sim.stats)
 }
 
 /// Run E3.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e3",
         "Spoofed-packet survival vs deployment coverage",
@@ -167,11 +189,32 @@ pub fn run(quick: bool) -> Report {
         .collect();
     let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
-        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::PowerLaw))
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::PowerLaw, None))
         .collect::<Vec<_>>()
         .into_iter()
         .unzip();
+    for s in &run_stats {
+        crate::util::enforce_run_invariants("e3", s);
+    }
     report.health(crate::util::wheel_health(run_stats.iter()));
+    report.health(crate::util::hist_health(run_stats.iter()));
+
+    // --trace: one representative traced run (ingress filtering at 20%
+    // top-degree coverage — the Park & Lee headline point), wired straight
+    // into the bare simulator.
+    if let Some(path) = &opts.trace {
+        let (_, stats) = one(
+            Strategy::Ingress(Placement::TopDegree),
+            0.2,
+            n_nodes,
+            probes,
+            33,
+            TopoKind::PowerLaw,
+            Some(path),
+        );
+        crate::util::enforce_run_invariants("e3/trace", &stats);
+        report.health(format!("trace: wrote JSONL to {}", path.display()));
+    }
 
     let mut t = Table::new(
         "spoofed-probe survival, power-law (BA) internet",
@@ -212,7 +255,11 @@ pub fn run(quick: bool) -> Report {
     .collect();
     let wax_rows: Vec<Row> = wax_cases
         .par_iter()
-        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::Waxman).0)
+        .map(|&(s, fr)| {
+            let (row, stats) = one(s, fr, n_nodes, probes, 33, TopoKind::Waxman, None);
+            crate::util::enforce_run_invariants("e3/waxman", &stats);
+            row
+        })
         .collect();
     let mut t = Table::new(
         "same sweep on a Waxman (no-hub) internet",

@@ -16,7 +16,8 @@ use crate::e2::{outcome_cells, outcome_header, scenario};
 use crate::util::{f, Report, Table};
 
 /// Run E4.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e4",
         "Collateral damage of reactive filtering",
@@ -65,10 +66,10 @@ pub fn run(quick: bool) -> Report {
             ..Default::default()
         }),
     ];
-    let rows: Vec<OutcomeRow> = schemes
-        .par_iter()
-        .map(|s| run_scenario(&cfg, s).row)
-        .collect();
+    let outs: Vec<_> = schemes.par_iter().map(|s| run_scenario(&cfg, s)).collect();
+    let rows: Vec<OutcomeRow> = outs.iter().map(|o| o.row.clone()).collect();
+    report.health(crate::util::wheel_health(outs.iter().map(|o| &o.stats)));
+    report.health(crate::util::hist_health(outs.iter().map(|o| &o.stats)));
 
     let mut t = Table::new(
         "victim service vs third-party collateral",

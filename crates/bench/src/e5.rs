@@ -28,7 +28,8 @@ struct Row {
 }
 
 /// Run E5.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e5",
         "Stop distance & wasted bandwidth vs TCS coverage",
@@ -48,7 +49,7 @@ pub fn run(quick: bool) -> Report {
         .iter()
         .flat_map(|&(p, name)| fractions.iter().map(move |&fr| (p, name, fr)))
         .collect();
-    let rows: Vec<Row> = cases
+    let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
         .map(|&(placement, name, fraction)| {
             let out = run_scenario(
@@ -59,16 +60,23 @@ pub fn run(quick: bool) -> Report {
                     ..Default::default() // proactive
                 }),
             );
-            Row {
-                placement: name.to_string(),
-                fraction,
-                legit_success: out.row.legit_success,
-                stop_distance: out.row.stop_distance,
-                attack_byte_hops: out.row.attack_byte_hops,
-                attack_delivered_ratio: out.row.attack_delivered_ratio,
-            }
+            (
+                Row {
+                    placement: name.to_string(),
+                    fraction,
+                    legit_success: out.row.legit_success,
+                    stop_distance: out.row.stop_distance,
+                    attack_byte_hops: out.row.attack_byte_hops,
+                    attack_delivered_ratio: out.row.attack_delivered_ratio,
+                },
+                out.stats,
+            )
         })
-        .collect();
+        .collect::<Vec<_>>()
+        .into_iter()
+        .unzip();
+    report.health(crate::util::wheel_health(run_stats.iter()));
+    report.health(crate::util::hist_health(run_stats.iter()));
 
     // Baseline: no defense.
     let baseline = run_scenario(&cfg, &Scheme::None).row;

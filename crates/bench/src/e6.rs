@@ -134,6 +134,7 @@ fn device_throughput(owners: usize, pkts: u64) -> ThroughputRow {
     let start = Instant::now();
     sim.run_until(SimTime::from_secs(3600));
     let wall = start.elapsed().as_secs_f64();
+    crate::util::enforce_run_invariants("e6", &sim.stats);
     ThroughputRow {
         owners,
         pkts,
@@ -190,7 +191,8 @@ fn lookup_ablation(entries: usize, lookups: u64) -> Vec<LookupRow> {
 }
 
 /// Run E6.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new("e6", "Device and rule-table scalability", "Sec. 5.3");
 
     let subs: Vec<usize> = if quick {

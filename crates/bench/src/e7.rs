@@ -67,6 +67,7 @@ fn one(n_isps: usize, stubs_per: usize, outage: bool) -> Row {
         });
     }
     sim.run_until(SimTime::from_secs(30));
+    crate::util::enforce_run_invariants("e7", &sim.stats);
     let r = record.lock();
     let reg = r
         .registered_at
@@ -92,7 +93,8 @@ fn one(n_isps: usize, stubs_per: usize, outage: bool) -> Row {
 }
 
 /// Run E7.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e7",
         "Control-plane latency: registration + worldwide deployment",

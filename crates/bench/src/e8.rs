@@ -96,7 +96,7 @@ fn adversarial_corpus() -> Vec<(String, ModuleSpec, &'static str)> {
 }
 
 /// Run E8.
-pub fn run(_quick: bool) -> Report {
+pub fn run(_opts: &crate::RunOpts) -> Report {
     let mut report = Report::new("e8", "Safety of delegated control", "Sec. 4.5");
 
     // 1. Verifier corpus.
@@ -205,6 +205,7 @@ pub fn run(_quick: bool) -> Report {
         }
     }
     sim.run_until(SimTime::from_secs(520));
+    crate::util::enforce_run_invariants("e8/telemetry", &sim.stats);
     let s = handle.lock();
     let processed_bytes = s.redirected_bytes;
     let budget = (processed_bytes as f64 * 0.01) as u64 + 64 * 1024;
@@ -315,6 +316,7 @@ fn storm_with_budget(ratio: f64, floor: u64) -> (u64, u64, u64, u64) {
         }
     }
     sim.run_until(SimTime::from_secs(260));
+    crate::util::enforce_run_invariants("e8/storm", &sim.stats);
     let s = handle.lock();
     (
         s.telemetry_events,

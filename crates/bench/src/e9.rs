@@ -88,6 +88,7 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
         55,
     );
     sim.run_until(SimTime::from_secs(dur as u64));
+    crate::util::enforce_run_invariants("e9", &sim.stats);
 
     let s = pb.lock();
     let reflector_prefixes: Vec<u32> = attack
@@ -130,7 +131,8 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
 }
 
 /// Run E9.
-pub fn run(quick: bool) -> Report {
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
     let mut report = Report::new(
         "e9",
         "Pushback against reflector attacks: no trigger, then misattribution",

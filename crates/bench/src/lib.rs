@@ -22,8 +22,30 @@ pub mod util;
 
 use util::Report;
 
+/// Options shared by every experiment runner.
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Shrunk sweeps suitable for CI (`--quick`).
+    pub quick: bool,
+    /// Write a JSONL packet trace of a designated run to this path
+    /// (`--trace PATH`). Only experiments that wire a flight recorder
+    /// honour it (currently e2 and e3); each traced experiment overwrites
+    /// the file, so trace one experiment at a time.
+    pub trace: Option<std::path::PathBuf>,
+}
+
+impl RunOpts {
+    /// Quick-mode options with no tracing.
+    pub fn quick() -> RunOpts {
+        RunOpts {
+            quick: true,
+            ..Default::default()
+        }
+    }
+}
+
 /// One registered experiment: its id and runner.
-type ExperimentEntry = (&'static str, fn(bool) -> Report);
+type ExperimentEntry = (&'static str, fn(&RunOpts) -> Report);
 
 /// The experiment registry — the *single* source of truth for dispatch.
 /// [`ALL`] and [`run_experiment`] both derive from this table, so adding
@@ -56,9 +78,9 @@ pub const ALL: [&str; EXPERIMENTS.len()] = {
 };
 
 /// Run one experiment by id.
-pub fn run_experiment(id: &str, quick: bool) -> Option<Report> {
+pub fn run_experiment(id: &str, opts: &RunOpts) -> Option<Report> {
     EXPERIMENTS
         .iter()
         .find(|(eid, _)| *eid == id)
-        .map(|&(_, run)| run(quick))
+        .map(|&(_, run)| run(opts))
 }

@@ -129,11 +129,13 @@ impl Report {
 /// growth flags a schedule horizon outgrowing the wheel's inner levels.
 pub fn wheel_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>) -> String {
     let (mut slot, mut len, mut cascades, mut events, mut n) = (0u64, 0u64, 0u64, 0u64, 0usize);
+    let mut clamped = 0u64;
     for s in runs {
         slot = slot.max(s.wheel_slot_occupancy_hwm);
         len = len.max(s.wheel_len_hwm);
         cascades += s.wheel_cascade_moves;
         events += s.events;
+        clamped += s.past_events_clamped;
         n += 1;
     }
     let rate = if events == 0 {
@@ -143,8 +145,44 @@ pub fn wheel_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>)
     };
     format!(
         "timing wheel over {n} runs: slot occupancy hwm {slot}, queue len hwm {len}, \
-         {cascades} cascade moves across {events} events ({rate:.4}/event)"
+         {cascades} cascade moves across {events} events ({rate:.4}/event), \
+         {clamped} past-events clamped"
     )
+}
+
+/// One-line latency-telemetry summary aggregated over simulator runs:
+/// the three engine-maintained log2 histograms (per-hop queueing delay,
+/// end-to-end delivery latency, delivered hop counts) merged and printed
+/// as `n/mean/p50/p99/max`. Print-only — attach via [`Report::health`].
+pub fn hist_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>) -> String {
+    let mut h = dtcs::netsim::TelemetryHistograms::default();
+    let mut n = 0usize;
+    for s in runs {
+        h.merge(&s.hist);
+        n += 1;
+    }
+    format!(
+        "telemetry over {n} runs: queue_delay_ns[{}] e2e_latency_ns[{}] hops[{}]",
+        h.queue_delay_ns.summary(),
+        h.e2e_latency_ns.summary(),
+        h.hop_count.summary()
+    )
+}
+
+/// Hard-enforce the engine invariants every finished bench run must
+/// satisfy: packet conservation (every sent packet is delivered, dropped,
+/// or still in flight at cutoff) and a clean schedule (no event was ever
+/// scheduled in the past and clamped). Violations are simulator bugs, not
+/// experiment noise, so they abort the harness rather than skew a table.
+pub fn enforce_run_invariants(context: &str, stats: &dtcs::netsim::Stats) {
+    if let Err(e) = stats.check_conservation() {
+        panic!("{context}: packet conservation violated: {e}");
+    }
+    assert_eq!(
+        stats.past_events_clamped, 0,
+        "{context}: {} event(s) were scheduled in the past and clamped",
+        stats.past_events_clamped
+    );
 }
 
 /// Format a float cell.

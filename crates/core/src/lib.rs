@@ -32,7 +32,9 @@ pub mod schemes;
 pub mod tcs;
 
 pub use metrics::{drop_fraction, print_table, OutcomeRow};
-pub use scenario::{pick_nodes, run_scenario, AttackKind, ScenarioConfig, ScenarioOutput};
+pub use scenario::{
+    pick_nodes, run_scenario, AttackKind, ScenarioConfig, ScenarioOutput, TraceSpec,
+};
 pub use schemes::Scheme;
 pub use tcs::{deploy_tcs_static, reflected_reply_protos, TcsDeployment, TcsStaticConfig};
 

@@ -20,7 +20,9 @@ use dtcs_mitigation::{
     install_traceback_filters, reconstruct_sources, I3Defense, MarkCollectorAgent, Placement,
     PushbackHandle, SosOverlay,
 };
-use dtcs_netsim::{Addr, NodeId, Prefix, Proto, SimDuration, SimTime, Simulator, Topology};
+use dtcs_netsim::{
+    Addr, FlightRecorder, NodeId, Prefix, Proto, SimDuration, SimTime, Simulator, Topology,
+};
 
 use crate::metrics::OutcomeRow;
 use crate::schemes::Scheme;
@@ -38,6 +40,27 @@ pub enum AttackKind {
         /// Source forging policy of the flooding agents.
         spoof: dtcs_attack::SpoofMode,
     },
+}
+
+/// Packet-trace capture parameters for a scenario run (observation only:
+/// an attached flight recorder never changes packet fates — see
+/// `dtcs_netsim::trace`).
+#[derive(Clone, Copy, Debug)]
+pub struct TraceSpec {
+    /// Record every `one_in`-th emitted packet's lifecycle (1 = all).
+    pub one_in: u64,
+    /// Flight-recorder ring capacity in events; beyond it the oldest
+    /// events are evicted.
+    pub capacity: usize,
+}
+
+impl Default for TraceSpec {
+    fn default() -> Self {
+        TraceSpec {
+            one_in: 1,
+            capacity: 1 << 20,
+        }
+    }
 }
 
 /// Scenario parameters shared across every scheme in a comparison.
@@ -65,6 +88,8 @@ pub struct ScenarioConfig {
     pub duration: SimTime,
     /// Master seed.
     pub seed: u64,
+    /// Optional packet flight recording (None = zero-cost disabled path).
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for ScenarioConfig {
@@ -88,6 +113,7 @@ impl Default for ScenarioConfig {
             n_collateral_clients: 20,
             duration: SimTime::from_secs(30),
             seed: 42,
+            trace: None,
         }
     }
 }
@@ -106,12 +132,20 @@ pub struct ScenarioOutput {
     pub row: OutcomeRow,
     /// Final network statistics.
     pub stats: dtcs_netsim::Stats,
+    /// The packet flight record, when [`ScenarioConfig::trace`] asked for
+    /// one.
+    pub trace: Option<FlightRecorder>,
 }
 
 /// Run one scheme under the configured scenario.
 pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
     let topo = Topology::barabasi_albert(cfg.n_nodes, cfg.ba_m, cfg.transit_fraction, cfg.seed);
     let mut sim = Simulator::new(topo, cfg.seed);
+    let recorder = cfg.trace.map(|spec| {
+        let rec = Arc::new(std::sync::Mutex::new(FlightRecorder::new(spec.capacity)));
+        sim.set_trace_sink(Box::new(Arc::clone(&rec)), spec.one_in);
+        rec
+    });
     let stubs = sim.topo.stub_nodes();
     assert!(!stubs.is_empty(), "need stub nodes for a victim");
     let victim_node = stubs[cfg.seed as usize % stubs.len()];
@@ -365,9 +399,33 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
         let mean = rtts.iter().sum::<f64>() / rtts.len() as f64;
         row = row.with_extra("mean_rtt_s", mean);
     }
+    // Engine invariants are a hard gate on every scenario run: a
+    // conservation hole or a clamped past-event would silently skew any
+    // table built from this row.
+    if let Err(e) = sim.stats.check_conservation() {
+        panic!(
+            "scenario[{}]: packet conservation violated: {e}",
+            scheme.label()
+        );
+    }
+    assert_eq!(
+        sim.stats.past_events_clamped,
+        0,
+        "scenario[{}]: events were scheduled in the past and clamped",
+        scheme.label()
+    );
+    let trace = recorder.map(|rec| {
+        drop(sim.take_trace_sink());
+        Arc::try_unwrap(rec)
+            .ok()
+            .expect("recorder uniquely owned once the sink is detached")
+            .into_inner()
+            .expect("flight recorder mutex poisoned")
+    });
     ScenarioOutput {
         row,
         stats: sim.stats.clone(),
+        trace,
     }
 }
 
@@ -536,6 +594,27 @@ mod tests {
             "{}",
             tb.row.collateral_success
         );
+    }
+
+    #[test]
+    fn traced_scenario_is_observation_only_and_deterministic() {
+        let plain = run_scenario(&small_cfg(), &Scheme::None);
+        let mut cfg = small_cfg();
+        cfg.trace = Some(TraceSpec {
+            one_in: 8,
+            capacity: 1 << 18,
+        });
+        let a = run_scenario(&cfg, &Scheme::None);
+        let b = run_scenario(&cfg, &Scheme::None);
+        // Attaching the recorder must not perturb the outcome...
+        assert_eq!(a.row.legit_success, plain.row.legit_success);
+        assert_eq!(a.stats.events, plain.stats.events);
+        // ...and the capture itself is byte-reproducible.
+        let ja = a.trace.expect("trace requested").export_jsonl_string();
+        let jb = b.trace.expect("trace requested").export_jsonl_string();
+        assert!(!ja.is_empty());
+        assert_eq!(ja, jb, "trace JSONL must be byte-identical across runs");
+        assert!(plain.trace.is_none());
     }
 
     #[test]

@@ -542,6 +542,12 @@ impl NodeAgent for AdaptiveDevice {
                     &mut view,
                 );
                 if let ModuleAction::Drop(reason) = action {
+                    if ctx.trace_wants(pkt) {
+                        ctx.trace_verdict_detail(format!(
+                            "svc={} stage={:?} owner={}",
+                            graph.name, stage, owner.0
+                        ));
+                    }
                     *self.stats.lock().dropped.entry(reason).or_insert(0) += 1;
                     verdict = Verdict::Drop(reason);
                     break 'stages;

@@ -69,7 +69,7 @@ impl NodeAgent for PrefixBlockAgent {
 
     fn on_packet(
         &mut self,
-        _ctx: &mut AgentCtx<'_>,
+        ctx: &mut AgentCtx<'_>,
         pkt: &mut Packet,
         from: Option<LinkId>,
     ) -> Verdict {
@@ -79,9 +79,17 @@ impl NodeAgent for PrefixBlockAgent {
             return Verdict::Forward;
         }
         match self.scope {
-            BlockScope::AllTraffic => Verdict::Drop(self.reason),
+            BlockScope::AllTraffic => {
+                if ctx.trace_wants(pkt) {
+                    ctx.trace_verdict_detail("scope=all");
+                }
+                Verdict::Drop(self.reason)
+            }
             BlockScope::TowardVictim(vp) => {
                 if vp.contains(pkt.dst) {
+                    if ctx.trace_wants(pkt) {
+                        ctx.trace_verdict_detail("scope=toward-victim");
+                    }
                     Verdict::Drop(self.reason)
                 } else {
                     Verdict::Forward

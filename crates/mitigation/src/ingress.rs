@@ -57,6 +57,9 @@ impl NodeAgent for IngressFilterAgent {
                 if self.local.contains(pkt.src) {
                     Verdict::Forward
                 } else {
+                    if ctx.trace_wants(pkt) {
+                        ctx.trace_verdict_detail("local-src-mismatch");
+                    }
                     Verdict::Drop(DropReason::IngressFilter)
                 }
             }
@@ -76,6 +79,9 @@ impl NodeAgent for IngressFilterAgent {
                 if expected == Some(peer) {
                     Verdict::Forward
                 } else {
+                    if ctx.trace_wants(pkt) {
+                        ctx.trace_verdict_detail("route-mismatch");
+                    }
                     Verdict::Drop(DropReason::IngressFilter)
                 }
             }
@@ -188,6 +194,39 @@ mod tests {
             sim.stats.drops_for_reason(DropReason::IngressFilter).pkts,
             0,
             "transit path must not be filtered"
+        );
+    }
+
+    #[test]
+    fn traced_drop_carries_module_and_detail() {
+        use dtcs_netsim::FlightRecorder;
+        use std::sync::{Arc, Mutex};
+
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        sim.add_agent(NodeId(0), Box::new(IngressFilterAgent::new(NodeId(0))));
+        sim.install_app(Addr::new(NodeId(2), 1), Box::new(dtcs_netsim::SinkApp));
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(1024)));
+        sim.set_trace_sink(Box::new(Arc::clone(&rec)), 1);
+        let (n, b) = spoofed(NodeId(0), Addr::new(NodeId(1), 9), Addr::new(NodeId(2), 1));
+        sim.emit_now(n, b);
+        sim.run_until(SimTime::from_secs(1));
+        let jsonl = rec.lock().unwrap().export_jsonl_string();
+        let verdict_line = jsonl
+            .lines()
+            .find(|l| l.contains("\"kind\":\"module_verdict\""))
+            .expect("the ingress-filter drop must appear in the trace");
+        assert!(
+            verdict_line.contains("\"module\":\"ingress-filter\""),
+            "bad line: {verdict_line}"
+        );
+        assert!(
+            verdict_line.contains("\"detail\":\"local-src-mismatch\""),
+            "bad line: {verdict_line}"
+        );
+        assert!(
+            verdict_line.contains("\"reason\":\"IngressFilter\""),
+            "bad line: {verdict_line}"
         );
     }
 

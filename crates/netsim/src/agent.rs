@@ -23,6 +23,7 @@ use crate::routing::Routing;
 use crate::stats::DropReason;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+use crate::trace::Tracer;
 
 /// What an agent decided about a packet.
 #[derive(Debug, PartialEq, Eq, Clone, Copy)]
@@ -74,6 +75,7 @@ pub struct AgentCtx<'a> {
     /// Read-only routing tables.
     pub routing: &'a Routing,
     pub(crate) outbox: &'a mut Outbox,
+    pub(crate) trace: &'a mut Tracer,
 }
 
 impl<'a> AgentCtx<'a> {
@@ -93,6 +95,25 @@ impl<'a> AgentCtx<'a> {
     /// delivered after `delay`.
     pub fn send_control<T: Any + Send>(&mut self, to: NodeId, delay: SimDuration, payload: T) {
         self.outbox.controls.push((delay, to, Box::new(payload)));
+    }
+
+    /// Is the packet in the trace sample? Agents use this to gate any
+    /// per-packet telemetry work (notably building a
+    /// [`AgentCtx::trace_verdict_detail`] string); one branch when tracing
+    /// is disabled.
+    pub fn trace_wants(&self, pkt: &Packet) -> bool {
+        self.trace.wants(pkt.id)
+    }
+
+    /// Attach a detail string (e.g. which filter stage fired) to the
+    /// `ModuleVerdict` trace event the simulator emits if this callback
+    /// returns [`Verdict::Drop`]. Call only under a positive
+    /// [`AgentCtx::trace_wants`] check so untraced packets allocate
+    /// nothing; staged detail is discarded if the packet is forwarded.
+    pub fn trace_verdict_detail(&mut self, detail: impl Into<String>) {
+        if self.trace.enabled() {
+            self.trace.stage_detail(detail.into());
+        }
     }
 
     /// Round-trip-flavoured delay estimate toward `to`: per-hop latency sum

@@ -48,6 +48,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 pub mod topology;
+pub mod trace;
 pub mod wheel;
 
 #[cfg(test)]
@@ -66,4 +67,8 @@ pub use sim::Simulator;
 pub use stats::{DropReason, Stats};
 pub use time::{SimDuration, SimTime};
 pub use topology::Topology;
+pub use trace::{
+    FlightRecorder, LinkDirUtil, LinkUtilProbe, Log2Histogram, Sampler, TelemetryHistograms,
+    TraceEvent, TraceSink, UtilSnapshot,
+};
 pub use wheel::TimingWheel;

@@ -105,34 +105,62 @@ impl Link {
 
     /// Current queue backlog (bytes) in the direction leaving `from`.
     pub fn backlog_bytes(&self, from: NodeId, now: SimTime) -> u64 {
+        self.queue_state(from, now).1
+    }
+
+    /// Queue wait and instantaneous backlog (bytes) in the direction
+    /// leaving `from` at `now` — what a packet offered right now would
+    /// observe. One closed-form read of the virtual queue; used by the
+    /// telemetry layer for queue-delay histograms and trace backlog fields.
+    pub fn queue_state(&self, from: NodeId, now: SimTime) -> (SimDuration, u64) {
         let d = &self.dirs[self.dir_index(from)];
         if d.next_free <= now {
-            0
+            (SimDuration::ZERO, 0)
         } else {
-            let wait = (d.next_free - now).as_secs_f64();
-            (wait * self.bandwidth_bps / 8.0) as u64
+            let wait = d.next_free - now;
+            let bytes = (wait.as_secs_f64() * self.bandwidth_bps / 8.0) as u64;
+            (wait, bytes)
         }
     }
 
     /// Offer a packet of `size` bytes (attack ground truth `is_attack`) to
     /// the direction leaving `from` at time `now`.
     pub fn offer(&mut self, from: NodeId, now: SimTime, size: u32, is_attack: bool) -> Admission {
+        self.offer_observed(from, now, size, is_attack).0
+    }
+
+    /// Like [`Link::offer`], but also reports the queue state the packet
+    /// observed on arrival — `(admission, wait, backlog_bytes)` — from a
+    /// single virtual-queue read, so the forwarding hot path does not pay
+    /// a separate [`Link::queue_state`] probe for telemetry.
+    pub fn offer_observed(
+        &mut self,
+        from: NodeId,
+        now: SimTime,
+        size: u32,
+        is_attack: bool,
+    ) -> (Admission, SimDuration, u64) {
+        let di = self.dir_index(from);
         if !self.up {
-            let d = &mut self.dirs[self.dir_index(from)];
+            let d = &mut self.dirs[di];
             d.pkts_dropped += 1;
             d.bytes_dropped += size as u64;
-            return Admission::Dropped;
+            return (Admission::Dropped, SimDuration::ZERO, 0);
         }
-        let backlog = self.backlog_bytes(from, now);
-        let di = self.dir_index(from);
         let latency = self.latency;
         let bw = self.bandwidth_bps;
         let limit = self.queue_limit_bytes as u64;
         let d = &mut self.dirs[di];
+        let (wait, backlog) = if d.next_free <= now {
+            (SimDuration::ZERO, 0)
+        } else {
+            let wait = d.next_free - now;
+            (wait, (wait.as_secs_f64() * bw / 8.0) as u64)
+        };
         if backlog + size as u64 > limit {
             d.pkts_dropped += 1;
             d.bytes_dropped += size as u64;
-            return Admission::Dropped;
+            return (Admission::Dropped, wait, backlog);
         }
         let start = if d.next_free > now { d.next_free } else { now };
         let done = start + tx_time(size, bw);
@@ -142,7 +170,7 @@ impl Link {
         if is_attack {
             d.attack_bytes_sent += size as u64;
         }
-        Admission::Deliver(done + latency)
+        (Admission::Deliver(done + latency), wait, backlog)
     }
 
     /// Utilisation of the direction leaving `from` over `[0, now]`, in
@@ -327,6 +355,23 @@ mod tests {
         }
         let u = l.utilisation(NodeId(0), SimTime::from_secs(1));
         assert!((u - 0.1).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn queue_state_matches_backlog() {
+        let mut l = test_link();
+        assert_eq!(
+            l.queue_state(NodeId(0), SimTime::ZERO),
+            (SimDuration::ZERO, 0)
+        );
+        for _ in 0..5 {
+            let _ = l.offer(NodeId(0), SimTime::ZERO, 1000, false);
+        }
+        let (wait, bytes) = l.queue_state(NodeId(0), SimTime::ZERO);
+        assert!(wait > SimDuration::ZERO);
+        assert_eq!(bytes, l.backlog_bytes(NodeId(0), SimTime::ZERO));
+        // 5 kB at 1 Mbit/s = 40 ms of queue.
+        assert_eq!(wait, SimDuration::from_millis(40));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::addr::Addr;
 use crate::node::NodeId;
+use crate::time::SimTime;
 
 /// Default initial TTL, mirroring common OS defaults.
 pub const DEFAULT_TTL: u8 = 64;
@@ -141,6 +142,11 @@ pub struct Packet {
     /// Number of links traversed so far; maintained by the simulator and
     /// used for stop-distance / wasted-bandwidth metrics.
     pub hops: u8,
+    /// Emission instant, stamped by the simulator; feeds the end-to-end
+    /// latency histogram and trace `Deliver` events. Metrics-layer only —
+    /// like `provenance`, defense code must not read it (and cannot via
+    /// the device header view).
+    pub sent_at: SimTime,
     /// Ground truth for metrics. Defense code must not read this.
     pub provenance: Provenance,
 }
@@ -218,6 +224,7 @@ impl PacketBuilder {
             mark: 0,
             payload_tag: self.payload_tag,
             hops: 0,
+            sent_at: SimTime::ZERO,
             provenance: Provenance {
                 origin,
                 class: self.class,

@@ -5,7 +5,11 @@
 //!   `(time, seq)` binary heap it replaced would have (DESIGN.md §6.2);
 //! * incremental route repair plus warm oracle eviction must be
 //!   answer-for-answer identical to a cold `Routing::compute` and a fresh
-//!   walk at every step of any link-flap schedule (DESIGN.md §6.3).
+//!   walk at every step of any link-flap schedule (DESIGN.md §6.3);
+//! * a full (unsampled) lifecycle trace must reconcile *exactly* with the
+//!   [`crate::stats::Stats`] counters: one `Deliver` per delivery, one
+//!   `LinkDrop`/`ModuleVerdict` per counted drop, bucket by bucket
+//!   (DESIGN.md §6.4).
 
 #![cfg(test)]
 
@@ -21,6 +25,37 @@ use crate::rng::seeded;
 use crate::routing::Routing;
 use crate::topology::Topology;
 use crate::wheel::TimingWheel;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::addr::Addr;
+use crate::agent::{AgentCtx, NodeAgent, Verdict};
+use crate::packet::{Packet, PacketBuilder, Proto, TrafficClass};
+use crate::sim::Simulator;
+use crate::stats::DropReason;
+use crate::trace::FlightRecorder;
+
+/// Test agent dropping one protocol (a stand-in for any filtering module).
+struct BlockProto(Proto);
+
+impl NodeAgent for BlockProto {
+    fn name(&self) -> &'static str {
+        "block-proto"
+    }
+    fn on_packet(
+        &mut self,
+        _ctx: &mut AgentCtx<'_>,
+        pkt: &mut Packet,
+        _from: Option<LinkId>,
+    ) -> Verdict {
+        if pkt.proto == self.0 {
+            Verdict::Drop(DropReason::DeviceFilter)
+        } else {
+            Verdict::Forward
+        }
+    }
+}
 
 /// Reference scheduler: the exact `(time, seq)` min-ordering the old
 /// `BinaryHeap<EventEntry>` implemented.
@@ -197,6 +232,91 @@ proptest! {
                     "step {} src={:?} dst={:?} at={}", i, src, dst, at
                 );
             }
+        }
+    }
+
+    /// Drop/delivery reconciliation: with full (1-in-1) sampling and a
+    /// ring large enough to avoid eviction, the trace must contain exactly
+    /// one `Deliver` event per counted delivery and exactly one drop event
+    /// per counted drop, matching [`crate::stats::Stats::drops`] bucket by
+    /// `(class, reason)` bucket — over workloads mixing deliveries, module
+    /// drops, TTL expiries, unroutable packets and queue overflows.
+    #[test]
+    fn full_trace_reconciles_with_stats_exactly(
+        topo_seed in 0u64..5_000,
+        n_pkts in 20usize..120,
+        squeeze in 0u64..2,
+    ) {
+        let mut topo = Topology::barabasi_albert(24, 2, 0.1, topo_seed);
+        if squeeze == 1 {
+            // Tiny queues force QueueOverflow (LinkDrop) events.
+            for l in &mut topo.links {
+                l.queue_limit_bytes = 600;
+            }
+        }
+        let lonely = topo.add_node(crate::node::NodeRole::Stub);
+        let n = 24usize;
+        let mut sim = Simulator::new(topo, topo_seed ^ 0x51E0);
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(1 << 18)));
+        sim.set_trace_sink(Box::new(rec.clone()), 1);
+        sim.add_agent(NodeId(1), Box::new(BlockProto(Proto::TcpSyn)));
+        let dst = Addr::new(NodeId(1), 1);
+        sim.install_app(dst, Box::new(crate::app::SinkApp));
+        let mut rng = seeded(topo_seed ^ 0xD0C5);
+        for i in 0..n_pkts {
+            let src = NodeId(rng.gen_range(0..n));
+            let (to, proto, ttl, class) = match i % 5 {
+                0 => (dst, Proto::TcpSyn, 64, TrafficClass::AttackDirect),
+                1 => (Addr::new(lonely, 1), Proto::Udp, 64, TrafficClass::Background),
+                2 => (dst, Proto::Udp, 2, TrafficClass::Background),
+                // An address with no app: NoListener at the destination.
+                3 => (Addr::new(NodeId(2), 9), Proto::Udp, 64, TrafficClass::Background),
+                _ => (dst, Proto::Udp, 64, TrafficClass::LegitRequest),
+            };
+            sim.emit_now(
+                src,
+                PacketBuilder::new(Addr::new(src, 1), to, proto, class)
+                    .ttl(ttl)
+                    .size(400)
+                    .flow(i as u64),
+            );
+        }
+        sim.run_to_idle();
+        sim.stats.check_conservation().unwrap();
+        let rec = rec.lock().unwrap();
+        prop_assert_eq!(rec.evicted(), 0, "ring too small for exact reconciliation");
+        let mut traced_drops: HashMap<(TrafficClass, DropReason), u64> = HashMap::new();
+        let mut traced_delivers = 0u64;
+        let mut traced_emits = 0u64;
+        for ev in rec.events() {
+            match ev {
+                crate::trace::TraceEvent::Deliver { .. } => traced_delivers += 1,
+                crate::trace::TraceEvent::Emit { .. } => traced_emits += 1,
+                _ => {
+                    if let Some(bucket) = ev.drop_bucket() {
+                        *traced_drops.entry(bucket).or_default() += 1;
+                    }
+                }
+            }
+        }
+        let sent: u64 = sim.stats.per_class.iter().map(|c| c.sent_pkts).sum();
+        let delivered: u64 = sim.stats.per_class.iter().map(|c| c.delivered_pkts).sum();
+        prop_assert_eq!(traced_emits, sent);
+        prop_assert_eq!(traced_delivers, delivered);
+        // Every stats bucket matches the trace count, and vice versa.
+        for (bucket, agg) in &sim.stats.drops {
+            prop_assert_eq!(
+                traced_drops.get(bucket).copied().unwrap_or(0),
+                agg.pkts,
+                "bucket {:?} traced != counted", bucket
+            );
+        }
+        for (bucket, cnt) in &traced_drops {
+            prop_assert_eq!(
+                sim.stats.drops.get(bucket).map(|a| a.pkts).unwrap_or(0),
+                *cnt,
+                "trace bucket {:?} has no matching stats", bucket
+            );
         }
     }
 

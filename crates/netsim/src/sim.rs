@@ -28,6 +28,7 @@ use crate::routing::Routing;
 use crate::stats::{DropReason, Stats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
+use crate::trace::{LinkUtilProbe, TraceEvent, TraceSink, Tracer};
 use crate::wheel::TimingWheel;
 
 /// A scheduled simulator callback.
@@ -81,6 +82,12 @@ pub struct Simulator {
     /// event (delivery or drop). Slots are reused, so steady-state
     /// forwarding allocates nothing.
     arena: Arena<Packet>,
+    /// Lifecycle tracing front-end (flight recorder / JSONL). Disabled by
+    /// default; the hot path then pays a single `None` branch per gate
+    /// (DESIGN.md §6.4).
+    tracer: Tracer,
+    /// Optional per-link utilization sampler, driven by scheduled events.
+    util_probe: Option<LinkUtilProbe>,
     started: bool,
     event_limit: u64,
 }
@@ -104,8 +111,60 @@ impl Simulator {
             outbox: Outbox::default(),
             app_timer_buf: Vec::new(),
             arena: Arena::new(),
+            tracer: Tracer::disabled(seed),
+            util_probe: None,
             started: false,
             event_limit: u64::MAX,
+        }
+    }
+
+    /// Install a trace sink recording lifecycle events for one packet in
+    /// `one_in` (1 = every packet). The sampling salt derives from the
+    /// simulator seed — never wall-clock — so the traced packet-id set is
+    /// a pure function of `(seed, one_in)` and runs replay byte-for-byte.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>, one_in: u64) {
+        self.tracer.enable(sink, one_in);
+    }
+
+    /// Remove and return the trace sink, disabling tracing.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.disable()
+    }
+
+    /// Is lifecycle tracing enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Sample per-link utilization every `cadence` from now until `until`
+    /// (inclusive), replacing any existing probe. Samples ride the event
+    /// queue, so they interleave deterministically with traffic and the
+    /// probe cannot keep an otherwise-idle run alive past its horizon.
+    pub fn enable_util_probe(&mut self, cadence: SimDuration, until: SimTime) {
+        let mut probe = LinkUtilProbe::new(cadence, until);
+        probe.baseline(&self.topo, self.now);
+        let first = self.now + probe.cadence();
+        self.util_probe = Some(probe);
+        if first <= until {
+            self.schedule(first, Simulator::util_probe_tick);
+        }
+    }
+
+    /// The utilization probe and its snapshots, if one was enabled.
+    pub fn util_probe(&self) -> Option<&LinkUtilProbe> {
+        self.util_probe.as_ref()
+    }
+
+    fn util_probe_tick(&mut self) {
+        let Some(mut probe) = self.util_probe.take() else {
+            return;
+        };
+        probe.sample(&self.topo, self.now);
+        let next = self.now + probe.cadence();
+        let until = probe.until();
+        self.util_probe = Some(probe);
+        if next <= until {
+            self.schedule(next, Simulator::util_probe_tick);
         }
     }
 
@@ -319,9 +378,52 @@ impl Simulator {
     }
 
     fn stamp(&mut self, node: NodeId, builder: PacketBuilder) -> Packet {
-        let pkt = builder.build(self.alloc_pkt_id(), node);
+        let mut pkt = builder.build(self.alloc_pkt_id(), node);
+        pkt.sent_at = self.now;
         self.stats.record_sent(&pkt);
+        if self.tracer.wants(pkt.id) {
+            self.tracer.record(TraceEvent::Emit {
+                t: self.now.as_nanos(),
+                pkt: pkt.id,
+                node,
+                src: pkt.src,
+                dst: pkt.dst,
+                proto: pkt.proto,
+                class: pkt.provenance.class,
+                size: pkt.size,
+                flow: pkt.flow,
+            });
+        }
         pkt
+    }
+
+    /// Emit the single authoritative `ModuleVerdict` trace event for a drop
+    /// decided at `node`. `module` is the deciding agent's name, `"host"`
+    /// for receiver overload, or `"engine"` for TTL/route/listener drops.
+    /// Any staged verdict detail is consumed here (and discarded for
+    /// unsampled packets).
+    fn trace_module_drop(
+        &mut self,
+        node: NodeId,
+        pkt: &Packet,
+        module: &'static str,
+        reason: DropReason,
+    ) {
+        let detail = self.tracer.take_detail();
+        if !self.tracer.wants(pkt.id) {
+            return;
+        }
+        self.tracer.record(TraceEvent::ModuleVerdict {
+            t: self.now.as_nanos(),
+            pkt: pkt.id,
+            node,
+            module,
+            detail,
+            reason,
+            class: pkt.provenance.class,
+            size: pkt.size,
+            hops: pkt.hops,
+        });
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -345,6 +447,7 @@ impl Simulator {
                         topo: &self.topo,
                         routing: &self.routing,
                         outbox: &mut self.outbox,
+                        trace: &mut self.tracer,
                     };
                     agent.on_control(&mut ctx, &msg);
                     self.flush_agent_outbox(to, i);
@@ -364,6 +467,7 @@ impl Simulator {
         // 1. Agent chain.
         let mut chain = std::mem::take(&mut self.agents[at.0]);
         let mut verdict = Verdict::Forward;
+        let mut dropped_by: &'static str = "agent";
         for (i, agent) in chain.iter_mut().enumerate() {
             let mut ctx = AgentCtx {
                 now: self.now,
@@ -371,16 +475,22 @@ impl Simulator {
                 topo: &self.topo,
                 routing: &self.routing,
                 outbox: &mut self.outbox,
+                trace: &mut self.tracer,
             };
             let v = agent.on_packet(&mut ctx, &mut pkt, from);
             self.flush_agent_outbox(at, i);
             if let Verdict::Drop(reason) = v {
                 verdict = Verdict::Drop(reason);
+                dropped_by = agent.name();
                 break;
             }
+            // A module may stage verdict detail and then forward; discard
+            // it so it cannot leak onto a later verdict event.
+            self.tracer.clear_detail();
         }
         self.agents[at.0] = chain;
         if let Verdict::Drop(reason) = verdict {
+            self.trace_module_drop(at, &pkt, dropped_by, reason);
             self.stats.record_dropped(&pkt, reason);
             self.arena.free(handle);
             return;
@@ -392,12 +502,27 @@ impl Simulator {
                 let now = self.now;
                 let disposition = self.with_app(pkt.dst, |app, api| app.on_packet(api, &pkt));
                 match disposition {
-                    Disposition::Consumed => self.stats.record_delivered(now, at, &pkt),
+                    Disposition::Consumed => {
+                        self.stats.record_delivered(now, at, &pkt);
+                        if self.tracer.wants(pkt.id) {
+                            self.tracer.record(TraceEvent::Deliver {
+                                t: now.as_nanos(),
+                                pkt: pkt.id,
+                                node: at,
+                                class: pkt.provenance.class,
+                                size: pkt.size,
+                                hops: pkt.hops,
+                                latency: now.saturating_since(pkt.sent_at).as_nanos(),
+                            });
+                        }
+                    }
                     Disposition::Overloaded => {
+                        self.trace_module_drop(at, &pkt, "host", DropReason::HostOverload);
                         self.stats.record_dropped(&pkt, DropReason::HostOverload)
                     }
                 }
             } else {
+                self.trace_module_drop(at, &pkt, "engine", DropReason::NoListener);
                 self.stats.record_dropped(&pkt, DropReason::NoListener);
             }
             self.arena.free(handle);
@@ -406,20 +531,35 @@ impl Simulator {
 
         // 3. Forwarding.
         if pkt.ttl <= 1 {
+            self.trace_module_drop(at, &pkt, "engine", DropReason::TtlExpired);
             self.stats.record_dropped(&pkt, DropReason::TtlExpired);
             self.arena.free(handle);
             return;
         }
         pkt.ttl -= 1;
         let Some(link) = self.routing.next_hop(at, pkt.dst.node()) else {
+            self.trace_module_drop(at, &pkt, "engine", DropReason::NoRoute);
             self.stats.record_dropped(&pkt, DropReason::NoRoute);
             self.arena.free(handle);
             return;
         };
         let is_attack = pkt.provenance.class.is_attack();
-        let admission = self.topo.links[link.0].offer(at, self.now, pkt.size, is_attack);
+        let (admission, wait, backlog) =
+            self.topo.links[link.0].offer_observed(at, self.now, pkt.size, is_attack);
         match admission {
             Admission::Dropped => {
+                if self.tracer.wants(pkt.id) {
+                    self.tracer.record(TraceEvent::LinkDrop {
+                        t: self.now.as_nanos(),
+                        pkt: pkt.id,
+                        link,
+                        from: at,
+                        backlog,
+                        class: pkt.provenance.class,
+                        size: pkt.size,
+                        hops: pkt.hops,
+                    });
+                }
                 self.stats.record_dropped(&pkt, DropReason::QueueOverflow);
                 // Congestion observation hook (pushback).
                 let mut chain = std::mem::take(&mut self.agents[at.0]);
@@ -430,6 +570,7 @@ impl Simulator {
                         topo: &self.topo,
                         routing: &self.routing,
                         outbox: &mut self.outbox,
+                        trace: &mut self.tracer,
                     };
                     agent.on_link_drop(&mut ctx, link, &pkt);
                     self.flush_agent_outbox(at, i);
@@ -438,8 +579,20 @@ impl Simulator {
                 self.arena.free(handle);
             }
             Admission::Deliver(when) => {
+                self.stats.hist.queue_delay_ns.record(wait.as_nanos());
                 pkt.hops = pkt.hops.saturating_add(1);
                 let next = self.topo.links[link.0].other(at);
+                if self.tracer.wants(pkt.id) {
+                    self.tracer.record(TraceEvent::LinkAdmit {
+                        t: self.now.as_nanos(),
+                        pkt: pkt.id,
+                        link,
+                        from: at,
+                        to: next,
+                        backlog,
+                        arrive: when.as_nanos(),
+                    });
+                }
                 // The ticket rides on into the next hop's event: the
                 // per-hop path neither allocates nor frees.
                 self.arena.store(handle, pkt);
@@ -470,6 +623,7 @@ impl Simulator {
                 topo: &self.topo,
                 routing: &self.routing,
                 outbox: &mut self.outbox,
+                trace: &mut self.tracer,
             };
             f(agent, &mut ctx);
             self.flush_agent_outbox(node, idx);
@@ -908,6 +1062,220 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(ticks.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    use crate::trace::FlightRecorder;
+
+    /// Shared mixed workload for trace tests: deliveries, agent drops and
+    /// forwarding on a BA topology. Returns final stats + exported JSONL
+    /// (empty string when tracing was off).
+    fn traced_workload(seed: u64, one_in: Option<u64>) -> (Stats, String) {
+        let topo = Topology::barabasi_albert(40, 2, 0.1, 5);
+        let mut sim = Simulator::new(topo, seed);
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(1 << 16)));
+        if let Some(n) = one_in {
+            sim.set_trace_sink(Box::new(rec.clone()), n);
+        }
+        sim.add_agent(NodeId(1), Box::new(ProtoBlock(Proto::TcpSyn)));
+        let dst = Addr::new(NodeId(1), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        for i in 0..200u64 {
+            let src = NodeId((i % 40) as usize);
+            let b = if i % 5 == 0 {
+                PacketBuilder::new(
+                    Addr::new(src, 1),
+                    dst,
+                    Proto::TcpSyn,
+                    TrafficClass::AttackDirect,
+                )
+                .flow(i)
+            } else {
+                udp(Addr::new(src, 1), dst).flow(i)
+            };
+            sim.emit_now(src, b);
+        }
+        sim.run_to_idle();
+        let jsonl = rec.lock().unwrap().export_jsonl_string();
+        (sim.stats.clone(), jsonl)
+    }
+
+    #[test]
+    fn trace_jsonl_is_byte_identical_across_runs() {
+        let (_, a) = traced_workload(7, Some(1));
+        let (_, b) = traced_workload(7, Some(1));
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "fixed seed must reproduce the JSONL byte-for-byte");
+        assert!(a.contains("\"kind\":\"emit\""));
+        assert!(a.contains("\"kind\":\"link_admit\""));
+        assert!(a.contains("\"kind\":\"deliver\""));
+        assert!(a.contains("\"kind\":\"module_verdict\""));
+        assert!(a.contains("\"module\":\"proto-block\""));
+    }
+
+    #[test]
+    fn sampled_trace_is_subset_of_full() {
+        let (_, full) = traced_workload(7, Some(1));
+        let (_, sampled) = traced_workload(7, Some(4));
+        let full_lines: std::collections::HashSet<&str> = full.lines().collect();
+        let sampled_lines: Vec<&str> = sampled.lines().collect();
+        assert!(!sampled_lines.is_empty());
+        assert!(sampled_lines.len() < full.lines().count());
+        for line in sampled_lines {
+            assert!(
+                full_lines.contains(line),
+                "sampled event missing from full trace: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        let (off, _) = traced_workload(7, None);
+        let (on, _) = traced_workload(7, Some(1));
+        assert_eq!(off.events, on.events, "tracing must not add events");
+        for c in crate::stats::ALL_CLASSES {
+            assert_eq!(off.class(c).sent_pkts, on.class(c).sent_pkts);
+            assert_eq!(off.class(c).delivered_pkts, on.class(c).delivered_pkts);
+            assert_eq!(off.class(c).dropped_pkts, on.class(c).dropped_pkts);
+        }
+    }
+
+    #[test]
+    fn full_trace_reconciles_with_stats() {
+        let (stats, jsonl) = traced_workload(11, Some(1));
+        let delivered: u64 = jsonl
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"deliver\""))
+            .count() as u64;
+        let total_delivered: u64 = stats.per_class.iter().map(|c| c.delivered_pkts).sum();
+        assert_eq!(delivered, total_delivered);
+        let emitted: u64 = jsonl
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"emit\""))
+            .count() as u64;
+        let total_sent: u64 = stats.per_class.iter().map(|c| c.sent_pkts).sum();
+        assert_eq!(emitted, total_sent);
+        let dropped_events: u64 = jsonl
+            .lines()
+            .filter(|l| {
+                l.contains("\"kind\":\"link_drop\"") || l.contains("\"kind\":\"module_verdict\"")
+            })
+            .count() as u64;
+        let total_dropped: u64 = stats.per_class.iter().map(|c| c.dropped_pkts).sum();
+        assert_eq!(dropped_events, total_dropped);
+    }
+
+    /// Agent staging trace detail for its verdicts.
+    struct DetailBlock;
+    impl NodeAgent for DetailBlock {
+        fn name(&self) -> &'static str {
+            "detail-block"
+        }
+        fn on_packet(
+            &mut self,
+            ctx: &mut AgentCtx<'_>,
+            pkt: &mut Packet,
+            _from: Option<LinkId>,
+        ) -> Verdict {
+            if ctx.trace_wants(pkt) {
+                ctx.trace_verdict_detail("stage=udp");
+            }
+            if pkt.proto == Proto::Udp {
+                Verdict::Drop(DropReason::DeviceFilter)
+            } else {
+                Verdict::Forward
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_detail_attaches_and_does_not_leak() {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        let rec = Arc::new(Mutex::new(FlightRecorder::new(64)));
+        sim.set_trace_sink(Box::new(rec.clone()), 1);
+        sim.add_agent(NodeId(1), Box::new(DetailBlock));
+        sim.add_agent(NodeId(1), Box::new(ProtoBlock(Proto::TcpSyn)));
+        let dst = Addr::new(NodeId(2), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        // Udp: dropped by detail-block, with detail.
+        sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst));
+        // TcpSyn: detail-block stages then forwards; proto-block drops.
+        // The staged detail must have been discarded in between.
+        sim.emit_now(
+            NodeId(0),
+            PacketBuilder::new(
+                Addr::new(NodeId(0), 1),
+                dst,
+                Proto::TcpSyn,
+                TrafficClass::Background,
+            ),
+        );
+        sim.run_to_idle();
+        let jsonl = rec.lock().unwrap().export_jsonl_string();
+        let verdicts: Vec<&str> = jsonl
+            .lines()
+            .filter(|l| l.contains("\"kind\":\"module_verdict\""))
+            .collect();
+        assert_eq!(verdicts.len(), 2);
+        let detail_line = verdicts
+            .iter()
+            .find(|l| l.contains("\"module\":\"detail-block\""))
+            .unwrap();
+        assert!(detail_line.contains("\"detail\":\"stage=udp\""));
+        let plain_line = verdicts
+            .iter()
+            .find(|l| l.contains("\"module\":\"proto-block\""))
+            .unwrap();
+        assert!(
+            !plain_line.contains("\"detail\""),
+            "stale staged detail leaked onto a later verdict: {plain_line}"
+        );
+    }
+
+    #[test]
+    fn util_probe_samples_on_cadence_and_stops() {
+        let topo = Topology::line(4);
+        let mut sim = Simulator::new(topo, 1);
+        let dst = Addr::new(NodeId(3), 1);
+        sim.install_app(dst, Box::new(SinkAppProbe));
+        sim.enable_util_probe(SimDuration::from_millis(100), SimTime::from_secs(1));
+        for i in 0..50u64 {
+            sim.emit_now(NodeId(0), udp(Addr::new(NodeId(0), 1), dst).flow(i));
+        }
+        sim.run_to_idle();
+        assert_eq!(
+            sim.pending_events(),
+            0,
+            "probe must not keep the run alive past its horizon"
+        );
+        let probe = sim.util_probe().unwrap();
+        assert_eq!(
+            probe.snapshots().len(),
+            10,
+            "one sample per 100 ms up to 1 s"
+        );
+        assert_eq!(probe.snapshots()[0].t, SimTime::from_millis(100).as_nanos());
+        assert_eq!(probe.snapshots()[9].t, SimTime::from_secs(1).as_nanos());
+        assert!(probe.peak_util() > 0.0);
+        // Windowed byte deltas must sum to the cumulative link counters.
+        let sampled: u64 = probe
+            .snapshots()
+            .iter()
+            .flat_map(|s| s.dirs.iter())
+            .map(|d| d.bytes)
+            .sum();
+        let cumulative: u64 = sim
+            .topo
+            .links
+            .iter()
+            .flat_map(|l| l.dirs.iter())
+            .map(|d| d.bytes_sent)
+            .sum();
+        assert_eq!(
+            sampled, cumulative,
+            "all traffic finished inside the probe window"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use crate::node::NodeId;
 use crate::packet::{Packet, TrafficClass};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TelemetryHistograms;
 
 /// Why a packet died.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
@@ -130,24 +131,54 @@ pub struct DropAgg {
     pub hops_sum: u64,
 }
 
-/// Optional time series of delivered bytes at one watched node.
+/// Time series of delivered bytes at a small set of watched nodes.
+///
+/// The first node registered via [`Stats::watch`] populates the original
+/// `watch`/`delivered_bytes` pair (single-node callers are untouched);
+/// further `watch` calls append to `extra`, all sharing the first call's
+/// bucket width.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Series {
-    /// Bucket width.
+    /// Bucket width (fixed by the first `watch` call).
     pub bucket: SimDuration,
-    /// Node whose inbound deliveries are sampled.
+    /// First watched node.
     pub watch: NodeId,
-    /// Per-bucket delivered bytes, one slot per traffic class.
+    /// Per-bucket delivered bytes at [`Series::watch`], one slot per
+    /// traffic class.
     pub delivered_bytes: Vec<[u64; N_CLASSES]>,
+    /// Additional watched nodes and their per-bucket delivered bytes.
+    #[serde(default)]
+    pub extra: Vec<(NodeId, Vec<[u64; N_CLASSES]>)>,
 }
 
 impl Series {
-    fn record(&mut self, now: SimTime, class: TrafficClass, bytes: u32) {
+    fn record_at(&mut self, now: SimTime, node: NodeId, class: TrafficClass, bytes: u32) {
         let idx = (now.as_nanos() / self.bucket.as_nanos().max(1)) as usize;
-        if idx >= self.delivered_bytes.len() {
-            self.delivered_bytes.resize(idx + 1, [0; N_CLASSES]);
+        let buckets = if node == self.watch {
+            &mut self.delivered_bytes
+        } else if let Some((_, b)) = self.extra.iter_mut().find(|(n, _)| *n == node) {
+            b
+        } else {
+            return;
+        };
+        if idx >= buckets.len() {
+            buckets.resize(idx + 1, [0; N_CLASSES]);
         }
-        self.delivered_bytes[idx][class_index(class)] += bytes as u64;
+        buckets[idx][class_index(class)] += bytes as u64;
+    }
+
+    /// Per-bucket delivered bytes for a watched node; `None` if `node` was
+    /// never registered.
+    pub fn for_node(&self, node: NodeId) -> Option<&Vec<[u64; N_CLASSES]>> {
+        if node == self.watch {
+            return Some(&self.delivered_bytes);
+        }
+        self.extra.iter().find(|(n, _)| *n == node).map(|(_, b)| b)
+    }
+
+    /// All watched nodes, registration order.
+    pub fn watched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(self.watch).chain(self.extra.iter().map(|(n, _)| *n))
     }
 }
 
@@ -160,6 +191,10 @@ pub struct Stats {
     pub drops: HashMap<(TrafficClass, DropReason), DropAgg>,
     /// Optional watched-node delivery series.
     pub series: Option<Series>,
+    /// Always-on engine telemetry: queue delay, end-to-end latency and hop
+    /// count log2 histograms (DESIGN.md §6.4). Print-only in reports —
+    /// never serialized into golden experiment JSON.
+    pub hist: TelemetryHistograms,
     /// Total events processed (engine health metric).
     pub events: u64,
     /// Events scheduled with a timestamp already in the past and clamped
@@ -193,13 +228,27 @@ impl Stats {
         Stats::default()
     }
 
-    /// Enable a delivery time series at `watch` with the given bucket width.
+    /// Enable a delivery time series at `watch` with the given bucket
+    /// width. May be called repeatedly to watch a small set of nodes;
+    /// calls after the first reuse the first call's bucket width, and
+    /// re-watching an already-watched node is a no-op.
     pub fn watch(&mut self, watch: NodeId, bucket: SimDuration) {
-        self.series = Some(Series {
-            bucket,
-            watch,
-            delivered_bytes: Vec::new(),
-        });
+        match &mut self.series {
+            None => {
+                self.series = Some(Series {
+                    bucket,
+                    watch,
+                    delivered_bytes: Vec::new(),
+                    extra: Vec::new(),
+                });
+            }
+            Some(s) => {
+                if s.watch == watch || s.extra.iter().any(|(n, _)| *n == watch) {
+                    return;
+                }
+                s.extra.push((watch, Vec::new()));
+            }
+        }
     }
 
     /// Record a packet emission.
@@ -216,10 +265,12 @@ impl Stats {
         c.delivered_bytes += pkt.size as u64;
         c.delivered_hops += pkt.hops as u64;
         c.delivered_byte_hops += pkt.size as u64 * pkt.hops as u64;
+        self.hist
+            .e2e_latency_ns
+            .record(now.saturating_since(pkt.sent_at).as_nanos());
+        self.hist.hop_count.record(pkt.hops as u64);
         if let Some(s) = &mut self.series {
-            if s.watch == node {
-                s.record(now, pkt.provenance.class, pkt.size);
-            }
+            s.record_at(now, node, pkt.provenance.class, pkt.size);
         }
     }
 
@@ -415,6 +466,46 @@ mod tests {
         assert_eq!(series.delivered_bytes[0][li], 500);
         assert_eq!(series.delivered_bytes[1][li], 0);
         assert_eq!(series.delivered_bytes[2][li], 500);
+    }
+
+    #[test]
+    fn series_watches_multiple_nodes() {
+        let mut s = Stats::new();
+        s.watch(NodeId(1), SimDuration::from_millis(100));
+        s.watch(NodeId(9), SimDuration::from_millis(100));
+        s.watch(NodeId(1), SimDuration::from_millis(100)); // duplicate: no-op
+        let p = mk(TrafficClass::LegitReply, 500, 1);
+        s.record_delivered(SimTime::from_millis(50), NodeId(1), &p);
+        s.record_delivered(SimTime::from_millis(250), NodeId(9), &p);
+        // A delivery at an unwatched node is not sampled anywhere.
+        s.record_delivered(SimTime::from_millis(250), NodeId(4), &p);
+        let series = s.series.as_ref().unwrap();
+        assert_eq!(
+            series.watched_nodes().collect::<Vec<_>>(),
+            vec![NodeId(1), NodeId(9)]
+        );
+        let li = class_index(TrafficClass::LegitReply);
+        let first = series.for_node(NodeId(1)).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0][li], 500);
+        let extra = series.for_node(NodeId(9)).unwrap();
+        assert_eq!(extra.len(), 3);
+        assert_eq!(extra[2][li], 500);
+        assert!(series.for_node(NodeId(4)).is_none());
+        // The original single-node view is untouched by extra watches.
+        assert_eq!(series.delivered_bytes[0][li], 500);
+    }
+
+    #[test]
+    fn delivery_telemetry_histograms_update() {
+        let mut s = Stats::new();
+        let mut p = mk(TrafficClass::LegitRequest, 100, 3);
+        p.sent_at = SimTime::from_millis(10);
+        s.record_sent(&p);
+        s.record_delivered(SimTime::from_millis(14), NodeId(1), &p);
+        assert_eq!(s.hist.e2e_latency_ns.count(), 1);
+        assert_eq!(s.hist.e2e_latency_ns.max(), 4_000_000);
+        assert_eq!(s.hist.hop_count.max(), 3);
     }
 
     #[test]

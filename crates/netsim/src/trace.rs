@@ -1,0 +1,955 @@
+//! Packet flight recorder and telemetry: deterministic lifecycle tracing,
+//! log2 histograms and per-link utilization sampling (DESIGN.md §6.4).
+//!
+//! The simulator emits a [`TraceEvent`] at each step of a packet's life —
+//! emission, per-hop link admission or tail drop (with the instantaneous
+//! virtual-queue backlog), module verdicts from agents (ingress filters,
+//! adaptive devices), and final delivery. Events flow into a [`TraceSink`];
+//! the stock sink is a bounded ring buffer ([`FlightRecorder`]) exportable
+//! as JSONL.
+//!
+//! Determinism is load-bearing: whether a packet is traced is decided by a
+//! [`Sampler`] hashing the packet id against a seed-derived salt — never by
+//! wall-clock, thread identity or sink back-pressure — so the same topology
+//! + seed + sampling rate reproduces a byte-identical JSONL file on every
+//! platform, and a sampled trace is an exact subset of the full trace.
+//!
+//! The disabled path is one branch: with no sink installed,
+//! [`Tracer::wants`] is a `None` check and no event is ever constructed.
+//! The `trace_overhead` bench in `dtcs-bench` holds this to ≤2% on the
+//! engine hot path.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::node::{LinkId, NodeId};
+use crate::packet::{Packet, Proto, TrafficClass};
+use crate::rng::child_seed;
+use crate::stats::DropReason;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// Stream label used to derive the trace sampler's salt from the simulator
+/// seed (see [`crate::rng::child_seed`]); distinct from every workload
+/// stream so enabling tracing perturbs no other randomness.
+pub const TRACE_STREAM_LABEL: u64 = 0x7472_6163_653a_3031; // "trace:01"
+
+/// One step in a traced packet's life.
+///
+/// Every variant carries the wall-sim timestamp `t` (nanoseconds) and the
+/// packet id `pkt`; drop-flavoured variants also carry the ground-truth
+/// class, size and hop count so traces reconcile exactly with
+/// [`crate::stats::Stats`] counters without a join against `Emit` events
+/// (the emission may have been evicted from the ring).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Packet entered the network at `node`.
+    Emit {
+        /// Timestamp (ns).
+        t: u64,
+        /// Packet id.
+        pkt: u64,
+        /// Emitting node.
+        node: NodeId,
+        /// Claimed source address.
+        src: crate::addr::Addr,
+        /// Destination address.
+        dst: crate::addr::Addr,
+        /// Protocol.
+        proto: Proto,
+        /// Ground-truth class.
+        class: TrafficClass,
+        /// Wire size (bytes).
+        size: u32,
+        /// Flow id.
+        flow: u64,
+    },
+    /// Packet admitted to a link's virtual queue while being forwarded out
+    /// of `from`.
+    LinkAdmit {
+        /// Timestamp (ns).
+        t: u64,
+        /// Packet id.
+        pkt: u64,
+        /// Link traversed.
+        link: LinkId,
+        /// Forwarding node.
+        from: NodeId,
+        /// Far endpoint the packet is now in flight toward.
+        to: NodeId,
+        /// Virtual-queue backlog (bytes) ahead of this packet at admission.
+        backlog: u64,
+        /// Arrival instant at the far end (ns).
+        arrive: u64,
+    },
+    /// Packet tail-dropped at a link queue (maps to
+    /// [`DropReason::QueueOverflow`] in [`crate::stats::Stats`]).
+    LinkDrop {
+        /// Timestamp (ns).
+        t: u64,
+        /// Packet id.
+        pkt: u64,
+        /// Congested link.
+        link: LinkId,
+        /// Forwarding node that lost the packet.
+        from: NodeId,
+        /// Virtual-queue backlog (bytes) that forced the drop.
+        backlog: u64,
+        /// Ground-truth class.
+        class: TrafficClass,
+        /// Wire size (bytes).
+        size: u32,
+        /// Hops traversed before the drop.
+        hops: u8,
+    },
+    /// A module (agent chain entry, host, or the engine itself) decided to
+    /// drop the packet at `node`.
+    ModuleVerdict {
+        /// Timestamp (ns).
+        t: u64,
+        /// Packet id.
+        pkt: u64,
+        /// Node where the verdict was rendered.
+        node: NodeId,
+        /// Stable module name ([`crate::agent::NodeAgent::name`], `"host"`
+        /// for receiver overload, `"engine"` for TTL/route/listener drops).
+        module: &'static str,
+        /// Optional module-provided detail (e.g. which filter stage fired),
+        /// staged via [`crate::agent::AgentCtx::trace_verdict_detail`].
+        detail: Option<String>,
+        /// Drop reason recorded in stats.
+        reason: DropReason,
+        /// Ground-truth class.
+        class: TrafficClass,
+        /// Wire size (bytes).
+        size: u32,
+        /// Hops traversed before the drop.
+        hops: u8,
+    },
+    /// Packet consumed by the application at `node`.
+    Deliver {
+        /// Timestamp (ns).
+        t: u64,
+        /// Packet id.
+        pkt: u64,
+        /// Delivering node.
+        node: NodeId,
+        /// Ground-truth class.
+        class: TrafficClass,
+        /// Wire size (bytes).
+        size: u32,
+        /// Path length.
+        hops: u8,
+        /// End-to-end latency (ns) since emission.
+        latency: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kind tag used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Emit { .. } => "emit",
+            TraceEvent::LinkAdmit { .. } => "link_admit",
+            TraceEvent::LinkDrop { .. } => "link_drop",
+            TraceEvent::ModuleVerdict { .. } => "module_verdict",
+            TraceEvent::Deliver { .. } => "deliver",
+        }
+    }
+
+    /// Packet id this event belongs to.
+    pub fn packet_id(&self) -> u64 {
+        match self {
+            TraceEvent::Emit { pkt, .. }
+            | TraceEvent::LinkAdmit { pkt, .. }
+            | TraceEvent::LinkDrop { pkt, .. }
+            | TraceEvent::ModuleVerdict { pkt, .. }
+            | TraceEvent::Deliver { pkt, .. } => *pkt,
+        }
+    }
+
+    /// Timestamp in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Emit { t, .. }
+            | TraceEvent::LinkAdmit { t, .. }
+            | TraceEvent::LinkDrop { t, .. }
+            | TraceEvent::ModuleVerdict { t, .. }
+            | TraceEvent::Deliver { t, .. } => *t,
+        }
+    }
+
+    /// For drop-flavoured events, the `(class, reason)` bucket the drop was
+    /// accounted under in [`crate::stats::Stats::drops`].
+    pub fn drop_bucket(&self) -> Option<(TrafficClass, DropReason)> {
+        match self {
+            TraceEvent::LinkDrop { class, .. } => Some((*class, DropReason::QueueOverflow)),
+            TraceEvent::ModuleVerdict { class, reason, .. } => Some((*class, *reason)),
+            _ => None,
+        }
+    }
+
+    /// Serialise as a single JSON object (one JSONL line, no trailing
+    /// newline). Field order is fixed, integers only plus escaped strings,
+    /// so output is byte-deterministic.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            TraceEvent::Emit {
+                t,
+                pkt,
+                node,
+                src,
+                dst,
+                proto,
+                class,
+                size,
+                flow,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"emit\",\"pkt\":{pkt},\"node\":{},\
+                     \"src\":\"{:?}\",\"dst\":\"{:?}\",\"proto\":\"{proto:?}\",\
+                     \"class\":\"{class:?}\",\"size\":{size},\"flow\":{flow}}}",
+                    node.0, src, dst
+                );
+            }
+            TraceEvent::LinkAdmit {
+                t,
+                pkt,
+                link,
+                from,
+                to,
+                backlog,
+                arrive,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"link_admit\",\"pkt\":{pkt},\
+                     \"link\":{},\"from\":{},\"to\":{},\"backlog\":{backlog},\
+                     \"arrive\":{arrive}}}",
+                    link.0, from.0, to.0
+                );
+            }
+            TraceEvent::LinkDrop {
+                t,
+                pkt,
+                link,
+                from,
+                backlog,
+                class,
+                size,
+                hops,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"link_drop\",\"pkt\":{pkt},\
+                     \"link\":{},\"from\":{},\"backlog\":{backlog},\
+                     \"class\":\"{class:?}\",\"size\":{size},\"hops\":{hops}}}",
+                    link.0, from.0
+                );
+            }
+            TraceEvent::ModuleVerdict {
+                t,
+                pkt,
+                node,
+                module,
+                detail,
+                reason,
+                class,
+                size,
+                hops,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"module_verdict\",\"pkt\":{pkt},\
+                     \"node\":{},\"module\":\"",
+                    node.0
+                );
+                json_escape_into(module, out);
+                out.push('"');
+                if let Some(d) = detail {
+                    out.push_str(",\"detail\":\"");
+                    json_escape_into(d, out);
+                    out.push('"');
+                }
+                let _ = write!(
+                    out,
+                    ",\"reason\":\"{reason:?}\",\"class\":\"{class:?}\",\
+                     \"size\":{size},\"hops\":{hops}}}"
+                );
+            }
+            TraceEvent::Deliver {
+                t,
+                pkt,
+                node,
+                class,
+                size,
+                hops,
+                latency,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"deliver\",\"pkt\":{pkt},\"node\":{},\
+                     \"class\":\"{class:?}\",\"size\":{size},\"hops\":{hops},\
+                     \"latency_ns\":{latency}}}",
+                    node.0
+                );
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Receiver of trace events. Implementations must not feed decisions back
+/// into the simulation (observation only) — determinism of the simulated
+/// world never depends on the sink.
+pub trait TraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// Bounded ring-buffer flight recorder: keeps the most recent `capacity`
+/// events, evicting the oldest (and counting evictions) when full.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// Recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let cap = capacity.max(1);
+        FlightRecorder {
+            cap,
+            // Pre-size moderately; very large caps grow on demand so an
+            // over-provisioned recorder costs nothing up front.
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted to make room (oldest-first policy).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Serialise the held events as JSONL (one event per line, oldest
+    /// first, trailing newline).
+    pub fn export_jsonl_string(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 96);
+        for ev in &self.buf {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the held events as JSONL to `w`.
+    pub fn export_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.export_jsonl_string().as_bytes())
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev);
+        self.recorded += 1;
+    }
+}
+
+/// Shared-handle sink: scenario code keeps one `Arc` clone to read the
+/// recorder after the run while the simulator owns the other.
+impl TraceSink for Arc<Mutex<FlightRecorder>> {
+    fn record(&mut self, ev: TraceEvent) {
+        self.lock()
+            .expect("flight recorder mutex poisoned")
+            .record(ev);
+    }
+}
+
+/// Deterministic per-packet sampling decision: a packet is traced iff a
+/// SplitMix64 hash of its id against a seed-derived salt falls in the
+/// configured residue class. No state, no wall-clock — the decision for a
+/// given `(seed, rate, packet id)` is a pure function, so sampled traces
+/// are reproducible and are subsets of fuller traces at the same seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sampler {
+    one_in: u64,
+    salt: u64,
+}
+
+impl Sampler {
+    /// Trace every packet.
+    pub fn all() -> Sampler {
+        Sampler { one_in: 1, salt: 0 }
+    }
+
+    /// Trace one packet in `n` (n ≥ 1), keyed by `salt`.
+    pub fn one_in(n: u64, salt: u64) -> Sampler {
+        Sampler {
+            one_in: n.max(1),
+            salt,
+        }
+    }
+
+    /// Sampling denominator (1 = every packet).
+    pub fn rate(&self) -> u64 {
+        self.one_in
+    }
+
+    /// Is this packet id in the sample?
+    #[inline]
+    pub fn admits(&self, pkt_id: u64) -> bool {
+        if self.one_in <= 1 {
+            return true;
+        }
+        child_seed(self.salt, pkt_id) % self.one_in == 0
+    }
+}
+
+/// The simulator's trace front-end: owns the optional sink, the sampler,
+/// and a one-slot staging area for module verdict detail strings.
+///
+/// With no sink installed every entry point reduces to a single branch on
+/// `Option::None`; no event is constructed and nothing allocates.
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+    sampler: Sampler,
+    /// Salt reserved at construction (from the simulator seed) so the
+    /// sampler keys off simulation identity, never the enabling call site.
+    salt: u64,
+    detail: Option<String>,
+}
+
+impl Tracer {
+    /// Disabled tracer for a simulation seeded with `seed`.
+    pub(crate) fn disabled(seed: u64) -> Tracer {
+        Tracer {
+            sink: None,
+            sampler: Sampler::all(),
+            salt: child_seed(seed, TRACE_STREAM_LABEL),
+            detail: None,
+        }
+    }
+
+    /// Install `sink`, tracing one packet in `one_in` (1 = every packet).
+    pub(crate) fn enable(&mut self, sink: Box<dyn TraceSink>, one_in: u64) {
+        self.sampler = Sampler::one_in(one_in, self.salt);
+        self.sink = Some(sink);
+    }
+
+    /// Remove and return the sink, disabling tracing.
+    pub(crate) fn disable(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.detail = None;
+        self.sink.take()
+    }
+
+    /// Is tracing enabled at all?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Should events for this packet id be recorded? One branch when
+    /// disabled — this is the hot-path gate.
+    #[inline]
+    pub fn wants(&self, pkt_id: u64) -> bool {
+        match self.sink {
+            None => false,
+            Some(_) => self.sampler.admits(pkt_id),
+        }
+    }
+
+    /// Record an event (caller has already checked [`Tracer::wants`]).
+    #[inline]
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(ev);
+        }
+    }
+
+    /// Stage a detail string for the next module verdict event.
+    pub(crate) fn stage_detail(&mut self, detail: String) {
+        self.detail = Some(detail);
+    }
+
+    /// Take (and clear) any staged verdict detail.
+    #[inline]
+    pub(crate) fn take_detail(&mut self) -> Option<String> {
+        self.detail.take()
+    }
+
+    /// Drop any staged detail (a module staged detail but then forwarded).
+    #[inline]
+    pub(crate) fn clear_detail(&mut self) {
+        if self.detail.is_some() {
+            self.detail = None;
+        }
+    }
+}
+
+/// Power-of-two-bucket histogram over `u64` values, allocation-free on
+/// record: bucket `0` holds exact zeros, bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range.
+#[derive(Clone, Copy, Debug)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram {
+            counts: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// Empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket (used for conservative percentile
+    /// estimates).
+    pub fn bucket_upper(idx: usize) -> u64 {
+        if idx == 0 {
+            0
+        } else if idx >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << idx) - 1
+        }
+    }
+
+    /// Record one value. No allocation, no branching beyond the zero check.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.counts
+    }
+
+    /// Conservative (upper-bound) estimate of the `q`-quantile,
+    /// `0.0 ≤ q ≤ 1.0`: the upper edge of the first bucket whose cumulative
+    /// count reaches `q · n`. Returns 0 when empty.
+    pub fn quantile_upper(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                // The top occupied bucket is bounded by the exact max.
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// One-line summary: `n=…, mean=…, p50≤…, p99≤…, max=…`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:.1} p50<={} p99<={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile_upper(0.50),
+            self.quantile_upper(0.99),
+            self.max
+        )
+    }
+}
+
+/// Always-on engine telemetry histograms, embedded in
+/// [`crate::stats::Stats`]. Recording is allocation-free and cheap enough
+/// to leave enabled unconditionally (a few adds per packet event).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TelemetryHistograms {
+    /// Per-hop virtual-queue wait experienced by admitted packets (ns).
+    pub queue_delay_ns: Log2Histogram,
+    /// End-to-end latency of delivered packets (ns since emission).
+    pub e2e_latency_ns: Log2Histogram,
+    /// Path length of delivered packets (hops).
+    pub hop_count: Log2Histogram,
+}
+
+impl TelemetryHistograms {
+    /// Merge another set into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &TelemetryHistograms) {
+        self.queue_delay_ns.merge(&other.queue_delay_ns);
+        self.e2e_latency_ns.merge(&other.e2e_latency_ns);
+        self.hop_count.merge(&other.hop_count);
+    }
+}
+
+/// Per-direction activity in one utilization sampling window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkDirUtil {
+    /// Link index.
+    pub link: usize,
+    /// Direction index ([`crate::link::Link::dir_index`]).
+    pub dir: usize,
+    /// Bytes admitted during the window.
+    pub bytes: u64,
+    /// Packets tail-dropped during the window.
+    pub dropped_pkts: u64,
+    /// Window utilization in `[0, 1]` (admitted bits over capacity·window).
+    pub util: f64,
+}
+
+/// One utilization snapshot: all link directions that saw traffic or drops
+/// during the window ending at `t`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UtilSnapshot {
+    /// Window end (ns).
+    pub t: u64,
+    /// Window length (ns).
+    pub window_ns: u64,
+    /// Active directions, ascending `(link, dir)`.
+    pub dirs: Vec<LinkDirUtil>,
+}
+
+/// Samples [`crate::link::LinkDir`] counters on a fixed cadence and turns
+/// the deltas into per-window utilization snapshots. Driven by the
+/// simulator's event loop (see `Simulator::enable_util_probe`) so sampling
+/// instants are simulated time, deterministic, and bounded by an explicit
+/// horizon — the probe never keeps an otherwise-idle simulation alive
+/// past `until`.
+#[derive(Debug)]
+pub struct LinkUtilProbe {
+    cadence: SimDuration,
+    until: SimTime,
+    last_sample: SimTime,
+    /// `(bytes_sent, pkts_dropped)` per direction at the previous sample.
+    prev: Vec<[(u64, u64); 2]>,
+    snapshots: Vec<UtilSnapshot>,
+}
+
+impl LinkUtilProbe {
+    /// Probe sampling every `cadence` until (and including) `until`.
+    pub fn new(cadence: SimDuration, until: SimTime) -> LinkUtilProbe {
+        LinkUtilProbe {
+            cadence: SimDuration(cadence.0.max(1)),
+            until,
+            last_sample: SimTime::ZERO,
+            prev: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Sampling cadence.
+    pub fn cadence(&self) -> SimDuration {
+        self.cadence
+    }
+
+    /// Sampling horizon.
+    pub fn until(&self) -> SimTime {
+        self.until
+    }
+
+    /// Record the current counters as the window baseline without emitting
+    /// a snapshot (called once when the probe is enabled mid-run, so the
+    /// first window does not absorb pre-probe traffic).
+    pub fn baseline(&mut self, topo: &Topology, now: SimTime) {
+        self.prev.clear();
+        self.prev.extend(
+            topo.links
+                .iter()
+                .map(|l| [0, 1].map(|di| (l.dirs[di].bytes_sent, l.dirs[di].pkts_dropped))),
+        );
+        self.last_sample = now;
+    }
+
+    /// Take one sample of every link direction at `now`.
+    pub fn sample(&mut self, topo: &Topology, now: SimTime) {
+        if self.prev.len() != topo.links.len() {
+            self.prev.resize(topo.links.len(), [(0, 0); 2]);
+        }
+        let window_ns = now.saturating_since(self.last_sample).0;
+        let window_s = SimDuration(window_ns).as_secs_f64();
+        let mut dirs = Vec::new();
+        for (li, link) in topo.links.iter().enumerate() {
+            for di in 0..2 {
+                let d = &link.dirs[di];
+                let (pb, pd) = self.prev[li][di];
+                let bytes = d.bytes_sent.saturating_sub(pb);
+                let dropped_pkts = d.pkts_dropped.saturating_sub(pd);
+                self.prev[li][di] = (d.bytes_sent, d.pkts_dropped);
+                if bytes == 0 && dropped_pkts == 0 {
+                    continue;
+                }
+                let util = if window_s > 0.0 {
+                    (bytes as f64 * 8.0) / (link.bandwidth_bps * window_s)
+                } else {
+                    0.0
+                };
+                dirs.push(LinkDirUtil {
+                    link: li,
+                    dir: di,
+                    bytes,
+                    dropped_pkts,
+                    util,
+                });
+            }
+        }
+        self.last_sample = now;
+        self.snapshots.push(UtilSnapshot {
+            t: now.0,
+            window_ns,
+            dirs,
+        });
+    }
+
+    /// Snapshots taken so far, chronological.
+    pub fn snapshots(&self) -> &[UtilSnapshot] {
+        &self.snapshots
+    }
+
+    /// Highest single-window direction utilization observed (0.0 when no
+    /// traffic was sampled).
+    pub fn peak_util(&self) -> f64 {
+        self.snapshots
+            .iter()
+            .flat_map(|s| s.dirs.iter())
+            .map(|d| d.util)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn ev(pkt: u64) -> TraceEvent {
+        TraceEvent::Deliver {
+            t: 10,
+            pkt,
+            node: NodeId(1),
+            class: TrafficClass::Background,
+            size: 64,
+            hops: 3,
+            latency: 1000,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.evicted(), 2);
+        let ids: Vec<u64> = r.events().map(|e| e.packet_id()).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn jsonl_shape_and_escaping() {
+        let mut r = FlightRecorder::new(8);
+        r.record(TraceEvent::Emit {
+            t: 0,
+            pkt: 7,
+            node: NodeId(2),
+            src: Addr::new(NodeId(2), 1),
+            dst: Addr::new(NodeId(5), 1),
+            proto: Proto::Udp,
+            class: TrafficClass::LegitRequest,
+            size: 100,
+            flow: 9,
+        });
+        r.record(TraceEvent::ModuleVerdict {
+            t: 5,
+            pkt: 7,
+            node: NodeId(3),
+            module: "dev\"ice",
+            detail: Some("stage \\1\n".into()),
+            reason: DropReason::DeviceFilter,
+            class: TrafficClass::LegitRequest,
+            size: 100,
+            hops: 1,
+        });
+        let out = r.export_jsonl_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":0,\"kind\":\"emit\",\"pkt\":7,"));
+        assert!(lines[0].contains("\"src\":\"2.1\""));
+        assert!(lines[1].contains("\"module\":\"dev\\\"ice\""));
+        assert!(lines[1].contains("\"detail\":\"stage \\\\1\\n\""));
+        assert!(lines[1].contains("\"reason\":\"DeviceFilter\""));
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_roughly_fair() {
+        let s = Sampler::one_in(8, 0xABCD);
+        let picks: Vec<bool> = (0..10_000).map(|id| s.admits(id)).collect();
+        let again: Vec<bool> = (0..10_000).map(|id| s.admits(id)).collect();
+        assert_eq!(picks, again);
+        let hits = picks.iter().filter(|&&b| b).count();
+        // 1/8 of 10k = 1250; allow generous slack for hash variance.
+        assert!((900..=1600).contains(&hits), "hits={hits}");
+        assert!(Sampler::all().admits(12345));
+        // Different salts select different subsets.
+        let other = Sampler::one_in(8, 0xEF01);
+        assert_ne!(
+            picks,
+            (0..10_000).map(|id| other.admits(id)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_upper(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper(2), 3);
+        for v in [0u64, 1, 2, 3, 4, 255, 256, u64::MAX] {
+            let b = Log2Histogram::bucket_of(v);
+            assert!(v <= Log2Histogram::bucket_upper(b));
+            if b > 0 {
+                assert!(v > Log2Histogram::bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_merge() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        // p50: 3rd of 5 values (sorted: 0,1,2,3,100) is 2 -> bucket [2,3].
+        assert_eq!(h.quantile_upper(0.5), 3);
+        assert_eq!(h.quantile_upper(1.0), 100);
+        let mut other = Log2Histogram::new();
+        other.record(7);
+        h.merge(&other);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.buckets()[3], 1, "the merged 7 lands in the [4,7] bucket");
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile_upper(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}
