@@ -50,6 +50,10 @@ const INDEX: &[(&str, &str)] = &[
         "e12",
         "ISP incentives: attack bandwidth saved per provider [Sec. 4.6]",
     ),
+    (
+        "e13",
+        "Control-plane fault sweep: loss × MTBF vs convergence [Sec. 5.1]",
+    ),
 ];
 
 fn main() {

@@ -132,6 +132,7 @@ fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
         limit_bytes_per_sec: 20_000.0,
     };
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner,
         stage: svc.stage(),
         spec: svc.compile(),

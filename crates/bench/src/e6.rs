@@ -71,6 +71,7 @@ fn rules_vs_subscribers(subscribers: &[usize]) -> Vec<RuleRow> {
                 });
                 for s in &services {
                     dev.apply(DeviceCommand::InstallService {
+                        txn: 0,
                         owner,
                         stage: s.stage(),
                         spec: s.compile(),
@@ -104,6 +105,7 @@ fn device_throughput(owners: usize, pkts: u64) -> ThroughputRow {
             contact: NodeId(0),
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner,
             stage: Stage::Dst,
             spec: CatalogService::FirewallBlock {

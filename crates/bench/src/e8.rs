@@ -138,6 +138,7 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
     let mut rejected = 0;
     for (_, spec, _) in adversarial_corpus() {
         let reply = dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner: OwnerId(1),
             stage: Stage::Dst,
             spec: ServiceSpec::chain("adv", vec![spec]),
@@ -165,6 +166,7 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
     });
     // A hair-trigger that fires/relieves constantly: an event storm.
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner,
         stage: Stage::Dst,
         spec: ServiceSpec::chain(
@@ -279,6 +281,7 @@ fn storm_with_budget(ratio: f64, floor: u64) -> (u64, u64, u64, u64) {
         contact: NodeId(2),
     });
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner,
         stage: Stage::Dst,
         spec: ServiceSpec::chain(

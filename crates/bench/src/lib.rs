@@ -10,6 +10,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -51,7 +52,7 @@ type ExperimentEntry = (&'static str, fn(&RunOpts) -> Report);
 /// [`ALL`] and [`run_experiment`] both derive from this table, so adding
 /// an experiment (say e13) is one new row here plus its module; the id
 /// list and the dispatch can no longer drift apart.
-pub const EXPERIMENTS: [ExperimentEntry; 12] = [
+pub const EXPERIMENTS: [ExperimentEntry; 13] = [
     ("e1", e1::run),
     ("e2", e2::run),
     ("e3", e3::run),
@@ -64,6 +65,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 12] = [
     ("e10", e10::run),
     ("e11", e11::run),
     ("e12", e12::run),
+    ("e13", e13::run),
 ];
 
 /// All experiment ids in order (derived from [`EXPERIMENTS`]).

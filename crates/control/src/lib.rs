@@ -14,6 +14,7 @@ pub mod authority;
 pub mod catalog;
 pub mod identity;
 pub mod plane;
+pub mod retry;
 pub mod scenario;
 
 pub use authority::InternetNumberAuthority;
@@ -21,6 +22,8 @@ pub use catalog::CatalogService;
 pub use identity::{Certificate, UserId};
 pub use plane::{
     AuthorityAgent, CpMsg, DeployScope, Envelope, IspContract, NmsAgent, RegistrationError, Role,
-    TcspAgent, TcspHandle, TcspStats, UserAgent, UserHandle, UserOp, UserRecord, TOKEN_REGISTER,
+    TcspAgent, TcspHandle, TcspStats, UserAgent, UserHandle, UserOp, UserRecord, RECONCILE_TXN,
+    TOKEN_REGISTER, TOKEN_SWEEP,
 };
+pub use retry::{CpStats, CpStatsHandle, Dedup, MsgKey, Retransmitter, RetryEvent, RetryPolicy};
 pub use scenario::{partition_by_provider, ControlPlane};

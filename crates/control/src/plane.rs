@@ -16,13 +16,23 @@
 //!   is unreachable (Sec. 5.1: "particularly useful if … the TCSP can no
 //!   longer be reached, e.g. because of an ongoing DDoS attack on the
 //!   TCSP").
+//!
+//! The channel between agents is *faulty* when a
+//! [`FaultPlane`](dtcs_netsim::FaultPlane) is installed: any message may
+//! be dropped, duplicated, or delayed, and devices may crash. Every
+//! request therefore carries a [`MsgKey`] and is retransmitted on a capped
+//! exponential backoff until acked (see [`retry`](crate::retry));
+//! receivers deduplicate by key and answer duplicate requests from
+//! done-caches, so the end-to-end effect of every transaction is
+//! exactly-once. Services lost to device crashes are re-provisioned by the
+//! NMS anti-entropy sweep ([`NmsAgent::with_reconcile`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dtcs_device::{DeviceCommand, DeviceReply, OwnerId, Stage};
+use dtcs_device::{DeviceCommand, DeviceReply, OwnerId, ServiceSpec, Stage};
 use dtcs_netsim::{
     AgentCtx, ControlMsg, LinkId, NodeAgent, NodeId, Packet, Prefix, SimDuration, SimTime, Verdict,
 };
@@ -30,6 +40,7 @@ use dtcs_netsim::{
 use crate::authority::InternetNumberAuthority;
 use crate::catalog::CatalogService;
 use crate::identity::{Certificate, UserId};
+use crate::retry::{CpStatsHandle, Dedup, MsgKey, Retransmitter, RetryEvent, RetryPolicy};
 
 /// Per-message processing overhead added on top of path propagation.
 const PROC_DELAY: SimDuration = SimDuration(2_000_000); // 2 ms
@@ -59,7 +70,8 @@ pub enum RegistrationError {
 /// Control-plane messages.
 #[derive(Clone, Debug)]
 pub enum CpMsg {
-    /// User → TCSP: register for the TC service (Fig. 4).
+    /// User → TCSP: register for the TC service (Fig. 4). The
+    /// transaction is identified by the envelope's [`MsgKey`].
     RegisterRequest {
         /// The requesting user.
         user: UserId,
@@ -124,6 +136,8 @@ pub enum CpMsg {
     NmsAck {
         /// Transaction id.
         txn: u64,
+        /// The acking NMS node (dedup key for multi-ISP fan-in).
+        from_nms: NodeId,
         /// Devices successfully configured.
         configured: usize,
         /// Installs rejected by device safety verifiers.
@@ -139,6 +153,10 @@ pub enum CpMsg {
         rejected: usize,
         /// ISPs that acked.
         isps: usize,
+        /// ISPs that never acked within the deadline / retry budget
+        /// (non-zero marks a *partial* confirmation; the reconciliation
+        /// sweep repairs the gap later).
+        isps_missing: usize,
     },
     /// User → NMS or TCSP: post-deployment operation (activate, tune,
     /// read logs) relayed to devices.
@@ -152,6 +170,24 @@ pub enum CpMsg {
         /// Node to confirm to.
         reply_to: NodeId,
     },
+}
+
+impl CpMsg {
+    /// Stable discriminant for dedup keys (one transaction can produce
+    /// several message kinds; each deduplicates independently).
+    pub fn kind_id(&self) -> u8 {
+        match self {
+            CpMsg::RegisterRequest { .. } => 1,
+            CpMsg::VerifyOwnership { .. } => 2,
+            CpMsg::OwnershipResult { .. } => 3,
+            CpMsg::RegisterConfirm { .. } => 4,
+            CpMsg::DeployRequest { .. } => 5,
+            CpMsg::NmsDeploy { .. } => 6,
+            CpMsg::NmsAck { .. } => 7,
+            CpMsg::DeployConfirm { .. } => 8,
+            CpMsg::OpRequest { .. } => 9,
+        }
+    }
 }
 
 /// Which control-plane role a message is addressed to. Several roles can
@@ -170,11 +206,15 @@ pub enum Role {
     Authority,
 }
 
-/// Role-addressed control-plane message.
+/// Role-addressed control-plane message. `key` names the transaction
+/// (responses echo the request's origin/txn) so receivers can deduplicate
+/// under at-least-once delivery.
 #[derive(Clone, Debug)]
 pub struct Envelope {
     /// Addressee role.
     pub to: Role,
+    /// Transaction identity (origin, txn, attempt).
+    pub key: MsgKey,
     /// Payload.
     pub msg: CpMsg,
 }
@@ -189,7 +229,33 @@ pub enum UserOp {
     SetModule(Stage, usize, bool),
 }
 
-/// The number authority as an agent.
+// ---------------------------------------------------------------------
+// Timer-token families. Low plain tokens (TOKEN_REGISTER…) keep their
+// historical values; retransmitters and housekeeping timers live in the
+// high 16 bits so they can never collide (see retry::FAMILY_MASK).
+// ---------------------------------------------------------------------
+
+const FAM_USER_REG: u64 = 0x0001 << 48;
+const FAM_USER_DEPLOY: u64 = 0x0002 << 48;
+const FAM_TCSP_VERIFY: u64 = 0x0003 << 48;
+const FAM_TCSP_DEPLOY: u64 = 0x0004 << 48;
+const FAM_TCSP_DEADLINE: u64 = 0x0005 << 48;
+const FAM_NMS_INSTALL: u64 = 0x0006 << 48;
+
+/// Timer token that starts one NMS anti-entropy inventory sweep (the
+/// scenario schedules the first; the agent re-arms itself).
+pub const TOKEN_SWEEP: u64 = 0x0007 << 48;
+
+/// Marker transaction id stamped on reconciliation re-installs. Replies
+/// to these are intentionally untracked: a sweep repairs by repetition —
+/// if the re-install is lost too, the next sweep finds the gap again.
+pub const RECONCILE_TXN: u64 = u64::MAX;
+
+use crate::retry::FAMILY_MASK;
+
+/// The number authority as an agent. Verification is pure, so the agent
+/// is naturally idempotent: a duplicated request just recomputes and
+/// re-sends the same result.
 pub struct AuthorityAgent {
     registry: InternetNumberAuthority,
 }
@@ -236,6 +302,7 @@ impl NodeAgent for AuthorityAgent {
                 delay,
                 Envelope {
                     to: Role::Tcsp,
+                    key: MsgKey::first(env.key.origin, env.key.txn),
                     msg: CpMsg::OwnershipResult { txn: *txn, ok },
                 },
             );
@@ -256,14 +323,29 @@ struct PendingRegistration {
     user: UserId,
     claimed: Vec<Prefix>,
     reply_to: NodeId,
+    /// `(origin, txn)` of the user's request, for the done-cache.
+    user_key: (u64, u64),
 }
 
 struct PendingDeploy {
+    origin: u64,
     reply_to: NodeId,
     awaiting: usize,
+    acked: BTreeSet<NodeId>,
+    missing: usize,
     configured: usize,
     rejected: usize,
-    isps_acked: usize,
+}
+
+/// Cached outcome of a completed deployment, for re-acking duplicates.
+#[derive(Clone, Copy)]
+struct DeployOutcome {
+    origin: u64,
+    reply_to: NodeId,
+    configured: usize,
+    rejected: usize,
+    isps: usize,
+    isps_missing: usize,
 }
 
 /// TCSP observability.
@@ -277,6 +359,8 @@ pub struct TcspStats {
     pub deployments: u64,
     /// Requests dropped because the TCSP was marked unavailable.
     pub dropped_unavailable: u64,
+    /// Deployments confirmed with at least one ISP missing.
+    pub partial_confirms: u64,
 }
 
 /// Shared handle to TCSP stats.
@@ -291,10 +375,19 @@ pub struct TcspAgent {
     /// Availability switch: scenario code flips this to simulate a DDoS
     /// against the TCSP itself (requests are silently dropped).
     available: Arc<Mutex<bool>>,
+    /// How long a deployment may stay pending before the TCSP confirms
+    /// partially with whatever acks it has (`isps_missing` > 0).
+    pub deploy_deadline: SimDuration,
     next_txn: u64,
     pending_reg: BTreeMap<u64, PendingRegistration>,
+    reg_in_flight: BTreeMap<(u64, u64), u64>,
+    reg_done: BTreeMap<(u64, u64), Result<Certificate, RegistrationError>>,
     pending_deploy: BTreeMap<u64, PendingDeploy>,
+    deploy_done: BTreeMap<u64, DeployOutcome>,
+    verify_rt: Retransmitter<u64, (UserId, Vec<Prefix>)>,
+    deploy_rt: Retransmitter<(u64, NodeId), (u64, Certificate, CatalogService, Vec<NodeId>)>,
     stats: TcspHandle,
+    cp: CpStatsHandle,
 }
 
 impl TcspAgent {
@@ -314,14 +407,27 @@ impl TcspAgent {
                 cert_lifetime: SimDuration::from_secs(86_400),
                 isps,
                 available: available.clone(),
+                deploy_deadline: SimDuration::from_secs(30),
                 next_txn: 1,
                 pending_reg: BTreeMap::new(),
+                reg_in_flight: BTreeMap::new(),
+                reg_done: BTreeMap::new(),
                 pending_deploy: BTreeMap::new(),
+                deploy_done: BTreeMap::new(),
+                verify_rt: Retransmitter::new(FAM_TCSP_VERIFY, RetryPolicy::default(), key ^ 0xA),
+                deploy_rt: Retransmitter::new(FAM_TCSP_DEPLOY, RetryPolicy::default(), key ^ 0xB),
                 stats: stats.clone(),
+                cp: CpStatsHandle::default(),
             },
             stats,
             available,
         )
+    }
+
+    /// Share the control-plane-wide reliability counters.
+    pub fn with_cp_stats(mut self, cp: CpStatsHandle) -> TcspAgent {
+        self.cp = cp;
+        self
     }
 
     fn resolve_scope(ctx: &AgentCtx<'_>, managed: &[NodeId], scope: &DeployScope) -> Vec<NodeId> {
@@ -351,6 +457,66 @@ impl TcspAgent {
             }
         }
     }
+
+    fn send_register_confirm(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        reply_to: NodeId,
+        user_key: (u64, u64),
+        result: Result<Certificate, RegistrationError>,
+    ) {
+        let delay = ctx.path_delay(reply_to) + PROC_DELAY;
+        ctx.send_control(
+            reply_to,
+            delay,
+            Envelope {
+                to: Role::User,
+                key: MsgKey::first(user_key.0, user_key.1),
+                msg: CpMsg::RegisterConfirm { result },
+            },
+        );
+    }
+
+    fn send_deploy_confirm(&self, ctx: &mut AgentCtx<'_>, txn: u64, out: DeployOutcome) {
+        let delay = ctx.path_delay(out.reply_to) + PROC_DELAY;
+        ctx.send_control(
+            out.reply_to,
+            delay,
+            Envelope {
+                to: Role::User,
+                key: MsgKey::first(out.origin, txn),
+                msg: CpMsg::DeployConfirm {
+                    txn,
+                    configured: out.configured,
+                    rejected: out.rejected,
+                    isps: out.isps,
+                    isps_missing: out.isps_missing,
+                },
+            },
+        );
+    }
+
+    /// Close out a pending deployment: cache the outcome, confirm to the
+    /// user, and count a partial confirmation when ISPs are missing.
+    fn finish_deploy(&mut self, ctx: &mut AgentCtx<'_>, txn: u64, extra_missing: usize) {
+        let Some(p) = self.pending_deploy.remove(&txn) else {
+            return;
+        };
+        let out = DeployOutcome {
+            origin: p.origin,
+            reply_to: p.reply_to,
+            configured: p.configured,
+            rejected: p.rejected,
+            isps: p.acked.len(),
+            isps_missing: p.missing + extra_missing,
+        };
+        if out.isps_missing > 0 {
+            self.stats.lock().partial_confirms += 1;
+            self.cp.lock().partial_confirms += 1;
+        }
+        self.deploy_done.insert(txn, out);
+        self.send_deploy_confirm(ctx, txn, out);
+    }
 }
 
 impl NodeAgent for TcspAgent {
@@ -365,6 +531,114 @@ impl NodeAgent for TcspAgent {
         _from: Option<LinkId>,
     ) -> Verdict {
         Verdict::Forward
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
+        if token & FAMILY_MASK == FAM_TCSP_DEADLINE {
+            let txn = token & !FAMILY_MASK;
+            if self.pending_deploy.contains_key(&txn) {
+                // Stop chasing the silent ISPs and confirm partially.
+                for isp in self.isps.clone() {
+                    self.deploy_rt.ack(&(txn, isp.nms_node));
+                }
+                let missing = {
+                    let p = &self.pending_deploy[&txn];
+                    p.awaiting - p.acked.len() - p.missing
+                };
+                self.finish_deploy(ctx, txn, missing);
+            }
+            return;
+        }
+        match self.verify_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => return,
+            RetryEvent::Resend {
+                key: txn,
+                dest,
+                payload: (user, prefixes),
+                attempt,
+            } => {
+                self.cp.lock().retransmits += 1;
+                let delay = ctx.path_delay(dest) + PROC_DELAY;
+                ctx.send_control(
+                    dest,
+                    delay,
+                    Envelope {
+                        to: Role::Authority,
+                        key: MsgKey {
+                            origin: 0,
+                            txn,
+                            attempt,
+                        },
+                        msg: CpMsg::VerifyOwnership {
+                            txn,
+                            user,
+                            prefixes,
+                            reply_to: ctx.node,
+                        },
+                    },
+                );
+                return;
+            }
+            RetryEvent::GaveUp { key: txn, .. } => {
+                // Authority unreachable: forget the attempt so a fresh
+                // user retry can restart verification.
+                self.cp.lock().give_ups += 1;
+                if let Some(p) = self.pending_reg.remove(&txn) {
+                    self.reg_in_flight.remove(&p.user_key);
+                }
+                return;
+            }
+        }
+        match self.deploy_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::Resend {
+                key: (txn, nms),
+                payload: (origin, cert, service, nodes),
+                attempt,
+                ..
+            } => {
+                self.cp.lock().retransmits += 1;
+                let delay = ctx.path_delay(nms) + PROC_DELAY;
+                ctx.send_control(
+                    nms,
+                    delay,
+                    Envelope {
+                        to: Role::Nms,
+                        key: MsgKey {
+                            origin,
+                            txn,
+                            attempt,
+                        },
+                        msg: CpMsg::NmsDeploy {
+                            cert,
+                            service,
+                            nodes,
+                            txn,
+                            reply_to: ctx.node,
+                        },
+                    },
+                );
+            }
+            RetryEvent::GaveUp {
+                key: (txn, nms), ..
+            } => {
+                // This ISP never acked: count it missing; confirm
+                // partially once every other ISP resolved.
+                self.cp.lock().give_ups += 1;
+                let finish = match self.pending_deploy.get_mut(&txn) {
+                    Some(p) => {
+                        p.missing += 1;
+                        let _ = nms;
+                        p.acked.len() + p.missing >= p.awaiting
+                    }
+                    None => false,
+                };
+                if finish {
+                    self.finish_deploy(ctx, txn, 0);
+                }
+            }
+        }
     }
 
     fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
@@ -384,22 +658,41 @@ impl NodeAgent for TcspAgent {
                 claimed,
                 reply_to,
             } => {
+                let user_key = env.key.identity();
+                if let Some(result) = self.reg_done.get(&user_key) {
+                    // Completed transaction, duplicated request (the
+                    // confirm was probably lost): re-ack from cache.
+                    self.cp.lock().dup_requests += 1;
+                    self.send_register_confirm(ctx, *reply_to, user_key, result.clone());
+                    return;
+                }
+                if self.reg_in_flight.contains_key(&user_key) {
+                    // Verification already running; its own retransmit
+                    // chain covers the authority leg.
+                    self.cp.lock().dup_requests += 1;
+                    return;
+                }
                 let txn = self.next_txn;
                 self.next_txn += 1;
+                self.reg_in_flight.insert(user_key, txn);
                 self.pending_reg.insert(
                     txn,
                     PendingRegistration {
                         user: *user,
                         claimed: claimed.clone(),
                         reply_to: *reply_to,
+                        user_key,
                     },
                 );
+                self.verify_rt
+                    .track(ctx, txn, self.authority_node, (*user, claimed.clone()));
                 let delay = ctx.path_delay(self.authority_node) + PROC_DELAY;
                 ctx.send_control(
                     self.authority_node,
                     delay,
                     Envelope {
                         to: Role::Authority,
+                        key: MsgKey::first(0, txn),
                         msg: CpMsg::VerifyOwnership {
                             txn,
                             user: *user,
@@ -410,9 +703,12 @@ impl NodeAgent for TcspAgent {
                 );
             }
             CpMsg::OwnershipResult { txn, ok } => {
+                self.verify_rt.ack(txn);
                 let Some(pending) = self.pending_reg.remove(txn) else {
+                    self.cp.lock().dup_responses += 1;
                     return;
                 };
+                self.reg_in_flight.remove(&pending.user_key);
                 let result = if *ok {
                     self.stats.lock().registrations_ok += 1;
                     Ok(Certificate::issue(
@@ -425,15 +721,8 @@ impl NodeAgent for TcspAgent {
                     self.stats.lock().registrations_denied += 1;
                     Err(RegistrationError::OwnershipDenied)
                 };
-                let delay = ctx.path_delay(pending.reply_to) + PROC_DELAY;
-                ctx.send_control(
-                    pending.reply_to,
-                    delay,
-                    Envelope {
-                        to: Role::User,
-                        msg: CpMsg::RegisterConfirm { result },
-                    },
-                );
+                self.reg_done.insert(pending.user_key, result.clone());
+                self.send_register_confirm(ctx, pending.reply_to, pending.user_key, result);
             }
             CpMsg::DeployRequest {
                 cert,
@@ -443,10 +732,20 @@ impl NodeAgent for TcspAgent {
                 reply_to,
                 ..
             } => {
+                if let Some(out) = self.deploy_done.get(txn).copied() {
+                    self.cp.lock().dup_requests += 1;
+                    self.send_deploy_confirm(ctx, *txn, out);
+                    return;
+                }
+                if self.pending_deploy.contains_key(txn) {
+                    self.cp.lock().dup_requests += 1;
+                    return;
+                }
                 if !cert.verify(self.key, ctx.now) {
                     return;
                 }
                 self.stats.lock().deployments += 1;
+                let origin = env.key.origin;
                 let mut awaiting = 0;
                 let isps = self.isps.clone();
                 for isp in &isps {
@@ -455,12 +754,19 @@ impl NodeAgent for TcspAgent {
                         continue;
                     }
                     awaiting += 1;
+                    self.deploy_rt.track(
+                        ctx,
+                        (*txn, isp.nms_node),
+                        isp.nms_node,
+                        (origin, cert.clone(), service.clone(), nodes.clone()),
+                    );
                     let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
                     ctx.send_control(
                         isp.nms_node,
                         delay,
                         Envelope {
                             to: Role::Nms,
+                            key: MsgKey::first(origin, *txn),
                             msg: CpMsg::NmsDeploy {
                                 cert: cert.clone(),
                                 service: service.clone(),
@@ -474,62 +780,45 @@ impl NodeAgent for TcspAgent {
                 self.pending_deploy.insert(
                     *txn,
                     PendingDeploy {
+                        origin,
                         reply_to: *reply_to,
                         awaiting,
+                        acked: BTreeSet::new(),
+                        missing: 0,
                         configured: 0,
                         rejected: 0,
-                        isps_acked: 0,
                     },
                 );
                 if awaiting == 0 {
                     // Nothing matched the scope: confirm immediately.
-                    let delay = ctx.path_delay(*reply_to) + PROC_DELAY;
-                    ctx.send_control(
-                        *reply_to,
-                        delay,
-                        Envelope {
-                            to: Role::User,
-                            msg: CpMsg::DeployConfirm {
-                                txn: *txn,
-                                configured: 0,
-                                rejected: 0,
-                                isps: 0,
-                            },
-                        },
-                    );
-                    self.pending_deploy.remove(txn);
+                    self.finish_deploy(ctx, *txn, 0);
+                } else {
+                    ctx.set_timer(self.deploy_deadline, FAM_TCSP_DEADLINE | *txn);
                 }
             }
             CpMsg::NmsAck {
                 txn,
+                from_nms,
                 configured,
                 rejected,
             } => {
+                self.deploy_rt.ack(&(*txn, *from_nms));
                 let done = {
                     let Some(p) = self.pending_deploy.get_mut(txn) else {
+                        // Late or duplicated ack after completion.
+                        self.cp.lock().dup_responses += 1;
                         return;
                     };
+                    if !p.acked.insert(*from_nms) {
+                        self.cp.lock().dup_responses += 1;
+                        return;
+                    }
                     p.configured += configured;
                     p.rejected += rejected;
-                    p.isps_acked += 1;
-                    p.isps_acked >= p.awaiting
+                    p.acked.len() + p.missing >= p.awaiting
                 };
                 if done {
-                    let p = self.pending_deploy.remove(txn).expect("just checked");
-                    let delay = ctx.path_delay(p.reply_to) + PROC_DELAY;
-                    ctx.send_control(
-                        p.reply_to,
-                        delay,
-                        Envelope {
-                            to: Role::User,
-                            msg: CpMsg::DeployConfirm {
-                                txn: *txn,
-                                configured: p.configured,
-                                rejected: p.rejected,
-                                isps: p.isps_acked,
-                            },
-                        },
-                    );
+                    self.finish_deploy(ctx, *txn, 0);
                 }
             }
             CpMsg::OpRequest {
@@ -549,6 +838,7 @@ impl NodeAgent for TcspAgent {
                         delay,
                         Envelope {
                             to: Role::Nms,
+                            key: env.key,
                             msg: CpMsg::OpRequest {
                                 cert: cert.clone(),
                                 op: *op,
@@ -564,11 +854,34 @@ impl NodeAgent for TcspAgent {
     }
 }
 
+/// Everything an NMS needs to (re-)provision one service on one device:
+/// registration context plus the compiled spec. Stored per in-flight
+/// install and, once confirmed, in the desired-state map the
+/// reconciliation sweep checks against.
+#[derive(Clone)]
+struct InstallJob {
+    owner: OwnerId,
+    prefixes: Vec<Prefix>,
+    contact: NodeId,
+    stage: Stage,
+    spec: ServiceSpec,
+}
+
 struct NmsPendingDeploy {
-    txn: u64,
+    origin: u64,
     reply_to: NodeId,
     reply_role: Role,
-    awaiting: usize,
+    awaiting: BTreeSet<NodeId>,
+    configured: usize,
+    rejected: usize,
+    lost: usize,
+}
+
+#[derive(Clone, Copy)]
+struct NmsDoneAck {
+    origin: u64,
+    reply_to: NodeId,
+    reply_role: Role,
     configured: usize,
     rejected: usize,
 }
@@ -580,7 +893,14 @@ pub struct NmsAgent {
     managed: Vec<NodeId>,
     /// Peer NMS nodes for ISP-to-ISP forwarding.
     peers: Vec<NodeId>,
-    pending: Vec<NmsPendingDeploy>,
+    pending: BTreeMap<u64, NmsPendingDeploy>,
+    done: BTreeMap<u64, NmsDoneAck>,
+    install_rt: Retransmitter<(u64, NodeId), InstallJob>,
+    /// Services this NMS has confirmed installed, per device — the
+    /// reference the anti-entropy sweep compares inventories against.
+    desired: BTreeMap<(NodeId, OwnerId, Stage, u64), InstallJob>,
+    reconcile_every: Option<SimDuration>,
+    cp: CpStatsHandle,
     /// Deployments this NMS has executed (service name, node count).
     pub log: Vec<(String, usize)>,
 }
@@ -592,9 +912,51 @@ impl NmsAgent {
             tcsp_key,
             managed,
             peers,
-            pending: Vec::new(),
+            pending: BTreeMap::new(),
+            done: BTreeMap::new(),
+            install_rt: Retransmitter::new(FAM_NMS_INSTALL, RetryPolicy::default(), tcsp_key ^ 0xC),
+            desired: BTreeMap::new(),
+            reconcile_every: None,
+            cp: CpStatsHandle::default(),
             log: Vec::new(),
         }
+    }
+
+    /// Enable the periodic anti-entropy sweep. The scenario must also
+    /// schedule the first [`TOKEN_SWEEP`] timer; the agent re-arms itself
+    /// every `every` thereafter.
+    pub fn with_reconcile(mut self, every: SimDuration) -> NmsAgent {
+        self.reconcile_every = Some(every);
+        self
+    }
+
+    /// Share the control-plane-wide reliability counters.
+    pub fn with_cp_stats(mut self, cp: CpStatsHandle) -> NmsAgent {
+        self.cp = cp;
+        self
+    }
+
+    fn send_install(&self, ctx: &mut AgentCtx<'_>, node: NodeId, txn: u64, job: &InstallJob) {
+        let delay = ctx.path_delay(node) + PROC_DELAY;
+        ctx.send_control(
+            node,
+            delay,
+            DeviceCommand::RegisterOwner {
+                owner: job.owner,
+                prefixes: job.prefixes.clone(),
+                contact: job.contact,
+            },
+        );
+        ctx.send_control(
+            node,
+            delay + PROC_DELAY,
+            DeviceCommand::InstallService {
+                txn,
+                owner: job.owner,
+                stage: job.stage,
+                spec: job.spec.clone(),
+            },
+        );
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -604,71 +966,93 @@ impl NmsAgent {
         cert: &Certificate,
         service: &CatalogService,
         nodes: &[NodeId],
+        origin: u64,
         txn: u64,
         reply_to: NodeId,
         reply_role: Role,
     ) {
-        let owner = OwnerId(cert.user.0);
-        let stage = service.stage();
-        let spec = service.compile();
-        let contact = reply_to; // telemetry goes to the requesting user
-        let mut sent = 0;
+        let job = InstallJob {
+            owner: OwnerId(cert.user.0),
+            prefixes: cert.prefixes.clone(),
+            contact: reply_to, // telemetry goes to the requesting user
+            stage: service.stage(),
+            spec: service.compile(),
+        };
+        let mut awaiting = BTreeSet::new();
         for &node in nodes {
             if !self.managed.contains(&node) {
                 continue;
             }
+            self.send_install(ctx, node, txn, &job);
+            self.install_rt.track(ctx, (txn, node), node, job.clone());
+            awaiting.insert(node);
+        }
+        self.log.push((job.spec.name.clone(), awaiting.len()));
+        self.pending.insert(
+            txn,
+            NmsPendingDeploy {
+                origin,
+                reply_to,
+                reply_role,
+                awaiting,
+                configured: 0,
+                rejected: 0,
+                lost: 0,
+            },
+        );
+        self.finish_if_done(ctx, txn);
+    }
+
+    fn send_nms_ack(&self, ctx: &mut AgentCtx<'_>, txn: u64, ack: NmsDoneAck) {
+        let delay = ctx.path_delay(ack.reply_to) + PROC_DELAY;
+        ctx.send_control(
+            ack.reply_to,
+            delay,
+            Envelope {
+                to: ack.reply_role,
+                key: MsgKey::first(ack.origin, txn),
+                msg: CpMsg::NmsAck {
+                    txn,
+                    from_nms: ctx.node,
+                    configured: ack.configured,
+                    rejected: ack.rejected,
+                },
+            },
+        );
+    }
+
+    fn finish_if_done(&mut self, ctx: &mut AgentCtx<'_>, txn: u64) {
+        let finished = self
+            .pending
+            .get(&txn)
+            .is_some_and(|p| p.awaiting.is_empty());
+        if !finished {
+            return;
+        }
+        let p = self.pending.remove(&txn).expect("just checked");
+        let ack = NmsDoneAck {
+            origin: p.origin,
+            reply_to: p.reply_to,
+            reply_role: p.reply_role,
+            configured: p.configured,
+            rejected: p.rejected,
+        };
+        self.done.insert(txn, ack);
+        self.send_nms_ack(ctx, txn, ack);
+    }
+
+    /// One anti-entropy round: ask every managed device for its inventory;
+    /// [`DeviceReply::Inventory`] answers are diffed against the
+    /// desired-state map and gaps re-installed.
+    fn sweep(&mut self, ctx: &mut AgentCtx<'_>) {
+        self.cp.lock().reconcile_sweeps += 1;
+        for &node in &self.managed.clone() {
             let delay = ctx.path_delay(node) + PROC_DELAY;
             ctx.send_control(
                 node,
                 delay,
-                DeviceCommand::RegisterOwner {
-                    owner,
-                    prefixes: cert.prefixes.clone(),
-                    contact,
-                },
+                DeviceCommand::QueryInventory { reply_to: ctx.node },
             );
-            ctx.send_control(
-                node,
-                delay + PROC_DELAY,
-                DeviceCommand::InstallService {
-                    owner,
-                    stage,
-                    spec: spec.clone(),
-                },
-            );
-            sent += 1;
-        }
-        self.log.push((spec.name.clone(), sent));
-        self.pending.push(NmsPendingDeploy {
-            txn,
-            reply_to,
-            reply_role,
-            awaiting: sent,
-            configured: 0,
-            rejected: 0,
-        });
-        if sent == 0 {
-            self.finish_if_done(ctx, self.pending.len() - 1);
-        }
-    }
-
-    fn finish_if_done(&mut self, ctx: &mut AgentCtx<'_>, idx: usize) {
-        let p = &self.pending[idx];
-        if p.configured + p.rejected >= p.awaiting {
-            let delay = ctx.path_delay(p.reply_to) + PROC_DELAY;
-            ctx.send_control(
-                p.reply_to,
-                delay,
-                Envelope {
-                    to: p.reply_role,
-                    msg: CpMsg::NmsAck {
-                        txn: p.txn,
-                        configured: p.configured,
-                        rejected: p.rejected,
-                    },
-                },
-            );
-            self.pending.remove(idx);
         }
     }
 }
@@ -687,27 +1071,93 @@ impl NodeAgent for NmsAgent {
         Verdict::Forward
     }
 
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
+        if token == TOKEN_SWEEP {
+            self.sweep(ctx);
+            if let Some(every) = self.reconcile_every {
+                ctx.set_timer(every, TOKEN_SWEEP);
+            }
+            return;
+        }
+        match self.install_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::Resend {
+                key: (txn, node),
+                payload: job,
+                ..
+            } => {
+                self.cp.lock().retransmits += 1;
+                self.send_install(ctx, node, txn, &job);
+            }
+            RetryEvent::GaveUp {
+                key: (txn, node), ..
+            } => {
+                // Device unreachable past the retry budget: report what
+                // we have; the reconciliation sweep repairs it later.
+                self.cp.lock().give_ups += 1;
+                if let Some(p) = self.pending.get_mut(&txn) {
+                    if p.awaiting.remove(&node) {
+                        p.lost += 1;
+                    }
+                }
+                self.finish_if_done(ctx, txn);
+            }
+        }
+    }
+
     fn on_control(&mut self, ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
         if let Some(reply) = msg.get::<DeviceReply>() {
             match reply {
-                DeviceReply::InstallOk { .. } => {
-                    if let Some(idx) = self
-                        .pending
-                        .iter()
-                        .position(|p| p.configured + p.rejected < p.awaiting)
-                    {
-                        self.pending[idx].configured += 1;
-                        self.finish_if_done(ctx, idx);
+                DeviceReply::InstallOk { node, txn, .. } => {
+                    if *txn == RECONCILE_TXN {
+                        return; // repair-by-repetition: untracked
+                    }
+                    if let Some(job) = self.install_rt.take(&(*txn, *node)) {
+                        let hash = job.spec.content_hash();
+                        self.desired
+                            .insert((*node, job.owner, job.stage, hash), job);
+                    }
+                    match self.pending.get_mut(txn) {
+                        Some(p) if p.awaiting.contains(node) => {
+                            p.awaiting.remove(node);
+                            p.configured += 1;
+                            self.finish_if_done(ctx, *txn);
+                        }
+                        _ => {
+                            self.cp.lock().dup_responses += 1;
+                        }
                     }
                 }
-                DeviceReply::InstallRejected { .. } => {
-                    if let Some(idx) = self
-                        .pending
+                DeviceReply::InstallRejected { node, txn, .. } => {
+                    if *txn == RECONCILE_TXN {
+                        return;
+                    }
+                    self.install_rt.take(&(*txn, *node));
+                    match self.pending.get_mut(txn) {
+                        Some(p) if p.awaiting.contains(node) => {
+                            p.awaiting.remove(node);
+                            p.rejected += 1;
+                            self.finish_if_done(ctx, *txn);
+                        }
+                        _ => {
+                            self.cp.lock().dup_responses += 1;
+                        }
+                    }
+                }
+                DeviceReply::Inventory { node, installed } => {
+                    let installed: BTreeSet<(OwnerId, Stage, u64)> =
+                        installed.iter().copied().collect();
+                    let gaps: Vec<(NodeId, InstallJob)> = self
+                        .desired
                         .iter()
-                        .position(|p| p.configured + p.rejected < p.awaiting)
-                    {
-                        self.pending[idx].rejected += 1;
-                        self.finish_if_done(ctx, idx);
+                        .filter(|((n, owner, stage, hash), _)| {
+                            n == node && !installed.contains(&(*owner, *stage, *hash))
+                        })
+                        .map(|((n, ..), job)| (*n, job.clone()))
+                        .collect();
+                    for (n, job) in gaps {
+                        self.cp.lock().reconcile_reinstalls += 1;
+                        self.send_install(ctx, n, RECONCILE_TXN, &job);
                     }
                 }
                 _ => {}
@@ -728,6 +1178,16 @@ impl NodeAgent for NmsAgent {
                 txn,
                 reply_to,
             } => {
+                if let Some(ack) = self.done.get(txn).copied() {
+                    // Our ack was lost; the TCSP retransmitted. Re-ack.
+                    self.cp.lock().dup_requests += 1;
+                    self.send_nms_ack(ctx, *txn, ack);
+                    return;
+                }
+                if self.pending.contains_key(txn) {
+                    self.cp.lock().dup_requests += 1;
+                    return;
+                }
                 if !cert.verify(self.tcsp_key, ctx.now) {
                     return;
                 }
@@ -737,6 +1197,7 @@ impl NodeAgent for NmsAgent {
                     &cert.clone(),
                     &service.clone(),
                     &nodes,
+                    env.key.origin,
                     *txn,
                     *reply_to,
                     Role::Tcsp,
@@ -751,6 +1212,15 @@ impl NodeAgent for NmsAgent {
                 forward_to_peers,
             } => {
                 // Direct user → ISP path (TCSP fallback).
+                if let Some(ack) = self.done.get(txn).copied() {
+                    self.cp.lock().dup_requests += 1;
+                    self.send_nms_ack(ctx, *txn, ack);
+                    return;
+                }
+                if self.pending.contains_key(txn) {
+                    self.cp.lock().dup_requests += 1;
+                    return;
+                }
                 if !cert.verify(self.tcsp_key, ctx.now) {
                     return;
                 }
@@ -760,6 +1230,7 @@ impl NodeAgent for NmsAgent {
                     &cert.clone(),
                     &service.clone(),
                     &nodes,
+                    env.key.origin,
                     *txn,
                     *reply_to,
                     Role::User,
@@ -772,6 +1243,7 @@ impl NodeAgent for NmsAgent {
                             delay,
                             Envelope {
                                 to: Role::Nms,
+                                key: env.key,
                                 msg: CpMsg::DeployRequest {
                                     cert: cert.clone(),
                                     service: service.clone(),
@@ -824,12 +1296,16 @@ pub struct UserRecord {
     pub cert: Option<Certificate>,
     /// Registration denied?
     pub denied: bool,
+    /// RegisterRequest retransmits sent before the confirm arrived.
+    pub register_retries: usize,
     /// Deployment confirmed at.
     pub deploy_confirmed_at: Option<SimTime>,
     /// Devices configured per the confirmation.
     pub devices_configured: usize,
     /// Rejected installs per the confirmation.
     pub installs_rejected: usize,
+    /// ISPs the TCSP reported missing (partial confirmation).
+    pub isps_missing: usize,
     /// ISP acks received on the fallback path.
     pub fallback_acks: usize,
     /// Did the user fall back to direct-ISP deployment?
@@ -869,8 +1345,13 @@ pub struct UserAgent {
     /// peer forwarding on).
     pub fallback_nms: Vec<NodeId>,
     txn: u64,
+    reg_txn: u64,
     record: UserHandle,
     started_deploy: bool,
+    reg_rt: Retransmitter<u64, ()>,
+    deploy_rt: Retransmitter<u64, ()>,
+    dedup: Dedup,
+    cp: CpStatsHandle,
 }
 
 impl UserAgent {
@@ -885,6 +1366,7 @@ impl UserAgent {
         register_at: SimTime,
     ) -> (UserAgent, UserHandle) {
         let record: UserHandle = Arc::new(Mutex::new(UserRecord::default()));
+        let txn = (user.0 << 16) | 1;
         (
             UserAgent {
                 user,
@@ -896,9 +1378,18 @@ impl UserAgent {
                 deploy_timeout: SimDuration::from_secs(5),
                 deploy_delay: SimDuration::ZERO,
                 fallback_nms: Vec::new(),
-                txn: (user.0 << 16) | 1,
+                txn,
+                reg_txn: txn,
                 record: record.clone(),
                 started_deploy: false,
+                reg_rt: Retransmitter::new(FAM_USER_REG, RetryPolicy::default(), user.0 ^ 0xD),
+                deploy_rt: Retransmitter::new(
+                    FAM_USER_DEPLOY,
+                    RetryPolicy::default(),
+                    user.0 ^ 0xE,
+                ),
+                dedup: Dedup::new(),
+                cp: CpStatsHandle::default(),
             },
             record,
         )
@@ -914,6 +1405,67 @@ impl UserAgent {
     pub fn with_deploy_delay(mut self, delay: SimDuration) -> UserAgent {
         self.deploy_delay = delay;
         self
+    }
+
+    /// Share the control-plane-wide reliability counters.
+    pub fn with_cp_stats(mut self, cp: CpStatsHandle) -> UserAgent {
+        self.cp = cp;
+        self
+    }
+
+    fn send_register(&self, ctx: &mut AgentCtx<'_>, attempt: u32) {
+        let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
+        ctx.send_control(
+            self.tcsp_node,
+            delay,
+            Envelope {
+                to: Role::Tcsp,
+                key: MsgKey {
+                    origin: self.user.0,
+                    txn: self.reg_txn,
+                    attempt,
+                },
+                msg: CpMsg::RegisterRequest {
+                    user: self.user,
+                    claimed: self.claim.clone(),
+                    reply_to: ctx.node,
+                },
+            },
+        );
+    }
+
+    fn send_deploy(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        dest: NodeId,
+        to: Role,
+        txn: u64,
+        attempt: u32,
+        forward_to_peers: bool,
+    ) {
+        let cert = { self.record.lock().cert.clone() };
+        let Some(cert) = cert else { return };
+        let delay = ctx.path_delay(dest) + PROC_DELAY;
+        ctx.send_control(
+            dest,
+            delay,
+            Envelope {
+                to,
+                key: MsgKey {
+                    origin: self.user.0,
+                    txn,
+                    attempt,
+                },
+                msg: CpMsg::DeployRequest {
+                    cert,
+                    service: self.service.clone(),
+                    scope: self.scope.clone(),
+                    txn,
+                    reply_to: ctx.node,
+                    forward_to_peers,
+                },
+            },
+        );
     }
 }
 
@@ -934,71 +1486,75 @@ impl NodeAgent for UserAgent {
     fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
         match token {
             TOKEN_REGISTER => {
-                let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
-                ctx.send_control(
-                    self.tcsp_node,
-                    delay,
-                    Envelope {
-                        to: Role::Tcsp,
-                        msg: CpMsg::RegisterRequest {
-                            user: self.user,
-                            claimed: self.claim.clone(),
-                            reply_to: ctx.node,
-                        },
-                    },
-                );
+                self.send_register(ctx, 0);
+                self.reg_rt.track(ctx, self.reg_txn, self.tcsp_node, ());
+                return;
             }
             T_DEPLOY => {
-                let cert = { self.record.lock().cert.clone() };
-                let Some(cert) = cert else { return };
+                if self.record.lock().cert.is_none() {
+                    return;
+                }
                 self.txn += 1;
-                let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
-                ctx.send_control(
-                    self.tcsp_node,
-                    delay,
-                    Envelope {
-                        to: Role::Tcsp,
-                        msg: CpMsg::DeployRequest {
-                            cert,
-                            service: self.service.clone(),
-                            scope: self.scope.clone(),
-                            txn: self.txn,
-                            reply_to: ctx.node,
-                            forward_to_peers: false,
-                        },
-                    },
-                );
+                let txn = self.txn;
+                self.send_deploy(ctx, self.tcsp_node, Role::Tcsp, txn, 0, false);
+                self.deploy_rt.track(ctx, txn, self.tcsp_node, ());
                 ctx.set_timer(self.deploy_timeout, T_TIMEOUT);
+                return;
             }
             T_TIMEOUT => {
                 let confirmed = self.record.lock().deploy_confirmed_at.is_some();
                 if confirmed || self.fallback_nms.is_empty() {
                     return;
                 }
-                // TCSP unreachable: go straight to the ISPs.
-                let cert = { self.record.lock().cert.clone() };
-                let Some(cert) = cert else { return };
+                if self.record.lock().cert.is_none() {
+                    return;
+                }
+                // TCSP unreachable: stop chasing it and go straight to
+                // the ISPs under a fresh transaction.
+                self.deploy_rt.ack(&self.txn);
                 self.record.lock().used_fallback = true;
                 self.txn += 1;
+                let txn = self.txn;
                 let first = self.fallback_nms[0];
-                let delay = ctx.path_delay(first) + PROC_DELAY;
-                ctx.send_control(
-                    first,
-                    delay,
-                    Envelope {
-                        to: Role::Nms,
-                        msg: CpMsg::DeployRequest {
-                            cert,
-                            service: self.service.clone(),
-                            scope: self.scope.clone(),
-                            txn: self.txn,
-                            reply_to: ctx.node,
-                            forward_to_peers: true,
-                        },
-                    },
-                );
+                self.send_deploy(ctx, first, Role::Nms, txn, 0, true);
+                self.deploy_rt.track(ctx, txn, first, ());
+                return;
             }
             _ => {}
+        }
+        match self.reg_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => return,
+            RetryEvent::Resend { attempt, .. } => {
+                self.cp.lock().retransmits += 1;
+                self.record.lock().register_retries += 1;
+                self.send_register(ctx, attempt);
+                return;
+            }
+            RetryEvent::GaveUp { .. } => {
+                self.cp.lock().give_ups += 1;
+                return;
+            }
+        }
+        match self.deploy_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::Resend {
+                key: txn, attempt, ..
+            } => {
+                // Resends chase whichever destination the transaction
+                // targeted: TCSP normally, the first NMS after fallback.
+                self.cp.lock().retransmits += 1;
+                let fallback = self.record.lock().used_fallback;
+                let (dest, to, fwd) = if fallback {
+                    (self.fallback_nms[0], Role::Nms, true)
+                } else {
+                    (self.tcsp_node, Role::Tcsp, false)
+                };
+                self.send_deploy(ctx, dest, to, txn, attempt, fwd);
+            }
+            RetryEvent::GaveUp { .. } => {
+                self.cp.lock().give_ups += 1;
+            }
         }
     }
 
@@ -1009,41 +1565,66 @@ impl NodeAgent for UserAgent {
         if env.to != Role::User {
             return;
         }
+        let kind = env.msg.kind_id();
         match &env.msg {
-            CpMsg::RegisterConfirm { result } => match result {
-                Ok(cert) => {
-                    {
-                        let mut r = self.record.lock();
-                        r.registered_at = Some(ctx.now);
-                        r.cert = Some(cert.clone());
+            CpMsg::RegisterConfirm { result } => {
+                if !self.dedup.first_time(env.key.origin, env.key.txn, kind, 0) {
+                    self.cp.lock().dup_responses += 1;
+                    return;
+                }
+                self.reg_rt.ack(&env.key.txn);
+                match result {
+                    Ok(cert) => {
+                        {
+                            let mut r = self.record.lock();
+                            r.registered_at = Some(ctx.now);
+                            r.cert = Some(cert.clone());
+                        }
+                        if !self.started_deploy {
+                            self.started_deploy = true;
+                            ctx.set_timer(self.deploy_delay, T_DEPLOY);
+                        }
                     }
-                    if !self.started_deploy {
-                        self.started_deploy = true;
-                        ctx.set_timer(self.deploy_delay, T_DEPLOY);
+                    Err(_) => {
+                        self.record.lock().denied = true;
                     }
                 }
-                Err(_) => {
-                    self.record.lock().denied = true;
-                }
-            },
+            }
             CpMsg::DeployConfirm {
                 configured,
                 rejected,
+                isps_missing,
                 ..
             } => {
+                if !self.dedup.first_time(env.key.origin, env.key.txn, kind, 0) {
+                    self.cp.lock().dup_responses += 1;
+                    return;
+                }
+                self.deploy_rt.ack(&env.key.txn);
                 let mut r = self.record.lock();
                 if r.deploy_confirmed_at.is_none() {
                     r.deploy_confirmed_at = Some(ctx.now);
                 }
                 r.devices_configured += configured;
                 r.installs_rejected += rejected;
+                r.isps_missing += isps_missing;
             }
             CpMsg::NmsAck {
+                from_nms,
                 configured,
                 rejected,
                 ..
             } => {
-                // Fallback path: NMS acks come straight to the user.
+                // Fallback path: NMS acks come straight to the user, one
+                // per ISP — dedup keyed by the acking node.
+                if !self
+                    .dedup
+                    .first_time(env.key.origin, env.key.txn, kind, from_nms.0 as u64)
+                {
+                    self.cp.lock().dup_responses += 1;
+                    return;
+                }
+                self.deploy_rt.ack(&env.key.txn);
                 let mut r = self.record.lock();
                 r.fallback_acks += 1;
                 r.devices_configured += configured;

@@ -1,0 +1,349 @@
+//! Reliability primitives for the faulty-channel control plane: capped
+//! exponential backoff with deterministic jitter, a generic retransmitter
+//! that rides the simulator's agent-timer facility, and duplicate
+//! suppression for at-least-once delivery.
+//!
+//! The Fig. 4/5 protocol was written for a lossless channel; under the
+//! [`FaultPlane`](dtcs_netsim::FaultPlane) every control message may be
+//! dropped, duplicated, or delayed. The agents recover by (a) keying every
+//! message with `(origin, txn, attempt)`, (b) retransmitting unacked
+//! requests on a backoff schedule, and (c) deduplicating receipts so a
+//! duplicated ack can never double-count.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dtcs_netsim::rng::child_seed;
+use dtcs_netsim::{AgentCtx, NodeId, SimDuration};
+
+/// Identity of one logical control-plane message. `origin` + `txn` name
+/// the transaction (stable across retries); `attempt` distinguishes
+/// retransmits of the same transaction so traces stay unambiguous.
+/// Responses echo the request's `origin`/`txn`, which is what receivers
+/// deduplicate on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Stable id of the requesting principal (user id, or 0 for
+    /// infrastructure-internal transactions).
+    pub origin: u64,
+    /// Transaction id, chosen by the origin, stable across retries.
+    pub txn: u64,
+    /// Retransmit counter: 0 for the first send.
+    pub attempt: u32,
+}
+
+impl MsgKey {
+    /// Key for the first attempt of a transaction.
+    pub fn first(origin: u64, txn: u64) -> MsgKey {
+        MsgKey {
+            origin,
+            txn,
+            attempt: 0,
+        }
+    }
+
+    /// The dedup identity: everything but the attempt counter.
+    pub fn identity(&self) -> (u64, u64) {
+        (self.origin, self.txn)
+    }
+}
+
+/// Capped exponential backoff: attempt `k` waits
+/// `min(base · 2^k, cap)` plus a deterministic jitter in `[0, rto/4)`.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// First retransmit timeout.
+    pub base: SimDuration,
+    /// Ceiling for the doubled timeout.
+    pub cap: SimDuration,
+    /// Total send attempts (first transmission included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_millis(250),
+            cap: SimDuration::from_secs(2),
+            max_attempts: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retransmit timeout for `attempt` (0-based), jittered by a hash of
+    /// `(seed, slot, attempt)` so concurrent retries decorrelate without
+    /// consulting the simulator RNG (keeps packet-plane streams intact).
+    pub fn rto(&self, seed: u64, slot: u64, attempt: u32) -> SimDuration {
+        let backoff = self
+            .base
+            .0
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.cap.0);
+        let jitter_bits = child_seed(child_seed(seed, slot), attempt as u64) & 0xFFFF;
+        let jitter = (backoff / 4).saturating_mul(jitter_bits) / 65536;
+        SimDuration(backoff + jitter)
+    }
+}
+
+/// What [`Retransmitter::on_timer`] decided about a timer token.
+#[derive(Debug)]
+pub enum RetryEvent<K, T> {
+    /// Token belongs to a different timer family — caller should try its
+    /// other handlers.
+    NotMine,
+    /// Token was ours but the transaction is already acked (stale timer).
+    Stale,
+    /// Retransmit now: the caller re-sends `payload` to `dest` with the
+    /// bumped attempt number, then the next timer is already armed.
+    Resend {
+        /// Transaction key.
+        key: K,
+        /// Destination node.
+        dest: NodeId,
+        /// Cloned payload context for rebuilding the message.
+        payload: T,
+        /// Attempt number to stamp on the resend (1-based retransmits).
+        attempt: u32,
+    },
+    /// Retry budget exhausted; the transaction is dropped from tracking.
+    GaveUp {
+        /// Transaction key.
+        key: K,
+        /// Destination that never acked.
+        dest: NodeId,
+        /// Payload context, for salvage (e.g. partial confirmation).
+        payload: T,
+    },
+}
+
+struct Pending<K, T> {
+    key: K,
+    dest: NodeId,
+    payload: T,
+    attempt: u32,
+}
+
+/// At-least-once sender side: tracks unacked transactions and re-arms an
+/// agent timer per pending entry. Timer tokens are `family | slot` where
+/// `family` occupies the high bits, so several retransmitters (and the
+/// agent's own protocol timers) coexist on one agent without collisions.
+///
+/// There is no timer-cancel facility in the simulator, so acked entries
+/// simply let their timer fire into [`RetryEvent::Stale`] — a no-op.
+pub struct Retransmitter<K, T> {
+    family: u64,
+    policy: RetryPolicy,
+    seed: u64,
+    next_slot: u64,
+    by_key: BTreeMap<K, u64>,
+    slots: BTreeMap<u64, Pending<K, T>>,
+}
+
+/// High-bit mask separating a token's family from its slot.
+pub const FAMILY_MASK: u64 = 0xFFFF_0000_0000_0000;
+
+impl<K: Ord + Copy, T: Clone> Retransmitter<K, T> {
+    /// New retransmitter for `family` (one of the `FAM_*` constants in
+    /// [`plane`](crate::plane)); `seed` decorrelates its jitter stream.
+    pub fn new(family: u64, policy: RetryPolicy, seed: u64) -> Retransmitter<K, T> {
+        debug_assert_eq!(family & !FAMILY_MASK, 0, "family must live in high bits");
+        Retransmitter {
+            family,
+            policy,
+            seed,
+            next_slot: 0,
+            by_key: BTreeMap::new(),
+            slots: BTreeMap::new(),
+        }
+    }
+
+    /// Begin tracking a transaction the caller has just sent (attempt 0)
+    /// and arm its first retransmit timer. Re-tracking a live key resets
+    /// its payload but keeps the backoff schedule.
+    pub fn track(&mut self, ctx: &mut AgentCtx<'_>, key: K, dest: NodeId, payload: T) {
+        if let Some(&slot) = self.by_key.get(&key) {
+            if let Some(p) = self.slots.get_mut(&slot) {
+                p.payload = payload;
+                return;
+            }
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.by_key.insert(key, slot);
+        self.slots.insert(
+            slot,
+            Pending {
+                key,
+                dest,
+                payload,
+                attempt: 0,
+            },
+        );
+        ctx.set_timer(self.policy.rto(self.seed, slot, 0), self.family | slot);
+    }
+
+    /// The transaction completed; stop retransmitting. Returns whether it
+    /// was still tracked (false for duplicate acks).
+    pub fn ack(&mut self, key: &K) -> bool {
+        match self.by_key.remove(key) {
+            Some(slot) => self.slots.remove(&slot).is_some(),
+            None => false,
+        }
+    }
+
+    /// Ack and return the tracked payload (None for duplicate acks).
+    pub fn take(&mut self, key: &K) -> Option<T> {
+        let slot = self.by_key.remove(key)?;
+        self.slots.remove(&slot).map(|p| p.payload)
+    }
+
+    /// Is this transaction still awaiting its ack?
+    pub fn is_pending(&self, key: &K) -> bool {
+        self.by_key.contains_key(key)
+    }
+
+    /// Number of unacked transactions.
+    pub fn pending_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Route an agent-timer token. On [`RetryEvent::Resend`] the caller
+    /// must actually re-send; the follow-up timer is already armed.
+    pub fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) -> RetryEvent<K, T> {
+        if token & FAMILY_MASK != self.family {
+            return RetryEvent::NotMine;
+        }
+        let slot = token & !FAMILY_MASK;
+        let Some(p) = self.slots.get_mut(&slot) else {
+            return RetryEvent::Stale;
+        };
+        p.attempt += 1;
+        if p.attempt >= self.policy.max_attempts {
+            let p = self.slots.remove(&slot).expect("just seen");
+            self.by_key.remove(&p.key);
+            return RetryEvent::GaveUp {
+                key: p.key,
+                dest: p.dest,
+                payload: p.payload,
+            };
+        }
+        ctx.set_timer(
+            self.policy.rto(self.seed, slot, p.attempt),
+            self.family | slot,
+        );
+        RetryEvent::Resend {
+            key: p.key,
+            dest: p.dest,
+            payload: p.payload.clone(),
+            attempt: p.attempt,
+        }
+    }
+}
+
+/// Receiver-side duplicate suppression: remembers `(origin, txn, kind,
+/// extra)` quadruples. `kind` is [`CpMsg::kind_id`](crate::plane::CpMsg)
+/// (one transaction can legitimately produce several message kinds);
+/// `extra` disambiguates multi-party fan-in (e.g. the acking NMS node).
+#[derive(Default)]
+pub struct Dedup {
+    seen: BTreeSet<(u64, u64, u8, u64)>,
+}
+
+impl Dedup {
+    /// New, empty.
+    pub fn new() -> Dedup {
+        Dedup::default()
+    }
+
+    /// True exactly once per quadruple; later calls are duplicates.
+    pub fn first_time(&mut self, origin: u64, txn: u64, kind: u8, extra: u64) -> bool {
+        self.seen.insert((origin, txn, kind, extra))
+    }
+
+    /// Distinct receipts recorded.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// No receipts recorded yet?
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+/// Control-plane-wide reliability counters, shared by every protocol agent
+/// of one installed [`ControlPlane`](crate::scenario::ControlPlane). The
+/// acceptance check reconciles these against the fault plane's own
+/// drop/duplicate counts.
+#[derive(Clone, Debug, Default)]
+pub struct CpStats {
+    /// Messages retransmitted after an RTO expiry (all agents).
+    pub retransmits: u64,
+    /// Transactions abandoned after exhausting the retry budget.
+    pub give_ups: u64,
+    /// Duplicate *requests* answered from a done-cache (re-acked).
+    pub dup_requests: u64,
+    /// Duplicate *responses* suppressed by receiver-side dedup.
+    pub dup_responses: u64,
+    /// Deployments confirmed partially because an ISP never acked.
+    pub partial_confirms: u64,
+    /// Anti-entropy inventory rounds started by NMS agents.
+    pub reconcile_sweeps: u64,
+    /// Services re-installed because a sweep found them missing.
+    pub reconcile_reinstalls: u64,
+}
+
+/// Shared handle to [`CpStats`].
+pub type CpStatsHandle = Arc<Mutex<CpStats>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_backs_off_and_caps() {
+        let p = RetryPolicy::default();
+        let r0 = p.rto(1, 0, 0);
+        let r1 = p.rto(1, 0, 1);
+        let r5 = p.rto(1, 0, 5);
+        // Base grows 250ms → 500ms …; jitter adds at most rto/4.
+        assert!(r0.0 >= SimDuration::from_millis(250).0);
+        assert!(r0.0 < SimDuration::from_millis(313).0);
+        assert!(r1.0 >= SimDuration::from_millis(500).0);
+        assert!(r5.0 >= SimDuration::from_secs(2).0, "capped at 2s");
+        assert!(r5.0 < SimDuration::from_millis(2500).0);
+        // Deterministic.
+        assert_eq!(p.rto(1, 0, 0), p.rto(1, 0, 0));
+        // Different slots jitter differently (with these constants).
+        assert_ne!(p.rto(1, 0, 0), p.rto(1, 7, 0));
+    }
+
+    #[test]
+    fn dedup_admits_once() {
+        let mut d = Dedup::new();
+        assert!(d.first_time(1, 2, 3, 0));
+        assert!(!d.first_time(1, 2, 3, 0));
+        assert!(d.first_time(1, 2, 3, 9), "extra disambiguates");
+        assert!(d.first_time(1, 2, 4, 0), "kind disambiguates");
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn msg_key_identity_ignores_attempt() {
+        let a = MsgKey {
+            origin: 5,
+            txn: 9,
+            attempt: 0,
+        };
+        let b = MsgKey {
+            origin: 5,
+            txn: 9,
+            attempt: 3,
+        };
+        assert_eq!(a.identity(), b.identity());
+        assert_ne!(a, b);
+    }
+}

@@ -8,15 +8,16 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dtcs_device::{AdaptiveDevice, DeviceHandle};
-use dtcs_netsim::{NodeId, NodeRole, Prefix, SimTime, Simulator};
+use dtcs_netsim::{NodeId, NodeRole, Prefix, SimDuration, SimTime, Simulator};
 
 use crate::authority::InternetNumberAuthority;
 use crate::catalog::CatalogService;
 use crate::identity::UserId;
 use crate::plane::{
     AuthorityAgent, DeployScope, IspContract, TcspAgent, TcspHandle, UserAgent, UserHandle,
-    TOKEN_REGISTER,
+    TOKEN_REGISTER, TOKEN_SWEEP,
 };
+use crate::retry::CpStatsHandle;
 
 /// Partition a topology into ISPs: every transit node becomes an ISP
 /// managing itself plus the stub ASes closest to it (ties to the
@@ -76,6 +77,9 @@ pub struct ControlPlane {
     pub tcsp_available: Arc<Mutex<bool>>,
     /// Per-router device handles.
     pub devices: BTreeMap<NodeId, DeviceHandle>,
+    /// Control-plane-wide reliability counters (retransmits, dedup hits,
+    /// reconciliation activity) shared by every protocol agent.
+    pub cp_stats: CpStatsHandle,
     user_seq: u64,
 }
 
@@ -91,10 +95,55 @@ impl ControlPlane {
         authority_node: NodeId,
         isps: Vec<IspContract>,
     ) -> ControlPlane {
+        Self::install_inner(
+            sim,
+            authority,
+            tcsp_key,
+            tcsp_node,
+            authority_node,
+            isps,
+            None,
+        )
+    }
+
+    /// Like [`ControlPlane::install`], with the NMS anti-entropy sweep
+    /// enabled: every `reconcile_every`, each NMS inventories its managed
+    /// devices and re-installs services lost to crashes.
+    pub fn install_with_reconcile(
+        sim: &mut Simulator,
+        authority: InternetNumberAuthority,
+        tcsp_key: u64,
+        tcsp_node: NodeId,
+        authority_node: NodeId,
+        isps: Vec<IspContract>,
+        reconcile_every: SimDuration,
+    ) -> ControlPlane {
+        Self::install_inner(
+            sim,
+            authority,
+            tcsp_key,
+            tcsp_node,
+            authority_node,
+            isps,
+            Some(reconcile_every),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn install_inner(
+        sim: &mut Simulator,
+        authority: InternetNumberAuthority,
+        tcsp_key: u64,
+        tcsp_node: NodeId,
+        authority_node: NodeId,
+        isps: Vec<IspContract>,
+        reconcile_every: Option<SimDuration>,
+    ) -> ControlPlane {
+        let cp_stats = CpStatsHandle::default();
         sim.add_agent(authority_node, Box::new(AuthorityAgent::new(authority)));
         let (tcsp, tcsp_stats, tcsp_available) =
             TcspAgent::new(tcsp_key, authority_node, isps.clone());
-        sim.add_agent(tcsp_node, Box::new(tcsp));
+        sim.add_agent(tcsp_node, Box::new(tcsp.with_cp_stats(cp_stats.clone())));
         let mut devices = BTreeMap::new();
         for isp in &isps {
             let peers: Vec<NodeId> = isps
@@ -102,14 +151,15 @@ impl ControlPlane {
                 .map(|i| i.nms_node)
                 .filter(|&n| n != isp.nms_node)
                 .collect();
-            sim.add_agent(
-                isp.nms_node,
-                Box::new(crate::plane::NmsAgent::new(
-                    tcsp_key,
-                    isp.managed.clone(),
-                    peers,
-                )),
-            );
+            let mut nms = crate::plane::NmsAgent::new(tcsp_key, isp.managed.clone(), peers)
+                .with_cp_stats(cp_stats.clone());
+            if let Some(every) = reconcile_every {
+                nms = nms.with_reconcile(every);
+            }
+            let idx = sim.add_agent(isp.nms_node, Box::new(nms));
+            if let Some(every) = reconcile_every {
+                sim.schedule_agent_timer(isp.nms_node, idx, SimTime::ZERO + every, TOKEN_SWEEP);
+            }
             for &node in &isp.managed {
                 let (dev, handle) = AdaptiveDevice::new(node, Some(isp.nms_node));
                 sim.add_agent(node, Box::new(dev));
@@ -124,6 +174,7 @@ impl ControlPlane {
             tcsp_stats,
             tcsp_available,
             devices,
+            cp_stats,
             user_seq: 1,
         }
     }
@@ -172,6 +223,7 @@ impl ControlPlane {
         self.user_seq += 1;
         let (mut agent, handle) =
             UserAgent::new(user, claim, self.tcsp_node, service, scope, register_at);
+        agent = agent.with_cp_stats(self.cp_stats.clone());
         if fallback {
             agent = agent.with_fallback(self.isps.iter().map(|i| i.nms_node).collect());
         }
@@ -363,6 +415,7 @@ mod tests {
             nms,
             crate::plane::Envelope {
                 to: crate::plane::Role::Nms,
+                key: crate::retry::MsgKey::first(0xAA01, 1),
                 msg: crate::plane::CpMsg::DeployRequest {
                     cert: forged,
                     service: CatalogService::AntiSpoofing,

@@ -47,6 +47,7 @@ fn deploy_for_owner(
                 contact,
             });
             dev.apply(DeviceCommand::InstallService {
+                txn: 0,
                 owner,
                 stage: service.stage(),
                 spec: service.compile(),
@@ -128,6 +129,7 @@ fn trigger_vignette() {
         contact: me,
     });
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner,
         stage: service.stage(),
         spec: service.compile(),

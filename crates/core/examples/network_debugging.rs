@@ -52,6 +52,7 @@ fn main() {
             contact: me,
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner,
             stage: Stage::Src,
             spec: svc.compile(),

@@ -46,11 +46,13 @@ fn main() {
             contact: victim_node,
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner,
             stage: svc_src.stage(),
             spec: svc_src.compile(),
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner,
             stage: dtcs::device::Stage::Dst,
             spec: svc_src.compile(),

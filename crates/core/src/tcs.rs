@@ -148,6 +148,7 @@ pub fn deploy_tcs_static(
         });
         for (stage, spec) in &services {
             let reply = dev.apply(DeviceCommand::InstallService {
+                txn: 0,
                 owner,
                 stage: *stage,
                 spec: spec.clone(),

@@ -33,6 +33,7 @@ fn owners_policies_do_not_leak_onto_each_other() {
         });
     }
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner: OwnerId(1),
         stage: Stage::Dst,
         spec: CatalogService::FirewallBlock {
@@ -41,6 +42,7 @@ fn owners_policies_do_not_leak_onto_each_other() {
         .compile(),
     });
     dev.apply(DeviceCommand::InstallService {
+        txn: 0,
         owner: OwnerId(2),
         stage: Stage::Dst,
         spec: CatalogService::RateLimit {

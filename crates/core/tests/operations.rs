@@ -185,6 +185,7 @@ fn set_active_toggles_a_live_service() {
         tcsp_node,
         dtcs::control::Envelope {
             to: dtcs::control::Role::Tcsp,
+            key: dtcs::control::MsgKey::first(0xAA01, 99),
             msg: dtcs::control::CpMsg::OpRequest {
                 cert: cert.clone(),
                 op: UserOp::SetActive(Stage::Dst, false),
@@ -205,6 +206,7 @@ fn set_active_toggles_a_live_service() {
         tcsp_node,
         dtcs::control::Envelope {
             to: dtcs::control::Role::Tcsp,
+            key: dtcs::control::MsgKey::first(0xAA01, 99),
             msg: dtcs::control::CpMsg::OpRequest {
                 cert,
                 op: UserOp::SetActive(Stage::Dst, true),

@@ -58,7 +58,10 @@ pub enum DeviceCommand {
         /// The owner.
         owner: OwnerId,
     },
-    /// Install (verify + instantiate) a service graph.
+    /// Install (verify + instantiate) a service graph. Idempotent on
+    /// (owner, stage, [`ServiceSpec::content_hash`]): re-installing a
+    /// byte-identical spec acks without touching the running graph, so
+    /// control-plane retransmits cannot reset runtime state.
     InstallService {
         /// Owning user.
         owner: OwnerId,
@@ -66,6 +69,9 @@ pub enum DeviceCommand {
         stage: Stage,
         /// The graph description.
         spec: ServiceSpec,
+        /// Management transaction this install belongs to; echoed in the
+        /// reply so the NMS can attribute acks under retries (0 = none).
+        txn: u64,
     },
     /// Remove a service graph.
     RemoveService {
@@ -116,6 +122,13 @@ pub enum DeviceCommand {
         /// Node to send the [`DeviceReply::LogData`] to.
         reply_to: NodeId,
     },
+    /// Reconciliation support: report every installed service as
+    /// `(owner, stage, spec hash)` so the NMS anti-entropy sweep can
+    /// detect state lost to a crash.
+    QueryInventory {
+        /// Node to send the [`DeviceReply::Inventory`] to.
+        reply_to: NodeId,
+    },
 }
 
 /// Replies a device sends back over the control plane.
@@ -129,6 +142,8 @@ pub enum DeviceReply {
         owner: OwnerId,
         /// Stage.
         stage: Stage,
+        /// Echo of the install command's transaction id.
+        txn: u64,
     },
     /// Safety verifier rejected the spec.
     InstallRejected {
@@ -140,6 +155,8 @@ pub enum DeviceReply {
         stage: Stage,
         /// Why.
         violation: SafetyViolation,
+        /// Echo of the install command's transaction id.
+        txn: u64,
     },
     /// Answer to a [`DeviceCommand::QueryDigest`].
     DigestAnswer {
@@ -158,6 +175,14 @@ pub enum DeviceReply {
         owner: OwnerId,
         /// Collected entries.
         entries: Vec<LogEntry>,
+    },
+    /// Answer to a [`DeviceCommand::QueryInventory`]: everything
+    /// currently installed, as reconciliation keys.
+    Inventory {
+        /// Device node.
+        node: NodeId,
+        /// One entry per installed service graph.
+        installed: Vec<(OwnerId, Stage, u64)>,
     },
 }
 
@@ -182,6 +207,12 @@ pub struct DeviceStats {
     pub rule_count: usize,
     /// Install attempts rejected by the safety verifier.
     pub rejected_installs: u64,
+    /// Installs acked without touching the running graph because the spec
+    /// hash matched what is already installed (retransmit suppression).
+    pub idempotent_installs: u64,
+    /// Crash/reboot cycles this device went through (volatile state —
+    /// owners, services, telemetry budget — was lost each time).
+    pub crashes: u64,
 }
 
 /// Shared read handle onto a running device's stats.
@@ -290,7 +321,31 @@ impl AdaptiveDevice {
                 self.refresh_rule_count();
                 None
             }
-            DeviceCommand::InstallService { owner, stage, spec } => {
+            DeviceCommand::InstallService {
+                owner,
+                stage,
+                spec,
+                txn,
+            } => {
+                // Idempotency short-circuit: a byte-identical spec is
+                // already running — ack without re-instantiating, so a
+                // retransmitted install cannot reset trigger/logger state.
+                let hash = spec.content_hash();
+                if self
+                    .services
+                    .get(&(owner, stage))
+                    .into_iter()
+                    .flatten()
+                    .any(|g| g.name == spec.name && g.spec_hash == hash)
+                {
+                    self.stats.lock().idempotent_installs += 1;
+                    return Some(DeviceReply::InstallOk {
+                        node: self.ctx.node,
+                        owner,
+                        stage,
+                        txn,
+                    });
+                }
                 let reply = match self.verifier.verify(&spec) {
                     Ok(()) => {
                         let graphs = self.services.entry((owner, stage)).or_default();
@@ -298,7 +353,7 @@ impl AdaptiveDevice {
                         let mut delta = graph.rule_count as i64;
                         match graphs.iter_mut().find(|g| g.name == spec.name) {
                             Some(slot) => {
-                                delta -= slot.rule_count as i64; // idempotent redeploy
+                                delta -= slot.rule_count as i64; // changed spec: replace
                                 *slot = graph;
                             }
                             None => graphs.push(graph),
@@ -308,6 +363,7 @@ impl AdaptiveDevice {
                             node: self.ctx.node,
                             owner,
                             stage,
+                            txn,
                         }
                     }
                     Err(violation) => {
@@ -317,6 +373,7 @@ impl AdaptiveDevice {
                             owner,
                             stage,
                             violation,
+                            txn,
                         }
                     }
                 };
@@ -389,6 +446,20 @@ impl AdaptiveDevice {
                     node: self.ctx.node,
                     owner,
                     entries,
+                })
+            }
+            DeviceCommand::QueryInventory { reply_to: _ } => {
+                let mut installed: Vec<(OwnerId, Stage, u64)> = self
+                    .services
+                    .iter()
+                    .flat_map(|((owner, stage), graphs)| {
+                        graphs.iter().map(move |g| (*owner, *stage, g.spec_hash))
+                    })
+                    .collect();
+                installed.sort(); // HashMap order is not deterministic
+                Some(DeviceReply::Inventory {
+                    node: self.ctx.node,
+                    installed,
                 })
             }
         }
@@ -570,6 +641,7 @@ impl NodeAgent for AdaptiveDevice {
         let reply_to = match cmd {
             DeviceCommand::QueryDigest { reply_to, .. } => Some(*reply_to),
             DeviceCommand::ReadLog { reply_to, .. } => Some(*reply_to),
+            DeviceCommand::QueryInventory { reply_to } => Some(*reply_to),
             _ => Some(msg.from),
         };
         if let Some(reply) = self.handle_command(cmd.clone()) {
@@ -578,6 +650,23 @@ impl NodeAgent for AdaptiveDevice {
                 ctx.send_control(to, delay, reply);
             }
         }
+    }
+
+    fn on_crash(&mut self, _ctx: &mut AgentCtx<'_>) {
+        // A reboot loses everything provisioned at run time: owner
+        // registrations, installed service graphs (with their trigger /
+        // logger / backlog state), buffered telemetry, and the processed-
+        // byte telemetry budget. The manager binding and verifier are
+        // device firmware — they survive. The NMS reconciliation sweep is
+        // responsible for re-provisioning.
+        self.owners = OwnerTable::new();
+        self.services.clear();
+        self.events_buf.clear();
+        self.entry_cache.clear();
+        self.processed_bytes = 0;
+        let mut s = self.stats.lock();
+        s.rule_count = 0;
+        s.crashes += 1;
     }
 }
 
@@ -602,6 +691,7 @@ mod tests {
             contact: NodeId(2),
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain(
@@ -674,6 +764,7 @@ mod tests {
             NodeId(1),
             NodeId(1),
             DeviceCommand::InstallService {
+                txn: 0,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -717,6 +808,7 @@ mod tests {
             contact: NodeId(2),
         });
         dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
@@ -748,6 +840,7 @@ mod tests {
     fn unsafe_install_is_rejected() {
         let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
         let reply = dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner: OwnerId(7),
             stage: Stage::Src,
             spec: ServiceSpec::chain("evil", vec![ModuleSpec::Amplify { factor: 100 }]),
@@ -763,6 +856,7 @@ mod tests {
         assert_eq!(handle.lock().rule_count, 0);
         // A benign install afterwards still works.
         let reply = dev.apply(DeviceCommand::InstallService {
+            txn: 0,
             owner: OwnerId(7),
             stage: Stage::Src,
             spec: ServiceSpec::chain("ok", vec![ModuleSpec::AntiSpoof]),
@@ -784,6 +878,7 @@ mod tests {
             NodeId(1),
             NodeId(1),
             DeviceCommand::InstallService {
+                txn: 0,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -803,6 +898,7 @@ mod tests {
             NodeId(1),
             NodeId(1),
             DeviceCommand::InstallService {
+                txn: 0,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -857,6 +953,7 @@ mod tests {
                     NodeId(1),
                     SimDuration::from_millis(1),
                     DeviceCommand::InstallService {
+                        txn: 0,
                         owner: OwnerId(1),
                         stage: Stage::Dst,
                         spec: ServiceSpec::chain(
@@ -883,5 +980,98 @@ mod tests {
         // The stranger's install was ignored: nothing dropped.
         assert_eq!(handle.lock().rule_count, 0);
         assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 2);
+    }
+
+    #[test]
+    fn duplicate_install_is_idempotent() {
+        let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
+        dev.apply(DeviceCommand::RegisterOwner {
+            owner: victim_owner(),
+            prefixes: vec![Prefix::of_node(NodeId(2))],
+            contact: NodeId(2),
+        });
+        let install = |txn| DeviceCommand::InstallService {
+            txn,
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
+        };
+        let first = dev.apply(install(7));
+        assert!(matches!(first, Some(DeviceReply::InstallOk { txn: 7, .. })));
+        assert_eq!(handle.lock().idempotent_installs, 0);
+        // A retransmit (same spec, new attempt's txn) re-acks without
+        // touching the running graph.
+        let again = dev.apply(install(8));
+        assert!(matches!(again, Some(DeviceReply::InstallOk { txn: 8, .. })));
+        assert_eq!(handle.lock().idempotent_installs, 1);
+        assert_eq!(handle.lock().rule_count, 1);
+        // A *changed* spec under the same name replaces, not re-acks.
+        let changed = dev.apply(DeviceCommand::InstallService {
+            txn: 9,
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain(
+                "fw",
+                vec![ModuleSpec::Filter {
+                    rules: vec![FilterRule {
+                        expr: MatchExpr::proto(Proto::Udp),
+                        drop: true,
+                    }],
+                }],
+            ),
+        });
+        assert!(matches!(changed, Some(DeviceReply::InstallOk { .. })));
+        assert_eq!(handle.lock().idempotent_installs, 1, "replace is not a dup");
+    }
+
+    #[test]
+    fn inventory_lists_installed_services_sorted() {
+        let (mut dev, _handle) = AdaptiveDevice::new(NodeId(1), None);
+        for owner in [OwnerId(9), OwnerId(3)] {
+            dev.apply(DeviceCommand::RegisterOwner {
+                owner,
+                prefixes: vec![Prefix::of_node(NodeId(2))],
+                contact: NodeId(2),
+            });
+            dev.apply(DeviceCommand::InstallService {
+                txn: 0,
+                owner,
+                stage: Stage::Dst,
+                spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
+            });
+        }
+        let reply = dev.apply(DeviceCommand::QueryInventory {
+            reply_to: NodeId(5),
+        });
+        let Some(DeviceReply::Inventory { node, installed }) = reply else {
+            panic!("expected Inventory reply");
+        };
+        assert_eq!(node, NodeId(1));
+        let hash = ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]).content_hash();
+        assert_eq!(
+            installed,
+            vec![
+                (OwnerId(3), Stage::Dst, hash),
+                (OwnerId(9), Stage::Dst, hash)
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_wipes_owners_and_services_but_counts() {
+        let (mut sim, handle) = sim_with_device();
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(handle.lock().rule_count, 1);
+        sim.crash_node(NodeId(1));
+        sim.run_until(SimTime::from_millis(2));
+        let s = handle.lock();
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.rule_count, 0, "volatile service state lost");
+        drop(s);
+        // Owned traffic now takes the direct path: registration is gone.
+        send(&mut sim, Proto::Udp, Addr::new(NodeId(2), 1));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
+        assert_eq!(handle.lock().redirected_pkts, 0);
     }
 }

@@ -26,6 +26,10 @@ pub struct ServiceGraph {
     pub active: bool,
     /// Primitive rule count (E6 scalability unit).
     pub rule_count: usize,
+    /// Fingerprint of the installing spec
+    /// ([`ServiceSpec::content_hash`]) — the install idempotency key and
+    /// the unit the NMS reconciliation sweep compares.
+    pub spec_hash: u64,
     nodes: Vec<GraphNode>,
     activations: Vec<(usize, bool)>,
     /// Packets that traversed this graph.
@@ -43,6 +47,7 @@ impl ServiceGraph {
             name: spec.name.clone(),
             active: true,
             rule_count: spec.rule_count(),
+            spec_hash: spec.content_hash(),
             nodes: spec
                 .modules
                 .iter()

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// Which processing stage a service graph attaches to (Sec. 4.1 / Fig. 6):
 /// stage 1 runs on behalf of the *source*-address owner, stage 2 on behalf
 /// of the *destination*-address owner.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum Stage {
     /// Source-owner processing (first stage).
     Src,
@@ -334,6 +334,22 @@ impl ServiceSpec {
     /// Total primitive rules (E6 unit).
     pub fn rule_count(&self) -> usize {
         self.modules.iter().map(|m| m.module.rule_count()).sum()
+    }
+
+    /// Deterministic content fingerprint: FNV-1a over the spec's canonical
+    /// `Debug` rendering (module specs contain `f64` fields, so the struct
+    /// cannot derive `Hash`; `Debug` of finite floats is exact and stable).
+    /// Devices use it to recognise a *byte-identical* reinstall — the
+    /// idempotency key of [`crate::device::DeviceCommand::InstallService`]
+    /// is (owner, stage, content hash) — and the NMS reconciliation sweep
+    /// compares desired vs. reported hashes.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{:?}", self).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
     }
 }
 

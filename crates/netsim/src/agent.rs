@@ -16,6 +16,7 @@
 //! care about control-plane latency (E7) model it explicitly.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
@@ -35,11 +36,15 @@ pub enum Verdict {
 }
 
 /// Out-of-band control message between agents.
+///
+/// The payload is reference-counted so the fault plane
+/// ([`crate::faults::FaultPlane`]) can deliver duplicates of one send
+/// without requiring payload types to be `Clone`.
 pub struct ControlMsg {
     /// Node whose agent sent the message.
     pub from: NodeId,
     /// Opaque payload; receivers `downcast_ref` to their protocol type.
-    pub payload: Box<dyn Any + Send>,
+    pub payload: Arc<dyn Any + Send + Sync>,
 }
 
 impl ControlMsg {
@@ -55,7 +60,7 @@ impl ControlMsg {
 pub struct Outbox {
     pub(crate) sends: Vec<(SimDuration, PacketBuilder)>,
     pub(crate) agent_timers: Vec<(SimDuration, u64)>,
-    pub(crate) controls: Vec<(SimDuration, NodeId, Box<dyn Any + Send>)>,
+    pub(crate) controls: Vec<(SimDuration, NodeId, Arc<dyn Any + Send + Sync>)>,
 }
 
 impl Outbox {
@@ -93,8 +98,13 @@ impl<'a> AgentCtx<'a> {
 
     /// Send an out-of-band control message to the agents of `to`,
     /// delivered after `delay`.
-    pub fn send_control<T: Any + Send>(&mut self, to: NodeId, delay: SimDuration, payload: T) {
-        self.outbox.controls.push((delay, to, Box::new(payload)));
+    pub fn send_control<T: Any + Send + Sync>(
+        &mut self,
+        to: NodeId,
+        delay: SimDuration,
+        payload: T,
+    ) {
+        self.outbox.controls.push((delay, to, Arc::new(payload)));
     }
 
     /// Is the packet in the trace sample? Agents use this to gate any
@@ -166,6 +176,12 @@ pub trait NodeAgent: Send {
 
     /// An out-of-band control message arrived.
     fn on_control(&mut self, _ctx: &mut AgentCtx<'_>, _msg: &ControlMsg) {}
+
+    /// The node hosting this agent crashed (fault-plane crash window,
+    /// [`crate::faults::Outage`] with `crash = true`). Volatile state —
+    /// anything a real reboot would lose — must be discarded here;
+    /// durable identity (keys, manager binding) survives.
+    fn on_crash(&mut self, _ctx: &mut AgentCtx<'_>) {}
 }
 
 #[cfg(test)]
@@ -176,7 +192,7 @@ mod tests {
     fn control_msg_downcast() {
         let msg = ControlMsg {
             from: NodeId(3),
-            payload: Box::new(42u32),
+            payload: Arc::new(42u32),
         };
         assert_eq!(msg.get::<u32>(), Some(&42));
         assert_eq!(msg.get::<u64>(), None);

@@ -1,0 +1,260 @@
+//! Deterministic control-channel fault injection.
+//!
+//! The control plane (out-of-band [`crate::agent::ControlMsg`] delivery)
+//! is lossless by default. A [`FaultPlane`] installed on the simulator
+//! makes it adversarial: messages are dropped, duplicated, and
+//! delay-jittered according to a pure hash of `(seed, src, dst, msg_seq)`,
+//! and per-node *outage windows* model management-plane blackouts and
+//! device crashes. Like the PR 4 trace sampler, every decision is a pure
+//! function of the configuration — no RNG stream is consumed, so two runs
+//! with the same `(seed, schedule)` produce byte-identical event orders,
+//! and an installed-but-zero-rate plane perturbs nothing.
+//!
+//! Semantics:
+//!
+//! * **drop / duplicate / jitter** apply per control message, decided at
+//!   push time from the per-ordered-pair message sequence number. A
+//!   duplicate is a second delivery of the *same* payload (the payload is
+//!   reference-counted), pushed after the original with its own extra
+//!   delay, so receivers must dedup.
+//! * An **outage window** `[from, until)` makes a node's control channel
+//!   deaf and mute: messages it sends while down, or that would arrive
+//!   while it is down, vanish. Agent timers still fire — retransmit logic
+//!   keeps running and repairs the gap after the window closes.
+//! * A **crash** outage additionally invokes
+//!   [`crate::agent::NodeAgent::on_crash`] on every agent of the node at
+//!   window start: volatile agent state (installed services, registered
+//!   owners) is lost and must be re-provisioned by the management layer.
+//!
+//! Fault counters live in [`crate::stats::Stats`] (`cp_*` fields), so
+//! experiment reports can reconcile protocol-layer retry/dedup counters
+//! against exactly what the channel did.
+
+use crate::node::NodeId;
+use crate::rng::child_seed;
+use crate::time::{SimDuration, SimTime};
+
+/// Stream label separating fault decisions from every other consumer of
+/// the simulation seed ("faults01").
+const FAULT_STREAM_LABEL: u64 = 0x6661_756c_7473_3031;
+
+/// One control-plane outage window for a node.
+#[derive(Clone, Copy, Debug)]
+pub struct Outage {
+    /// Affected node.
+    pub node: NodeId,
+    /// Window start (inclusive): the node stops sending/receiving.
+    pub from: SimTime,
+    /// Window end (exclusive): the node is reachable again.
+    pub until: SimTime,
+    /// When true, volatile agent state is lost at `from`
+    /// ([`crate::agent::NodeAgent::on_crash`] fires); when false the node
+    /// is merely unreachable (e.g. an NMS management-plane blackout).
+    pub crash: bool,
+}
+
+/// Fault-injection configuration.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Decision seed; combined with `(src, dst, msg_seq)` per message.
+    pub seed: u64,
+    /// Probability a control message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a control message is delivered twice.
+    pub dup_prob: f64,
+    /// Maximum extra delivery delay; actual jitter is uniform in
+    /// `[0, jitter_max)` per message (zero disables jitter).
+    pub jitter_max: SimDuration,
+    /// Outage / crash schedule.
+    pub outages: Vec<Outage>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            jitter_max: SimDuration::ZERO,
+            outages: Vec::new(),
+        }
+    }
+}
+
+/// What the plane decided for one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Silently drop the message.
+    pub drop: bool,
+    /// Extra delivery delay for the original copy.
+    pub jitter: SimDuration,
+    /// Deliver a second copy, this much later than the (jittered)
+    /// original.
+    pub duplicate: Option<SimDuration>,
+}
+
+/// Deterministic control-channel fault injector. Install with
+/// [`crate::sim::Simulator::install_fault_plane`].
+pub struct FaultPlane {
+    salt: u64,
+    /// Thresholds in 1/65536 units — probabilities are quantised once at
+    /// construction so per-message decisions are pure integer compares.
+    drop_thresh: u32,
+    dup_thresh: u32,
+    jitter_max: SimDuration,
+    outages: Vec<Outage>,
+    /// Per ordered `(src, dst)` pair message counter; the third component
+    /// of the decision hash.
+    seq: std::collections::BTreeMap<(NodeId, NodeId), u64>,
+}
+
+impl FaultPlane {
+    /// Build a plane from a configuration.
+    pub fn new(cfg: FaultConfig) -> FaultPlane {
+        FaultPlane {
+            salt: child_seed(cfg.seed, FAULT_STREAM_LABEL),
+            drop_thresh: (cfg.drop_prob.clamp(0.0, 1.0) * 65536.0) as u32,
+            dup_thresh: (cfg.dup_prob.clamp(0.0, 1.0) * 65536.0) as u32,
+            jitter_max: cfg.jitter_max,
+            outages: cfg.outages,
+            seq: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Crash windows (node + start time), for the simulator to schedule
+    /// [`crate::agent::NodeAgent::on_crash`] calls.
+    pub fn crash_schedule(&self) -> Vec<(NodeId, SimTime)> {
+        self.outages
+            .iter()
+            .filter(|o| o.crash)
+            .map(|o| (o.node, o.from))
+            .collect()
+    }
+
+    /// Is `node`'s control channel down at `t`?
+    pub fn down(&self, node: NodeId, t: SimTime) -> bool {
+        self.outages
+            .iter()
+            .any(|o| o.node == node && t >= o.from && t < o.until)
+    }
+
+    /// Decide the fate of the next `src → dst` control message. Advances
+    /// the pair's message counter; deterministic given the push order
+    /// (which the engine already guarantees).
+    pub fn decide(&mut self, src: NodeId, dst: NodeId) -> FaultDecision {
+        let n = self.seq.entry((src, dst)).or_insert(0);
+        let msg_seq = *n;
+        *n += 1;
+        let pair = child_seed(self.salt, ((src.0 as u64) << 32) | dst.0 as u64);
+        let k = child_seed(pair, msg_seq);
+        let drop = ((k & 0xFFFF) as u32) < self.drop_thresh;
+        if drop {
+            return FaultDecision {
+                drop: true,
+                jitter: SimDuration::ZERO,
+                duplicate: None,
+            };
+        }
+        let dup = (((k >> 16) & 0xFFFF) as u32) < self.dup_thresh;
+        let scale = |bits: u64| -> SimDuration {
+            SimDuration((self.jitter_max.0 as u128 * bits as u128 / 65536) as u64)
+        };
+        let jitter = scale((k >> 32) & 0xFFFF);
+        let duplicate = if dup {
+            // The copy trails the original by its own jittered offset; with
+            // jitter disabled it lands at the same instant but a later
+            // event sequence number, so ordering stays deterministic.
+            Some(scale((k >> 48) & 0xFFFF))
+        } else {
+            None
+        };
+        FaultDecision {
+            drop: false,
+            jitter,
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(drop: f64, dup: f64, jitter_ms: u64) -> FaultPlane {
+        FaultPlane::new(FaultConfig {
+            seed: 7,
+            drop_prob: drop,
+            dup_prob: dup,
+            jitter_max: SimDuration::from_millis(jitter_ms),
+            outages: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn zero_rates_touch_nothing() {
+        let mut p = plane(0.0, 0.0, 0);
+        for _ in 0..100 {
+            let d = p.decide(NodeId(1), NodeId(2));
+            assert_eq!(
+                d,
+                FaultDecision {
+                    drop: false,
+                    jitter: SimDuration::ZERO,
+                    duplicate: None,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut p = plane(1.0, 0.0, 0);
+        for _ in 0..100 {
+            assert!(p.decide(NodeId(3), NodeId(4)).drop);
+        }
+    }
+
+    #[test]
+    fn decisions_are_reproducible_and_pair_independent() {
+        let mut a = plane(0.3, 0.2, 5);
+        let mut b = plane(0.3, 0.2, 5);
+        // Interleave pairs differently; per-pair sequences must not care.
+        let seq_a: Vec<FaultDecision> = (0..50).map(|_| a.decide(NodeId(1), NodeId(2))).collect();
+        for _ in 0..50 {
+            b.decide(NodeId(2), NodeId(1)); // reverse direction: own stream
+        }
+        let seq_b: Vec<FaultDecision> = (0..50).map(|_| b.decide(NodeId(1), NodeId(2))).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn loss_rate_lands_near_configured() {
+        let mut p = plane(0.2, 0.0, 0);
+        let dropped = (0..2000)
+            .filter(|_| p.decide(NodeId(9), NodeId(8)).drop)
+            .count();
+        assert!(
+            (300..=500).contains(&dropped),
+            "20% of 2000 ≈ 400, got {dropped}"
+        );
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let p = FaultPlane::new(FaultConfig {
+            outages: vec![Outage {
+                node: NodeId(5),
+                from: SimTime::from_secs(1),
+                until: SimTime::from_secs(2),
+                crash: true,
+            }],
+            ..FaultConfig::default()
+        });
+        assert!(!p.down(NodeId(5), SimTime::from_millis(999)));
+        assert!(p.down(NodeId(5), SimTime::from_secs(1)));
+        assert!(p.down(NodeId(5), SimTime::from_millis(1999)));
+        assert!(!p.down(NodeId(5), SimTime::from_secs(2)));
+        assert!(!p.down(NodeId(6), SimTime::from_millis(1500)));
+        assert_eq!(p.crash_schedule(), vec![(NodeId(5), SimTime::from_secs(1))]);
+    }
+}

@@ -38,6 +38,7 @@ pub mod addr;
 pub mod agent;
 pub mod app;
 pub mod arena;
+pub mod faults;
 pub mod link;
 pub mod node;
 pub mod oracle;
@@ -58,6 +59,7 @@ pub use addr::{Addr, Prefix};
 pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
 pub use arena::{Arena, Handle as ArenaHandle};
+pub use faults::{FaultConfig, FaultDecision, FaultPlane, Outage};
 pub use link::{Admission, Link, LinkProfile};
 pub use node::{LinkId, Node, NodeId, NodeRole};
 pub use oracle::RouteOracle;

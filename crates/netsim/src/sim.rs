@@ -13,6 +13,7 @@
 //! every queue operation is O(1) amortized (DESIGN.md §6.2).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rand_chacha::ChaCha8Rng;
 
@@ -20,6 +21,7 @@ use crate::addr::Addr;
 use crate::agent::{AgentCtx, ControlMsg, NodeAgent, Outbox, Verdict};
 use crate::app::{App, AppApi, Disposition};
 use crate::arena::{Arena, Handle as PktHandle};
+use crate::faults::FaultPlane;
 use crate::link::Admission;
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
@@ -88,6 +90,11 @@ pub struct Simulator {
     tracer: Tracer,
     /// Optional per-link utilization sampler, driven by scheduled events.
     util_probe: Option<LinkUtilProbe>,
+    /// Optional control-channel fault injector (drop / duplicate / jitter
+    /// / outage windows). `None` costs one branch per control push and
+    /// leaves event order untouched — the zero-fault path is byte-
+    /// identical to a build without the feature.
+    faults: Option<FaultPlane>,
     started: bool,
     event_limit: u64,
 }
@@ -113,6 +120,7 @@ impl Simulator {
             arena: Arena::new(),
             tracer: Tracer::disabled(seed),
             util_probe: None,
+            faults: None,
             started: false,
             event_limit: u64::MAX,
         }
@@ -235,23 +243,100 @@ impl Simulator {
     /// Deliver a control message to a node's agents at an absolute time,
     /// from scenario code (e.g. staged device reconfiguration). `from`
     /// names the apparent sender node.
-    pub fn deliver_control<T: std::any::Any + Send>(
+    pub fn deliver_control<T: std::any::Any + Send + Sync>(
         &mut self,
         at: SimTime,
         from: NodeId,
         to: NodeId,
         payload: T,
     ) {
+        self.push_control(at, from, to, Arc::new(payload));
+    }
+
+    /// Install a control-channel fault injector. Crash windows in its
+    /// schedule are turned into [`NodeAgent::on_crash`] calls at window
+    /// start. Install before running; messages already queued bypass it.
+    pub fn install_fault_plane(&mut self, plane: FaultPlane) {
+        for (node, at) in plane.crash_schedule() {
+            self.schedule(at, move |sim| sim.crash_node(node));
+        }
+        self.faults = Some(plane);
+    }
+
+    /// Read access to the installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.faults.as_ref()
+    }
+
+    /// Crash `node` now: every agent on it loses volatile state via
+    /// [`NodeAgent::on_crash`]. Called by the fault plane's crash
+    /// schedule; public so scenarios can also crash nodes ad hoc.
+    pub fn crash_node(&mut self, node: NodeId) {
+        self.stats.node_crashes += 1;
+        for idx in 0..self.agents[node.0].len() {
+            self.with_agent(node, idx, |agent, ctx| agent.on_crash(ctx));
+        }
+    }
+
+    /// The single funnel for control-message scheduling: every
+    /// `ControlDeliver` event — scenario-injected, agent outbox, app
+    /// outbox — passes through here, so the fault plane sees the complete
+    /// channel. Without a fault plane this is exactly one `None` branch
+    /// on top of the original push.
+    fn push_control(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        payload: Arc<dyn std::any::Any + Send + Sync>,
+    ) {
+        self.stats.cp_msgs += 1;
+        let Some(faults) = self.faults.as_mut() else {
+            self.push(
+                at,
+                EventKind::ControlDeliver {
+                    to,
+                    msg: ControlMsg { from, payload },
+                },
+            );
+            return;
+        };
+        // Outage windows: mute while the sender is down, deaf while the
+        // receiver is down at delivery time.
+        let deliver_at = at.max(self.now);
+        if faults.down(from, self.now) || faults.down(to, deliver_at) {
+            self.stats.cp_outage_dropped += 1;
+            return;
+        }
+        let d = faults.decide(from, to);
+        if d.drop {
+            self.stats.cp_fault_dropped += 1;
+            return;
+        }
+        if d.jitter > SimDuration::ZERO {
+            self.stats.cp_fault_jittered += 1;
+        }
+        let jittered = deliver_at + d.jitter;
         self.push(
-            at,
+            jittered,
             EventKind::ControlDeliver {
                 to,
                 msg: ControlMsg {
                     from,
-                    payload: Box::new(payload),
+                    payload: payload.clone(),
                 },
             },
         );
+        if let Some(extra) = d.duplicate {
+            self.stats.cp_fault_duplicated += 1;
+            self.push(
+                jittered + extra,
+                EventKind::ControlDeliver {
+                    to,
+                    msg: ControlMsg { from, payload },
+                },
+            );
+        }
     }
 
     /// Schedule a timer for an installed agent from scenario code (the
@@ -690,16 +775,7 @@ impl Simulator {
             );
         }
         for (delay, to, payload) in controls.drain(..) {
-            self.push(
-                self.now + delay,
-                EventKind::ControlDeliver {
-                    to,
-                    msg: ControlMsg {
-                        from: node,
-                        payload,
-                    },
-                },
-            );
+            self.push_control(self.now + delay, node, to, payload);
         }
         // Nothing refills the outbox while events are being pushed
         // (callbacks only run from `dispatch`), so restoring the drained
@@ -733,16 +809,7 @@ impl Simulator {
         // Apps do not send control messages, but tolerate it (delivered
         // as if from this node's agents).
         for (delay, to, payload) in controls.drain(..) {
-            self.push(
-                self.now + delay,
-                EventKind::ControlDeliver {
-                    to,
-                    msg: ControlMsg {
-                        from: node,
-                        payload,
-                    },
-                },
-            );
+            self.push_control(self.now + delay, node, to, payload);
         }
         for (delay, token) in timers.drain(..) {
             self.push(self.now + delay, EventKind::AppTimer { addr, token });
@@ -1291,5 +1358,115 @@ mod tests {
         sim.set_event_limit(100);
         sim.run_until(SimTime::from_secs(3600));
         assert!(sim.stats.events <= 100);
+    }
+
+    /// Counts control deliveries and crashes; resends nothing.
+    struct CtrlProbe {
+        delivered: Arc<AtomicU64>,
+        crashes: Arc<AtomicU64>,
+    }
+    impl NodeAgent for CtrlProbe {
+        fn name(&self) -> &'static str {
+            "ctrl-probe"
+        }
+        fn on_packet(
+            &mut self,
+            _ctx: &mut AgentCtx<'_>,
+            _pkt: &mut Packet,
+            _from: Option<LinkId>,
+        ) -> Verdict {
+            Verdict::Forward
+        }
+        fn on_control(&mut self, _ctx: &mut AgentCtx<'_>, msg: &ControlMsg) {
+            if msg.get::<u32>().is_some() {
+                self.delivered.fetch_add(1, AtomicOrdering::Relaxed);
+            }
+        }
+        fn on_crash(&mut self, _ctx: &mut AgentCtx<'_>) {
+            self.crashes.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    fn ctrl_probe_sim(
+        plane: Option<crate::faults::FaultPlane>,
+    ) -> (Simulator, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let topo = Topology::line(3);
+        let mut sim = Simulator::new(topo, 1);
+        let delivered = Arc::new(AtomicU64::new(0));
+        let crashes = Arc::new(AtomicU64::new(0));
+        sim.add_agent(
+            NodeId(2),
+            Box::new(CtrlProbe {
+                delivered: delivered.clone(),
+                crashes: crashes.clone(),
+            }),
+        );
+        if let Some(p) = plane {
+            sim.install_fault_plane(p);
+        }
+        for i in 0..200u64 {
+            sim.deliver_control(SimTime::from_millis(i), NodeId(0), NodeId(2), 7u32);
+        }
+        (sim, delivered, crashes)
+    }
+
+    #[test]
+    fn fault_plane_drops_and_duplicates_deterministically() {
+        use crate::faults::{FaultConfig, FaultPlane};
+        let cfg = FaultConfig {
+            seed: 42,
+            drop_prob: 0.25,
+            dup_prob: 0.25,
+            jitter_max: SimDuration::from_millis(3),
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let (mut sim, delivered, _) = ctrl_probe_sim(Some(FaultPlane::new(cfg.clone())));
+            sim.run_until(SimTime::from_secs(1));
+            (
+                delivered.load(AtomicOrdering::Relaxed),
+                sim.stats.cp_fault_dropped,
+                sim.stats.cp_fault_duplicated,
+                sim.stats.cp_fault_jittered,
+            )
+        };
+        let (d1, drop1, dup1, jit1) = run();
+        let (d2, drop2, dup2, jit2) = run();
+        assert_eq!((d1, drop1, dup1, jit1), (d2, drop2, dup2, jit2));
+        assert!(drop1 > 0 && dup1 > 0 && jit1 > 0, "faults exercised");
+        // Channel conservation: every push is delivered, dropped, or
+        // delivered twice.
+        assert_eq!(d1, 200 - drop1 + dup1);
+    }
+
+    #[test]
+    fn disabled_fault_plane_changes_nothing() {
+        let (mut sim, delivered, _) = ctrl_probe_sim(None);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(delivered.load(AtomicOrdering::Relaxed), 200);
+        assert_eq!(sim.stats.cp_msgs, 200);
+        assert_eq!(sim.stats.cp_fault_dropped, 0);
+        assert_eq!(sim.stats.cp_outage_dropped, 0);
+    }
+
+    #[test]
+    fn outage_window_swallows_messages_and_crash_fires() {
+        use crate::faults::{FaultConfig, FaultPlane, Outage};
+        let plane = FaultPlane::new(FaultConfig {
+            outages: vec![Outage {
+                node: NodeId(2),
+                from: SimTime::from_millis(50),
+                until: SimTime::from_millis(100),
+                crash: true,
+            }],
+            ..FaultConfig::default()
+        });
+        let (mut sim, delivered, crashes) = ctrl_probe_sim(Some(plane));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(crashes.load(AtomicOrdering::Relaxed), 1);
+        assert_eq!(sim.stats.node_crashes, 1);
+        // Sends at t ∈ [50ms, 100ms) vanish: 50 of the 200.
+        assert_eq!(sim.stats.cp_outage_dropped, 50);
+        assert_eq!(delivered.load(AtomicOrdering::Relaxed), 150);
     }
 }

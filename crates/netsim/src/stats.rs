@@ -220,6 +220,21 @@ pub struct Stats {
     /// Timing wheel: entries refiled by cascades. See
     /// [`Stats::wheel_cascades_per_event`].
     pub wheel_cascade_moves: u64,
+    /// Control messages pushed (all three paths: scenario injection,
+    /// agent outboxes, app outboxes) — the fault plane's denominator.
+    pub cp_msgs: u64,
+    /// Control messages dropped by the fault plane's loss hash.
+    pub cp_fault_dropped: u64,
+    /// Control messages delivered twice by the fault plane.
+    pub cp_fault_duplicated: u64,
+    /// Control messages whose delivery was delay-jittered.
+    pub cp_fault_jittered: u64,
+    /// Control messages swallowed by an outage window (sender or receiver
+    /// control channel down).
+    pub cp_outage_dropped: u64,
+    /// Node crashes executed (fault-plane crash windows plus ad-hoc
+    /// [`crate::sim::Simulator::crash_node`] calls).
+    pub node_crashes: u64,
 }
 
 impl Stats {
