@@ -1,0 +1,106 @@
+//! Sweep-engine scaling bench: the same heterogeneous grid of real
+//! simulator runs drained two ways — the pre-sweep structure (a plain
+//! sequential experiment loop, as the harness ran before the pool
+//! existed) and the work-stealing shard pool at 1/2/4/8 threads.
+//! The grid mixes cheap and expensive cells on purpose: uneven task
+//! costs are exactly where stealing beats static partitioning, and
+//! where the old per-experiment barriers idled cores. Numbers are
+//! recorded in `BENCH_sweep_scaling.json`.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::mitigation::Placement;
+use dtcs::netsim::SimTime;
+use dtcs::{run_scenario, ScenarioConfig, Scheme};
+use dtcs_bench::sweep::{run_grid, CellRun, SweepCell};
+
+/// A deliberately uneven grid: small/medium/large scenarios under two
+/// schemes each — six cost classes, roughly 1x..8x apart.
+fn grid_cells() -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for (tag, n_nodes, secs) in [("s", 40usize, 4u64), ("m", 70, 6), ("l", 110, 9)] {
+        for scheme in [
+            Scheme::None,
+            Scheme::Ingress {
+                fraction: 0.2,
+                placement: Placement::TopDegree,
+            },
+        ] {
+            let mut cfg = ScenarioConfig {
+                n_nodes,
+                n_clients: 8,
+                n_collateral_clients: 5,
+                ..Default::default()
+            };
+            cfg.attack.n_agents = n_nodes / 4;
+            cfg.attack.n_reflectors = n_nodes / 3;
+            cfg.attack.stop_at = SimTime::from_secs(secs - 1);
+            cfg.duration = SimTime::from_secs(secs);
+            cells.push(SweepCell {
+                experiment: "bench",
+                scenario: format!("{tag}/scheme={}", scheme.label()),
+                base_seed: cfg.seed,
+                run: Box::new(move |seed| {
+                    let mut cfg = cfg.clone();
+                    cfg.seed = seed;
+                    let out = run_scenario(&cfg, &scheme);
+                    let mut metrics = BTreeMap::new();
+                    metrics.insert("legit_success".to_string(), out.row.legit_success);
+                    CellRun {
+                        metrics,
+                        stats: out.stats,
+                    }
+                }),
+            });
+        }
+    }
+    cells
+}
+
+const REPLICATES: u32 = 2;
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let cells = grid_cells();
+
+    // One instrumented drain outside the timing loop: per-task wall
+    // durations and tasks/sec, printed for BENCH_sweep_scaling.json.
+    let probe = run_grid(&cells, REPLICATES, dtcs_bench::sweep::default_threads());
+    let total: f64 = probe.task_durations.iter().map(|d| d.as_secs_f64()).sum();
+    println!(
+        "sweep_scaling probe: {} tasks, {:.3}s busy, {:.1} tasks/s wall",
+        probe.task_metrics.len(),
+        total,
+        probe.task_metrics.len() as f64 / probe.wall.as_secs_f64()
+    );
+
+    let mut group = c.benchmark_group("sweep_scaling");
+    group.sample_size(10);
+
+    // The old shape: one experiment at a time, cells in order, no pool.
+    group.bench_function("sequential_loop", |b| {
+        b.iter(|| {
+            let mut metrics = Vec::new();
+            for cell in &cells {
+                for r in 0..REPLICATES {
+                    let run = (cell.run)(dtcs_bench::sweep::replicate_seed(cell.base_seed, r));
+                    metrics.push(run.metrics);
+                }
+            }
+            metrics.len()
+        })
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("pool", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_grid(&cells, REPLICATES, threads).task_metrics.len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_scaling);
+criterion_main!(benches);

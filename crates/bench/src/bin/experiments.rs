@@ -3,10 +3,21 @@
 //!
 //! Usage:
 //!   experiments [--quick] [--out DIR] [--trace FILE] [all | e1 e2 ...]
+//!   experiments --sweep [--replicate N] [--threads N] [--quick] [--out DIR] [ids]
 //!
-//! `--trace FILE` asks trace-wired experiments (e2, e3) to capture a JSONL
-//! packet flight record of one designated run into FILE (overwritten per
-//! traced experiment). Golden report JSON is unaffected.
+//! `--trace FILE` asks a trace-wired experiment (e2, e3) to capture a JSONL
+//! packet flight record of one designated run into FILE. Exactly one
+//! experiment id must be selected with it — each traced experiment
+//! truncates FILE, so tracing several at once would silently keep only
+//! the last. Golden report JSON is unaffected.
+//!
+//! `--sweep` flattens every sweep-capable requested experiment's
+//! (scenario × seed) grid into ONE work-stealing pool (see
+//! `dtcs_bench::sweep`), replicating each cell under `--replicate N`
+//! derived seeds (default 32), and writes `<out>/<id>.sweep.json` with
+//! mean/stddev/95%-CI columns. `--threads N` (else `RAYON_NUM_THREADS`,
+//! else all cores) sets the shard count; report bytes are identical at
+//! any value.
 
 use std::path::PathBuf;
 
@@ -65,33 +76,93 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
+    let sweep = args.iter().any(|a| a == "--sweep");
+    let flag_operand = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let out_dir = flag_operand("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    let trace = args
+    let trace = flag_operand("--trace").map(PathBuf::from);
+    let replicates: u32 = match flag_operand("--replicate").map(|v| v.parse()) {
+        None => 32,
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("--replicate takes a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let threads: usize = match flag_operand("--threads").map(|v| v.parse()) {
+        None => dtcs_bench::sweep::default_threads(),
+        Some(Ok(n)) if n > 0 => n,
+        Some(_) => {
+            eprintln!("--threads takes a positive integer");
+            std::process::exit(2);
+        }
+    };
+    // Ids are the non-flag args minus any flag *values* (`--out`'s,
+    // `--trace`'s, `--replicate`'s and `--threads`' operands must not be
+    // mistaken for experiment ids).
+    let flag_values: Vec<String> = ["--out", "--trace", "--replicate", "--threads"]
         .iter()
-        .position(|a| a == "--trace")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
-    // Ids are the non-flag args minus any flag *values* (`--out`'s and
-    // `--trace`'s operands must not be mistaken for experiment ids).
-    let flag_values: Vec<&str> = [Some(&out_dir), trace.as_ref()]
-        .into_iter()
-        .flatten()
-        .filter_map(|p| p.to_str())
+        .filter_map(|&f| flag_operand(f))
+        .cloned()
         .collect();
     let mut ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && !flag_values.contains(&a.as_str()))
+        .filter(|a| !a.starts_with("--") && !flag_values.contains(a))
         .cloned()
         .collect();
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = dtcs_bench::ALL.iter().map(|s| s.to_string()).collect();
     }
+    if trace.is_some() && ids.len() != 1 {
+        eprintln!(
+            "--trace writes ONE trace file; select exactly one experiment id with it \
+             (got {:?})",
+            ids
+        );
+        std::process::exit(2);
+    }
     let opts = dtcs_bench::RunOpts { quick, trace };
+
+    if sweep {
+        let mut grid: Vec<&dyn dtcs_bench::sweep::GridExperiment> = Vec::new();
+        for id in &ids {
+            match dtcs_bench::sweep_experiment(id) {
+                Some(e) => grid.push(e),
+                None if dtcs_bench::ALL.contains(&id.as_str()) => {
+                    eprintln!("[sweep] {id} has no grid adapter yet; skipping (single-run only)");
+                }
+                None => {
+                    eprintln!("unknown experiment id: {id} (known: {:?})", dtcs_bench::ALL);
+                    std::process::exit(2);
+                }
+            }
+        }
+        if grid.is_empty() {
+            eprintln!(
+                "no sweep-capable experiments selected (available: {:?})",
+                dtcs_bench::SWEEP_EXPERIMENTS
+                    .iter()
+                    .map(|e| e.id())
+                    .collect::<Vec<_>>()
+            );
+            std::process::exit(2);
+        }
+        let outcome = dtcs_bench::sweep::run_sweep(&grid, &opts, replicates, threads);
+        for report in &outcome.reports {
+            report.print();
+            report.save(&out_dir);
+        }
+        for line in &outcome.health {
+            println!("[health] {line}");
+        }
+        return;
+    }
+
     for id in &ids {
         match dtcs_bench::run_experiment(id, &opts) {
             Some(report) => {

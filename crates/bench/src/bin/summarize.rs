@@ -24,6 +24,60 @@ fn load(dir: &std::path::Path, id: &str) -> Option<Value> {
     serde_json::from_str(&text).ok()
 }
 
+/// Load `<id>.sweep.json` (the replicated-report schema written by
+/// `experiments --sweep`) when one exists; pre-sweep result directories
+/// simply have none.
+fn load_sweep(dir: &std::path::Path, id: &str) -> Option<Value> {
+    let path = dir.join(format!("{id}.sweep.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    let v: Value = serde_json::from_str(&text).ok()?;
+    (v["mode"].as_str() == Some("sweep")).then_some(v)
+}
+
+/// `mean ± ci95 [n]` for one metric of one sweep cell.
+fn fmt_ci(metric: &Value) -> String {
+    format!(
+        "{:.3} ± {:.3} [n={}]",
+        metric["mean"].as_f64().unwrap_or(f64::NAN),
+        metric["ci95"].as_f64().unwrap_or(f64::NAN),
+        metric["n"].as_u64().unwrap_or(0),
+    )
+}
+
+/// Find one sweep cell by scenario label.
+fn sweep_cell<'a>(sweep: &'a Value, scenario: &str) -> Option<&'a Value> {
+    sweep["cells"]
+        .as_array()?
+        .iter()
+        .find(|c| c["scenario"].as_str() == Some(scenario))
+}
+
+/// Replicate 0 reuses the single-run base seed, so a single-run value
+/// must lie inside the sweep's [min, max] envelope for the same cell.
+fn check_envelope(
+    failures: &mut Vec<String>,
+    sweep: &Value,
+    scenario: &str,
+    metric: &str,
+    single: f64,
+) {
+    let Some(m) = sweep_cell(sweep, scenario).map(|c| &c["metrics"][metric]) else {
+        failures.push(format!("sweep cell {scenario} missing metric {metric}"));
+        return;
+    };
+    let (min, max) = (
+        m["min"].as_f64().unwrap_or(f64::NAN),
+        m["max"].as_f64().unwrap_or(f64::NAN),
+    );
+    // Exact containment: replicate 0 IS the single run.
+    if !(min <= single && single <= max) {
+        failures.push(format!(
+            "sweep envelope violated: {scenario}/{metric} single-run {single} \
+             outside [{min}, {max}] (replicate 0 must reuse the base seed)"
+        ));
+    }
+}
+
 /// The raw rows of the table whose title contains `needle`.
 fn table_raw<'a>(report: &'a Value, needle: &str) -> Option<&'a Vec<Value>> {
     report["tables"].as_array()?.iter().find_map(|t| {
@@ -157,6 +211,84 @@ fn main() -> ExitCode {
         }
     } else {
         failures.push("e3.json missing/unreadable".into());
+    }
+
+    // --- Sweep reports (when present): mean ± CI digest + envelope check --
+    // `experiments --sweep` writes `<id>.sweep.json` with per-cell
+    // replicate aggregations; replicate 0 reuses the single-run seed, so
+    // every single-run value must sit inside the sweep's [min, max].
+    if let Some(sw) = load_sweep(&dir, "e2") {
+        say(String::new());
+        for scheme in ["none", "tcs(30%)"] {
+            let scen = format!("reflector/scheme={scheme}");
+            if let Some(c) = sweep_cell(&sw, &scen) {
+                say(format!(
+                    "E2~ {:<22} legit={}  (sweep, {} replicates)",
+                    scheme,
+                    fmt_ci(&c["metrics"]["legit_success"]),
+                    sw["replicates"].as_u64().unwrap_or(0),
+                ));
+            }
+        }
+        if let Some(rows) = e2.as_ref().and_then(|e2| table_raw(e2, "scheme outcomes")) {
+            for r in rows {
+                let (Some(scheme), Some(legit)) =
+                    (r["scheme"].as_str(), r["legit_success"].as_f64())
+                else {
+                    continue;
+                };
+                check_envelope(
+                    &mut failures,
+                    &sw,
+                    &format!("reflector/scheme={scheme}"),
+                    "legit_success",
+                    legit,
+                );
+            }
+            say("E2~ sweep envelope: single-run rows inside replicate [min,max]".into());
+        }
+    }
+    if let Some(sw) = load_sweep(&dir, "e3") {
+        if let Some(rows) = load(&dir, "e3")
+            .as_ref()
+            .and_then(|e| table_raw(e, "power-law"))
+        {
+            for r in rows {
+                let (Some(strategy), Some(fraction), Some(surv)) = (
+                    r["strategy"].as_str(),
+                    r["fraction"].as_f64(),
+                    r["survival_ratio"].as_f64(),
+                ) else {
+                    continue;
+                };
+                check_envelope(
+                    &mut failures,
+                    &sw,
+                    &format!("powerlaw/{strategy}/fraction={fraction:.2}"),
+                    "survival_ratio",
+                    surv,
+                );
+            }
+            say("E3~ sweep envelope: single-run survival inside replicate [min,max]".into());
+        }
+        if let Some(c) = sweep_cell(&sw, "powerlaw/tcs/top-degree/fraction=0.20") {
+            say(format!(
+                "E3~ tcs/top-degree@20%: survival={}",
+                fmt_ci(&c["metrics"]["survival_ratio"])
+            ));
+        }
+    }
+    if let Some(sw) = load_sweep(&dir, "e13") {
+        if let Some(cells) = sw["cells"].as_array() {
+            for c in cells {
+                let scen = c["scenario"].as_str().unwrap_or("?");
+                say(format!(
+                    "E13~ {:<22} steady_cov={}",
+                    scen,
+                    fmt_ci(&c["metrics"]["steady_coverage_pct"])
+                ));
+            }
+        }
     }
 
     println!();

@@ -50,10 +50,10 @@ struct CellRow {
 /// Deterministic crash schedule: each stub device crashes every ~`mtbf`
 /// seconds with a per-node phase offset hashed from the seed, starting
 /// after the initial deployment has had time to land.
-fn crash_schedule(sim: &Simulator, mtbf_s: u64, horizon_s: u64) -> Vec<Outage> {
+fn crash_schedule(sim: &Simulator, mtbf_s: u64, horizon_s: u64, seed: u64) -> Vec<Outage> {
     let mut outages = Vec::new();
     for &node in &sim.topo.stub_nodes()[1..] {
-        let phase_ms = child_seed(SEED, node.0 as u64) % (mtbf_s * 1000);
+        let phase_ms = child_seed(seed, node.0 as u64) % (mtbf_s * 1000);
         let mut at_ms = 5_000 + phase_ms;
         while at_ms + CRASH_DOWNTIME_MS < horizon_s * 1000 {
             outages.push(Outage {
@@ -73,11 +73,11 @@ struct CellOutcome {
     stats: dtcs::netsim::Stats,
 }
 
-fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool) -> CellOutcome {
+fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutcome {
     let (transit, stubs) = if quick { (2, 4) } else { (3, 6) };
     let horizon_s: u64 = if quick { 30 } else { 60 };
-    let topo = Topology::transit_stub(transit, stubs, 0.2, SEED);
-    let mut sim = Simulator::new(topo, SEED);
+    let topo = Topology::transit_stub(transit, stubs, 0.2, seed);
+    let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[0];
     let mut authority = InternetNumberAuthority::new();
     let user_prefix = Prefix::of_node(victim_node);
@@ -104,11 +104,11 @@ fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool) -> CellOutcome {
         false,
     );
     let outages = match mtbf_s {
-        Some(m) => crash_schedule(&sim, m, horizon_s),
+        Some(m) => crash_schedule(&sim, m, horizon_s, seed),
         None => Vec::new(),
     };
     sim.install_fault_plane(FaultPlane::new(FaultConfig {
-        seed: SEED,
+        seed,
         drop_prob: loss,
         dup_prob: loss / 2.0,
         jitter_max: SimDuration::from_millis(10),
@@ -154,14 +154,8 @@ fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool) -> CellOutcome {
     }
 }
 
-/// Run E13.
-pub fn run(opts: &crate::RunOpts) -> Report {
-    let quick = opts.quick;
-    let mut report = Report::new(
-        "e13",
-        "Control-plane fault sweep: loss × device MTBF vs deployment convergence",
-        "Sec. 5.1 under adversarial channels",
-    );
+/// The (loss, MTBF) grid axes shared by `run()` and the sweep adapter.
+fn grid(quick: bool) -> (&'static [f64], &'static [Option<u64>]) {
     let losses: &[f64] = if quick {
         &[0.0, 0.2]
     } else {
@@ -172,12 +166,71 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     } else {
         &[None, Some(30), Some(10)]
     };
+    (losses, mtbfs)
+}
+
+/// Sweep-grid adapter: one cell per (loss, MTBF) fault-plane setting.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        let (losses, mtbfs) = grid(quick);
+        let mut cells = Vec::new();
+        for &loss in losses {
+            for &mtbf in mtbfs {
+                cells.push(crate::sweep::SweepCell {
+                    experiment: "e13",
+                    scenario: format!(
+                        "loss={loss:.2}/mtbf={}",
+                        mtbf.map_or("inf".into(), |m| m.to_string())
+                    ),
+                    base_seed: SEED,
+                    run: Box::new(move |seed| {
+                        let out = run_cell(loss, mtbf, quick, seed);
+                        let r = &out.row;
+                        let mut metrics = std::collections::BTreeMap::new();
+                        metrics.insert("crashes".to_string(), r.crashes as f64);
+                        if let Some(t) = r.t_full_coverage_s {
+                            metrics.insert("t_full_coverage_s".to_string(), t);
+                        }
+                        metrics.insert("steady_coverage_pct".to_string(), r.steady_coverage_pct);
+                        metrics.insert("retransmits".to_string(), r.retransmits as f64);
+                        metrics.insert("reinstalls".to_string(), r.reinstalls as f64);
+                        metrics.insert("cp_dropped".to_string(), r.cp_dropped as f64);
+                        metrics.insert("cp_duplicated".to_string(), r.cp_duplicated as f64);
+                        metrics.insert("dedup_hits".to_string(), r.dedup_hits as f64);
+                        crate::sweep::CellRun {
+                            metrics,
+                            stats: out.stats,
+                        }
+                    }),
+                });
+            }
+        }
+        cells
+    }
+}
+
+/// Run E13.
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
+    let mut report = Report::new(
+        "e13",
+        "Control-plane fault sweep: loss × device MTBF vs deployment convergence",
+        "Sec. 5.1 under adversarial channels",
+    );
+    let (losses, mtbfs) = grid(quick);
 
     let mut rows = Vec::new();
     let mut all_stats = Vec::new();
     for &loss in losses {
         for &mtbf in mtbfs {
-            let out = run_cell(loss, mtbf, quick);
+            let out = run_cell(loss, mtbf, quick, SEED);
             rows.push(out.row);
             all_stats.push(out.stats);
         }

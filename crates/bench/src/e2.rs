@@ -63,6 +63,111 @@ pub fn outcome_header() -> Vec<&'static str> {
     ]
 }
 
+/// Flatten an outcome row into sweep metrics (scheme-specific extras keep
+/// their names under an `extra.` prefix; the optional stop distance is
+/// simply absent when nothing was dropped).
+pub fn outcome_metrics(row: &OutcomeRow) -> std::collections::BTreeMap<String, f64> {
+    let mut m = std::collections::BTreeMap::new();
+    m.insert("legit_success".to_string(), row.legit_success);
+    m.insert("collateral_success".to_string(), row.collateral_success);
+    m.insert(
+        "attack_delivered_ratio".to_string(),
+        row.attack_delivered_ratio,
+    );
+    m.insert(
+        "reflected_at_victim".to_string(),
+        row.reflected_delivered_to_victim as f64,
+    );
+    m.insert(
+        "victim_overloaded".to_string(),
+        row.victim_overloaded as f64,
+    );
+    m.insert("attack_byte_hops".to_string(), row.attack_byte_hops as f64);
+    if let Some(d) = row.stop_distance {
+        m.insert("stop_distance".to_string(), d);
+    }
+    for (k, v) in &row.extra {
+        m.insert(format!("extra.{k}"), *v);
+    }
+    m
+}
+
+/// The direct-flood contrast scenario and its scheme set (shared between
+/// the single-run table and the sweep cells so the two stay in lockstep).
+fn direct_contrast(cfg: &ScenarioConfig) -> (ScenarioConfig, Vec<Scheme>) {
+    let mut dcfg = cfg.clone();
+    dcfg.attack_kind = AttackKind::Direct {
+        spoof: SpoofMode::Random,
+    };
+    dcfg.attack.agent_rate_pps *= 2.0;
+    let reconstruct_at = SimTime(dcfg.attack.start_at.as_nanos() + 5_000_000_000);
+    let schemes = vec![
+        Scheme::None,
+        Scheme::Ingress {
+            fraction: 0.2,
+            placement: Placement::TopDegree,
+        },
+        Scheme::TracebackFilter {
+            marking_p: 0.04,
+            reconstruct_at,
+            scope: BlockScope::AllTraffic,
+            min_share: 0.002,
+        },
+        Scheme::Tcs(TcsStaticConfig {
+            fraction: 0.3,
+            placement: Placement::TopDegree,
+            activate_at: reconstruct_at,
+            // The owner tailors the stage-2 firewall to the attack in
+            // progress: a UDP flood gets a UDP block.
+            dst_block_protos: Some(vec![dtcs::netsim::Proto::Udp]),
+            ..Default::default()
+        }),
+    ];
+    (dcfg, schemes)
+}
+
+/// Sweep-grid adapter (DESIGN.md §6.6): one cell per (attack shape,
+/// scheme) — the full reflector comparison set plus the direct-flood
+/// contrast — each replicated under derived seeds by the engine.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e2"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let cfg = scenario(opts.quick);
+        let mut schemes = Scheme::comparison_set(cfg.attack.start_at);
+        schemes.push(Scheme::I3 { ip_hidden: true });
+        let (dcfg, direct_schemes) = direct_contrast(&cfg);
+        let mut cells = Vec::new();
+        for (shape, shape_cfg, shape_schemes) in [
+            ("reflector", &cfg, schemes),
+            ("direct", &dcfg, direct_schemes),
+        ] {
+            for scheme in shape_schemes {
+                let cell_cfg = shape_cfg.clone();
+                cells.push(crate::sweep::SweepCell {
+                    experiment: "e2",
+                    scenario: format!("{shape}/scheme={}", scheme.label()),
+                    base_seed: cell_cfg.seed,
+                    run: Box::new(move |seed| {
+                        let mut cfg = cell_cfg.clone();
+                        cfg.seed = seed;
+                        let out = run_scenario(&cfg, &scheme);
+                        crate::sweep::CellRun {
+                            metrics: outcome_metrics(&out.row),
+                            stats: out.stats,
+                        }
+                    }),
+                });
+            }
+        }
+        cells
+    }
+}
+
 /// Run E2.
 pub fn run(opts: &crate::RunOpts) -> Report {
     let quick = opts.quick;
@@ -125,34 +230,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     // spoofed direct flood — where traceback names the TRUE agent ASes and
     // null-routing them genuinely helps (its residual collateral is the
     // Sec. 4.6 kind: innocents inside the zombies' own access networks).
-    let mut dcfg = cfg.clone();
-    dcfg.attack_kind = AttackKind::Direct {
-        spoof: SpoofMode::Random,
-    };
-    dcfg.attack.agent_rate_pps *= 2.0;
-    let reconstruct_at = SimTime(dcfg.attack.start_at.as_nanos() + 5_000_000_000);
-    let direct_schemes = vec![
-        Scheme::None,
-        Scheme::Ingress {
-            fraction: 0.2,
-            placement: Placement::TopDegree,
-        },
-        Scheme::TracebackFilter {
-            marking_p: 0.04,
-            reconstruct_at,
-            scope: BlockScope::AllTraffic,
-            min_share: 0.002,
-        },
-        Scheme::Tcs(TcsStaticConfig {
-            fraction: 0.3,
-            placement: Placement::TopDegree,
-            activate_at: reconstruct_at,
-            // The owner tailors the stage-2 firewall to the attack in
-            // progress: a UDP flood gets a UDP block.
-            dst_block_protos: Some(vec![dtcs::netsim::Proto::Udp]),
-            ..Default::default()
-        }),
-    ];
+    let (dcfg, direct_schemes) = direct_contrast(&cfg);
     let direct_rows: Vec<OutcomeRow> = direct_schemes
         .par_iter()
         .map(|s| run_scenario(&dcfg, s).row)

@@ -162,6 +162,81 @@ fn one(
     (row, sim.stats)
 }
 
+/// Base seed shared by the single-run tables and the sweep cells.
+const SEED: u64 = 33;
+
+/// Sweep-grid adapter: one cell per (topology family, strategy,
+/// deployment fraction) — the power-law sweep over all four strategies
+/// plus the Waxman contrast over the two TCS strategies.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e3"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let (n_nodes, probes, fractions) = params(opts.quick);
+        let mut cases: Vec<(TopoKind, Strategy, f64)> = Vec::new();
+        for &s in &[
+            Strategy::Ingress(Placement::Random),
+            Strategy::Ingress(Placement::TopDegree),
+            Strategy::Tcs(Placement::Random),
+            Strategy::Tcs(Placement::TopDegree),
+        ] {
+            for &fr in &fractions {
+                cases.push((TopoKind::PowerLaw, s, fr));
+            }
+        }
+        for &s in &[
+            Strategy::Tcs(Placement::Random),
+            Strategy::Tcs(Placement::TopDegree),
+        ] {
+            for &fr in &fractions {
+                cases.push((TopoKind::Waxman, s, fr));
+            }
+        }
+        cases
+            .into_iter()
+            .map(|(kind, s, fr)| crate::sweep::SweepCell {
+                experiment: "e3",
+                scenario: format!(
+                    "{}/{}/fraction={fr:.2}",
+                    match kind {
+                        TopoKind::PowerLaw => "powerlaw",
+                        TopoKind::Waxman => "waxman",
+                    },
+                    s.label()
+                ),
+                base_seed: SEED,
+                run: Box::new(move |seed| {
+                    let (row, stats) = one(s, fr, n_nodes, probes, seed, kind, None);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("probes".to_string(), row.probes as f64);
+                    metrics.insert("survived".to_string(), row.survived as f64);
+                    metrics.insert("survival_ratio".to_string(), row.survival_ratio);
+                    if let Some(d) = row.mean_stop_distance {
+                        metrics.insert("stop_distance".to_string(), d);
+                    }
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            })
+            .collect()
+    }
+}
+
+/// Grid dimensions shared by `run()` and the sweep adapter.
+fn params(quick: bool) -> (usize, u64, Vec<f64>) {
+    let n_nodes = if quick { 150 } else { 400 };
+    let probes = if quick { 1200 } else { 4000 };
+    let fractions = if quick {
+        vec![0.0, 0.1, 0.2, 0.4, 0.8]
+    } else {
+        vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
+    };
+    (n_nodes, probes, fractions)
+}
+
 /// Run E3.
 pub fn run(opts: &crate::RunOpts) -> Report {
     let quick = opts.quick;
@@ -170,13 +245,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Spoofed-packet survival vs deployment coverage",
         "Sec. 3.2 (Park & Lee)",
     );
-    let n_nodes = if quick { 150 } else { 400 };
-    let probes = if quick { 1200 } else { 4000 };
-    let fractions: Vec<f64> = if quick {
-        vec![0.0, 0.1, 0.2, 0.4, 0.8]
-    } else {
-        vec![0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0]
-    };
+    let (n_nodes, probes, fractions) = params(quick);
     let strategies = [
         Strategy::Ingress(Placement::Random),
         Strategy::Ingress(Placement::TopDegree),
@@ -189,7 +258,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         .collect();
     let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
-        .map(|&(s, fr)| one(s, fr, n_nodes, probes, 33, TopoKind::PowerLaw, None))
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, SEED, TopoKind::PowerLaw, None))
         .collect::<Vec<_>>()
         .into_iter()
         .unzip();
@@ -208,7 +277,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
             0.2,
             n_nodes,
             probes,
-            33,
+            SEED,
             TopoKind::PowerLaw,
             Some(path),
         );
@@ -256,7 +325,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     let wax_rows: Vec<Row> = wax_cases
         .par_iter()
         .map(|&(s, fr)| {
-            let (row, stats) = one(s, fr, n_nodes, probes, 33, TopoKind::Waxman, None);
+            let (row, stats) = one(s, fr, n_nodes, probes, SEED, TopoKind::Waxman, None);
             crate::util::enforce_run_invariants("e3/waxman", &stats);
             row
         })

@@ -19,6 +19,7 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod sweep;
 pub mod util;
 
 use util::Report;
@@ -30,8 +31,10 @@ pub struct RunOpts {
     pub quick: bool,
     /// Write a JSONL packet trace of a designated run to this path
     /// (`--trace PATH`). Only experiments that wire a flight recorder
-    /// honour it (currently e2 and e3); each traced experiment overwrites
-    /// the file, so trace one experiment at a time.
+    /// honour it (currently e2 and e3). Each traced experiment truncates
+    /// and rewrites the file, so the `experiments` binary refuses
+    /// `--trace` with more than one experiment id rather than silently
+    /// keeping only the last trace.
     pub trace: Option<std::path::PathBuf>,
 }
 
@@ -85,4 +88,16 @@ pub fn run_experiment(id: &str, opts: &RunOpts) -> Option<Report> {
         .iter()
         .find(|(eid, _)| *eid == id)
         .map(|&(_, run)| run(opts))
+}
+
+/// Experiments ported onto the sweep engine's [`sweep::GridExperiment`]
+/// trait (`--sweep` mode). The remaining registry entries migrate here
+/// as they grow cell adapters; ids absent from this table fall back to
+/// their single-run `run()` only.
+pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 3] =
+    [&e2::Sweep, &e3::Sweep, &e13::Sweep];
+
+/// Look up a sweep-capable experiment by id.
+pub fn sweep_experiment(id: &str) -> Option<&'static dyn sweep::GridExperiment> {
+    SWEEP_EXPERIMENTS.iter().find(|e| e.id() == id).copied()
 }

@@ -1,0 +1,700 @@
+//! Work-stealing sharded sweep engine over the full
+//! (experiment × scenario × seed) grid (DESIGN.md §6.6).
+//!
+//! The pre-sweep harness ran one experiment at a time with only
+//! per-experiment `par_iter` inside each module: cores idled at every
+//! experiment boundary and the serial experiments (E13's cell loop) never
+//! parallelized at all. This module flattens *every* requested
+//! experiment's scenario cells, replicated under N deterministically
+//! derived child seeds, into a single task pool drained by work-stealing
+//! shards:
+//!
+//! * each **task** is one independent simulator run — a `(cell,
+//!   replicate)` grid point with its own seed from [`replicate_seed`];
+//! * each **shard** (worker thread) owns a task deque and an independent
+//!   [`Stats`] accumulator; an idle shard steals half the largest
+//!   remaining deque, so long cells (an e13 fault sweep) backfill behind
+//!   short ones (an e3 probe run) with no barrier in between;
+//! * per-shard `Stats` fold with the commutative, associative
+//!   [`Stats::merge`], so *any* stealing schedule produces one identical
+//!   aggregate;
+//! * report JSON is written **shard-order-independent**: per-cell metric
+//!   vectors are ordered by replicate index, cells are stably sorted by
+//!   grid key `(experiment, scenario, base_seed)` before serialization,
+//!   and the serializer is a hand-rolled deterministic writer — so the
+//!   bytes are identical at any thread count (CI-enforced at
+//!   `RAYON_NUM_THREADS=1` vs `=4`).
+//!
+//! Replication (`--replicate N`, default 32 in sweep mode) turns each
+//! scenario cell into N seed-varied runs and the report's single values
+//! into mean / stddev / 95% confidence-interval columns — the
+//! seed-replicated evaluation style of the related-work field (Li et al.;
+//! El Defrawy et al.) that a single-seed table cannot provide.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use dtcs::netsim::rng::child_seed;
+use dtcs::netsim::Stats;
+
+use crate::util::{hist_health, wheel_health};
+use crate::RunOpts;
+
+/// One finished grid-point run: the numeric metrics that feed the
+/// replicate aggregation, plus the run's full [`Stats`] for shard
+/// accumulation and invariant enforcement.
+pub struct CellRun {
+    /// Named numeric outcomes (a table row, flattened). Optional metrics
+    /// (e.g. a stop distance with no drops) are simply absent; the
+    /// aggregation tracks per-metric sample counts.
+    pub metrics: BTreeMap<String, f64>,
+    /// The run's engine statistics.
+    pub stats: Stats,
+}
+
+/// One scenario cell of the grid: everything but the seed.
+pub struct SweepCell {
+    /// Owning experiment id (`"e2"`, …).
+    pub experiment: &'static str,
+    /// Stable scenario label, unique within the experiment — the second
+    /// component of the grid key (e.g. `"reflector/scheme=tcs(30%)"`).
+    pub scenario: String,
+    /// The seed the single-run experiment uses for this cell; replicate 0
+    /// reuses it verbatim so the sweep brackets the golden tables.
+    pub base_seed: u64,
+    /// Run the cell under one derived seed.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(u64) -> CellRun + Send + Sync>,
+}
+
+/// An experiment that exposes its scenario grid to the sweep engine.
+/// Porting an experiment is: enumerate cells here, keep the bespoke
+/// single-run `run()` for the golden tables. (E2/E3/E13 are ported;
+/// the rest of the registry migrates behind this same trait.)
+pub trait GridExperiment: Sync {
+    /// Experiment id, matching the [`crate::EXPERIMENTS`] registry.
+    fn id(&self) -> &'static str;
+    /// Enumerate the experiment's scenario cells.
+    fn cells(&self, opts: &RunOpts) -> Vec<SweepCell>;
+}
+
+/// Stream salt separating sweep-replicate seed derivation from every
+/// other [`child_seed`] consumer (the trace sampler salts with packet
+/// ids, scenario setup with small constants).
+const REPLICATE_STREAM: u64 = 0x5357_4545_5000_0000; // "SWEEP"
+
+/// Deterministic seed for replicate `r` of a cell. Replicate 0 is the
+/// base seed itself, so every sweep contains the exact single-run rows
+/// of the golden tables; replicates 1.. are independent SplitMix64
+/// children on a dedicated stream.
+pub fn replicate_seed(base_seed: u64, replicate: u32) -> u64 {
+    if replicate == 0 {
+        base_seed
+    } else {
+        child_seed(base_seed, REPLICATE_STREAM | replicate as u64)
+    }
+}
+
+/// Shard count: `RAYON_NUM_THREADS` when set (the knob CI pins for the
+/// thread-count-invariance gate, and the one users already know from the
+/// per-experiment `par_iter`s), else all available cores.
+pub fn default_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Per-shard execution accounting (print-only; never serialized).
+#[derive(Default)]
+pub struct ShardReport {
+    /// Tasks this shard executed.
+    pub tasks: usize,
+    /// Successful steal operations (half a victim deque each).
+    pub steals: u64,
+    /// Wall time spent inside task bodies.
+    pub busy: Duration,
+}
+
+/// Everything one grid execution produces.
+pub struct GridOutcome {
+    /// Per-task metrics, sorted by task index (= `cell * replicates + r`,
+    /// i.e. grid order) — independent of the stealing schedule.
+    pub task_metrics: Vec<(usize, BTreeMap<String, f64>)>,
+    /// Per-task wall durations, indexed like `task_metrics` (feeds the
+    /// `sweep_scaling` bench; print-only).
+    pub task_durations: Vec<Duration>,
+    /// All shards' stats folded with [`Stats::merge`] (series stripped:
+    /// cross-experiment series have incommensurable bucket widths, and
+    /// the aggregate exists for engine-health lines only).
+    pub merged_stats: Stats,
+    /// Per-shard accounting.
+    pub shards: Vec<ShardReport>,
+    /// End-to-end wall time of the pool drain.
+    pub wall: Duration,
+}
+
+/// Worker-local state, returned when the shard's deque (and every
+/// victim's) is dry.
+#[derive(Default)]
+struct ShardOut {
+    results: Vec<(usize, BTreeMap<String, f64>)>,
+    durations: Vec<(usize, Duration)>,
+    stats: Stats,
+    report: ShardReport,
+}
+
+/// Pop from our own deque, or steal half the largest victim deque.
+/// Returns `None` only when every deque is empty — since tasks never
+/// spawn tasks, that is the termination condition.
+fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize, out: &mut ShardOut) -> Option<usize> {
+    if let Some(t) = queues[me].lock().expect("queue poisoned").pop_front() {
+        return Some(t);
+    }
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (len, victim)
+        for (i, q) in queues.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            let len = q.lock().expect("queue poisoned").len();
+            if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                best = Some((len, i));
+            }
+        }
+        let (_, victim) = best?;
+        let mut vq = queues[victim].lock().expect("queue poisoned");
+        let n = vq.len();
+        if n == 0 {
+            continue; // raced with the victim draining itself; rescan
+        }
+        let take = (n / 2).max(1);
+        let mut stolen = vq.split_off(n - take);
+        drop(vq);
+        out.report.steals += 1;
+        let first = stolen.pop_front().expect("stole at least one task");
+        if !stolen.is_empty() {
+            queues[me]
+                .lock()
+                .expect("queue poisoned")
+                .append(&mut stolen);
+        }
+        return Some(first);
+    }
+}
+
+/// Drain the flattened `(cell × replicate)` grid with `threads`
+/// work-stealing shards. Task index `t` maps to cell `t / replicates`,
+/// replicate `t % replicates`; the initial distribution deals tasks
+/// round-robin so every shard starts with a spread of cheap and
+/// expensive cells.
+pub fn run_grid(cells: &[SweepCell], replicates: u32, threads: usize) -> GridOutcome {
+    let replicates = replicates.max(1) as usize;
+    let threads = threads.max(1);
+    let n_tasks = cells.len() * replicates;
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| Mutex::new((w..n_tasks).step_by(threads).collect()))
+        .collect();
+
+    let started = Instant::now();
+    let shard_outs: Vec<ShardOut> = std::thread::scope(|scope| {
+        let queues = &queues;
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = ShardOut::default();
+                    while let Some(t) = next_task(queues, w, &mut out) {
+                        let cell = &cells[t / replicates];
+                        let r = (t % replicates) as u32;
+                        let t0 = Instant::now();
+                        let run = (cell.run)(replicate_seed(cell.base_seed, r));
+                        let took = t0.elapsed();
+                        crate::util::enforce_run_invariants(
+                            &format!("sweep {}/{} r{r}", cell.experiment, cell.scenario),
+                            &run.stats,
+                        );
+                        let mut stats = run.stats;
+                        stats.series = None;
+                        out.stats.merge(&stats);
+                        out.results.push((t, run.metrics));
+                        out.durations.push((t, took));
+                        out.report.tasks += 1;
+                        out.report.busy += took;
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep shard panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut task_metrics = Vec::with_capacity(n_tasks);
+    let mut durations = vec![Duration::ZERO; n_tasks];
+    let mut merged_stats = Stats::default();
+    let mut shards = Vec::with_capacity(threads);
+    for out in shard_outs {
+        task_metrics.extend(out.results);
+        for (t, d) in out.durations {
+            durations[t] = d;
+        }
+        merged_stats.merge(&out.stats);
+        shards.push(out.report);
+    }
+    // Canonical grid order: the stealing schedule decided who ran what,
+    // but never what the grid contains.
+    task_metrics.sort_by_key(|(t, _)| *t);
+    GridOutcome {
+        task_metrics,
+        task_durations: durations,
+        merged_stats,
+        shards,
+        wall,
+    }
+}
+
+/// Replicate aggregation of one metric: sample mean, sample stddev
+/// (n−1), and the 95% confidence-interval half-width under the normal
+/// approximation (`1.96 · stddev / √n`). `n` counts the replicates that
+/// actually produced the metric (optional metrics may be absent in some
+/// runs).
+pub struct MetricSummary {
+    /// Samples present.
+    pub n: u32,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when n < 2).
+    pub stddev: f64,
+    /// 95% CI half-width, `mean ± ci95` (0 when n < 2).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Aggregate samples given in replicate order (fixed order ⇒ bit-stable
+/// float results ⇒ byte-stable report JSON).
+pub fn summarize_metric(values: &[f64]) -> Option<MetricSummary> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let (mut min, mut max) = (values[0], values[0]);
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    let (stddev, ci95) = if values.len() < 2 {
+        (0.0, 0.0)
+    } else {
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+        let sd = var.sqrt();
+        (sd, 1.96 * sd / n.sqrt())
+    };
+    Some(MetricSummary {
+        n: values.len() as u32,
+        mean,
+        stddev,
+        ci95,
+        min,
+        max,
+    })
+}
+
+/// One cell of a sweep report: the grid key plus per-metric summaries.
+pub struct SweepCellReport {
+    /// Grid key, first component.
+    pub experiment: String,
+    /// Grid key, second component.
+    pub scenario: String,
+    /// Grid key, third component.
+    pub base_seed: u64,
+    /// Metric name → replicate aggregation, name-sorted.
+    pub metrics: BTreeMap<String, MetricSummary>,
+}
+
+/// One experiment's sweep output (serialized to `<id>.sweep.json`).
+pub struct SweepReport {
+    /// Experiment id.
+    pub id: String,
+    /// Replicates per cell the sweep was asked for.
+    pub replicates: u32,
+    /// Cells, stably sorted by grid key.
+    pub cells: Vec<SweepCellReport>,
+}
+
+/// Format an f64 as a JSON number. `Display` for finite f64 is the
+/// shortest round-trip form — deterministic and valid JSON. Non-finite
+/// values must not reach a report (metrics are screened at insertion).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite metric value {v}");
+    let s = format!("{v}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SweepReport {
+    /// Deterministic JSON: hand-rolled (fixed field order, BTreeMap
+    /// metric order, replicate-ordered float folds) so the bytes depend
+    /// only on the grid, never on thread count, steal schedule, or
+    /// serializer version.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        s.push_str("  \"mode\": \"sweep\",\n");
+        s.push_str(&format!("  \"replicates\": {},\n", self.replicates));
+        s.push_str("  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    {\n");
+            s.push_str(&format!(
+                "      \"experiment\": {},\n",
+                json_str(&c.experiment)
+            ));
+            s.push_str(&format!("      \"scenario\": {},\n", json_str(&c.scenario)));
+            s.push_str(&format!("      \"base_seed\": {},\n", c.base_seed));
+            s.push_str("      \"metrics\": {");
+            for (j, (name, m)) in c.metrics.iter().enumerate() {
+                s.push_str(if j == 0 { "\n" } else { ",\n" });
+                s.push_str(&format!(
+                    "        {}: {{\"n\": {}, \"mean\": {}, \"stddev\": {}, \"ci95\": {}, \
+                     \"min\": {}, \"max\": {}}}",
+                    json_str(name),
+                    m.n,
+                    json_f64(m.mean),
+                    json_f64(m.stddev),
+                    json_f64(m.ci95),
+                    json_f64(m.min),
+                    json_f64(m.max),
+                ));
+            }
+            s.push_str("\n      }\n    }");
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+
+    /// Write `<dir>/<id>.sweep.json`.
+    pub fn save(&self, dir: &std::path::Path) {
+        std::fs::create_dir_all(dir).expect("create results dir");
+        let path = dir.join(format!("{}.sweep.json", self.id));
+        std::fs::write(&path, self.to_json()).expect("write sweep report");
+        println!("[saved {}]", path.display());
+    }
+
+    /// Print the mean ± CI table.
+    pub fn print(&self) {
+        println!("\n==================================================================");
+        println!(
+            "{} SWEEP: {} cells x {} replicates",
+            self.id.to_uppercase(),
+            self.cells.len(),
+            self.replicates
+        );
+        println!("==================================================================");
+        let header: Vec<String> = ["scenario", "metric", "mean", "stddev", "ci95", "n"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut rows = Vec::new();
+        for c in &self.cells {
+            for (name, m) in &c.metrics {
+                rows.push(vec![
+                    c.scenario.clone(),
+                    name.clone(),
+                    crate::util::f(m.mean),
+                    crate::util::f(m.stddev),
+                    crate::util::f(m.ci95),
+                    m.n.to_string(),
+                ]);
+            }
+        }
+        dtcs::print_table(&header, &rows);
+    }
+}
+
+/// A whole sweep invocation's output.
+pub struct SweepOutcome {
+    /// One report per requested experiment, request order.
+    pub reports: Vec<SweepReport>,
+    /// Print-only engine-health and shard-accounting lines.
+    pub health: Vec<String>,
+    /// Total tasks executed.
+    pub tasks: usize,
+    /// Pool wall time.
+    pub wall: Duration,
+}
+
+/// Run the full sweep: flatten every experiment's cells into ONE pool
+/// (that is the point — e13's long fault cells drain alongside e3's
+/// short probe cells), execute with `threads` work-stealing shards,
+/// aggregate replicates, and assemble per-experiment reports sorted by
+/// grid key.
+pub fn run_sweep(
+    experiments: &[&dyn GridExperiment],
+    opts: &RunOpts,
+    replicates: u32,
+    threads: usize,
+) -> SweepOutcome {
+    let replicates = replicates.max(1);
+    let mut cells: Vec<SweepCell> = Vec::new();
+    for e in experiments {
+        cells.extend(e.cells(opts));
+    }
+    let grid = run_grid(&cells, replicates, threads);
+
+    // Per-cell, per-metric sample vectors in replicate order.
+    let mut per_cell: Vec<BTreeMap<String, Vec<f64>>> =
+        (0..cells.len()).map(|_| BTreeMap::new()).collect();
+    for (t, metrics) in &grid.task_metrics {
+        let c = t / replicates as usize;
+        for (k, v) in metrics {
+            if v.is_finite() {
+                per_cell[c].entry(k.clone()).or_default().push(*v);
+            }
+        }
+    }
+
+    let mut reports = Vec::new();
+    for e in experiments {
+        let id = e.id();
+        let mut cell_reports: Vec<SweepCellReport> = cells
+            .iter()
+            .zip(per_cell.iter())
+            .filter(|(c, _)| c.experiment == id)
+            .map(|(c, samples)| SweepCellReport {
+                experiment: c.experiment.to_string(),
+                scenario: c.scenario.clone(),
+                base_seed: c.base_seed,
+                metrics: samples
+                    .iter()
+                    .filter_map(|(k, vs)| summarize_metric(vs).map(|m| (k.clone(), m)))
+                    .collect(),
+            })
+            .collect();
+        cell_reports.sort_by(|a, b| (&a.scenario, a.base_seed).cmp(&(&b.scenario, b.base_seed)));
+        reports.push(SweepReport {
+            id: id.to_string(),
+            replicates,
+            cells: cell_reports,
+        });
+    }
+
+    let shard_line = format!(
+        "sweep pool: {} tasks ({} cells x {} replicates) over {} shards in {:.2}s; \
+         {} steals; per-shard tasks [{}]",
+        grid.task_metrics.len(),
+        cells.len(),
+        replicates,
+        grid.shards.len(),
+        grid.wall.as_secs_f64(),
+        grid.shards.iter().map(|s| s.steals).sum::<u64>(),
+        grid.shards
+            .iter()
+            .map(|s| s.tasks.to_string())
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    let health = vec![
+        shard_line,
+        wheel_health(std::iter::once(&grid.merged_stats)),
+        hist_health(std::iter::once(&grid.merged_stats)),
+    ];
+    SweepOutcome {
+        reports,
+        health,
+        tasks: grid.task_metrics.len(),
+        wall: grid.wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic grid: cheap deterministic "runs" whose metrics encode
+    /// the seed, so schedule mix-ups are visible.
+    fn toy_cells(n: usize) -> Vec<SweepCell> {
+        (0..n)
+            .map(|i| SweepCell {
+                experiment: "toy",
+                scenario: format!("cell={i:02}"),
+                base_seed: 100 + i as u64,
+                run: Box::new(|seed| {
+                    let stats = Stats {
+                        events: seed % 97,
+                        ..Default::default()
+                    };
+                    let mut metrics = BTreeMap::new();
+                    metrics.insert("seed_mod".into(), (seed % 1000) as f64);
+                    metrics.insert("one".into(), 1.0);
+                    CellRun { metrics, stats }
+                }),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replicate_zero_is_base_seed() {
+        assert_eq!(replicate_seed(42, 0), 42);
+        assert_ne!(replicate_seed(42, 1), 42);
+        assert_ne!(replicate_seed(42, 1), replicate_seed(42, 2));
+        // Distinct from the plain child_seed streams scenarios use.
+        assert_ne!(replicate_seed(42, 1), child_seed(42, 1));
+    }
+
+    #[test]
+    fn grid_output_is_thread_count_invariant() {
+        let cells = toy_cells(7);
+        let a = run_grid(&cells, 5, 1);
+        let b = run_grid(&cells, 5, 4);
+        let c = run_grid(&cells, 5, 16); // more shards than tasks per cell
+        assert_eq!(a.task_metrics, b.task_metrics);
+        assert_eq!(a.task_metrics, c.task_metrics);
+        assert_eq!(a.merged_stats, b.merged_stats);
+        assert_eq!(a.merged_stats, c.merged_stats);
+        assert_eq!(a.task_metrics.len(), 35);
+    }
+
+    #[test]
+    fn sweep_report_bytes_are_thread_count_invariant() {
+        struct Toy;
+        impl GridExperiment for Toy {
+            fn id(&self) -> &'static str {
+                "toy"
+            }
+            fn cells(&self, _opts: &RunOpts) -> Vec<SweepCell> {
+                toy_cells(5)
+            }
+        }
+        let opts = RunOpts::quick();
+        let a = run_sweep(&[&Toy], &opts, 4, 1);
+        let b = run_sweep(&[&Toy], &opts, 4, 8);
+        let ja: Vec<String> = a.reports.iter().map(|r| r.to_json()).collect();
+        let jb: Vec<String> = b.reports.iter().map(|r| r.to_json()).collect();
+        assert_eq!(ja, jb, "report bytes must not depend on thread count");
+        assert!(ja[0].contains("\"mode\": \"sweep\""));
+        assert!(ja[0].contains("\"replicates\": 4"));
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once_under_stealing() {
+        // Uneven, serial-heavy grid with many shards: the round-robin
+        // deal leaves some shards dry instantly, forcing steals.
+        let cells = toy_cells(3);
+        let out = run_grid(&cells, 11, 6);
+        assert_eq!(out.task_metrics.len(), 33);
+        for (i, (t, _)) in out.task_metrics.iter().enumerate() {
+            assert_eq!(*t, i, "task {i} missing or duplicated");
+        }
+        let executed: usize = out.shards.iter().map(|s| s.tasks).sum();
+        assert_eq!(executed, 33);
+    }
+
+    /// Real-simulator grid, smaller than `--quick`: a sharded run's merged
+    /// [`Stats`] must equal the sequential run's field-for-field (the
+    /// merge-algebra guarantee on actual workloads, not toy counters).
+    #[test]
+    fn sharded_e2_stats_equal_sequential() {
+        let cells = tiny_e2_cells();
+        let seq = run_grid(&cells, 2, 1);
+        let par = run_grid(&cells, 2, 4);
+        assert_eq!(seq.merged_stats, par.merged_stats);
+        assert_eq!(seq.task_metrics, par.task_metrics);
+    }
+
+    /// A shrunken e2-style grid (two schemes over a 40-node scenario) —
+    /// shared by the equality test above and small enough for CI.
+    fn tiny_e2_cells() -> Vec<SweepCell> {
+        use dtcs::{run_scenario, ScenarioConfig, Scheme};
+        let mut cfg = ScenarioConfig {
+            n_nodes: 40,
+            ..Default::default()
+        };
+        cfg.attack.n_agents = 10;
+        cfg.attack.n_reflectors = 15;
+        cfg.attack.stop_at = dtcs::netsim::SimTime::from_secs(4);
+        cfg.duration = dtcs::netsim::SimTime::from_secs(5);
+        cfg.n_clients = 6;
+        cfg.n_collateral_clients = 4;
+        [
+            Scheme::None,
+            Scheme::Ingress {
+                fraction: 0.2,
+                placement: dtcs::mitigation::Placement::TopDegree,
+            },
+        ]
+        .into_iter()
+        .map(|scheme| {
+            let cell_cfg = cfg.clone();
+            SweepCell {
+                experiment: "e2",
+                scenario: format!("tiny/scheme={}", scheme.label()),
+                base_seed: cell_cfg.seed,
+                run: Box::new(move |seed| {
+                    let mut cfg = cell_cfg.clone();
+                    cfg.seed = seed;
+                    let out = run_scenario(&cfg, &scheme);
+                    CellRun {
+                        metrics: crate::e2::outcome_metrics(&out.row),
+                        stats: out.stats,
+                    }
+                }),
+            }
+        })
+        .collect()
+    }
+
+    #[test]
+    fn metric_summary_statistics() {
+        let m = summarize_metric(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.n, 4);
+        assert!((m.mean - 2.5).abs() < 1e-12);
+        assert!((m.stddev - 1.2909944487358056).abs() < 1e-12);
+        assert!((m.ci95 - 1.96 * m.stddev / 2.0).abs() < 1e-12);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+        let single = summarize_metric(&[7.0]).unwrap();
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+        assert!(summarize_metric(&[]).is_none());
+    }
+
+    #[test]
+    fn json_writer_emits_valid_floats() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(1e-9), "0.000000001");
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+    }
+}

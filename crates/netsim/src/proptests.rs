@@ -348,3 +348,160 @@ proptest! {
         }
     }
 }
+
+// --- Stats::merge shard algebra (DESIGN.md §6.6) -------------------------
+//
+// The sweep engine folds per-shard `Stats` with `Stats::merge` under an
+// arbitrary work-stealing schedule, so the operation must form a
+// commutative monoid: any merge order, any grouping, must produce one
+// identical aggregate, and `Stats::default()` must be a true identity.
+
+use crate::stats::{Stats, ALL_CLASSES, ALL_DROP_REASONS};
+use crate::time::{SimDuration, SimTime};
+
+/// Raw material for one randomized `Stats`: per-class counter bumps,
+/// drop-bucket bumps, histogram samples, engine scalars, and optional
+/// watched-series deliveries (node, bucket index, bytes).
+type StatsRaw = (
+    Vec<(usize, u64, u64, u64)>,
+    Vec<(usize, usize, u64, u64, u64)>,
+    Vec<u64>,
+    (u64, u64, u64, u64, u64, u64),
+    Option<Vec<(usize, u64, u32)>>,
+);
+
+fn stats_from(raw: StatsRaw) -> Stats {
+    let (classes, drops, samples, scalars, series) = raw;
+    let mut s = Stats::new();
+    for (ci, sent, delivered, bytes) in classes {
+        let c = &mut s.per_class[ci % ALL_CLASSES.len()];
+        c.sent_pkts += sent;
+        c.sent_bytes += bytes;
+        c.delivered_pkts += delivered;
+        c.delivered_bytes += bytes / 2;
+        c.dropped_pkts += sent / 3;
+        c.dropped_bytes += bytes / 3;
+        c.delivered_hops += delivered.wrapping_mul(3) % (1 << 20);
+        c.delivered_byte_hops += (bytes / 2).wrapping_mul(4) % (1 << 30);
+        c.dropped_byte_hops += (bytes / 3).wrapping_mul(5) % (1 << 30);
+    }
+    for (ci, ri, pkts, bytes, mean_hops) in drops {
+        let key = (
+            ALL_CLASSES[ci % ALL_CLASSES.len()],
+            ALL_DROP_REASONS[ri % ALL_DROP_REASONS.len()],
+        );
+        let agg = s.drops.entry(key).or_default();
+        agg.pkts += pkts;
+        agg.bytes += bytes;
+        agg.hops_sum += pkts.saturating_mul(mean_hops);
+    }
+    for v in samples {
+        s.hist.queue_delay_ns.record(v / 2);
+        s.hist.e2e_latency_ns.record(v);
+        s.hist.hop_count.record(v % 32);
+    }
+    let (events, clamped, flips, slot_hwm, len_hwm, cp) = scalars;
+    s.events = events;
+    s.past_events_clamped = clamped;
+    s.route_link_flips = flips;
+    s.route_trees_recomputed = flips * 2;
+    s.wheel_slot_occupancy_hwm = slot_hwm;
+    s.wheel_len_hwm = len_hwm;
+    s.wheel_cascade_moves = events / 7;
+    s.cp_msgs = cp;
+    s.cp_fault_dropped = cp / 5;
+    s.node_crashes = cp % 3;
+    if let Some(deliveries) = series {
+        for (node, bucket_idx, bytes) in deliveries {
+            let node = NodeId(node % 5);
+            // All generated series share one bucket width (merging
+            // different clock resolutions is a contract violation).
+            s.watch(node, SimDuration::from_millis(100));
+            let pkt = PacketBuilder::new(
+                Addr::new(NodeId(0), 0),
+                Addr::new(node, 0),
+                Proto::Udp,
+                TrafficClass::LegitReply,
+            )
+            .size(bytes)
+            .build(1, NodeId(0));
+            s.record_delivered(
+                SimTime::from_millis((bucket_idx % 4) * 100 + 50),
+                node,
+                &pkt,
+            );
+        }
+    }
+    s
+}
+
+fn arb_stats() -> impl Strategy<Value = Stats> {
+    (
+        proptest::collection::vec(
+            (0usize..7, 0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+            0..8,
+        ),
+        proptest::collection::vec(
+            (
+                0usize..7,
+                0usize..15,
+                0u64..10_000,
+                0u64..1_000_000,
+                0u64..64,
+            ),
+            0..8,
+        ),
+        proptest::collection::vec(0u64..1_000_000_000, 0..16),
+        (
+            0u64..1_000_000,
+            0u64..100,
+            0u64..1_000,
+            0u64..10_000,
+            0u64..100_000,
+            0u64..10_000,
+        ),
+        proptest::option::of(proptest::collection::vec(
+            (0usize..5, 0u64..4, 1u32..100_000),
+            0..6,
+        )),
+    )
+        .prop_map(stats_from)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// merge(a, b) == merge(b, a) — shard arrival order cannot matter.
+    #[test]
+    fn stats_merge_commutes(a in arb_stats(), b in arb_stats()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) — shard grouping cannot matter.
+    #[test]
+    fn stats_merge_associates(a in arb_stats(), b in arb_stats(), c in arb_stats()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// `Stats::default()` is a two-sided identity for merge.
+    #[test]
+    fn stats_merge_default_is_identity(a in arb_stats()) {
+        let mut l = a.clone();
+        l.merge(&Stats::default());
+        prop_assert_eq!(&l, &a);
+        let mut r = Stats::default();
+        r.merge(&a);
+        prop_assert_eq!(&r, &a);
+    }
+}

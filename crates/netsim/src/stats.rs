@@ -98,7 +98,7 @@ pub const ALL_CLASSES: [TrafficClass; N_CLASSES] = [
 ];
 
 /// Per-class send/deliver/drop counters.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClassCounters {
     /// Packets emitted.
     pub sent_pkts: u64,
@@ -121,7 +121,7 @@ pub struct ClassCounters {
 }
 
 /// Aggregate for one `(class, reason)` drop bucket.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DropAgg {
     /// Packets.
     pub pkts: u64,
@@ -137,7 +137,7 @@ pub struct DropAgg {
 /// `watch`/`delivered_bytes` pair (single-node callers are untouched);
 /// further `watch` calls append to `extra`, all sharing the first call's
 /// bucket width.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Series {
     /// Bucket width (fixed by the first `watch` call).
     pub bucket: SimDuration,
@@ -180,10 +180,57 @@ impl Series {
     pub fn watched_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         std::iter::once(self.watch).chain(self.extra.iter().map(|(n, _)| *n))
     }
+
+    /// Merge another series into this one: per-node buckets add
+    /// element-wise (shorter vectors are zero-extended), nodes only one
+    /// side watched are adopted, and the result is *canonicalized* — the
+    /// lowest watched [`NodeId`] becomes [`Series::watch`], the rest sort
+    /// into [`Series::extra`] — so the merged form is independent of
+    /// merge order. Both series must share a bucket width; merging two
+    /// different clock resolutions is a logic error.
+    pub fn merge(&mut self, other: &Series) {
+        assert_eq!(
+            self.bucket, other.bucket,
+            "Series::merge requires equal bucket widths"
+        );
+        fn add_into(dst: &mut Vec<[u64; N_CLASSES]>, src: &[[u64; N_CLASSES]]) {
+            if dst.len() < src.len() {
+                dst.resize(src.len(), [0; N_CLASSES]);
+            }
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                for (a, b) in d.iter_mut().zip(s.iter()) {
+                    *a += b;
+                }
+            }
+        }
+        // Fold both sides into one node-keyed map, then lay it back out
+        // in NodeId order.
+        let mut merged: Vec<(NodeId, Vec<[u64; N_CLASSES]>)> = Vec::new();
+        let mut fold = |node: NodeId, buckets: &[[u64; N_CLASSES]]| match merged
+            .iter_mut()
+            .find(|(n, _)| *n == node)
+        {
+            Some((_, b)) => add_into(b, buckets),
+            None => merged.push((node, buckets.to_vec())),
+        };
+        fold(self.watch, &self.delivered_bytes);
+        for (n, b) in &self.extra {
+            fold(*n, b);
+        }
+        fold(other.watch, &other.delivered_bytes);
+        for (n, b) in &other.extra {
+            fold(*n, b);
+        }
+        merged.sort_by_key(|(n, _)| *n);
+        let (watch, delivered_bytes) = merged.remove(0);
+        self.watch = watch;
+        self.delivered_bytes = delivered_bytes;
+        self.extra = merged;
+    }
 }
 
 /// Global statistics collected by the simulator.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
     /// Per-class counters, indexed by [`class_index`].
     pub per_class: [ClassCounters; N_CLASSES],
@@ -237,10 +284,76 @@ pub struct Stats {
     pub node_crashes: u64,
 }
 
+impl ClassCounters {
+    /// Fold another run's counters into this one (all fields add).
+    pub fn merge(&mut self, other: &ClassCounters) {
+        self.sent_pkts += other.sent_pkts;
+        self.sent_bytes += other.sent_bytes;
+        self.delivered_pkts += other.delivered_pkts;
+        self.delivered_bytes += other.delivered_bytes;
+        self.dropped_pkts += other.dropped_pkts;
+        self.dropped_bytes += other.dropped_bytes;
+        self.delivered_hops += other.delivered_hops;
+        self.delivered_byte_hops += other.delivered_byte_hops;
+        self.dropped_byte_hops += other.dropped_byte_hops;
+    }
+}
+
+impl DropAgg {
+    /// Fold another drop bucket into this one.
+    pub fn merge(&mut self, other: &DropAgg) {
+        self.pkts += other.pkts;
+        self.bytes += other.bytes;
+        self.hops_sum += other.hops_sum;
+    }
+}
+
 impl Stats {
     /// Fresh statistics.
     pub fn new() -> Stats {
         Stats::default()
+    }
+
+    /// Fold another run's statistics into this one.
+    ///
+    /// This is the shard-combining operation of the sweep engine
+    /// (DESIGN.md §6.6): **commutative**, **associative**, with
+    /// `Stats::default()` as the **identity**, so any work-stealing
+    /// schedule over independent simulator shards folds to one identical
+    /// aggregate. Counters and drop buckets add; telemetry histograms
+    /// merge bucket-wise; the timing-wheel high-water marks take the max
+    /// (worst shard wins); watched-node series merge element-wise keyed
+    /// by node and are canonicalized by [`Series::merge`] so shard
+    /// arrival order cannot leak into the result.
+    pub fn merge(&mut self, other: &Stats) {
+        for (c, o) in self.per_class.iter_mut().zip(other.per_class.iter()) {
+            c.merge(o);
+        }
+        for (k, agg) in &other.drops {
+            self.drops.entry(*k).or_default().merge(agg);
+        }
+        match (&mut self.series, &other.series) {
+            (_, None) => {}
+            (None, Some(o)) => self.series = Some(o.clone()),
+            (Some(s), Some(o)) => s.merge(o),
+        }
+        self.hist.merge(&other.hist);
+        self.events += other.events;
+        self.past_events_clamped += other.past_events_clamped;
+        self.route_link_flips += other.route_link_flips;
+        self.route_full_recomputes += other.route_full_recomputes;
+        self.route_trees_recomputed += other.route_trees_recomputed;
+        self.wheel_slot_occupancy_hwm = self
+            .wheel_slot_occupancy_hwm
+            .max(other.wheel_slot_occupancy_hwm);
+        self.wheel_len_hwm = self.wheel_len_hwm.max(other.wheel_len_hwm);
+        self.wheel_cascade_moves += other.wheel_cascade_moves;
+        self.cp_msgs += other.cp_msgs;
+        self.cp_fault_dropped += other.cp_fault_dropped;
+        self.cp_fault_duplicated += other.cp_fault_duplicated;
+        self.cp_fault_jittered += other.cp_fault_jittered;
+        self.cp_outage_dropped += other.cp_outage_dropped;
+        self.node_crashes += other.node_crashes;
     }
 
     /// Enable a delivery time series at `watch` with the given bucket
@@ -529,6 +642,89 @@ mod tests {
         let p = mk(TrafficClass::Background, 10, 0);
         s.record_delivered(SimTime::ZERO, NodeId(1), &p); // never sent
         assert!(s.check_conservation().is_err());
+    }
+
+    #[test]
+    fn merge_folds_counters_histograms_and_hwms() {
+        let mut a = Stats::new();
+        let pa = mk(TrafficClass::LegitRequest, 100, 3);
+        a.record_sent(&pa);
+        a.record_delivered(SimTime::from_millis(1), NodeId(1), &pa);
+        a.events = 10;
+        a.wheel_slot_occupancy_hwm = 4;
+        a.wheel_len_hwm = 100;
+        a.wheel_cascade_moves = 2;
+
+        let mut b = Stats::new();
+        let pb = mk(TrafficClass::AttackDirect, 64, 2);
+        b.record_sent(&pb);
+        b.record_dropped(&pb, DropReason::SpoofFilter);
+        b.events = 5;
+        b.wheel_slot_occupancy_hwm = 9;
+        b.wheel_len_hwm = 50;
+        b.wheel_cascade_moves = 3;
+        b.node_crashes = 1;
+
+        a.merge(&b);
+        assert_eq!(a.class(TrafficClass::LegitRequest).delivered_pkts, 1);
+        assert_eq!(a.class(TrafficClass::AttackDirect).dropped_pkts, 1);
+        assert_eq!(
+            a.drops
+                .get(&(TrafficClass::AttackDirect, DropReason::SpoofFilter)),
+            Some(&DropAgg {
+                pkts: 1,
+                bytes: 64,
+                hops_sum: 2
+            })
+        );
+        assert_eq!(a.events, 15);
+        assert_eq!(a.wheel_slot_occupancy_hwm, 9, "HWMs take the max");
+        assert_eq!(a.wheel_len_hwm, 100, "HWMs take the max");
+        assert_eq!(a.wheel_cascade_moves, 5);
+        assert_eq!(a.node_crashes, 1);
+        assert_eq!(a.hist.e2e_latency_ns.count(), 1);
+        a.check_conservation().unwrap();
+    }
+
+    #[test]
+    fn merge_with_default_is_identity_both_ways() {
+        let mut a = Stats::new();
+        let p = mk(TrafficClass::LegitReply, 100, 3);
+        a.record_sent(&p);
+        a.record_delivered(SimTime::from_millis(4), NodeId(1), &p);
+        a.watch(NodeId(1), SimDuration::from_millis(100));
+        a.record_delivered(SimTime::from_millis(5), NodeId(1), &p);
+        a.events = 7;
+        let snapshot = a.clone();
+        a.merge(&Stats::default());
+        assert_eq!(a, snapshot, "right identity");
+        let mut d = Stats::default();
+        d.merge(&snapshot);
+        assert_eq!(d, snapshot, "left identity");
+    }
+
+    #[test]
+    fn merge_series_is_node_keyed_and_canonical() {
+        let p = mk(TrafficClass::LegitReply, 500, 1);
+        let mut a = Stats::new();
+        a.watch(NodeId(9), SimDuration::from_millis(100));
+        a.watch(NodeId(1), SimDuration::from_millis(100));
+        a.record_delivered(SimTime::from_millis(50), NodeId(9), &p);
+        a.record_delivered(SimTime::from_millis(150), NodeId(1), &p);
+        let mut b = Stats::new();
+        b.watch(NodeId(1), SimDuration::from_millis(100));
+        b.record_delivered(SimTime::from_millis(150), NodeId(1), &p);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "series merge is commutative after canonicalization");
+        let s = ab.series.as_ref().unwrap();
+        assert_eq!(s.watch, NodeId(1), "lowest watched node becomes primary");
+        let li = class_index(TrafficClass::LegitReply);
+        assert_eq!(s.for_node(NodeId(1)).unwrap()[1][li], 1000);
+        assert_eq!(s.for_node(NodeId(9)).unwrap()[0][li], 500);
     }
 
     #[test]

@@ -542,7 +542,7 @@ impl Tracer {
 /// Power-of-two-bucket histogram over `u64` values, allocation-free on
 /// record: bucket `0` holds exact zeros, bucket `i ≥ 1` holds
 /// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Log2Histogram {
     counts: [u64; 65],
     count: u64,
@@ -669,7 +669,7 @@ impl Log2Histogram {
 /// Always-on engine telemetry histograms, embedded in
 /// [`crate::stats::Stats`]. Recording is allocation-free and cheap enough
 /// to leave enabled unconditionally (a few adds per packet event).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TelemetryHistograms {
     /// Per-hop virtual-queue wait experienced by admitted packets (ns).
     pub queue_delay_ns: Log2Histogram,
