@@ -11,8 +11,8 @@
 //! truncates FILE, so tracing several at once would silently keep only
 //! the last. Golden report JSON is unaffected.
 //!
-//! `--sweep` flattens every sweep-capable requested experiment's
-//! (scenario × seed) grid into ONE work-stealing pool (see
+//! `--sweep` flattens every requested experiment's (scenario × seed)
+//! grid into ONE work-stealing pool (all 13 ids are sweep-capable; see
 //! `dtcs_bench::sweep`), replicating each cell under `--replicate N`
 //! derived seeds (default 32), and writes `<out>/<id>.sweep.json` with
 //! mean/stddev/95%-CI columns. `--threads N` (else `RAYON_NUM_THREADS`,
@@ -89,6 +89,13 @@ fn main() {
     let replicates: u32 = match flag_operand("--replicate").map(|v| v.parse()) {
         None => 32,
         Some(Ok(n)) if n > 0 => n,
+        Some(Ok(0)) => {
+            eprintln!(
+                "--replicate 0 would run nothing; replicate 0 IS the golden base seed, \
+                 so the minimum is 1"
+            );
+            std::process::exit(2);
+        }
         Some(_) => {
             eprintln!("--replicate takes a positive integer");
             std::process::exit(2);

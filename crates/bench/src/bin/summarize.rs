@@ -278,6 +278,44 @@ fn main() -> ExitCode {
             ));
         }
     }
+    if let Some(sw) = load_sweep(&dir, "e5") {
+        if let Some(rows) = load(&dir, "e5")
+            .as_ref()
+            .and_then(|e| table_raw(e, "coverage sweep"))
+        {
+            for r in rows {
+                let (Some(placement), Some(fraction), Some(hops)) = (
+                    r["placement"].as_str(),
+                    r["fraction"].as_f64(),
+                    r["attack_byte_hops"].as_f64(),
+                ) else {
+                    continue;
+                };
+                check_envelope(
+                    &mut failures,
+                    &sw,
+                    &format!("coverage/{placement}/fraction={fraction:.2}"),
+                    "attack_byte_hops",
+                    hops,
+                );
+            }
+            say("E5~ sweep envelope: single-run byte-hops inside replicate [min,max]".into());
+        }
+        if let Some(c) = sweep_cell(&sw, "coverage/top-degree/fraction=0.50") {
+            say(format!(
+                "E5~ top-degree@50%: legit={}",
+                fmt_ci(&c["metrics"]["legit_success"])
+            ));
+        }
+    }
+    if let Some(sw) = load_sweep(&dir, "e9") {
+        if let Some(c) = sweep_cell(&sw, "skinny-uplink/src-keyed") {
+            say(format!(
+                "E9~ src-keyed misattribution: limits_on_reflectors={}",
+                fmt_ci(&c["metrics"]["limits_on_reflector_prefixes"])
+            ));
+        }
+    }
     if let Some(sw) = load_sweep(&dir, "e13") {
         if let Some(cells) = sw["cells"].as_array() {
             for c in cells {

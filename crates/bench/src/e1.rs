@@ -27,10 +27,34 @@ struct Row {
     victim_srcs_are_reflectors: bool,
 }
 
-fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> (Row, dtcs::netsim::Stats) {
+/// Base seed shared by the single-run tables and the sweep cells.
+/// Historically baked as a literal into the topology, simulator, and
+/// attack config below; replicate 0 reuses it so those runs are
+/// byte-identical to the pre-sweep tables.
+const SEED: u64 = 101;
+
+/// Agent-population axis shared by `run()` and the sweep adapter.
+fn agent_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![10, 40, 80]
+    } else {
+        vec![10, 25, 50, 100, 200, 400]
+    }
+}
+
+/// Reflector protocols compared at fixed population.
+const PROTOS: [Proto; 3] = [Proto::TcpSyn, Proto::DnsQuery, Proto::IcmpEcho];
+
+fn one(
+    proto: Proto,
+    agents: usize,
+    reflectors: usize,
+    quick: bool,
+    seed: u64,
+) -> (Row, dtcs::netsim::Stats) {
     let n = if quick { 120 } else { 300 };
-    let topo = Topology::barabasi_albert(n, 2, 0.1, 101);
-    let mut sim = Simulator::new(topo, 101);
+    let topo = Topology::barabasi_albert(n, 2, 0.1, seed);
+    let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[1];
     let dur = if quick { 8 } else { 15 };
     let cfg = ReflectorAttackConfig {
@@ -41,7 +65,7 @@ fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> (Row, dtc
         start_at: SimTime::from_secs(1),
         stop_at: SimTime::from_secs(dur),
         victim_capacity_pps: 1e9, // measure raw inbound, no overload
-        seed: 101,
+        seed,
         ..Default::default()
     };
     let attack = ReflectorAttack::install(&mut sim, victim_node, &cfg);
@@ -67,6 +91,54 @@ fn one(proto: Proto, agents: usize, reflectors: usize, quick: bool) -> (Row, dtc
     (row, sim.stats)
 }
 
+/// Sweep-grid adapter: one cell per reflector protocol (at the fixed
+/// 60-agent / 120-reflector population) plus one cell per agent count
+/// (TcpSyn, 120 reflectors), mirroring the two single-run tables.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        let mut cells = Vec::new();
+        for &p in &PROTOS {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e1",
+                scenario: format!("proto={p:?}"),
+                base_seed: SEED,
+                run: Box::new(move |seed| cell(p, 60, quick, seed)),
+            });
+        }
+        for a in agent_counts(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e1",
+                scenario: format!("agents={a}"),
+                base_seed: SEED,
+                run: Box::new(move |seed| cell(Proto::TcpSyn, a, quick, seed)),
+            });
+        }
+        cells
+    }
+}
+
+fn cell(proto: Proto, agents: usize, quick: bool, seed: u64) -> crate::sweep::CellRun {
+    let (row, stats) = one(proto, agents, 120, quick, seed);
+    let mut metrics = std::collections::BTreeMap::new();
+    metrics.insert("control_pkts".to_string(), row.control_pkts as f64);
+    metrics.insert("attack_pkts".to_string(), row.attack_pkts as f64);
+    metrics.insert("rate_amp".to_string(), row.rate_amp);
+    metrics.insert("byte_amp".to_string(), row.byte_amp);
+    metrics.insert("victim_inbound_pps".to_string(), row.victim_inbound_pps);
+    metrics.insert(
+        "victim_srcs_are_reflectors".to_string(),
+        row.victim_srcs_are_reflectors as u64 as f64,
+    );
+    crate::sweep::CellRun { metrics, stats }
+}
+
 /// Run E1.
 pub fn run(opts: &crate::RunOpts) -> Report {
     let quick = opts.quick;
@@ -77,10 +149,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     );
 
     // Sweep 1: protocol (byte amplification differs per reflector type).
-    let protos = [Proto::TcpSyn, Proto::DnsQuery, Proto::IcmpEcho];
-    let (rows, mut run_stats): (Vec<Row>, Vec<_>) = protos
+    let (rows, mut run_stats): (Vec<Row>, Vec<_>) = PROTOS
         .par_iter()
-        .map(|&p| one(p, 60, 120, quick))
+        .map(|&p| one(p, 60, 120, quick, SEED))
         .collect::<Vec<_>>()
         .into_iter()
         .unzip();
@@ -111,14 +182,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     report.table(t);
 
     // Sweep 2: agent population (rate amplification scales with agents).
-    let agent_counts: Vec<usize> = if quick {
-        vec![10, 40, 80]
-    } else {
-        vec![10, 25, 50, 100, 200, 400]
-    };
-    let (rows, stats2): (Vec<Row>, Vec<_>) = agent_counts
+    let (rows, stats2): (Vec<Row>, Vec<_>) = agent_counts(quick)
         .par_iter()
-        .map(|&a| one(Proto::TcpSyn, a, 120, quick))
+        .map(|&a| one(Proto::TcpSyn, a, 120, quick, SEED))
         .collect::<Vec<_>>()
         .into_iter()
         .unzip();

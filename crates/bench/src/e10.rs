@@ -35,15 +35,48 @@ struct TraceRow {
     accuracy: f64,
 }
 
-fn trace_case(coverage: f64, retain: usize, quick: bool) -> TraceRow {
+/// Base seed for the traceback half (historically the literal `66` used
+/// for topology, simulator, node choice, and — via `child_seed(66, 4)` —
+/// the probe RNG).
+const TRACE_SEED: u64 = 66;
+
+/// Base seed for the anomaly-trigger half (historically the literal `9`).
+const TRIGGER_SEED: u64 = 9;
+
+/// Traceback (coverage, retained windows) grid shared by `run()` and the
+/// sweep adapter.
+fn trace_cases(quick: bool) -> Vec<(f64, usize)> {
+    if quick {
+        vec![(1.0, 30), (0.5, 30), (1.0, 4)]
+    } else {
+        vec![
+            (1.0, 30),
+            (0.75, 30),
+            (0.5, 30),
+            (0.25, 30),
+            (1.0, 8),
+            (1.0, 4),
+        ]
+    }
+}
+
+/// Trigger thresholds (pps) against the fixed 5000 pps flood.
+const TRIGGER_THRESHOLDS: [f64; 3] = [100.0, 500.0, 2000.0];
+
+fn trace_case(
+    coverage: f64,
+    retain: usize,
+    quick: bool,
+    seed: u64,
+) -> (TraceRow, dtcs::netsim::Stats) {
     let n = if quick { 100 } else { 250 };
-    let topo = Topology::barabasi_albert(n, 2, 0.1, 66);
-    let mut sim = Simulator::new(topo, 66);
+    let topo = Topology::barabasi_albert(n, 2, 0.1, seed);
+    let mut sim = Simulator::new(topo, seed);
     let stubs = sim.topo.stub_nodes();
     let victim_node = stubs[0];
     let victim = Addr::new(victim_node, 1);
     sim.install_app(victim, Box::new(dtcs::netsim::SinkApp));
-    let mut nodes = choose_nodes(&sim.topo, coverage, Placement::TopDegree, 66);
+    let mut nodes = choose_nodes(&sim.topo, coverage, Placement::TopDegree, seed);
     if !nodes.contains(&victim_node) {
         nodes.push(victim_node);
     }
@@ -56,7 +89,7 @@ fn trace_case(coverage: f64, retain: usize, quick: bool) -> TraceRow {
         },
     );
     // Spoofed probes from random stubs, each with a unique tag.
-    let mut rng = seeded(child_seed(66, 4));
+    let mut rng = seeded(child_seed(seed, 4));
     let n_probes = if quick { 60 } else { 150 };
     let mut probes = Vec::new();
     for k in 0..n_probes as u64 {
@@ -92,7 +125,7 @@ fn trace_case(coverage: f64, retain: usize, quick: bool) -> TraceRow {
             misses += 1;
         }
     }
-    TraceRow {
+    let row = TraceRow {
         coverage,
         windows_retained: retain,
         queries: probes.len(),
@@ -100,7 +133,8 @@ fn trace_case(coverage: f64, retain: usize, quick: bool) -> TraceRow {
         truncated,
         misses,
         accuracy: exact as f64 / probes.len() as f64,
-    }
+    };
+    (row, sim.stats)
 }
 
 #[derive(Serialize, Clone)]
@@ -111,9 +145,13 @@ struct TriggerRow {
     limiter_drops: u64,
 }
 
-fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
+fn trigger_case(
+    threshold_pps: f64,
+    attack_rate_pps: f64,
+    seed: u64,
+) -> (TriggerRow, dtcs::netsim::Stats) {
     let topo = Topology::star(4);
-    let mut sim = Simulator::new(topo, 9);
+    let mut sim = Simulator::new(topo, seed);
     let me = NodeId(1);
     let my_addr = Addr::new(me, 1);
     sim.install_app(my_addr, Box::new(dtcs::netsim::SinkApp));
@@ -161,7 +199,7 @@ fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
         DeviceEvent::TriggerFired { at, .. } => Some(at),
         _ => None,
     });
-    TriggerRow {
+    let row = TriggerRow {
         threshold_pps,
         attack_rate_pps,
         reaction_ms: fired_at
@@ -170,6 +208,57 @@ fn trigger_case(threshold_pps: f64, attack_rate_pps: f64) -> TriggerRow {
             .stats
             .drops_for_reason(dtcs::netsim::DropReason::DeviceRateLimit)
             .pkts,
+    };
+    (row, sim.stats)
+}
+
+/// Sweep-grid adapter: the traceback grid (base seed 66) plus the
+/// anomaly-trigger thresholds (base seed 9 — per-cell base seeds let each
+/// half keep its historical literal at replicate 0).
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e10"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        let mut cells = Vec::new();
+        for (coverage, windows) in trace_cases(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e10",
+                scenario: format!("traceback/coverage={coverage:.2}/windows={windows}"),
+                base_seed: TRACE_SEED,
+                run: Box::new(move |seed| {
+                    let (row, stats) = trace_case(coverage, windows, quick, seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("queries".to_string(), row.queries as f64);
+                    metrics.insert("exact_hits".to_string(), row.exact_hits as f64);
+                    metrics.insert("truncated".to_string(), row.truncated as f64);
+                    metrics.insert("misses".to_string(), row.misses as f64);
+                    metrics.insert("accuracy".to_string(), row.accuracy);
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            });
+        }
+        for threshold in TRIGGER_THRESHOLDS {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e10",
+                scenario: format!("trigger/threshold={threshold}"),
+                base_seed: TRIGGER_SEED,
+                run: Box::new(move |seed| {
+                    let (row, stats) = trigger_case(threshold, 5000.0, seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    if let Some(ms) = row.reaction_ms {
+                        metrics.insert("reaction_ms".to_string(), ms);
+                    }
+                    metrics.insert("limiter_drops".to_string(), row.limiter_drops as f64);
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            });
+        }
+        cells
     }
 }
 
@@ -182,21 +271,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Sec. 4.4",
     );
 
-    let cases: Vec<(f64, usize)> = if quick {
-        vec![(1.0, 30), (0.5, 30), (1.0, 4)]
-    } else {
-        vec![
-            (1.0, 30),
-            (0.75, 30),
-            (0.5, 30),
-            (0.25, 30),
-            (1.0, 8),
-            (1.0, 4),
-        ]
-    };
-    let rows: Vec<TraceRow> = cases
+    let rows: Vec<TraceRow> = trace_cases(quick)
         .par_iter()
-        .map(|&(c, w)| trace_case(c, w, quick))
+        .map(|&(c, w)| trace_case(c, w, quick, TRACE_SEED).0)
         .collect();
     let mut t = Table::new(
         "digest-backlog traceback of spoofed packets",
@@ -226,10 +303,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     }
     report.table(t);
 
-    let thresholds = [100.0, 500.0, 2000.0];
-    let rows: Vec<TriggerRow> = thresholds
+    let rows: Vec<TriggerRow> = TRIGGER_THRESHOLDS
         .par_iter()
-        .map(|&th| trigger_case(th, 5000.0))
+        .map(|&th| trigger_case(th, 5000.0, TRIGGER_SEED).0)
         .collect();
     let mut t = Table::new(
         "anomaly-reaction latency (5000 pps flood, 200 ms windows)",

@@ -33,6 +33,145 @@ struct RampRow {
     victim_overloaded: u64,
 }
 
+/// Initially infected hosts in the SI model (the literal `2` in both
+/// halves). A population parameter of the deterministic ODE, not an RNG
+/// seed — it stays fixed across replicates.
+const SI_SEED_HOSTS: usize = 2;
+
+/// Base seed of the ramp simulation (historically the literal `44` for
+/// topology, simulator, and attack config).
+const RAMP_SEED: u64 = 44;
+
+/// Infection rates for the pure growth curves.
+const GROWTH_BETAS: [f64; 4] = [0.2, 0.5, 1.0, 2.0];
+
+/// Infection rates for the ramping-attack half.
+fn ramp_betas(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.3, 1.0]
+    } else {
+        vec![0.2, 0.4, 0.8, 1.6]
+    }
+}
+
+/// Pure SI growth curve at one infection rate (no simulator involved;
+/// the model is a deterministic integration, so there is no seed to
+/// thread).
+fn growth_case(beta: f64) -> GrowthRow {
+    let s = 10_000;
+    let m = SiModel {
+        susceptible: s,
+        seed: SI_SEED_HOSTS,
+        beta,
+        dt: SimDuration::from_millis(50),
+    };
+    GrowthRow {
+        beta,
+        susceptible: s,
+        t10_s: m.time_to_fraction(0.1).as_secs_f64(),
+        t50_s: m.time_to_fraction(0.5).as_secs_f64(),
+        t90_s: m.time_to_fraction(0.9).as_secs_f64(),
+    }
+}
+
+/// Ramping reflector attack at one infection rate. The SI seed
+/// population is a fixed model parameter; the replicate seed drives the
+/// topology, simulator, and attack config.
+fn ramp_case(beta: f64, quick: bool, seed: u64) -> (RampRow, dtcs::netsim::Stats) {
+    let n = if quick { 120 } else { 200 };
+    let agents = if quick { 60 } else { 120 };
+    let topo = Topology::barabasi_albert(n, 2, 0.1, seed);
+    let mut sim = Simulator::new(topo, seed);
+    let victim_node = sim.topo.stub_nodes()[0];
+    let dur = if quick { 25u64 } else { 40 };
+    let attack = ReflectorAttack::install(
+        &mut sim,
+        victim_node,
+        &ReflectorAttackConfig {
+            n_agents: agents,
+            n_reflectors: agents,
+            agent_rate_pps: 40.0,
+            start_at: SimTime::from_secs(2),
+            stop_at: SimTime::from_secs(dur - 2),
+            victim_capacity_pps: 500.0,
+            si_recruitment: Some(SiModel {
+                susceptible: agents,
+                seed: SI_SEED_HOSTS,
+                beta,
+                dt: SimDuration::from_millis(100),
+            }),
+            seed,
+            ..Default::default()
+        },
+    );
+    sim.run_until(SimTime::from_secs(dur));
+    crate::util::enforce_run_invariants("e11", &sim.stats);
+    let v = attack.victim_stats.lock();
+    let row = RampRow {
+        beta,
+        agents,
+        time_to_overload_s: v.first_overload_nanos.map(|ns| (ns as f64 / 1e9) - 2.0),
+        victim_overloaded: v.overloaded,
+    };
+    drop(v);
+    (row, sim.stats)
+}
+
+/// Sweep-grid adapter: growth cells are deterministic (the SI model has
+/// no RNG — every replicate reproduces the same curve, like e6's rule
+/// counting); ramp cells replicate over the whole simulation (base 44).
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e11"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        let mut cells = Vec::new();
+        for beta in GROWTH_BETAS {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e11",
+                scenario: format!("growth/beta={beta}"),
+                base_seed: RAMP_SEED,
+                run: Box::new(move |_seed| {
+                    let row = growth_case(beta);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("t10_s".to_string(), row.t10_s);
+                    metrics.insert("t50_s".to_string(), row.t50_s);
+                    metrics.insert("t90_s".to_string(), row.t90_s);
+                    crate::sweep::CellRun {
+                        metrics,
+                        stats: dtcs::netsim::Stats::default(),
+                    }
+                }),
+            });
+        }
+        for beta in ramp_betas(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e11",
+                scenario: format!("ramp/beta={beta}"),
+                base_seed: RAMP_SEED,
+                run: Box::new(move |seed| {
+                    let (row, stats) = ramp_case(beta, quick, seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("agents".to_string(), row.agents as f64);
+                    if let Some(t) = row.time_to_overload_s {
+                        metrics.insert("time_to_overload_s".to_string(), t);
+                    }
+                    metrics.insert(
+                        "victim_overloaded".to_string(),
+                        row.victim_overloaded as f64,
+                    );
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            });
+        }
+        cells
+    }
+}
+
 /// Run E11.
 pub fn run(opts: &crate::RunOpts) -> Report {
     let quick = opts.quick;
@@ -43,26 +182,12 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     );
 
     // Growth curves (pure model; cheap, so always full).
-    let betas = [0.2, 0.5, 1.0, 2.0];
-    let s = 10_000;
     let mut t = Table::new(
         "SI recruitment: time to reach fraction of susceptible pool (10k hosts)",
         &["beta", "t_10%", "t_50%", "t_90%"],
     );
-    for &beta in &betas {
-        let m = SiModel {
-            susceptible: s,
-            seed: 2,
-            beta,
-            dt: SimDuration::from_millis(50),
-        };
-        let row = GrowthRow {
-            beta,
-            susceptible: s,
-            t10_s: m.time_to_fraction(0.1).as_secs_f64(),
-            t50_s: m.time_to_fraction(0.5).as_secs_f64(),
-            t90_s: m.time_to_fraction(0.9).as_secs_f64(),
-        };
+    for beta in GROWTH_BETAS {
+        let row = growth_case(beta);
         t.push(
             vec![f(beta), f(row.t10_s), f(row.t50_s), f(row.t90_s)],
             &row,
@@ -71,50 +196,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     report.table(t);
 
     // Ramping attack: time until the victim first overloads.
-    let betas: Vec<f64> = if quick {
-        vec![0.3, 1.0]
-    } else {
-        vec![0.2, 0.4, 0.8, 1.6]
-    };
-    let rows: Vec<RampRow> = betas
+    let rows: Vec<RampRow> = ramp_betas(quick)
         .par_iter()
-        .map(|&beta| {
-            let n = if quick { 120 } else { 200 };
-            let agents = if quick { 60 } else { 120 };
-            let topo = Topology::barabasi_albert(n, 2, 0.1, 44);
-            let mut sim = Simulator::new(topo, 44);
-            let victim_node = sim.topo.stub_nodes()[0];
-            let dur = if quick { 25u64 } else { 40 };
-            let attack = ReflectorAttack::install(
-                &mut sim,
-                victim_node,
-                &ReflectorAttackConfig {
-                    n_agents: agents,
-                    n_reflectors: agents,
-                    agent_rate_pps: 40.0,
-                    start_at: SimTime::from_secs(2),
-                    stop_at: SimTime::from_secs(dur - 2),
-                    victim_capacity_pps: 500.0,
-                    si_recruitment: Some(SiModel {
-                        susceptible: agents,
-                        seed: 2,
-                        beta,
-                        dt: SimDuration::from_millis(100),
-                    }),
-                    seed: 44,
-                    ..Default::default()
-                },
-            );
-            sim.run_until(SimTime::from_secs(dur));
-            crate::util::enforce_run_invariants("e11", &sim.stats);
-            let v = attack.victim_stats.lock();
-            RampRow {
-                beta,
-                agents,
-                time_to_overload_s: v.first_overload_nanos.map(|ns| (ns as f64 / 1e9) - 2.0),
-                victim_overloaded: v.overloaded,
-            }
-        })
+        .map(|&beta| ramp_case(beta, quick, RAMP_SEED).0)
         .collect();
     let mut t = Table::new(
         "ramping reflector attack: time from outbreak to victim overload",

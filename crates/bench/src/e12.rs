@@ -48,10 +48,15 @@ fn attack_bytes_per_isp(sim: &Simulator, isp_of: &BTreeMap<usize, usize>) -> BTr
     per_isp
 }
 
-fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
+/// Base seed shared by the single-run tables and the sweep cell
+/// (historically the literal `88` for topology, simulator, TCS placement,
+/// attack config, and client installer).
+const SEED: u64 = 88;
+
+fn run_once(deploy: bool, quick: bool, seed: u64) -> (Simulator, Vec<NodeId>) {
     let n = if quick { 120 } else { 250 };
-    let topo = Topology::barabasi_albert(n, 2, 0.1, 88);
-    let mut sim = Simulator::new(topo, 88);
+    let topo = Topology::barabasi_albert(n, 2, 0.1, seed);
+    let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[2];
     let mut deployed_nodes = Vec::new();
     if deploy {
@@ -63,7 +68,7 @@ fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
                 // Random placement: entire provider cones stay undeployed,
                 // making the free-rider group visible.
                 placement: Placement::Random,
-                seed: 88,
+                seed,
                 ..Default::default()
             },
         );
@@ -79,7 +84,7 @@ fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
             agent_rate_pps: 60.0,
             start_at: SimTime::from_secs(2),
             stop_at: SimTime::from_secs(dur - 2),
-            seed: 88,
+            seed,
             ..Default::default()
         },
     );
@@ -89,34 +94,26 @@ fn run_once(deploy: bool, quick: bool) -> (Simulator, Vec<NodeId>) {
         15,
         SimDuration::from_millis(250),
         SimTime::from_secs(dur),
-        88,
+        seed,
     );
     sim.run_until(SimTime::from_secs(dur));
     crate::util::enforce_run_invariants("e12", &sim.stats);
     (sim, deployed_nodes)
 }
 
-/// Run E12.
-pub fn run(opts: &crate::RunOpts) -> Report {
-    let quick = opts.quick;
-    let mut report = Report::new(
-        "e12",
-        "ISP incentives: attack bandwidth saved per provider",
-        "Sec. 4.6",
-    );
-    let (sim_base, _) = run_once(false, quick);
-    let (sim_tcs, deployed) = run_once(true, quick);
-
+/// Per-ISP accounting of the undefended vs defended runs, sorted by
+/// undefended load (descending) — shared by `run()` and the sweep cell.
+fn isp_rows(sim_base: &Simulator, sim_tcs: &Simulator, deployed: &[NodeId]) -> Vec<IspRow> {
     // ISP partition (identical for both runs: same topology/seed).
-    let isps = partition_by_provider(&sim_base);
+    let isps = partition_by_provider(sim_base);
     let mut isp_of: BTreeMap<usize, usize> = BTreeMap::new();
     for (i, isp) in isps.iter().enumerate() {
         for &node in &isp.managed {
             isp_of.insert(node.0, i);
         }
     }
-    let base = attack_bytes_per_isp(&sim_base, &isp_of);
-    let with = attack_bytes_per_isp(&sim_tcs, &isp_of);
+    let base = attack_bytes_per_isp(sim_base, &isp_of);
+    let with = attack_bytes_per_isp(sim_tcs, &isp_of);
 
     let mut rows: Vec<IspRow> = isps
         .iter()
@@ -135,6 +132,83 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         })
         .collect();
     rows.sort_by(|a, b| b.attack_mb_undefended.total_cmp(&a.attack_mb_undefended));
+    rows
+}
+
+/// (bytes before, bytes after) summed over deployers (`pred == true`) or
+/// free riders.
+fn aggregate(rows: &[IspRow], pred: bool) -> (f64, f64) {
+    rows.iter()
+        .filter(|r| r.deployed == pred)
+        .fold((0.0, 0.0), |(b, w), r| {
+            (b + r.attack_mb_undefended, w + r.attack_mb_defended)
+        })
+}
+
+/// Sweep-grid adapter: a single cell running the undefended/defended
+/// pair and reporting the deployer vs free-rider aggregates; the two
+/// simulations' stats are folded with [`dtcs::netsim::Stats::merge`].
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        vec![crate::sweep::SweepCell {
+            experiment: "e12",
+            scenario: "incentives/fraction=0.25".to_string(),
+            base_seed: SEED,
+            run: Box::new(move |seed| {
+                let (sim_base, _) = run_once(false, quick, seed);
+                let (sim_tcs, deployed) = run_once(true, quick, seed);
+                let rows = isp_rows(&sim_base, &sim_tcs, &deployed);
+                let (db, dw) = aggregate(&rows, true);
+                let (fb, fw) = aggregate(&rows, false);
+                let deployer_isps = rows.iter().filter(|r| r.deployed).count();
+                let mut metrics = std::collections::BTreeMap::new();
+                metrics.insert("deployers_mb_before".to_string(), db);
+                metrics.insert("deployers_mb_after".to_string(), dw);
+                metrics.insert("free_riders_mb_before".to_string(), fb);
+                metrics.insert("free_riders_mb_after".to_string(), fw);
+                metrics.insert(
+                    "deployers_saved_pct".to_string(),
+                    if db > 0.0 {
+                        (1.0 - dw / db) * 100.0
+                    } else {
+                        0.0
+                    },
+                );
+                metrics.insert(
+                    "free_riders_saved_pct".to_string(),
+                    if fb > 0.0 {
+                        (1.0 - fw / fb) * 100.0
+                    } else {
+                        0.0
+                    },
+                );
+                metrics.insert("deployer_isps".to_string(), deployer_isps as f64);
+                let mut stats = sim_base.stats;
+                stats.merge(&sim_tcs.stats);
+                crate::sweep::CellRun { metrics, stats }
+            }),
+        }]
+    }
+}
+
+/// Run E12.
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
+    let mut report = Report::new(
+        "e12",
+        "ISP incentives: attack bandwidth saved per provider",
+        "Sec. 4.6",
+    );
+    let (sim_base, _) = run_once(false, quick, SEED);
+    let (sim_tcs, deployed) = run_once(true, quick, SEED);
+    let rows = isp_rows(&sim_base, &sim_tcs, &deployed);
 
     let mut t = Table::new(
         "attack megabytes carried per ISP, without vs with a 25% TCS deployment",
@@ -163,15 +237,8 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     report.table(t);
 
     // Aggregate: deployers vs free riders.
-    let agg = |pred: bool| -> (f64, f64) {
-        rows.iter()
-            .filter(|r| r.deployed == pred)
-            .fold((0.0, 0.0), |(b, w), r| {
-                (b + r.attack_mb_undefended, w + r.attack_mb_defended)
-            })
-    };
-    let (db, dw) = agg(true);
-    let (fb, fw) = agg(false);
+    let (db, dw) = aggregate(&rows, true);
+    let (fb, fw) = aggregate(&rows, false);
     let mut t = Table::new(
         "aggregate: deployers vs non-deployers",
         &["group", "attack_MB_before", "attack_MB_after", "saved_%"],

@@ -12,39 +12,32 @@ use dtcs::mitigation::{BlockScope, Placement, PushbackConfig};
 use dtcs::netsim::{Prefix, SimTime};
 use dtcs::{run_scenario, OutcomeRow, Scheme, TcsStaticConfig};
 
-use crate::e2::{outcome_cells, outcome_header, scenario};
+use crate::e2::{outcome_cells, outcome_header, outcome_metrics, scenario};
 use crate::util::{f, Report, Table};
 
-/// Run E4.
-pub fn run(opts: &crate::RunOpts) -> Report {
-    let quick = opts.quick;
-    let mut report = Report::new(
-        "e4",
-        "Collateral damage of reactive filtering",
-        "Secs. 1 / 3.1 / 3.4",
+/// The victim prefix exactly as `run_scenario` derives it — it depends
+/// on the scenario seed, so the sweep recomputes it per replicate.
+fn victim_prefix(cfg: &dtcs::ScenarioConfig) -> Prefix {
+    let topo = dtcs::netsim::Topology::barabasi_albert(
+        cfg.n_nodes,
+        cfg.ba_m,
+        cfg.transit_fraction,
+        cfg.seed,
     );
-    let cfg = scenario(quick);
-    let reconstruct_at = SimTime(cfg.attack.start_at.as_nanos() + 5_000_000_000);
-    // A placeholder victim prefix for the TowardVictim scope: the real
-    // victim prefix depends on the seed, so use the scenario's convention.
-    let victim_prefix = {
-        // Recompute the victim node exactly as run_scenario does.
-        let topo = dtcs::netsim::Topology::barabasi_albert(
-            cfg.n_nodes,
-            cfg.ba_m,
-            cfg.transit_fraction,
-            cfg.seed,
-        );
-        let stubs: Vec<_> = topo
-            .nodes
-            .iter()
-            .filter(|n| n.role == dtcs::netsim::NodeRole::Stub)
-            .map(|n| n.id)
-            .collect();
-        Prefix::of_node(stubs[cfg.seed as usize % stubs.len()])
-    };
+    let stubs: Vec<_> = topo
+        .nodes
+        .iter()
+        .filter(|n| n.role == dtcs::netsim::NodeRole::Stub)
+        .map(|n| n.id)
+        .collect();
+    Prefix::of_node(stubs[cfg.seed as usize % stubs.len()])
+}
 
-    let schemes = vec![
+/// The scheme line-up under comparison. Seed-dependent via the
+/// victim-scoped traceback filter, hence a function of the config.
+fn schemes(cfg: &dtcs::ScenarioConfig) -> Vec<Scheme> {
+    let reconstruct_at = SimTime(cfg.attack.start_at.as_nanos() + 5_000_000_000);
+    vec![
         Scheme::None,
         Scheme::TracebackFilter {
             marking_p: 0.04,
@@ -55,7 +48,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         Scheme::TracebackFilter {
             marking_p: 0.04,
             reconstruct_at,
-            scope: BlockScope::TowardVictim(victim_prefix),
+            scope: BlockScope::TowardVictim(victim_prefix(cfg)),
             min_share: 0.002,
         },
         Scheme::Pushback(PushbackConfig::default()),
@@ -65,7 +58,55 @@ pub fn run(opts: &crate::RunOpts) -> Report {
             activate_at: reconstruct_at,
             ..Default::default()
         }),
-    ];
+    ]
+}
+
+/// Sweep-grid adapter: one cell per mitigation scheme, re-deriving the
+/// seed-dependent victim prefix inside each replicate.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e4"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let base_cfg = scenario(opts.quick);
+        let n_schemes = schemes(&base_cfg).len();
+        (0..n_schemes)
+            .map(|i| {
+                let cfg = base_cfg.clone();
+                let label = schemes(&cfg)[i].label();
+                crate::sweep::SweepCell {
+                    experiment: "e4",
+                    scenario: format!("scheme={label}"),
+                    base_seed: cfg.seed,
+                    run: Box::new(move |seed| {
+                        let mut cfg = cfg.clone();
+                        cfg.seed = seed;
+                        let scheme = schemes(&cfg).swap_remove(i);
+                        let out = run_scenario(&cfg, &scheme);
+                        crate::sweep::CellRun {
+                            metrics: outcome_metrics(&out.row),
+                            stats: out.stats,
+                        }
+                    }),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Run E4.
+pub fn run(opts: &crate::RunOpts) -> Report {
+    let quick = opts.quick;
+    let mut report = Report::new(
+        "e4",
+        "Collateral damage of reactive filtering",
+        "Secs. 1 / 3.1 / 3.4",
+    );
+    let cfg = scenario(quick);
+    let schemes = schemes(&cfg);
     let outs: Vec<_> = schemes.par_iter().map(|s| run_scenario(&cfg, s)).collect();
     let rows: Vec<OutcomeRow> = outs.iter().map(|o| o.row.clone()).collect();
     report.health(crate::util::wheel_health(outs.iter().map(|o| &o.stats)));

@@ -14,8 +14,94 @@ use serde::Serialize;
 use dtcs::mitigation::Placement;
 use dtcs::{run_scenario, Scheme, TcsStaticConfig};
 
-use crate::e2::scenario;
+use crate::e2::{outcome_metrics, scenario};
 use crate::util::{f, fopt, Report, Table};
+
+/// Coverage-fraction axis shared by `run()` and the sweep adapter.
+fn fractions(quick: bool) -> Vec<f64> {
+    if quick {
+        vec![0.05, 0.2, 0.5, 1.0]
+    } else {
+        vec![0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0]
+    }
+}
+
+/// Placement policies under comparison.
+const PLACEMENTS: [(Placement, &str); 2] = [
+    (Placement::TopDegree, "top-degree"),
+    (Placement::Random, "random"),
+];
+
+/// Two-stage ablation cases: (table label, scenario key, antispoof,
+/// dst_firewall).
+const STAGES: [(&str, &str, bool, bool); 3] = [
+    ("antispoof-only (stage 1)", "antispoof-only", true, false),
+    (
+        "dst-firewall-only (stage 2)",
+        "dst-firewall-only",
+        false,
+        true,
+    ),
+    ("both stages", "both", true, true),
+];
+
+/// Sweep-grid adapter: the coverage grid (placement × fraction), the
+/// three two-stage ablation cases, and the no-defense baseline.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e5"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let base_cfg = scenario(opts.quick);
+        let mut cells = Vec::new();
+        let mut push = |scenario: String, scheme: Scheme| {
+            let cfg = base_cfg.clone();
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e5",
+                scenario,
+                base_seed: cfg.seed,
+                run: Box::new(move |seed| {
+                    let mut cfg = cfg.clone();
+                    cfg.seed = seed;
+                    let out = run_scenario(&cfg, &scheme);
+                    crate::sweep::CellRun {
+                        metrics: outcome_metrics(&out.row),
+                        stats: out.stats,
+                    }
+                }),
+            });
+        };
+        for &(placement, name) in &PLACEMENTS {
+            for fraction in fractions(opts.quick) {
+                push(
+                    format!("coverage/{name}/fraction={fraction:.2}"),
+                    Scheme::Tcs(TcsStaticConfig {
+                        fraction,
+                        placement,
+                        ..Default::default()
+                    }),
+                );
+            }
+        }
+        for &(_, key, antispoof, dst_firewall) in &STAGES {
+            push(
+                format!("stage/{key}"),
+                Scheme::Tcs(TcsStaticConfig {
+                    fraction: 0.3,
+                    placement: Placement::TopDegree,
+                    antispoof,
+                    dst_firewall,
+                    ..Default::default()
+                }),
+            );
+        }
+        push("baseline/none".to_string(), Scheme::None);
+        cells
+    }
+}
 
 #[derive(Serialize, Clone)]
 struct Row {
@@ -36,18 +122,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Secs. 4.3 / 6",
     );
     let cfg = scenario(quick);
-    let fractions: Vec<f64> = if quick {
-        vec![0.05, 0.2, 0.5, 1.0]
-    } else {
-        vec![0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0]
-    };
-    let placements = [
-        (Placement::TopDegree, "top-degree"),
-        (Placement::Random, "random"),
-    ];
-    let cases: Vec<(Placement, &str, f64)> = placements
+    let cases: Vec<(Placement, &str, f64)> = PLACEMENTS
         .iter()
-        .flat_map(|&(p, name)| fractions.iter().map(move |&fr| (p, name, fr)))
+        .flat_map(|&(p, name)| fractions(quick).into_iter().map(move |fr| (p, name, fr)))
         .collect();
     let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
@@ -125,14 +202,9 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     // Which processing stage does the work (DESIGN.md §5, two-stage
     // ablation): source-side anti-spoofing alone, destination-side
     // firewall alone, and both, at fixed 30% top-degree coverage.
-    let cases = [
-        ("antispoof-only (stage 1)", true, false),
-        ("dst-firewall-only (stage 2)", false, true),
-        ("both stages", true, true),
-    ];
-    let rows: Vec<StageRow> = cases
+    let rows: Vec<StageRow> = STAGES
         .par_iter()
-        .map(|&(name, antispoof, dst_firewall)| {
+        .map(|&(name, _, antispoof, dst_firewall)| {
             let out = run_scenario(
                 &cfg,
                 &Scheme::Tcs(TcsStaticConfig {

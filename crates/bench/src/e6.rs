@@ -23,6 +23,14 @@ use rand::Rng;
 
 use crate::util::{f, Report, Table};
 
+/// Base seed for the throughput simulator (historically the literal `5`
+/// passed to `Simulator::new`).
+const SIM_SEED: u64 = 5;
+
+/// Base seed for the LPM ablation's random prefixes/probes (historically
+/// the literal `99` passed to `seeded`).
+const LPM_SEED: u64 = 99;
+
 #[derive(Serialize, Clone)]
 struct RuleRow {
     subscribers: usize,
@@ -93,9 +101,9 @@ fn rules_vs_subscribers(subscribers: &[usize]) -> Vec<RuleRow> {
 /// streaming packets through a 3-node simulator whose middle node carries
 /// the device. Most packets are unowned (the redirect-miss fast path),
 /// mirroring a transit device's reality.
-fn device_throughput(owners: usize, pkts: u64) -> ThroughputRow {
+fn device_throughput(owners: usize, pkts: u64, seed: u64) -> (ThroughputRow, dtcs::netsim::Stats) {
     let topo = Topology::line(3);
-    let mut sim = Simulator::new(topo, 5);
+    let mut sim = Simulator::new(topo, seed);
     let (mut dev, _handle) = AdaptiveDevice::new(NodeId(1), None);
     for i in 0..owners {
         let owner = OwnerId(i as u64 + 1);
@@ -137,17 +145,19 @@ fn device_throughput(owners: usize, pkts: u64) -> ThroughputRow {
     sim.run_until(SimTime::from_secs(3600));
     let wall = start.elapsed().as_secs_f64();
     crate::util::enforce_run_invariants("e6", &sim.stats);
-    ThroughputRow {
+    let row = ThroughputRow {
         owners,
         pkts,
         wall_ms: wall * 1e3,
         pkts_per_sec: pkts as f64 / wall,
-    }
+    };
+    (row, sim.stats)
 }
 
-/// Trie vs linear LPM lookup cost.
-fn lookup_ablation(entries: usize, lookups: u64) -> Vec<LookupRow> {
-    let mut rng = seeded(99);
+/// Trie vs linear LPM lookup cost. Also returns the (deterministic,
+/// timing-free) hit count so the sweep has a seed-sensitive metric.
+fn lookup_ablation(entries: usize, lookups: u64, seed: u64) -> (Vec<LookupRow>, u64) {
+    let mut rng = seeded(seed);
     let mut trie = dtcs::device::trie::PrefixTrie::new();
     let mut linear = LinearTable::new();
     for i in 0..entries {
@@ -176,7 +186,7 @@ fn lookup_ablation(entries: usize, lookups: u64) -> Vec<LookupRow> {
     let lin_ns = start.elapsed().as_nanos() as f64 / lookups as f64;
     assert_eq!(hits, hits2, "structures must agree");
 
-    vec![
+    let rows = vec![
         LookupRow {
             structure: "prefix-trie".into(),
             entries,
@@ -189,7 +199,127 @@ fn lookup_ablation(entries: usize, lookups: u64) -> Vec<LookupRow> {
             lookups,
             ns_per_lookup: lin_ns,
         },
-    ]
+    ];
+    (rows, hits)
+}
+
+/// Subscriber-count axis shared by `run()` and the sweep adapter.
+fn subscriber_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![10, 100, 1000]
+    } else {
+        vec![10, 100, 1000, 10_000, 50_000]
+    }
+}
+
+/// Owner-count axis for the throughput measurement.
+fn owner_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![0, 100, 10_000]
+    } else {
+        vec![0, 10, 100, 1000, 10_000, 100_000]
+    }
+}
+
+/// LPM table sizes for the lookup ablation.
+fn table_sizes(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![100, 10_000]
+    } else {
+        vec![100, 1000, 10_000, 100_000]
+    }
+}
+
+fn throughput_pkts(quick: bool) -> u64 {
+    if quick {
+        50_000
+    } else {
+        200_000
+    }
+}
+
+fn lpm_lookups(quick: bool) -> u64 {
+    if quick {
+        200_000
+    } else {
+        1_000_000
+    }
+}
+
+/// Sweep-grid adapter. Wall-clock timings (`wall_ms`, `ns_per_lookup`)
+/// are deliberately NOT exported as sweep metrics — sweep output must be
+/// byte-identical across thread counts — so the cells report only the
+/// deterministic counters (rule counts, simulator packet totals, LPM hit
+/// counts).
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e6"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        let mut cells = Vec::new();
+        for n in subscriber_counts(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e6",
+                scenario: format!("rules/subscribers={n}"),
+                base_seed: SIM_SEED,
+                run: Box::new(move |_seed| {
+                    let row = rules_vs_subscribers(&[n]).pop().expect("one row");
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("total_rules".to_string(), row.total_rules as f64);
+                    metrics.insert(
+                        "rules_per_sub".to_string(),
+                        row.total_rules as f64 / row.subscribers as f64,
+                    );
+                    crate::sweep::CellRun {
+                        metrics,
+                        stats: dtcs::netsim::Stats::default(),
+                    }
+                }),
+            });
+        }
+        for o in owner_counts(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e6",
+                scenario: format!("throughput/owners={o}"),
+                base_seed: SIM_SEED,
+                run: Box::new(move |seed| {
+                    let (row, stats) = device_throughput(o, throughput_pkts(quick), seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("pkts".to_string(), row.pkts as f64);
+                    metrics.insert(
+                        "delivered_pkts".to_string(),
+                        stats.class(TrafficClass::Background).delivered_pkts as f64,
+                    );
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            });
+        }
+        for n in table_sizes(quick) {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e6",
+                scenario: format!("lpm/entries={n}"),
+                base_seed: LPM_SEED,
+                run: Box::new(move |seed| {
+                    let (_rows, hits) = lookup_ablation(n, lpm_lookups(quick), seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("hits".to_string(), hits as f64);
+                    metrics.insert(
+                        "hit_ratio".to_string(),
+                        hits as f64 / lpm_lookups(quick) as f64,
+                    );
+                    crate::sweep::CellRun {
+                        metrics,
+                        stats: dtcs::netsim::Stats::default(),
+                    }
+                }),
+            });
+        }
+        cells
+    }
 }
 
 /// Run E6.
@@ -197,12 +327,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     let quick = opts.quick;
     let mut report = Report::new("e6", "Device and rule-table scalability", "Sec. 5.3");
 
-    let subs: Vec<usize> = if quick {
-        vec![10, 100, 1000]
-    } else {
-        vec![10, 100, 1000, 10_000, 50_000]
-    };
-    let rows = rules_vs_subscribers(&subs);
+    let rows = rules_vs_subscribers(&subscriber_counts(quick));
     let mut t = Table::new(
         "rules vs subscribers (3 services each)",
         &[
@@ -225,15 +350,10 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     }
     report.table(t);
 
-    let owner_counts: Vec<usize> = if quick {
-        vec![0, 100, 10_000]
-    } else {
-        vec![0, 10, 100, 1000, 10_000, 100_000]
-    };
-    let pkts = if quick { 50_000 } else { 200_000 };
-    let rows: Vec<ThroughputRow> = owner_counts
+    let pkts = throughput_pkts(quick);
+    let rows: Vec<ThroughputRow> = owner_counts(quick)
         .iter()
-        .map(|&o| device_throughput(o, pkts))
+        .map(|&o| device_throughput(o, pkts, SIM_SEED).0)
         .collect();
     let mut t = Table::new(
         "end-to-end device throughput vs registered owners (unowned traffic)",
@@ -252,17 +372,12 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     }
     report.table(t);
 
-    let sizes: Vec<usize> = if quick {
-        vec![100, 10_000]
-    } else {
-        vec![100, 1000, 10_000, 100_000]
-    };
     let mut t = Table::new(
         "LPM rule-table ablation (DESIGN.md §5)",
         &["structure", "entries", "ns_per_lookup"],
     );
-    for &size in &sizes {
-        for r in lookup_ablation(size, if quick { 200_000 } else { 1_000_000 }) {
+    for size in table_sizes(quick) {
+        for r in lookup_ablation(size, lpm_lookups(quick), LPM_SEED).0 {
             t.push(
                 vec![
                     r.structure.clone(),

@@ -31,10 +31,23 @@ struct Row {
     fallback_used: bool,
 }
 
-fn one(n_isps: usize, stubs_per: usize, outage: bool) -> Row {
-    let topo = Topology::transit_stub(n_isps, stubs_per, 0.15, 77);
+/// Base seed shared by the single-run tables and the sweep cells
+/// (historically the literal `77` for both topology and simulator).
+const SEED: u64 = 77;
+
+/// ISP-count axis shared by `run()` and the sweep adapter.
+fn isp_counts(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![2, 5, 10]
+    } else {
+        vec![2, 5, 10, 20, 50]
+    }
+}
+
+fn one(n_isps: usize, stubs_per: usize, outage: bool, seed: u64) -> (Row, dtcs::netsim::Stats) {
+    let topo = Topology::transit_stub(n_isps, stubs_per, 0.15, seed);
     let n_nodes = topo.n();
-    let mut sim = Simulator::new(topo, 77);
+    let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[0];
     let prefix = Prefix::of_node(victim_node);
     let mut authority = InternetNumberAuthority::new();
@@ -81,7 +94,7 @@ fn one(n_isps: usize, stubs_per: usize, outage: bool) -> Row {
         .deploy_confirmed_at
         .map(|t| (t.as_nanos().saturating_sub(deploy_start_nanos)) as f64 / 1e6)
         .unwrap_or(f64::NAN);
-    Row {
+    let row = Row {
         isps: n_isps,
         nodes: n_nodes,
         registration_ms: reg,
@@ -89,6 +102,47 @@ fn one(n_isps: usize, stubs_per: usize, outage: bool) -> Row {
         devices: r.devices_configured,
         manual_estimate_hours: n_isps as f64 * 0.5,
         fallback_used: r.used_fallback,
+    };
+    drop(r);
+    (row, sim.stats)
+}
+
+/// Sweep-grid adapter: one cell per (ISP count, control path). The
+/// latency fields are simulated times, hence deterministic; they are
+/// skipped only when the sequence never completed (NaN).
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e7"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let mut cells = Vec::new();
+        for k in isp_counts(opts.quick) {
+            for (path, outage) in [("tcsp", false), ("fallback", true)] {
+                cells.push(crate::sweep::SweepCell {
+                    experiment: "e7",
+                    scenario: format!("isps={k}/path={path}"),
+                    base_seed: SEED,
+                    run: Box::new(move |seed| {
+                        let (row, stats) = one(k, 10, outage, seed);
+                        let mut metrics = std::collections::BTreeMap::new();
+                        if row.registration_ms.is_finite() {
+                            metrics.insert("registration_ms".to_string(), row.registration_ms);
+                        }
+                        if row.deployment_ms.is_finite() {
+                            metrics.insert("deployment_ms".to_string(), row.deployment_ms);
+                        }
+                        metrics.insert("devices".to_string(), row.devices as f64);
+                        metrics
+                            .insert("fallback_used".to_string(), row.fallback_used as u64 as f64);
+                        crate::sweep::CellRun { metrics, stats }
+                    }),
+                });
+            }
+        }
+        cells
     }
 }
 
@@ -100,12 +154,11 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Control-plane latency: registration + worldwide deployment",
         "Figs. 4-5 / Sec. 5.1",
     );
-    let isp_counts: Vec<usize> = if quick {
-        vec![2, 5, 10]
-    } else {
-        vec![2, 5, 10, 20, 50]
-    };
-    let rows: Vec<Row> = isp_counts.par_iter().map(|&k| one(k, 10, false)).collect();
+    let isp_counts = isp_counts(quick);
+    let rows: Vec<Row> = isp_counts
+        .par_iter()
+        .map(|&k| one(k, 10, false, SEED).0)
+        .collect();
     let mut t = Table::new(
         "TCSP path: one registration, scoped fan-out",
         &[
@@ -133,7 +186,10 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     report.table(t);
 
     // Fallback path under TCSP outage.
-    let rows: Vec<Row> = isp_counts.par_iter().map(|&k| one(k, 10, true)).collect();
+    let rows: Vec<Row> = isp_counts
+        .par_iter()
+        .map(|&k| one(k, 10, true, SEED).0)
+        .collect();
     let mut t = Table::new(
         "direct-ISP fallback (TCSP under DDoS; 5 s user timeout included)",
         &["isps", "deploy_ms", "devices", "fallback_used"],

@@ -20,6 +20,12 @@ use dtcs::netsim::{
 
 use crate::util::{Report, Table};
 
+/// Base seed for the storm simulators (historically the literal `1`).
+const SEED: u64 = 1;
+
+/// Telemetry allowance grid: (ratio, floor KiB).
+const ALLOWANCES: [(f64, u64); 4] = [(0.0, 0), (0.001, 16), (0.01, 64), (0.1, 64)];
+
 #[derive(Serialize, Clone)]
 struct CaseRow {
     case: String,
@@ -156,7 +162,7 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
 
     // 3. Runtime guard: an owner flooding telemetry cannot amplify.
     let topo = Topology::line(3);
-    let mut sim = Simulator::new(topo, 1);
+    let mut sim = Simulator::new(topo, SEED);
     let owner = OwnerId(5);
     let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
     dev.apply(DeviceCommand::RegisterOwner {
@@ -246,8 +252,9 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
             "telemetry/data",
         ],
     );
-    for (ratio, floor_kib) in [(0.0, 0u64), (0.001, 16), (0.01, 64), (0.1, 64)] {
-        let (emitted, suppressed, tbytes, dbytes) = storm_with_budget(ratio, floor_kib * 1024);
+    for (ratio, floor_kib) in ALLOWANCES {
+        let (emitted, suppressed, tbytes, dbytes, _stats) =
+            storm_with_budget(ratio, floor_kib * 1024, SEED);
         t.push(
             vec![
                 format!("{ratio}"),
@@ -268,10 +275,15 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
 }
 
 /// Re-run the storm harness with a custom telemetry budget; returns
-/// (events emitted, events suppressed, telemetry bytes, data bytes).
-fn storm_with_budget(ratio: f64, floor: u64) -> (u64, u64, u64, u64) {
+/// (events emitted, events suppressed, telemetry bytes, data bytes)
+/// plus the simulator stats for the sweep.
+fn storm_with_budget(
+    ratio: f64,
+    floor: u64,
+    seed: u64,
+) -> (u64, u64, u64, u64, dtcs::netsim::Stats) {
     let topo = Topology::line(3);
-    let mut sim = Simulator::new(topo, 1);
+    let mut sim = Simulator::new(topo, seed);
     let owner = OwnerId(5);
     let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
     dev.set_telemetry_budget(ratio, floor);
@@ -321,10 +333,85 @@ fn storm_with_budget(ratio: f64, floor: u64) -> (u64, u64, u64, u64) {
     sim.run_until(SimTime::from_secs(260));
     crate::util::enforce_run_invariants("e8/storm", &sim.stats);
     let s = handle.lock();
-    (
+    let out = (
         s.telemetry_events,
         s.suppressed_events,
         s.telemetry_bytes,
         s.redirected_bytes,
-    )
+    );
+    drop(s);
+    (out.0, out.1, out.2, out.3, sim.stats)
+}
+
+/// Sweep-grid adapter: the (pure) verifier corpus plus one cell per
+/// telemetry-allowance setting of the budget storm. The expensive 10k-burst
+/// headline storm stays single-run only; the 5k-burst budget storm covers
+/// the same mechanism per replicate.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e8"
+    }
+
+    fn cells(&self, _opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let mut cells = Vec::new();
+        cells.push(crate::sweep::SweepCell {
+            experiment: "e8",
+            scenario: "verifier".to_string(),
+            base_seed: SEED,
+            run: Box::new(|_seed| {
+                let verifier = SafetyVerifier::default();
+                let corpus = adversarial_corpus();
+                let total = corpus.len();
+                let mut rejected_as_expected = 0u64;
+                for (_, spec, expected) in corpus {
+                    let svc = ServiceSpec::chain("adversarial", vec![spec]);
+                    let got = match verifier.verify(&svc) {
+                        Ok(()) => "Accepted".to_string(),
+                        Err(v) => format!("{v:?}")
+                            .split(['{', ' '])
+                            .next()
+                            .unwrap_or("rejected")
+                            .to_string(),
+                    };
+                    if got.starts_with(expected) {
+                        rejected_as_expected += 1;
+                    }
+                }
+                let mut metrics = std::collections::BTreeMap::new();
+                metrics.insert("cases".to_string(), total as f64);
+                metrics.insert(
+                    "rejected_as_expected".to_string(),
+                    rejected_as_expected as f64,
+                );
+                crate::sweep::CellRun {
+                    metrics,
+                    stats: dtcs::netsim::Stats::default(),
+                }
+            }),
+        });
+        for (ratio, floor_kib) in ALLOWANCES {
+            cells.push(crate::sweep::SweepCell {
+                experiment: "e8",
+                scenario: format!("storm/ratio={ratio}/floor={floor_kib}"),
+                base_seed: SEED,
+                run: Box::new(move |seed| {
+                    let (emitted, suppressed, tbytes, dbytes, stats) =
+                        storm_with_budget(ratio, floor_kib * 1024, seed);
+                    let mut metrics = std::collections::BTreeMap::new();
+                    metrics.insert("events_emitted".to_string(), emitted as f64);
+                    metrics.insert("events_suppressed".to_string(), suppressed as f64);
+                    metrics.insert("telemetry_bytes".to_string(), tbytes as f64);
+                    metrics.insert("data_bytes".to_string(), dbytes as f64);
+                    metrics.insert(
+                        "telemetry_ratio".to_string(),
+                        tbytes as f64 / dbytes.max(1) as f64,
+                    );
+                    crate::sweep::CellRun { metrics, stats }
+                }),
+            });
+        }
+        cells
+    }
 }

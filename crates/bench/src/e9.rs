@@ -30,9 +30,43 @@ struct Row {
     victim_overloaded: u64,
 }
 
-fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) -> Row {
+/// Base seed shared by the single-run table and the sweep cells
+/// (historically the literal `55` baked into the topology, simulator,
+/// attack config, and client installer).
+const SEED: u64 = 55;
+
+/// The three cases: (aggregate key, skinny uplink, table label, scenario
+/// key for sweep output).
+const CASES: [(AggregateKey, bool, &str, &str); 3] = [
+    (
+        AggregateKey::SrcPrefix,
+        false,
+        "server-bound attack (fat uplink)",
+        "fat-uplink/src-keyed",
+    ),
+    (
+        AggregateKey::SrcPrefix,
+        true,
+        "bandwidth-bound, src-keyed (paper's pushback)",
+        "skinny-uplink/src-keyed",
+    ),
+    (
+        AggregateKey::DstPrefix,
+        true,
+        "bandwidth-bound, dst-keyed (ACC ablation)",
+        "skinny-uplink/dst-keyed",
+    ),
+];
+
+fn run_case(
+    key: AggregateKey,
+    skinny_uplink: bool,
+    quick: bool,
+    label: &str,
+    seed: u64,
+) -> (Row, dtcs::netsim::Stats) {
     let n = if quick { 120 } else { 250 };
-    let mut topo = Topology::barabasi_albert(n, 2, 0.1, 55);
+    let mut topo = Topology::barabasi_albert(n, 2, 0.1, seed);
     // Pre-compute the victim (same convention every run: first stub).
     let victim_node = topo
         .nodes
@@ -48,7 +82,7 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
             topo.links[l.0].queue_limit_bytes = 30_000;
         }
     }
-    let mut sim = Simulator::new(topo, 55);
+    let mut sim = Simulator::new(topo, seed);
     let pb = deploy_pushback_everywhere(
         &mut sim,
         PushbackConfig {
@@ -75,7 +109,7 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
             // Fat-uplink case: the server is the bottleneck (500 pps);
             // skinny-uplink case: the link is (capacity effectively inf).
             victim_capacity_pps: if skinny_uplink { 100_000.0 } else { 500.0 },
-            seed: 55,
+            seed,
             ..Default::default()
         },
     );
@@ -85,7 +119,7 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
         20,
         SimDuration::from_millis(250),
         SimTime::from_secs(dur as u64),
-        55,
+        seed,
     );
     sim.run_until(SimTime::from_secs(dur as u64));
     crate::util::enforce_run_invariants("e9", &sim.stats);
@@ -118,7 +152,7 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
         .map(|(_, c)| c)
         .sum();
     let victim_overloaded = attack.victim_stats.lock().overloaded;
-    Row {
+    let row = Row {
         case: label.to_string(),
         limits_installed: s.limits_installed.len(),
         limits_on_reflector_prefixes: on_reflectors,
@@ -127,6 +161,55 @@ fn run_case(key: AggregateKey, skinny_uplink: bool, quick: bool, label: &str) ->
         drops_on_reflector_traffic: drops_on_reflectors,
         legit_success: mean_success(&clients),
         victim_overloaded,
+    };
+    drop(s);
+    (row, sim.stats)
+}
+
+/// Sweep-grid adapter: one cell per misattribution case.
+pub struct Sweep;
+
+impl crate::sweep::GridExperiment for Sweep {
+    fn id(&self) -> &'static str {
+        "e9"
+    }
+
+    fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
+        let quick = opts.quick;
+        CASES
+            .iter()
+            .map(
+                |&(key, skinny, label, scenario_key)| crate::sweep::SweepCell {
+                    experiment: "e9",
+                    scenario: scenario_key.to_string(),
+                    base_seed: SEED,
+                    run: Box::new(move |seed| {
+                        let (row, stats) = run_case(key, skinny, quick, label, seed);
+                        let mut metrics = std::collections::BTreeMap::new();
+                        metrics.insert("limits_installed".to_string(), row.limits_installed as f64);
+                        metrics.insert(
+                            "limits_on_reflector_prefixes".to_string(),
+                            row.limits_on_reflector_prefixes as f64,
+                        );
+                        metrics.insert(
+                            "limits_on_agent_prefixes".to_string(),
+                            row.limits_on_agent_prefixes as f64,
+                        );
+                        metrics.insert("pushback_drops".to_string(), row.pushback_drops as f64);
+                        metrics.insert(
+                            "drops_on_reflector_traffic".to_string(),
+                            row.drops_on_reflector_traffic as f64,
+                        );
+                        metrics.insert("legit_success".to_string(), row.legit_success);
+                        metrics.insert(
+                            "victim_overloaded".to_string(),
+                            row.victim_overloaded as f64,
+                        );
+                        crate::sweep::CellRun { metrics, stats }
+                    }),
+                },
+            )
+            .collect()
     }
 }
 
@@ -138,26 +221,10 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Pushback against reflector attacks: no trigger, then misattribution",
         "Sec. 3.1",
     );
-    let rows = vec![
-        run_case(
-            AggregateKey::SrcPrefix,
-            false,
-            quick,
-            "server-bound attack (fat uplink)",
-        ),
-        run_case(
-            AggregateKey::SrcPrefix,
-            true,
-            quick,
-            "bandwidth-bound, src-keyed (paper's pushback)",
-        ),
-        run_case(
-            AggregateKey::DstPrefix,
-            true,
-            quick,
-            "bandwidth-bound, dst-keyed (ACC ablation)",
-        ),
-    ];
+    let rows: Vec<Row> = CASES
+        .iter()
+        .map(|&(key, skinny, label, _)| run_case(key, skinny, quick, label, SEED).0)
+        .collect();
     let mut t = Table::new(
         "what pushback limits, and whom it hits",
         &[

@@ -91,11 +91,24 @@ pub fn run_experiment(id: &str, opts: &RunOpts) -> Option<Report> {
 }
 
 /// Experiments ported onto the sweep engine's [`sweep::GridExperiment`]
-/// trait (`--sweep` mode). The remaining registry entries migrate here
-/// as they grow cell adapters; ids absent from this table fall back to
-/// their single-run `run()` only.
-pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 3] =
-    [&e2::Sweep, &e3::Sweep, &e13::Sweep];
+/// trait (`--sweep` mode). Every registered experiment is sweep-capable;
+/// a new experiment must ship its cell adapter alongside its `run()`
+/// (enforced by the registry-completeness test in [`sweep`]).
+pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 13] = [
+    &e1::Sweep,
+    &e2::Sweep,
+    &e3::Sweep,
+    &e4::Sweep,
+    &e5::Sweep,
+    &e6::Sweep,
+    &e7::Sweep,
+    &e8::Sweep,
+    &e9::Sweep,
+    &e10::Sweep,
+    &e11::Sweep,
+    &e12::Sweep,
+    &e13::Sweep,
+];
 
 /// Look up a sweep-capable experiment by id.
 pub fn sweep_experiment(id: &str) -> Option<&'static dyn sweep::GridExperiment> {

@@ -195,7 +195,14 @@ fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize, out: &mut ShardOut) -
 /// round-robin so every shard starts with a spread of cheap and
 /// expensive cells.
 pub fn run_grid(cells: &[SweepCell], replicates: u32, threads: usize) -> GridOutcome {
-    let replicates = replicates.max(1) as usize;
+    // No silent clamp: zero replicates would mean "run nothing and report
+    // it as a sweep". The CLI rejects `--replicate 0` with exit 2; a
+    // library caller passing 0 has a bug worth a loud panic.
+    assert!(
+        replicates >= 1,
+        "run_grid requires at least one replicate (replicate 0 is the golden base seed)"
+    );
+    let replicates = replicates as usize;
     let threads = threads.max(1);
     let n_tasks = cells.len() * replicates;
     let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
@@ -466,7 +473,10 @@ pub fn run_sweep(
     replicates: u32,
     threads: usize,
 ) -> SweepOutcome {
-    let replicates = replicates.max(1);
+    assert!(
+        replicates >= 1,
+        "run_sweep requires at least one replicate (replicate 0 is the golden base seed)"
+    );
     let mut cells: Vec<SweepCell> = Vec::new();
     for e in experiments {
         cells.extend(e.cells(opts));
@@ -571,6 +581,46 @@ mod tests {
         assert_ne!(replicate_seed(42, 1), replicate_seed(42, 2));
         // Distinct from the plain child_seed streams scenarios use.
         assert_ne!(replicate_seed(42, 1), child_seed(42, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_is_a_hard_error() {
+        run_grid(&toy_cells(1), 0, 2);
+    }
+
+    /// Registry completeness: every experiment id must have a grid
+    /// adapter — the "no grid adapter yet" era ended with this PR, and a
+    /// new experiment that forgets its `Sweep` struct fails here.
+    #[test]
+    fn every_registered_experiment_is_sweep_capable() {
+        for id in crate::ALL {
+            assert!(
+                crate::sweep_experiment(id).is_some(),
+                "{id} is registered in EXPERIMENTS but missing from SWEEP_EXPERIMENTS"
+            );
+        }
+        assert_eq!(crate::SWEEP_EXPERIMENTS.len(), crate::EXPERIMENTS.len());
+    }
+
+    /// Cell enumeration sanity for every adapter: non-empty, experiment
+    /// ids match, and scenario labels are unique (they are the grid key).
+    /// Enumeration only — no cell bodies run, so this stays cheap.
+    #[test]
+    fn sweep_cells_have_unique_scenario_labels() {
+        let opts = RunOpts::quick();
+        for e in crate::SWEEP_EXPERIMENTS.iter() {
+            let cells = e.cells(&opts);
+            assert!(!cells.is_empty(), "{} enumerates no cells", e.id());
+            for c in &cells {
+                assert_eq!(c.experiment, e.id(), "cell tagged with foreign experiment");
+            }
+            let mut labels: Vec<&str> = cells.iter().map(|c| c.scenario.as_str()).collect();
+            labels.sort_unstable();
+            let n = labels.len();
+            labels.dedup();
+            assert_eq!(n, labels.len(), "{} has duplicate scenario labels", e.id());
+        }
     }
 
     #[test]

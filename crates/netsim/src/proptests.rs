@@ -360,18 +360,21 @@ use crate::stats::{Stats, ALL_CLASSES, ALL_DROP_REASONS};
 use crate::time::{SimDuration, SimTime};
 
 /// Raw material for one randomized `Stats`: per-class counter bumps,
-/// drop-bucket bumps, histogram samples, engine scalars, and optional
-/// watched-series deliveries (node, bucket index, bytes).
+/// drop-bucket bumps, histogram samples (independent queue-delay /
+/// end-to-end-latency / hop-count streams), engine scalars,
+/// control-plane fault counters, and optional watched-series deliveries
+/// (node, bucket index, bytes).
 type StatsRaw = (
     Vec<(usize, u64, u64, u64)>,
     Vec<(usize, usize, u64, u64, u64)>,
-    Vec<u64>,
+    Vec<(u64, u64, u64)>,
+    (u64, u64, u64, u64, u64, u64),
     (u64, u64, u64, u64, u64, u64),
     Option<Vec<(usize, u64, u32)>>,
 );
 
 fn stats_from(raw: StatsRaw) -> Stats {
-    let (classes, drops, samples, scalars, series) = raw;
+    let (classes, drops, samples, scalars, control, series) = raw;
     let mut s = Stats::new();
     for (ci, sent, delivered, bytes) in classes {
         let c = &mut s.per_class[ci % ALL_CLASSES.len()];
@@ -395,22 +398,29 @@ fn stats_from(raw: StatsRaw) -> Stats {
         agg.bytes += bytes;
         agg.hops_sum += pkts.saturating_mul(mean_hops);
     }
-    for v in samples {
-        s.hist.queue_delay_ns.record(v / 2);
-        s.hist.e2e_latency_ns.record(v);
-        s.hist.hop_count.record(v % 32);
+    for (q, e2e, hops) in samples {
+        // Independent streams per histogram: a merge bug confined to one
+        // of the three can no longer hide behind correlated samples.
+        s.hist.queue_delay_ns.record(q);
+        s.hist.e2e_latency_ns.record(e2e);
+        s.hist.hop_count.record(hops % 32);
     }
-    let (events, clamped, flips, slot_hwm, len_hwm, cp) = scalars;
+    let (events, clamped, flips, full_recomputes, slot_hwm, len_hwm) = scalars;
     s.events = events;
     s.past_events_clamped = clamped;
     s.route_link_flips = flips;
+    s.route_full_recomputes = full_recomputes.min(flips);
     s.route_trees_recomputed = flips * 2;
     s.wheel_slot_occupancy_hwm = slot_hwm;
     s.wheel_len_hwm = len_hwm;
     s.wheel_cascade_moves = events / 7;
+    let (cp, dropped, duplicated, jittered, outage, crashes) = control;
     s.cp_msgs = cp;
-    s.cp_fault_dropped = cp / 5;
-    s.node_crashes = cp % 3;
+    s.cp_fault_dropped = dropped.min(cp);
+    s.cp_fault_duplicated = duplicated.min(cp);
+    s.cp_fault_jittered = jittered.min(cp);
+    s.cp_outage_dropped = outage.min(cp);
+    s.node_crashes = crashes;
     if let Some(deliveries) = series {
         for (node, bucket_idx, bytes) in deliveries {
             let node = NodeId(node % 5);
@@ -451,14 +461,22 @@ fn arb_stats() -> impl Strategy<Value = Stats> {
             ),
             0..8,
         ),
-        proptest::collection::vec(0u64..1_000_000_000, 0..16),
+        proptest::collection::vec((0u64..1_000_000_000, 0u64..1_000_000_000, 0u64..64), 0..16),
         (
             0u64..1_000_000,
             0u64..100,
             0u64..1_000,
+            0u64..1_000,
             0u64..10_000,
             0u64..100_000,
+        ),
+        (
             0u64..10_000,
+            0u64..10_000,
+            0u64..10_000,
+            0u64..10_000,
+            0u64..10_000,
+            0u64..100,
         ),
         proptest::option::of(proptest::collection::vec(
             (0usize..5, 0u64..4, 1u32..100_000),

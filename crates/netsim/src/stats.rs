@@ -286,25 +286,43 @@ pub struct Stats {
 
 impl ClassCounters {
     /// Fold another run's counters into this one (all fields add).
+    /// Destructured without `..` so a new field cannot be forgotten here.
     pub fn merge(&mut self, other: &ClassCounters) {
-        self.sent_pkts += other.sent_pkts;
-        self.sent_bytes += other.sent_bytes;
-        self.delivered_pkts += other.delivered_pkts;
-        self.delivered_bytes += other.delivered_bytes;
-        self.dropped_pkts += other.dropped_pkts;
-        self.dropped_bytes += other.dropped_bytes;
-        self.delivered_hops += other.delivered_hops;
-        self.delivered_byte_hops += other.delivered_byte_hops;
-        self.dropped_byte_hops += other.dropped_byte_hops;
+        let ClassCounters {
+            sent_pkts,
+            sent_bytes,
+            delivered_pkts,
+            delivered_bytes,
+            dropped_pkts,
+            dropped_bytes,
+            delivered_hops,
+            delivered_byte_hops,
+            dropped_byte_hops,
+        } = *other;
+        self.sent_pkts += sent_pkts;
+        self.sent_bytes += sent_bytes;
+        self.delivered_pkts += delivered_pkts;
+        self.delivered_bytes += delivered_bytes;
+        self.dropped_pkts += dropped_pkts;
+        self.dropped_bytes += dropped_bytes;
+        self.delivered_hops += delivered_hops;
+        self.delivered_byte_hops += delivered_byte_hops;
+        self.dropped_byte_hops += dropped_byte_hops;
     }
 }
 
 impl DropAgg {
-    /// Fold another drop bucket into this one.
+    /// Fold another drop bucket into this one (exhaustive, like
+    /// [`ClassCounters::merge`]).
     pub fn merge(&mut self, other: &DropAgg) {
-        self.pkts += other.pkts;
-        self.bytes += other.bytes;
-        self.hops_sum += other.hops_sum;
+        let DropAgg {
+            pkts,
+            bytes,
+            hops_sum,
+        } = *other;
+        self.pkts += pkts;
+        self.bytes += bytes;
+        self.hops_sum += hops_sum;
     }
 }
 
@@ -326,34 +344,56 @@ impl Stats {
     /// by node and are canonicalized by [`Series::merge`] so shard
     /// arrival order cannot leak into the result.
     pub fn merge(&mut self, other: &Stats) {
-        for (c, o) in self.per_class.iter_mut().zip(other.per_class.iter()) {
+        // Exhaustive destructuring, no `..`: adding a Stats field without
+        // deciding how it merges is a compile error here, not a silently
+        // dropped counter in every sweep aggregate.
+        let Stats {
+            per_class,
+            drops,
+            series,
+            hist,
+            events,
+            past_events_clamped,
+            route_link_flips,
+            route_full_recomputes,
+            route_trees_recomputed,
+            wheel_slot_occupancy_hwm,
+            wheel_len_hwm,
+            wheel_cascade_moves,
+            cp_msgs,
+            cp_fault_dropped,
+            cp_fault_duplicated,
+            cp_fault_jittered,
+            cp_outage_dropped,
+            node_crashes,
+        } = other;
+        for (c, o) in self.per_class.iter_mut().zip(per_class.iter()) {
             c.merge(o);
         }
-        for (k, agg) in &other.drops {
+        for (k, agg) in drops {
             self.drops.entry(*k).or_default().merge(agg);
         }
-        match (&mut self.series, &other.series) {
+        match (&mut self.series, series) {
             (_, None) => {}
             (None, Some(o)) => self.series = Some(o.clone()),
             (Some(s), Some(o)) => s.merge(o),
         }
-        self.hist.merge(&other.hist);
-        self.events += other.events;
-        self.past_events_clamped += other.past_events_clamped;
-        self.route_link_flips += other.route_link_flips;
-        self.route_full_recomputes += other.route_full_recomputes;
-        self.route_trees_recomputed += other.route_trees_recomputed;
-        self.wheel_slot_occupancy_hwm = self
-            .wheel_slot_occupancy_hwm
-            .max(other.wheel_slot_occupancy_hwm);
-        self.wheel_len_hwm = self.wheel_len_hwm.max(other.wheel_len_hwm);
-        self.wheel_cascade_moves += other.wheel_cascade_moves;
-        self.cp_msgs += other.cp_msgs;
-        self.cp_fault_dropped += other.cp_fault_dropped;
-        self.cp_fault_duplicated += other.cp_fault_duplicated;
-        self.cp_fault_jittered += other.cp_fault_jittered;
-        self.cp_outage_dropped += other.cp_outage_dropped;
-        self.node_crashes += other.node_crashes;
+        self.hist.merge(hist);
+        self.events += *events;
+        self.past_events_clamped += *past_events_clamped;
+        self.route_link_flips += *route_link_flips;
+        self.route_full_recomputes += *route_full_recomputes;
+        self.route_trees_recomputed += *route_trees_recomputed;
+        self.wheel_slot_occupancy_hwm =
+            self.wheel_slot_occupancy_hwm.max(*wheel_slot_occupancy_hwm);
+        self.wheel_len_hwm = self.wheel_len_hwm.max(*wheel_len_hwm);
+        self.wheel_cascade_moves += *wheel_cascade_moves;
+        self.cp_msgs += *cp_msgs;
+        self.cp_fault_dropped += *cp_fault_dropped;
+        self.cp_fault_duplicated += *cp_fault_duplicated;
+        self.cp_fault_jittered += *cp_fault_jittered;
+        self.cp_outage_dropped += *cp_outage_dropped;
+        self.node_crashes += *node_crashes;
     }
 
     /// Enable a delivery time series at `watch` with the given bucket
@@ -655,6 +695,13 @@ mod tests {
         a.wheel_len_hwm = 100;
         a.wheel_cascade_moves = 2;
 
+        a.cp_msgs = 20;
+        a.cp_fault_dropped = 4;
+        a.cp_fault_jittered = 1;
+        a.route_link_flips = 6;
+        a.route_full_recomputes = 2;
+        a.route_trees_recomputed = 40;
+
         let mut b = Stats::new();
         let pb = mk(TrafficClass::AttackDirect, 64, 2);
         b.record_sent(&pb);
@@ -664,6 +711,12 @@ mod tests {
         b.wheel_len_hwm = 50;
         b.wheel_cascade_moves = 3;
         b.node_crashes = 1;
+        b.cp_msgs = 7;
+        b.cp_fault_dropped = 2;
+        b.cp_fault_duplicated = 3;
+        b.cp_outage_dropped = 5;
+        b.past_events_clamped = 0;
+        b.route_link_flips = 1;
 
         a.merge(&b);
         assert_eq!(a.class(TrafficClass::LegitRequest).delivered_pkts, 1);
@@ -682,7 +735,21 @@ mod tests {
         assert_eq!(a.wheel_len_hwm, 100, "HWMs take the max");
         assert_eq!(a.wheel_cascade_moves, 5);
         assert_eq!(a.node_crashes, 1);
+        // Control-plane fault counters (PR 5) all add.
+        assert_eq!(a.cp_msgs, 27);
+        assert_eq!(a.cp_fault_dropped, 6);
+        assert_eq!(a.cp_fault_duplicated, 3);
+        assert_eq!(a.cp_fault_jittered, 1);
+        assert_eq!(a.cp_outage_dropped, 5);
+        // Route-churn counters add.
+        assert_eq!(a.route_link_flips, 7);
+        assert_eq!(a.route_full_recomputes, 2);
+        assert_eq!(a.route_trees_recomputed, 40);
+        // Telemetry histograms (PR 4) fold bucket-wise: a delivered one
+        // packet with 3 hops, b recorded none.
         assert_eq!(a.hist.e2e_latency_ns.count(), 1);
+        assert_eq!(a.hist.hop_count.count(), 1);
+        assert_eq!(a.hist.hop_count.max(), 3);
         a.check_conservation().unwrap();
     }
 
