@@ -1,0 +1,108 @@
+//! Fluid fast-path bench: the hybrid fluid/packet engine vs the pure
+//! packet engine on the same steady background workload, at 400 / 10k /
+//! 100k-node transit-stub internets. The workload mirrors the scenario
+//! harness's `--topology` background (node-proportional CBR flows
+//! between shuffled stub pairs); the metric is background packets
+//! simulated per wall-second — for the fluid runs those packets are
+//! virtual (rate aggregates integrated per admission tick), which is
+//! exactly the point. Numbers are recorded in
+//! `BENCH_fluid_fastpath.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs::netsim::rng::{child_seed, seeded};
+use dtcs::netsim::{
+    Addr, FluidDemand, Proto, SimDuration, SimTime, Simulator, SinkApp, Topology, TrafficClass,
+};
+use rand::seq::SliceRandom;
+
+const SEED: u64 = 7;
+/// Demand window in simulated seconds (runs drain for one more).
+const SECS: u64 = 5;
+const RATE_BPS: f64 = 2e5;
+const PKT_SIZE: u32 = 500;
+
+/// The node-proportional flow count `RunOpts::apply_scale` installs.
+fn flows_for(n: usize) -> usize {
+    (n / 20).clamp(100, 5_000)
+}
+
+/// Build a transit-stub internet of >= `n` nodes, install the background
+/// workload (fluid aggregates or discrete CBR), run it to completion and
+/// return (wall seconds of the run itself, background packets sent).
+/// Topology construction and routing compute stay outside the clock.
+fn run_once(n: usize, fluid: bool) -> (f64, u64) {
+    let topo = Topology::transit_stub_at_least(n, SEED);
+    let mut sim = Simulator::new(topo, SEED);
+    if fluid {
+        sim.enable_fluid(SimDuration::from_millis(50));
+    }
+    let until = SimTime::from_secs(SECS);
+    let mut stubs = sim.topo.stub_nodes();
+    let mut rng = seeded(child_seed(SEED, 0xB6F1));
+    stubs.shuffle(&mut rng);
+    let half = (stubs.len() / 2).max(1);
+    for i in 0..flows_for(n) {
+        let src = stubs[i % stubs.len()];
+        let dst_node = stubs[(i + half) % stubs.len()];
+        if src == dst_node {
+            continue;
+        }
+        let dst = Addr::new(dst_node, 0xB7);
+        sim.install_app(dst, Box::new(SinkApp));
+        sim.add_background_demand(FluidDemand {
+            src: Addr::new(src, 0xB6),
+            dst,
+            proto: Proto::Udp,
+            class: TrafficClass::Background,
+            rate_bps: RATE_BPS,
+            pkt_size: PKT_SIZE,
+            until,
+        });
+    }
+    let clock = std::time::Instant::now();
+    sim.run_until(SimTime::from_secs(SECS + 1));
+    let wall = clock.elapsed().as_secs_f64();
+    (wall, sim.stats.class(TrafficClass::Background).sent_pkts)
+}
+
+fn bench_fluid_fastpath(c: &mut Criterion) {
+    // One instrumented pass per size outside the timing loops: wall
+    // clocks, packet throughputs and the hybrid/pure speedup, printed
+    // for BENCH_fluid_fastpath.json.
+    for n in [400usize, 10_000, 100_000] {
+        let (pw, pp) = run_once(n, false);
+        let (hw, hp) = run_once(n, true);
+        println!(
+            "fluid_fastpath probe: n={n} flows={} pure {pw:.3}s ({:.0} pkt/s, {pp} pkts) \
+             hybrid {hw:.3}s ({:.0} pkt/s, {hp} pkts) speedup {:.1}x",
+            flows_for(n),
+            pp as f64 / pw,
+            hp as f64 / hw,
+            pw / hw
+        );
+    }
+
+    let mut group = c.benchmark_group("fluid_fastpath");
+    group.sample_size(10);
+    for n in [400usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("pure", n), &n, |b, &n| {
+            b.iter(|| run_once(n, false).1)
+        });
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            b.iter(|| run_once(n, true).1)
+        });
+    }
+    // At 100k nodes the pure engine is probe-only (Criterion would
+    // resample minutes of packet slog); the hybrid engine stays cheap
+    // enough to sample properly even there.
+    group.bench_with_input(
+        BenchmarkId::new("hybrid", 100_000),
+        &100_000usize,
+        |b, &n| b.iter(|| run_once(n, true).1),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_fluid_fastpath);
+criterion_main!(benches);

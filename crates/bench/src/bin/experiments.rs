@@ -2,8 +2,20 @@
 //! reproduced paper (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments [--quick] [--out DIR] [--trace FILE] [all | e1 e2 ...]
+//!   experiments [--quick] [--out DIR] [--trace FILE] [--topology T] [--fluid] [all | e1 e2 ...]
 //!   experiments --sweep [--replicate N] [--threads N] [--quick] [--out DIR] [ids]
+//!   experiments --fluid-equivalence [--quick]
+//!
+//! `--topology {ba400,transit-stub:<n>}` re-points the scale-aware
+//! experiments (e2, e3) at a transit-stub internet of at least `n`
+//! nodes; `ba400` (the default) keeps each experiment's own topology so
+//! golden reports are byte-identical. `--fluid` carries scenario
+//! background traffic on the fluid aggregate layer (DESIGN.md §6.8)
+//! instead of as discrete CBR packets.
+//!
+//! `--fluid-equivalence` runs the fluid-vs-discrete cross-check grid and
+//! exits non-zero if any victim metric breaches its pinned tolerance —
+//! the CI gate for the hybrid engine.
 //!
 //! `--trace FILE` asks a trace-wired experiment (e2, e3) to capture a JSONL
 //! packet flight record of one designated run into FILE. Exactly one
@@ -77,6 +89,11 @@ fn main() {
     }
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
+    if args.iter().any(|a| a == "--fluid-equivalence") {
+        let ok = dtcs_bench::equivalence::run_fluid_equivalence(quick);
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+    let fluid = args.iter().any(|a| a == "--fluid");
     let flag_operand = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -109,10 +126,27 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let transit_stub: Option<usize> = match flag_operand("--topology").map(String::as_str) {
+        None | Some("ba400") => None,
+        Some(v) => match v
+            .strip_prefix("transit-stub:")
+            .and_then(|n| n.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => Some(n),
+            None => {
+                eprintln!(
+                    "--topology takes ba400 or transit-stub:<n> (n a positive node count); \
+                     got {v:?}"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
     // Ids are the non-flag args minus any flag *values* (`--out`'s,
-    // `--trace`'s, `--replicate`'s and `--threads`' operands must not be
-    // mistaken for experiment ids).
-    let flag_values: Vec<String> = ["--out", "--trace", "--replicate", "--threads"]
+    // `--trace`'s, `--replicate`'s, `--threads`' and `--topology`'s
+    // operands must not be mistaken for experiment ids).
+    let flag_values: Vec<String> = ["--out", "--trace", "--replicate", "--threads", "--topology"]
         .iter()
         .filter_map(|&f| flag_operand(f))
         .cloned()
@@ -133,7 +167,12 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let opts = dtcs_bench::RunOpts { quick, trace };
+    let opts = dtcs_bench::RunOpts {
+        quick,
+        trace,
+        transit_stub,
+        fluid,
+    };
 
     if sweep {
         let mut grid: Vec<&dyn dtcs_bench::sweep::GridExperiment> = Vec::new();

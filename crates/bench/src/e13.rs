@@ -76,7 +76,7 @@ struct CellOutcome {
 fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutcome {
     let (transit, stubs) = if quick { (2, 4) } else { (3, 6) };
     let horizon_s: u64 = if quick { 30 } else { 60 };
-    let topo = Topology::transit_stub(transit, stubs, 0.2, seed);
+    let topo = Topology::transit_stub_multihomed(transit, stubs, 0.2, seed);
     let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[0];
     let mut authority = InternetNumberAuthority::new();

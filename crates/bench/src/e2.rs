@@ -35,6 +35,15 @@ pub fn scenario(quick: bool) -> ScenarioConfig {
     cfg
 }
 
+/// [`scenario`] with the CLI scale axes applied (`--topology`,
+/// `--fluid`); with default options this is exactly `scenario(quick)`,
+/// so the golden reports are untouched.
+pub fn scenario_with(opts: &crate::RunOpts) -> ScenarioConfig {
+    let mut cfg = scenario(opts.quick);
+    opts.apply_scale(&mut cfg);
+    cfg
+}
+
 /// Render one outcome row with the shared header.
 pub fn outcome_cells(row: &OutcomeRow) -> Vec<String> {
     vec![
@@ -137,7 +146,7 @@ impl crate::sweep::GridExperiment for Sweep {
     }
 
     fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
-        let cfg = scenario(opts.quick);
+        let cfg = scenario_with(opts);
         let mut schemes = Scheme::comparison_set(cfg.attack.start_at);
         schemes.push(Scheme::I3 { ip_hidden: true });
         let (dcfg, direct_schemes) = direct_contrast(&cfg);
@@ -170,13 +179,12 @@ impl crate::sweep::GridExperiment for Sweep {
 
 /// Run E2.
 pub fn run(opts: &crate::RunOpts) -> Report {
-    let quick = opts.quick;
     let mut report = Report::new(
         "e2",
         "Scheme comparison under a reflector attack",
         "Sec. 3 + Sec. 4.3",
     );
-    let cfg = scenario(quick);
+    let cfg = scenario_with(opts);
     let schemes = Scheme::comparison_set(cfg.attack.start_at);
     // Also include the hidden-IP i3 row so both halves of the paper's i3
     // critique appear side by side.

@@ -57,6 +57,17 @@ impl Strategy {
 enum TopoKind {
     PowerLaw,
     Waxman,
+    TransitStub(usize),
+}
+
+/// The topology the main sweep runs on: BA power-law by default, a
+/// transit-stub internet of at least `n` nodes under `--topology
+/// transit-stub:<n>` (the hybrid-engine scale path).
+fn base_kind(opts: &crate::RunOpts) -> TopoKind {
+    match opts.transit_stub {
+        Some(n) => TopoKind::TransitStub(n),
+        None => TopoKind::PowerLaw,
+    }
 }
 
 fn one(
@@ -71,6 +82,7 @@ fn one(
     let topo = match kind {
         TopoKind::PowerLaw => Topology::barabasi_albert(n_nodes, 2, 0.1, seed),
         TopoKind::Waxman => Topology::waxman(n_nodes, 0.4, 0.15, 0.1, seed),
+        TopoKind::TransitStub(n) => Topology::transit_stub_at_least(n, seed),
     };
     let mut sim = Simulator::new(topo, seed);
     // --trace: attach a flight recorder directly to this simulator (the
@@ -177,6 +189,7 @@ impl crate::sweep::GridExperiment for Sweep {
 
     fn cells(&self, opts: &crate::RunOpts) -> Vec<crate::sweep::SweepCell> {
         let (n_nodes, probes, fractions) = params(opts.quick);
+        let kind = base_kind(opts);
         let mut cases: Vec<(TopoKind, Strategy, f64)> = Vec::new();
         for &s in &[
             Strategy::Ingress(Placement::Random),
@@ -185,15 +198,20 @@ impl crate::sweep::GridExperiment for Sweep {
             Strategy::Tcs(Placement::TopDegree),
         ] {
             for &fr in &fractions {
-                cases.push((TopoKind::PowerLaw, s, fr));
+                cases.push((kind, s, fr));
             }
         }
-        for &s in &[
-            Strategy::Tcs(Placement::Random),
-            Strategy::Tcs(Placement::TopDegree),
-        ] {
-            for &fr in &fractions {
-                cases.push((TopoKind::Waxman, s, fr));
+        // The Waxman contrast is a 400-node-family statement (hubs vs no
+        // hubs); it is dropped when the sweep is re-pointed at a
+        // transit-stub internet.
+        if opts.transit_stub.is_none() {
+            for &s in &[
+                Strategy::Tcs(Placement::Random),
+                Strategy::Tcs(Placement::TopDegree),
+            ] {
+                for &fr in &fractions {
+                    cases.push((TopoKind::Waxman, s, fr));
+                }
             }
         }
         cases
@@ -205,6 +223,7 @@ impl crate::sweep::GridExperiment for Sweep {
                     match kind {
                         TopoKind::PowerLaw => "powerlaw",
                         TopoKind::Waxman => "waxman",
+                        TopoKind::TransitStub(_) => "transit-stub",
                     },
                     s.label()
                 ),
@@ -246,6 +265,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         "Sec. 3.2 (Park & Lee)",
     );
     let (n_nodes, probes, fractions) = params(quick);
+    let kind = base_kind(opts);
     let strategies = [
         Strategy::Ingress(Placement::Random),
         Strategy::Ingress(Placement::TopDegree),
@@ -258,7 +278,7 @@ pub fn run(opts: &crate::RunOpts) -> Report {
         .collect();
     let (rows, run_stats): (Vec<Row>, Vec<_>) = cases
         .par_iter()
-        .map(|&(s, fr)| one(s, fr, n_nodes, probes, SEED, TopoKind::PowerLaw, None))
+        .map(|&(s, fr)| one(s, fr, n_nodes, probes, SEED, kind, None))
         .collect::<Vec<_>>()
         .into_iter()
         .unzip();
@@ -278,15 +298,21 @@ pub fn run(opts: &crate::RunOpts) -> Report {
             n_nodes,
             probes,
             SEED,
-            TopoKind::PowerLaw,
+            kind,
             Some(path),
         );
         crate::util::enforce_run_invariants("e3/trace", &stats);
         report.health(format!("trace: wrote JSONL to {}", path.display()));
     }
 
+    let title = match kind {
+        TopoKind::TransitStub(n) => {
+            format!("spoofed-probe survival, transit-stub internet (>= {n} nodes)")
+        }
+        _ => "spoofed-probe survival, power-law (BA) internet".to_string(),
+    };
     let mut t = Table::new(
-        "spoofed-probe survival, power-law (BA) internet",
+        &title,
         &[
             "strategy",
             "fraction",
@@ -315,37 +341,41 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     // *power-law* phenomenon (a few hubs cover most paths). On a Waxman
     // random-geometric internet there are no such hubs, so top-degree
     // placement loses most of its edge — measured here with the TCS rows.
-    let wax_cases: Vec<(Strategy, f64)> = [
-        Strategy::Tcs(Placement::Random),
-        Strategy::Tcs(Placement::TopDegree),
-    ]
-    .iter()
-    .flat_map(|&s| fractions.iter().map(move |&fr| (s, fr)))
-    .collect();
-    let wax_rows: Vec<Row> = wax_cases
-        .par_iter()
-        .map(|&(s, fr)| {
-            let (row, stats) = one(s, fr, n_nodes, probes, SEED, TopoKind::Waxman, None);
-            crate::util::enforce_run_invariants("e3/waxman", &stats);
-            row
-        })
+    // A 400-node-family statement, so it is skipped when `--topology`
+    // re-points the sweep at a transit-stub internet.
+    if opts.transit_stub.is_none() {
+        let wax_cases: Vec<(Strategy, f64)> = [
+            Strategy::Tcs(Placement::Random),
+            Strategy::Tcs(Placement::TopDegree),
+        ]
+        .iter()
+        .flat_map(|&s| fractions.iter().map(move |&fr| (s, fr)))
         .collect();
-    let mut t = Table::new(
-        "same sweep on a Waxman (no-hub) internet",
-        &["strategy", "fraction", "survival", "stop_dist"],
-    );
-    for r in &wax_rows {
-        t.push(
-            vec![
-                r.strategy.clone(),
-                format!("{:.2}", r.fraction),
-                f(r.survival_ratio),
-                crate::util::fopt(r.mean_stop_distance),
-            ],
-            r,
+        let wax_rows: Vec<Row> = wax_cases
+            .par_iter()
+            .map(|&(s, fr)| {
+                let (row, stats) = one(s, fr, n_nodes, probes, SEED, TopoKind::Waxman, None);
+                crate::util::enforce_run_invariants("e3/waxman", &stats);
+                row
+            })
+            .collect();
+        let mut t = Table::new(
+            "same sweep on a Waxman (no-hub) internet",
+            &["strategy", "fraction", "survival", "stop_dist"],
         );
+        for r in &wax_rows {
+            t.push(
+                vec![
+                    r.strategy.clone(),
+                    format!("{:.2}", r.fraction),
+                    f(r.survival_ratio),
+                    crate::util::fopt(r.mean_stop_distance),
+                ],
+                r,
+            );
+        }
+        report.table(t);
     }
-    report.table(t);
 
     // The headline check: top-degree placement at 20%.
     if let Some(r) = rows

@@ -45,7 +45,7 @@ fn isp_counts(quick: bool) -> Vec<usize> {
 }
 
 fn one(n_isps: usize, stubs_per: usize, outage: bool, seed: u64) -> (Row, dtcs::netsim::Stats) {
-    let topo = Topology::transit_stub(n_isps, stubs_per, 0.15, seed);
+    let topo = Topology::transit_stub_multihomed(n_isps, stubs_per, 0.15, seed);
     let n_nodes = topo.n();
     let mut sim = Simulator::new(topo, seed);
     let victim_node = sim.topo.stub_nodes()[0];

@@ -19,6 +19,7 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod equivalence;
 pub mod sweep;
 pub mod util;
 
@@ -36,6 +37,14 @@ pub struct RunOpts {
     /// `--trace` with more than one experiment id rather than silently
     /// keeping only the last trace.
     pub trace: Option<std::path::PathBuf>,
+    /// Swap the scenario graph for a transit-stub internet of at least
+    /// this many nodes (`--topology transit-stub:<n>`). `None` keeps
+    /// each experiment's default topology family, so golden reports are
+    /// untouched.
+    pub transit_stub: Option<usize>,
+    /// Carry scenario background traffic on the fluid aggregate layer
+    /// (`--fluid`) instead of as discrete CBR packets.
+    pub fluid: bool,
 }
 
 impl RunOpts {
@@ -44,6 +53,25 @@ impl RunOpts {
         RunOpts {
             quick: true,
             ..Default::default()
+        }
+    }
+
+    /// Apply the scale axes to a scenario config. Default options leave
+    /// the config untouched (golden reports stay byte-identical);
+    /// `--topology transit-stub:<n>` swaps the graph and installs a
+    /// node-proportional background workload so the larger internet
+    /// actually carries load, and `--fluid` moves that background onto
+    /// the fluid engine with a 50 ms admission tick.
+    pub fn apply_scale(&self, cfg: &mut dtcs::ScenarioConfig) {
+        if let Some(n) = self.transit_stub {
+            cfg.topology = dtcs::TopologyChoice::TransitStub { n };
+            cfg.background.n_flows = (n / 20).clamp(100, 5_000);
+        }
+        if self.fluid {
+            if cfg.background.n_flows == 0 {
+                cfg.background.n_flows = 100;
+            }
+            cfg.fluid = Some(dtcs::netsim::SimDuration::from_millis(50));
         }
     }
 }

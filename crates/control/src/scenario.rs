@@ -255,7 +255,7 @@ mod tests {
 
     #[test]
     fn partition_covers_every_node_exactly_once() {
-        let topo = Topology::transit_stub(4, 6, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(4, 6, 0.2, 7);
         let sim = Simulator::new(topo, 3);
         let isps = partition_by_provider(&sim);
         assert_eq!(isps.len(), 4);
@@ -271,7 +271,7 @@ mod tests {
 
     #[test]
     fn full_registration_and_deployment_flow() {
-        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
         let mut sim = Simulator::new(topo, 3);
         let victim_node = sim.topo.stub_nodes()[0];
         let mut authority = InternetNumberAuthority::new();
@@ -316,7 +316,7 @@ mod tests {
 
     #[test]
     fn bogus_ownership_claim_is_denied() {
-        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
         let mut sim = Simulator::new(topo, 3);
         let victim_node = sim.topo.stub_nodes()[0];
         let foreign = Prefix::of_node(sim.topo.stub_nodes()[1]);
@@ -345,7 +345,7 @@ mod tests {
 
     #[test]
     fn tcsp_outage_triggers_isp_fallback() {
-        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
         let mut sim = Simulator::new(topo, 3);
         let victim_node = sim.topo.stub_nodes()[0];
         let mut authority = InternetNumberAuthority::new();
@@ -387,7 +387,7 @@ mod tests {
     fn forged_certificates_deploy_nothing() {
         // A certificate signed under the wrong key is rejected by every
         // NMS, on both the TCSP path and the direct fallback path.
-        let topo = Topology::transit_stub(3, 5, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
         let mut sim = Simulator::new(topo, 3);
         let victim_node = sim.topo.stub_nodes()[0];
         let isps = partition_by_provider(&sim);
@@ -432,7 +432,7 @@ mod tests {
 
     #[test]
     fn scoped_deployment_configures_fewer_devices() {
-        let topo = Topology::transit_stub(4, 8, 0.2, 7);
+        let topo = Topology::transit_stub_multihomed(4, 8, 0.2, 7);
         let mut sim = Simulator::new(topo, 3);
         let victim_node = sim.topo.stub_nodes()[0];
         let mut authority = InternetNumberAuthority::new();

@@ -23,7 +23,7 @@ struct Fixture {
 }
 
 fn fixture(transit: usize, stubs: usize, reconcile_every: Option<SimDuration>) -> Fixture {
-    let topo = Topology::transit_stub(transit, stubs, 0.2, 7);
+    let topo = Topology::transit_stub_multihomed(transit, stubs, 0.2, 7);
     let mut sim = Simulator::new(topo, 3);
     let victim_node = sim.topo.stub_nodes()[0];
     let mut authority = InternetNumberAuthority::new();

@@ -60,7 +60,7 @@ fn deploy_for_owner(
 
 fn firewall_vignette() {
     println!("== 1. Distributed firewall: drop UDP floods to my prefix ==");
-    let topo = Topology::transit_stub(3, 8, 0.2, 5);
+    let topo = Topology::transit_stub_multihomed(3, 8, 0.2, 5);
     let mut sim = Simulator::new(topo, 5);
     let me = sim.topo.stub_nodes()[0];
     let my_addr = Addr::new(me, 1);

@@ -18,7 +18,7 @@ use dtcs::netsim::{Prefix, SimDuration, SimTime, Simulator, Topology, TrafficCla
 
 fn main() {
     // 1. A 60-AS transit-stub internet: 4 providers, 14 stubs each.
-    let topo = Topology::transit_stub(4, 14, 0.2, 7);
+    let topo = Topology::transit_stub_multihomed(4, 14, 0.2, 7);
     let mut sim = Simulator::new(topo, 7);
     let victim_node = sim.topo.stub_nodes()[0];
     let victim_prefix = Prefix::of_node(victim_node);

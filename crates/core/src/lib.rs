@@ -33,7 +33,8 @@ pub mod tcs;
 
 pub use metrics::{drop_fraction, print_table, OutcomeRow};
 pub use scenario::{
-    pick_nodes, run_scenario, AttackKind, ScenarioConfig, ScenarioOutput, TraceSpec,
+    pick_nodes, run_scenario, AttackKind, BackgroundSpec, ScenarioConfig, ScenarioOutput,
+    TopologyChoice, TraceSpec,
 };
 pub use schemes::Scheme;
 pub use tcs::{deploy_tcs_static, reflected_reply_protos, TcsDeployment, TcsStaticConfig};

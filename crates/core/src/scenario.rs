@@ -16,12 +16,13 @@ use dtcs_attack::{
     ReflectorAttack, ReflectorAttackConfig, VictimApp, VictimHandle,
 };
 use dtcs_mitigation::{
-    choose_nodes, deploy_ingress, deploy_ppm_everywhere, deploy_pushback_everywhere,
-    install_traceback_filters, reconstruct_sources, I3Defense, MarkCollectorAgent, Placement,
-    PushbackHandle, SosOverlay,
+    choose_nodes, deploy_fluid_ingress, deploy_ingress, deploy_ppm_everywhere,
+    deploy_pushback_everywhere, install_traceback_filters, reconstruct_sources, I3Defense,
+    MarkCollectorAgent, Placement, PushbackHandle, SosOverlay,
 };
 use dtcs_netsim::{
-    Addr, FlightRecorder, NodeId, Prefix, Proto, SimDuration, SimTime, Simulator, Topology,
+    Addr, FlightRecorder, FluidDemand, NodeId, Prefix, Proto, SimDuration, SimTime, Simulator,
+    SinkApp, Topology, TrafficClass,
 };
 
 use crate::metrics::OutcomeRow;
@@ -63,6 +64,45 @@ impl Default for TraceSpec {
     }
 }
 
+/// Which network graph the scenario runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyChoice {
+    /// Barabási–Albert preferential attachment, sized by
+    /// [`ScenarioConfig::n_nodes`] — the historical default (BA-400 and
+    /// smaller).
+    BarabasiAlbert,
+    /// Transit-stub hierarchy with at least `n` nodes
+    /// (`Topology::transit_stub_at_least`): hierarchical routing, linear
+    /// memory, the shape for 100k+-node scale scenarios.
+    TransitStub {
+        /// Minimum node count.
+        n: usize,
+    },
+}
+
+/// Steady background traffic between stub hosts (the load the fluid layer
+/// exists to carry; see `dtcs_netsim::fluid`).
+#[derive(Clone, Copy, Debug)]
+pub struct BackgroundSpec {
+    /// Number of long-lived flows. 0 (the default) keeps the scenario
+    /// byte-identical to builds without background traffic.
+    pub n_flows: usize,
+    /// Per-flow rate, bits per second.
+    pub rate_bps: f64,
+    /// Per-flow packet size, bytes.
+    pub pkt_size: u32,
+}
+
+impl Default for BackgroundSpec {
+    fn default() -> Self {
+        BackgroundSpec {
+            n_flows: 0,
+            rate_bps: 2e5,
+            pkt_size: 500,
+        }
+    }
+}
+
 /// Scenario parameters shared across every scheme in a comparison.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
@@ -90,6 +130,15 @@ pub struct ScenarioConfig {
     pub seed: u64,
     /// Optional packet flight recording (None = zero-cost disabled path).
     pub trace: Option<TraceSpec>,
+    /// Network graph shape.
+    pub topology: TopologyChoice,
+    /// Steady background traffic between stub hosts.
+    pub background: BackgroundSpec,
+    /// Carry background flows as fluid aggregates with this accounting
+    /// tick instead of discrete packets. `None` (default) keeps the run
+    /// purely packet-level. The victim is packetized either way, so its
+    /// observables are real packets.
+    pub fluid: Option<SimDuration>,
 }
 
 impl Default for ScenarioConfig {
@@ -114,6 +163,9 @@ impl Default for ScenarioConfig {
             duration: SimTime::from_secs(30),
             seed: 42,
             trace: None,
+            topology: TopologyChoice::BarabasiAlbert,
+            background: BackgroundSpec::default(),
+            fluid: None,
         }
     }
 }
@@ -139,8 +191,16 @@ pub struct ScenarioOutput {
 
 /// Run one scheme under the configured scenario.
 pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
-    let topo = Topology::barabasi_albert(cfg.n_nodes, cfg.ba_m, cfg.transit_fraction, cfg.seed);
+    let topo = match cfg.topology {
+        TopologyChoice::BarabasiAlbert => {
+            Topology::barabasi_albert(cfg.n_nodes, cfg.ba_m, cfg.transit_fraction, cfg.seed)
+        }
+        TopologyChoice::TransitStub { n } => Topology::transit_stub_at_least(n, cfg.seed),
+    };
     let mut sim = Simulator::new(topo, cfg.seed);
+    if let Some(tick) = cfg.fluid {
+        sim.enable_fluid(tick);
+    }
     let recorder = cfg.trace.map(|spec| {
         let rec = Arc::new(std::sync::Mutex::new(FlightRecorder::new(spec.capacity)));
         sim.set_trace_sink(Box::new(Arc::clone(&rec)), spec.one_in);
@@ -149,6 +209,11 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
     let stubs = sim.topo.stub_nodes();
     assert!(!stubs.is_empty(), "need stub nodes for a victim");
     let victim_node = stubs[cfg.seed as usize % stubs.len()];
+    if cfg.fluid.is_some() {
+        // The paper's observables live at the victim: keep its traffic
+        // discrete regardless of engine.
+        sim.fluid_packetize(victim_node);
+    }
     let victim_addr = Addr::new(victim_node, hosts::SERVICE);
     let victim_prefix = Prefix::of_node(victim_node);
     let client_addrs = plan_client_addrs(&sim, victim_node, cfg.n_clients, cfg.seed);
@@ -170,6 +235,12 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
             placement,
         } => {
             deploy_ingress(&mut sim, *fraction, *placement, cfg.seed ^ 0x1A);
+            if sim.fluid_enabled() {
+                // Rate-side mirror: the same nodes (same seed) police
+                // fluid aggregates, so filter verdicts consume aggregate
+                // rates just as they consume packets.
+                deploy_fluid_ingress(&mut sim, *fraction, *placement, cfg.seed ^ 0x1A);
+            }
         }
         Scheme::Pushback(pb_cfg) => {
             pushback = Some(deploy_pushback_everywhere(&mut sim, *pb_cfg));
@@ -362,6 +433,15 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
         });
     }
 
+    // --- Background traffic ---------------------------------------------
+    install_background(
+        &mut sim,
+        victim_node,
+        &cfg.background,
+        cfg.duration,
+        cfg.seed,
+    );
+
     // --- Run --------------------------------------------------------------
     sim.stats.watch(victim_node, SimDuration::from_secs(1));
     sim.run_until(cfg.duration);
@@ -433,6 +513,60 @@ pub fn run_scenario(cfg: &ScenarioConfig, scheme: &Scheme) -> ScenarioOutput {
 /// for the bench harness).
 pub fn pick_nodes(topo: &Topology, fraction: f64, placement: Placement, seed: u64) -> Vec<NodeId> {
     choose_nodes(topo, fraction, placement, seed)
+}
+
+/// Host id background demand sources claim (distinct from the attack
+/// scenario's SERVICE/CLIENT/ZOMBIE hosts).
+const BG_SRC_HOST: u16 = 0xB6;
+/// Host id background demand sinks listen on.
+const BG_DST_HOST: u16 = 0xB7;
+
+/// Install the configured background flows between seeded stub pairs
+/// (victim excluded on both ends). Each flow is one
+/// [`Simulator::add_background_demand`] call, so whether it runs as a
+/// fluid aggregate or a discrete CBR stream is decided by the engine, not
+/// here — scenarios read identically under either.
+fn install_background(
+    sim: &mut Simulator,
+    victim: NodeId,
+    bg: &BackgroundSpec,
+    until: SimTime,
+    seed: u64,
+) {
+    use rand::seq::SliceRandom;
+    if bg.n_flows == 0 {
+        return;
+    }
+    let mut stubs: Vec<NodeId> = sim
+        .topo
+        .stub_nodes()
+        .into_iter()
+        .filter(|&n| n != victim)
+        .collect();
+    if stubs.len() < 2 {
+        return;
+    }
+    let mut rng = dtcs_netsim::rng::seeded(dtcs_netsim::rng::child_seed(seed, 0xB6F1));
+    stubs.shuffle(&mut rng);
+    let half = (stubs.len() / 2).max(1);
+    for i in 0..bg.n_flows {
+        let src_node = stubs[i % stubs.len()];
+        let dst_node = stubs[(i + half) % stubs.len()];
+        if src_node == dst_node {
+            continue;
+        }
+        let dst = Addr::new(dst_node, BG_DST_HOST);
+        sim.install_app(dst, Box::new(SinkApp));
+        sim.add_background_demand(FluidDemand {
+            src: Addr::new(src_node, BG_SRC_HOST),
+            dst,
+            proto: Proto::Udp,
+            class: TrafficClass::Background,
+            rate_bps: bg.rate_bps,
+            pkt_size: bg.pkt_size,
+            until,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -615,6 +749,67 @@ mod tests {
         assert!(!ja.is_empty());
         assert_eq!(ja, jb, "trace JSONL must be byte-identical across runs");
         assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn background_fluid_and_discrete_agree_on_victim_outcome() {
+        // The fluid-equivalence contract in miniature: the same scenario
+        // with background flows carried as discrete CBR packets vs fluid
+        // aggregates must tell the same story at the victim.
+        let mut cfg = small_cfg();
+        cfg.background = BackgroundSpec {
+            n_flows: 40,
+            rate_bps: 2e5,
+            pkt_size: 500,
+        };
+        let discrete = run_scenario(&cfg, &Scheme::None);
+        assert_eq!(discrete.stats.fluid_aggregates, 0);
+        assert!(
+            discrete
+                .stats
+                .class(dtcs_netsim::TrafficClass::Background)
+                .sent_pkts
+                > 0
+        );
+        cfg.fluid = Some(SimDuration::from_millis(50));
+        let fluid = run_scenario(&cfg, &Scheme::None);
+        assert!(fluid.stats.fluid_aggregates > 0, "flows must go fluid");
+        assert!(fluid.stats.fluid_ticks > 0);
+        assert!(
+            (fluid.row.legit_success - discrete.row.legit_success).abs() < 0.05,
+            "victim outcome must agree across engines: {} vs {}",
+            fluid.row.legit_success,
+            discrete.row.legit_success
+        );
+        let fbg = fluid.stats.class(dtcs_netsim::TrafficClass::Background);
+        let dbg = discrete.stats.class(dtcs_netsim::TrafficClass::Background);
+        let rel = (fbg.sent_pkts as f64 - dbg.sent_pkts as f64).abs() / dbg.sent_pkts as f64;
+        assert!(
+            rel < 0.02,
+            "background volume must agree: {} vs {}",
+            fbg.sent_pkts,
+            dbg.sent_pkts
+        );
+    }
+
+    #[test]
+    fn transit_stub_scale_scenario_runs_hybrid() {
+        // A (small) instance of the scale shape: transit-stub topology,
+        // fluid background, full attack machinery — the E2-at-100k recipe.
+        let mut cfg = small_cfg();
+        cfg.topology = TopologyChoice::TransitStub { n: 1500 };
+        cfg.background = BackgroundSpec {
+            n_flows: 100,
+            rate_bps: 2e5,
+            pkt_size: 500,
+        };
+        cfg.fluid = Some(SimDuration::from_millis(100));
+        let out = run_scenario(&cfg, &Scheme::None);
+        assert!(out.stats.fluid_aggregates >= 90, "most flows go fluid");
+        assert!(out.row.legit_success >= 0.0 && out.row.legit_success <= 1.0);
+        // Conservation + no-clamp hard gates already ran inside.
+        let bg = out.stats.class(dtcs_netsim::TrafficClass::Background);
+        assert!(bg.delivered_pkts > 0, "background must flow");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use dtcs::netsim::{DropReason, Prefix, SimDuration, SimTime, Simulator, Topology
 /// worldwide anti-spoofing deployment, service recovery.
 #[test]
 fn register_deploy_mitigate_end_to_end() {
-    let topo = Topology::transit_stub(4, 12, 0.2, 7);
+    let topo = Topology::transit_stub_multihomed(4, 12, 0.2, 7);
     let mut sim = Simulator::new(topo, 7);
     let victim_node = sim.topo.stub_nodes()[0];
     let victim_prefix = Prefix::of_node(victim_node);
@@ -92,7 +92,7 @@ fn register_deploy_mitigate_end_to_end() {
 /// therefore cannot affect anyone's traffic (Sec. 4.1 safe delegation).
 #[test]
 fn foreign_prefix_claims_are_powerless() {
-    let topo = Topology::transit_stub(3, 8, 0.2, 9);
+    let topo = Topology::transit_stub_multihomed(3, 8, 0.2, 9);
     let mut sim = Simulator::new(topo, 9);
     let victim_node = sim.topo.stub_nodes()[0];
     let foreign_node = sim.topo.stub_nodes()[3];
@@ -154,7 +154,7 @@ fn foreign_prefix_claims_are_powerless() {
 /// traffic crossing the core.
 #[test]
 fn stub_border_scope_still_blocks_spoofing() {
-    let topo = Topology::transit_stub(4, 10, 0.0, 11);
+    let topo = Topology::transit_stub_multihomed(4, 10, 0.0, 11);
     let mut sim = Simulator::new(topo, 11);
     let victim_node = sim.topo.stub_nodes()[0];
     let victim_prefix = Prefix::of_node(victim_node);

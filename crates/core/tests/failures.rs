@@ -107,7 +107,7 @@ fn down_link_drops_are_accounted() {
 /// consult the live routing tables.
 #[test]
 fn antispoof_tracks_rerouting_without_false_positives() {
-    let topo = Topology::transit_stub(4, 6, 0.3, 13);
+    let topo = Topology::transit_stub_multihomed(4, 6, 0.3, 13);
     let mut sim = Simulator::new(topo, 13);
     let victim_node = sim.topo.stub_nodes()[0];
     let victim = Addr::new(victim_node, 1);

@@ -48,7 +48,7 @@ impl NodeAgent for ReplyProbe {
 /// "collecting traffic statistics" application end to end.
 #[test]
 fn statistics_service_logs_are_collectable() {
-    let topo = Topology::transit_stub(3, 6, 0.2, 21);
+    let topo = Topology::transit_stub_multihomed(3, 6, 0.2, 21);
     let mut sim = Simulator::new(topo, 21);
     let me = sim.topo.stub_nodes()[0];
     let my_prefix = Prefix::of_node(me);
@@ -129,7 +129,7 @@ fn statistics_service_logs_are_collectable() {
 /// plane actually stops it filtering, and reactivating resumes it.
 #[test]
 fn set_active_toggles_a_live_service() {
-    let topo = Topology::transit_stub(3, 6, 0.2, 23);
+    let topo = Topology::transit_stub_multihomed(3, 6, 0.2, 23);
     let mut sim = Simulator::new(topo, 23);
     let me = sim.topo.stub_nodes()[0];
     let my_prefix = Prefix::of_node(me);

@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn stub_borders_touch_stubs() {
-        let t = Topology::transit_stub(6, 8, 0.1, 2);
+        let t = Topology::transit_stub_multihomed(6, 8, 0.1, 2);
         let borders = choose_nodes(&t, 0.1, Placement::StubBorders, 1);
         assert!(!borders.is_empty());
         for id in &borders {

@@ -10,12 +10,15 @@
 //! * [`spie`] — hash-based (Bloom digest) traceback;
 //! * [`filtering`] — reactive filter installation from traceback verdicts;
 //! * [`overlay`] — SOS/Mayday secure overlays and i3-style indirection;
-//! * [`deploy`] — partial-deployment placement strategies.
+//! * [`deploy`] — partial-deployment placement strategies;
+//! * [`fluid`] — rate-side mirrors of the defenses for the fluid
+//!   background-traffic layer (`dtcs_netsim::fluid`).
 
 #![warn(missing_docs)]
 
 pub mod deploy;
 pub mod filtering;
+pub mod fluid;
 pub mod ingress;
 pub mod overlay;
 pub mod ppm;
@@ -24,6 +27,7 @@ pub mod spie;
 
 pub use deploy::{choose_nodes, Placement};
 pub use filtering::{install_traceback_filters, BlockScope, PrefixBlockAgent};
+pub use fluid::{deploy_fluid_ingress, FluidIngress};
 pub use ingress::{deploy_ingress, IngressFilterAgent};
 pub use overlay::{I3Defense, PerimeterFilterAgent, RelayApp, RelayNext, SosOverlay};
 pub use ppm::{

@@ -39,6 +39,7 @@ pub mod agent;
 pub mod app;
 pub mod arena;
 pub mod faults;
+pub mod fluid;
 pub mod link;
 pub mod node;
 pub mod oracle;
@@ -60,6 +61,7 @@ pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
 pub use arena::{Arena, Handle as ArenaHandle};
 pub use faults::{FaultConfig, FaultDecision, FaultPlane, Outage};
+pub use fluid::{FluidDemand, FluidFilter, FluidLayer};
 pub use link::{Admission, Link, LinkProfile};
 pub use node::{LinkId, Node, NodeId, NodeRole};
 pub use oracle::RouteOracle;
@@ -68,7 +70,7 @@ pub use routing::{FlipOutcome, Routing};
 pub use sim::Simulator;
 pub use stats::{DropReason, Stats};
 pub use time::{SimDuration, SimTime};
-pub use topology::Topology;
+pub use topology::{Hierarchy, Topology};
 pub use trace::{
     FlightRecorder, LinkDirUtil, LinkUtilProbe, Log2Histogram, Sampler, TelemetryHistograms,
     TraceEvent, TraceSink, UtilSnapshot,

@@ -362,19 +362,20 @@ use crate::time::{SimDuration, SimTime};
 /// Raw material for one randomized `Stats`: per-class counter bumps,
 /// drop-bucket bumps, histogram samples (independent queue-delay /
 /// end-to-end-latency / hop-count streams), engine scalars,
-/// control-plane fault counters, and optional watched-series deliveries
-/// (node, bucket index, bytes).
+/// control-plane fault counters, fluid-layer counters, and optional
+/// watched-series deliveries (node, bucket index, bytes).
 type StatsRaw = (
     Vec<(usize, u64, u64, u64)>,
     Vec<(usize, usize, u64, u64, u64)>,
     Vec<(u64, u64, u64)>,
     (u64, u64, u64, u64, u64, u64),
     (u64, u64, u64, u64, u64, u64),
+    (u64, u64, u64, u64, u64),
     Option<Vec<(usize, u64, u32)>>,
 );
 
 fn stats_from(raw: StatsRaw) -> Stats {
-    let (classes, drops, samples, scalars, control, series) = raw;
+    let (classes, drops, samples, scalars, control, fluid, series) = raw;
     let mut s = Stats::new();
     for (ci, sent, delivered, bytes) in classes {
         let c = &mut s.per_class[ci % ALL_CLASSES.len()];
@@ -421,6 +422,12 @@ fn stats_from(raw: StatsRaw) -> Stats {
     s.cp_fault_jittered = jittered.min(cp);
     s.cp_outage_dropped = outage.min(cp);
     s.node_crashes = crashes;
+    let (aggs, ticks, recomputes, invalidations, conversions) = fluid;
+    s.fluid_aggregates = aggs;
+    s.fluid_ticks = ticks;
+    s.fluid_recomputes = recomputes;
+    s.fluid_epoch_invalidations = invalidations.min(recomputes);
+    s.fluid_boundary_conversions = conversions.min(aggs);
     if let Some(deliveries) = series {
         for (node, bucket_idx, bytes) in deliveries {
             let node = NodeId(node % 5);
@@ -477,6 +484,13 @@ fn arb_stats() -> impl Strategy<Value = Stats> {
             0u64..10_000,
             0u64..10_000,
             0u64..100,
+        ),
+        (
+            0u64..10_000,
+            0u64..100_000,
+            0u64..10_000,
+            0u64..1_000,
+            0u64..1_000,
         ),
         proptest::option::of(proptest::collection::vec(
             (0usize..5, 0u64..4, 1u32..100_000),

@@ -22,6 +22,7 @@ use crate::agent::{AgentCtx, ControlMsg, NodeAgent, Outbox, Verdict};
 use crate::app::{App, AppApi, Disposition};
 use crate::arena::{Arena, Handle as PktHandle};
 use crate::faults::FaultPlane;
+use crate::fluid::{FluidDemand, FluidFilter, FluidLayer};
 use crate::link::Admission;
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
@@ -95,6 +96,14 @@ pub struct Simulator {
     /// leaves event order untouched — the zero-fault path is byte-
     /// identical to a build without the feature.
     faults: Option<FaultPlane>,
+    /// Fluid background-traffic engine (DESIGN.md §6.8). `None` keeps the
+    /// simulator purely packet-level; the event stream is then
+    /// byte-identical to builds predating the fluid layer.
+    fluid: Option<FluidLayer>,
+    /// Nodes pinned to the discrete engine even with the fluid layer on —
+    /// attack sources, filtering devices, the victim — so the paper's
+    /// observables still see real packets.
+    fluid_packetized: Vec<bool>,
     started: bool,
     event_limit: u64,
 }
@@ -121,6 +130,8 @@ impl Simulator {
             tracer: Tracer::disabled(seed),
             util_probe: None,
             faults: None,
+            fluid: None,
+            fluid_packetized: vec![false; n],
             started: false,
             event_limit: u64::MAX,
         }
@@ -179,6 +190,114 @@ impl Simulator {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Turn on the fluid background-traffic layer with the given
+    /// accounting tick (see [`crate::fluid`]). Idempotent — the first
+    /// call's tick wins. Demands offered afterwards via
+    /// [`Simulator::add_background_demand`] become fluid aggregates unless
+    /// an endpoint is packetized.
+    pub fn enable_fluid(&mut self, tick: SimDuration) {
+        if self.fluid.is_none() {
+            self.fluid = Some(FluidLayer::new(tick, self.now, self.routing.epoch()));
+        }
+    }
+
+    /// Is the fluid layer enabled?
+    pub fn fluid_enabled(&self) -> bool {
+        self.fluid.is_some()
+    }
+
+    /// The fluid layer, for inspection (tests, benches, experiment
+    /// metrics).
+    pub fn fluid(&self) -> Option<&FluidLayer> {
+        self.fluid.as_ref()
+    }
+
+    /// Pin `node` to the discrete packet engine: background demands
+    /// touching it materialize as real packets instead of aggregates.
+    /// This is the fluid/packet boundary — attack sources, filtering
+    /// devices and the victim stay packetized so agent chains, module
+    /// verdicts and traces observe genuine traffic.
+    pub fn fluid_packetize(&mut self, node: NodeId) {
+        self.fluid_packetized[node.0] = true;
+    }
+
+    /// Attach a rate-based filter to `node`'s fluid traffic (the fluid
+    /// mirror of a packet-path module verdict). Requires
+    /// [`Simulator::enable_fluid`] first.
+    pub fn add_fluid_filter(&mut self, node: NodeId, filter: Box<dyn FluidFilter>) {
+        self.fluid
+            .as_mut()
+            .expect("enable_fluid before add_fluid_filter")
+            .add_filter(node, filter);
+    }
+
+    /// Offer a background traffic demand. With the fluid layer on and
+    /// both endpoints outside the packetized set, it becomes a fluid
+    /// aggregate; otherwise it materializes as a discrete constant-bit-
+    /// rate packet stream with the same rate, size, class and deadline —
+    /// scenarios read identically under either engine.
+    pub fn add_background_demand(&mut self, d: FluidDemand) {
+        let fluid_ok = self.fluid.is_some()
+            && !self.fluid_packetized[d.src.node().0]
+            && !self.fluid_packetized[d.dst.node().0];
+        if fluid_ok {
+            self.stats.fluid_aggregates += 1;
+            let now = self.now;
+            let layer = self.fluid.as_mut().expect("checked above");
+            layer.add(&d, now);
+            if !layer.armed {
+                layer.armed = true;
+                let at = now + layer.tick_len();
+                self.schedule(at, Simulator::fluid_tick);
+            }
+        } else {
+            if self.fluid.is_some() {
+                self.stats.fluid_boundary_conversions += 1;
+            }
+            self.emit_cbr(d);
+        }
+    }
+
+    fn fluid_tick(&mut self) {
+        let Some(mut layer) = self.fluid.take() else {
+            return;
+        };
+        let again = layer.run_tick(self.now, &mut self.topo, &self.routing, &mut self.stats);
+        layer.armed = again;
+        let next = self.now + layer.tick_len();
+        self.fluid = Some(layer);
+        if again {
+            self.schedule(next, Simulator::fluid_tick);
+        }
+    }
+
+    /// Discrete materialization of a background demand: one packet of
+    /// `pkt_size` every `pkt_size * 8 / rate_bps` seconds until `until`.
+    fn emit_cbr(&mut self, d: FluidDemand) {
+        assert!(d.rate_bps > 0.0, "demand rate must be positive");
+        assert!(d.pkt_size > 0, "demand packet size must be positive");
+        let interval = SimDuration::from_secs_f64(d.pkt_size as f64 * 8.0 / d.rate_bps);
+        let interval = interval.max(SimDuration::from_nanos(1));
+        let flow = ((d.src.node().0 as u64) << 32) ^ d.dst.node().0 as u64;
+        self.cbr_step(d, interval, flow);
+    }
+
+    fn cbr_step(&mut self, d: FluidDemand, interval: SimDuration, flow: u64) {
+        if self.now >= d.until {
+            return;
+        }
+        self.emit_now(
+            d.src.node(),
+            PacketBuilder::new(d.src, d.dst, d.proto, d.class)
+                .size(d.pkt_size)
+                .flow(flow),
+        );
+        let next = self.now + interval;
+        if next < d.until {
+            self.schedule(next, move |s| s.cbr_step(d, interval, flow));
+        }
     }
 
     /// Cap total processed events (runaway guard for tests); the run stops

@@ -282,6 +282,21 @@ pub struct Stats {
     /// Node crashes executed (fault-plane crash windows plus ad-hoc
     /// [`crate::sim::Simulator::crash_node`] calls).
     pub node_crashes: u64,
+    /// Fluid aggregates installed over the run (one per background demand
+    /// routed through the fluid layer; see `crate::fluid`).
+    pub fluid_aggregates: u64,
+    /// Fluid admission rounds executed (one per tick with live aggregates).
+    pub fluid_ticks: u64,
+    /// Aggregate path recomputations (initial resolution plus every
+    /// re-resolution after a route-epoch change).
+    pub fluid_recomputes: u64,
+    /// Route/filter epoch changes that invalidated cached aggregate state
+    /// (each may trigger many [`Stats::fluid_recomputes`]).
+    pub fluid_epoch_invalidations: u64,
+    /// Demands materialized as discrete packet emitters because an
+    /// endpoint sits in the packetized set (attack sources, filtering
+    /// devices, the victim) — the fluid/packet boundary shim.
+    pub fluid_boundary_conversions: u64,
 }
 
 impl ClassCounters {
@@ -366,6 +381,11 @@ impl Stats {
             cp_fault_jittered,
             cp_outage_dropped,
             node_crashes,
+            fluid_aggregates,
+            fluid_ticks,
+            fluid_recomputes,
+            fluid_epoch_invalidations,
+            fluid_boundary_conversions,
         } = other;
         for (c, o) in self.per_class.iter_mut().zip(per_class.iter()) {
             c.merge(o);
@@ -394,6 +414,11 @@ impl Stats {
         self.cp_fault_jittered += *cp_fault_jittered;
         self.cp_outage_dropped += *cp_outage_dropped;
         self.node_crashes += *node_crashes;
+        self.fluid_aggregates += *fluid_aggregates;
+        self.fluid_ticks += *fluid_ticks;
+        self.fluid_recomputes += *fluid_recomputes;
+        self.fluid_epoch_invalidations += *fluid_epoch_invalidations;
+        self.fluid_boundary_conversions += *fluid_boundary_conversions;
     }
 
     /// Enable a delivery time series at `watch` with the given bucket
@@ -701,6 +726,9 @@ mod tests {
         a.route_link_flips = 6;
         a.route_full_recomputes = 2;
         a.route_trees_recomputed = 40;
+        a.fluid_aggregates = 3;
+        a.fluid_ticks = 100;
+        a.fluid_recomputes = 5;
 
         let mut b = Stats::new();
         let pb = mk(TrafficClass::AttackDirect, 64, 2);
@@ -717,6 +745,10 @@ mod tests {
         b.cp_outage_dropped = 5;
         b.past_events_clamped = 0;
         b.route_link_flips = 1;
+        b.fluid_aggregates = 2;
+        b.fluid_recomputes = 1;
+        b.fluid_epoch_invalidations = 4;
+        b.fluid_boundary_conversions = 6;
 
         a.merge(&b);
         assert_eq!(a.class(TrafficClass::LegitRequest).delivered_pkts, 1);
@@ -745,6 +777,12 @@ mod tests {
         assert_eq!(a.route_link_flips, 7);
         assert_eq!(a.route_full_recomputes, 2);
         assert_eq!(a.route_trees_recomputed, 40);
+        // Fluid-layer counters (PR 8) all add.
+        assert_eq!(a.fluid_aggregates, 5);
+        assert_eq!(a.fluid_ticks, 100);
+        assert_eq!(a.fluid_recomputes, 6);
+        assert_eq!(a.fluid_epoch_invalidations, 4);
+        assert_eq!(a.fluid_boundary_conversions, 6);
         // Telemetry histograms (PR 4) fold bucket-wise: a delivered one
         // packet with 3 hops, b recorded none.
         assert_eq!(a.hist.e2e_latency_ns.count(), 1);

@@ -6,9 +6,14 @@
 //!   power-law degree distribution of the real AS graph. Park & Lee's
 //!   route-based filtering result (cited in Sec. 3.2 of the paper) is
 //!   specifically about power-law internets, so experiment E3 runs here.
-//! * [`Topology::transit_stub`] — an explicit two-level hierarchy with a
-//!   transit core and stub edges, used when experiments need a crisp notion
-//!   of "border router of a stub network" (deployment scoping, Fig. 5).
+//! * [`Topology::transit_stub_multihomed`] — an explicit two-level
+//!   hierarchy with a transit core and stub edges, used when experiments
+//!   need a crisp notion of "border router of a stub network" (deployment
+//!   scoping, Fig. 5).
+//! * [`Topology::transit_stub`] — a strict three-level transit/stub/host
+//!   hierarchy carrying [`Hierarchy`] metadata, built for 100k–1M-node
+//!   scale runs (closed-form hierarchical routing, fluid background
+//!   traffic).
 //! * small hand-built shapes (line, star, dumbbell) for unit tests.
 
 use rand::seq::SliceRandom;
@@ -26,6 +31,26 @@ pub struct Topology {
     pub nodes: Vec<Node>,
     /// All links.
     pub links: Vec<Link>,
+    /// Optional strict-hierarchy metadata. Set only by generators whose
+    /// graph is a forest of single-homed trees hanging off a small core
+    /// ([`Topology::transit_stub`]); lets [`crate::routing::Routing`] pick
+    /// its closed-form O(core²)-memory backend instead of the dense
+    /// all-pairs tables, which is what makes 100k–1M-node topologies fit
+    /// in memory. `None` (every other generator) keeps the dense backend
+    /// and its byte-identical behaviour.
+    pub hierarchy: Option<Hierarchy>,
+}
+
+/// Strict-hierarchy routing metadata: every non-core node has exactly one
+/// uplink toward the core, so shortest paths are "walk up, cross the core,
+/// walk down" and need no per-destination tables.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Core (transit backbone) node ids, in id order.
+    pub core: Vec<NodeId>,
+    /// Per node: the unique uplink toward the core (`None` for core
+    /// nodes). `up_link[i]` corresponds to `NodeId(i)`.
+    pub up_link: Vec<Option<LinkId>>,
 }
 
 impl Topology {
@@ -34,6 +59,7 @@ impl Topology {
         Topology {
             nodes: Vec::new(),
             links: Vec::new(),
+            hierarchy: None,
         }
     }
 
@@ -191,11 +217,84 @@ impl Topology {
         topo
     }
 
+    /// Three-level transit–stub–host hierarchy built for scale:
+    /// `n_transit` core nodes joined into a connected backbone (ring plus
+    /// random chords), `stubs_per_transit` single-homed stub routers per
+    /// core node, and `hosts_per_stub` leaf hosts per stub router. Every
+    /// non-core node has exactly one uplink, so the generator records
+    /// [`Hierarchy`] metadata and routing switches to its closed-form
+    /// hierarchical backend — linear memory instead of the dense O(n²)
+    /// all-pairs tables, which is what lets E2/E3-style scenarios run at
+    /// 100k–1M nodes. For the classic two-level multihomed shape the
+    /// deployment-scoping experiments use, see
+    /// [`Topology::transit_stub_multihomed`].
+    pub fn transit_stub(
+        n_transit: usize,
+        stubs_per_transit: usize,
+        hosts_per_stub: usize,
+        seed: u64,
+    ) -> Topology {
+        assert!(n_transit >= 1);
+        let mut rng = seeded(seed ^ 0x5CA1_E57AB);
+        let mut topo = Topology::new();
+        let core: Vec<NodeId> = (0..n_transit)
+            .map(|_| topo.add_node(NodeRole::Transit))
+            .collect();
+        // Ring backbone for guaranteed connectivity.
+        for i in 0..n_transit {
+            if n_transit > 1 {
+                let a = core[i];
+                let b = core[(i + 1) % n_transit];
+                topo.connect(a, b, LinkProfile::backbone());
+            }
+        }
+        // Random chords: densify to mean core degree ~4 (ring gives 2).
+        for _ in 0..n_transit {
+            if n_transit >= 4 {
+                let a = core[rng.gen_range(0..n_transit)];
+                let b = core[rng.gen_range(0..n_transit)];
+                topo.connect(a, b, LinkProfile::backbone());
+            }
+        }
+        let mut up_link: Vec<Option<LinkId>> = vec![None; topo.n()];
+        for &t in &core {
+            for _ in 0..stubs_per_transit {
+                let s = topo.add_node(NodeRole::Stub);
+                let sl = topo
+                    .connect(s, t, LinkProfile::transit())
+                    .expect("fresh stub uplink");
+                up_link.push(Some(sl));
+                for _ in 0..hosts_per_stub {
+                    let h = topo.add_node(NodeRole::Stub);
+                    let hl = topo
+                        .connect(h, s, LinkProfile::access())
+                        .expect("fresh host uplink");
+                    up_link.push(Some(hl));
+                }
+            }
+        }
+        debug_assert_eq!(up_link.len(), topo.n());
+        topo.hierarchy = Some(Hierarchy { core, up_link });
+        topo
+    }
+
+    /// Smallest [`Topology::transit_stub`] instance with at least `n`
+    /// nodes, using a fixed fanout (20 stub routers per transit AS, 10
+    /// hosts per stub). This is the shape the `--topology transit-stub:<n>`
+    /// CLI axis builds.
+    pub fn transit_stub_at_least(n: usize, seed: u64) -> Topology {
+        const STUBS: usize = 20;
+        const HOSTS: usize = 10;
+        let per_transit = 1 + STUBS * (1 + HOSTS);
+        let n_transit = n.div_ceil(per_transit).max(4);
+        Topology::transit_stub(n_transit, STUBS, HOSTS, seed)
+    }
+
     /// Two-level transit–stub hierarchy: `transit` core nodes joined into a
     /// connected backbone (ring plus random chords), and `stubs_per_transit`
     /// stub nodes hanging off each core node. `multihome_prob` gives each
     /// stub a chance of a second uplink to another random transit node.
-    pub fn transit_stub(
+    pub fn transit_stub_multihomed(
         transit: usize,
         stubs_per_transit: usize,
         multihome_prob: f64,
@@ -484,15 +583,82 @@ mod tests {
     }
 
     #[test]
-    fn transit_stub_structure() {
-        let t = Topology::transit_stub(5, 10, 0.2, 11);
+    fn transit_stub_multihomed_structure() {
+        let t = Topology::transit_stub_multihomed(5, 10, 0.2, 11);
         assert_eq!(t.n(), 5 + 50);
         assert!(t.is_connected());
         assert_eq!(t.transit_nodes().len(), 5);
+        assert!(t.hierarchy.is_none(), "multihoming breaks strict hierarchy");
         // Every stub has at least one uplink.
         for s in t.stub_nodes() {
             assert!(t.nodes[s.0].degree() >= 1);
         }
+    }
+
+    #[test]
+    fn transit_stub_is_connected_and_right_size() {
+        let t = Topology::transit_stub(6, 4, 3, 11);
+        assert_eq!(t.n(), 6 + 6 * 4 + 6 * 4 * 3);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn transit_stub_determinism() {
+        let a = Topology::transit_stub(8, 5, 4, 77);
+        let b = Topology::transit_stub(8, 5, 4, 77);
+        assert_eq!(a.links.len(), b.links.len());
+        for (la, lb) in a.links.iter().zip(&b.links) {
+            assert_eq!((la.a, la.b), (lb.a, lb.b));
+        }
+        // Different seed reshuffles the core chords.
+        let c = Topology::transit_stub(8, 5, 4, 78);
+        assert!(
+            a.links
+                .iter()
+                .zip(&c.links)
+                .any(|(la, lc)| (la.a, la.b) != (lc.a, lc.b))
+                || a.links.len() != c.links.len()
+        );
+    }
+
+    #[test]
+    fn transit_stub_roles() {
+        let t = Topology::transit_stub(6, 4, 3, 5);
+        assert_eq!(t.transit_nodes().len(), 6);
+        assert_eq!(t.stub_nodes().len(), 6 * 4 + 6 * 4 * 3);
+    }
+
+    #[test]
+    fn transit_stub_hierarchy_invariants() {
+        let t = Topology::transit_stub(6, 4, 3, 9);
+        let h = t.hierarchy.as_ref().expect("generator records hierarchy");
+        assert_eq!(h.core.len(), 6);
+        assert_eq!(h.up_link.len(), t.n());
+        for (i, up) in h.up_link.iter().enumerate() {
+            let is_core = h.core.contains(&NodeId(i));
+            match up {
+                None => assert!(is_core, "non-core node {i} missing uplink"),
+                Some(l) => {
+                    assert!(!is_core, "core node {i} must not have an uplink");
+                    // The uplink is incident to the node and climbs toward
+                    // the core: the far end is either core or one tier up.
+                    let far = t.links[l.0].other(NodeId(i));
+                    assert!(
+                        t.links[l.0].a == NodeId(i) || t.links[l.0].b == NodeId(i),
+                        "uplink not incident"
+                    );
+                    assert!(far.0 < i, "uplinks point at earlier (higher) tiers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transit_stub_at_least_reaches_target() {
+        let t = Topology::transit_stub_at_least(5_000, 3);
+        assert!(t.n() >= 5_000, "{} < 5000", t.n());
+        assert!(t.is_connected());
+        assert!(t.hierarchy.is_some());
     }
 
     #[test]
@@ -590,7 +756,7 @@ mod tests {
 
     #[test]
     fn customer_neighbours_only_stubs() {
-        let t = Topology::transit_stub(3, 5, 0.0, 2);
+        let t = Topology::transit_stub_multihomed(3, 5, 0.0, 2);
         for tr in t.transit_nodes() {
             for c in t.customer_neighbours(tr) {
                 assert_eq!(t.nodes[c.0].role, NodeRole::Stub);
