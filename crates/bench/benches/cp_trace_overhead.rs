@@ -1,0 +1,37 @@
+//! Control-plane flight-recorder overhead bench: one E13 fault-sweep
+//! cell (quick mode, 20% loss, 15 s MTBF — the `--cp-trace` designated
+//! cell) run three ways: control tracing disabled (the default every
+//! experiment pays), sampled at 1-in-64 transactions, and full 1-in-1
+//! capture. The disabled arm is the contract: with no sink installed
+//! the funnel's tracing hook is a single `Option::None` branch and no
+//! event is ever constructed, so the cost must stay ≤2%. Numbers are
+//! recorded in `BENCH_cp_trace_overhead.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dtcs_bench::e13;
+
+fn bench_cp_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_trace_overhead");
+    group.sample_size(10);
+    // The workload is identical across arms — tracing observes without
+    // perturbing — so pin the engine event count once and assert it.
+    let expected_events = e13::bench_cell(None);
+    for (label, sampling) in [
+        ("disabled", None),
+        ("sampled_1_in_64", Some(64)),
+        ("full_1_in_1", Some(1)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "e13_cell"), &sampling, |b, &s| {
+            b.iter(|| {
+                let events = e13::bench_cell(s);
+                assert_eq!(events, expected_events, "tracing perturbed the run");
+                events
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cp_trace_overhead);
+criterion_main!(benches);

@@ -2,9 +2,11 @@
 //! reproduced paper (see EXPERIMENTS.md).
 //!
 //! Usage:
-//!   experiments [--quick] [--out DIR] [--trace FILE] [--topology T] [--fluid] [all | e1 e2 ...]
+//!   experiments [--quick] [--out DIR] [--trace FILE] [--cp-trace FILE]
+//!               [--topology T] [--fluid] [all | e1 e2 ...]
 //!   experiments --sweep [--replicate N] [--threads N] [--quick] [--out DIR] [ids]
 //!   experiments --fluid-equivalence [--quick]
+//!   experiments trace-report FILE
 //!
 //! `--topology {ba400,transit-stub:<n>}` re-points the scale-aware
 //! experiments (e2, e3) at a transit-stub internet of at least `n`
@@ -22,6 +24,14 @@
 //! experiment id must be selected with it — each traced experiment
 //! truncates FILE, so tracing several at once would silently keep only
 //! the last. Golden report JSON is unaffected.
+//!
+//! `--cp-trace FILE` is the control-plane analogue: a wired experiment
+//! (currently e13) captures a full JSONL *control transaction* flight
+//! record of one designated run into FILE, plus the unified metrics
+//! snapshot as `FILE.metrics.json` / `FILE.prom`. The same
+//! one-experiment-id rule applies, for the same reason. `trace-report
+//! FILE` then replays that record through the convergence-attribution
+//! analyzer (exit 1 if any transaction never reached a terminal state).
 //!
 //! `--sweep` flattens every requested experiment's (scenario × seed)
 //! grid into ONE work-stealing pool (all 13 ids are sweep-capable; see
@@ -87,6 +97,13 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("trace-report") {
+        let Some(path) = args.get(1) else {
+            eprintln!("trace-report takes the path of a --cp-trace JSONL file");
+            std::process::exit(2);
+        };
+        std::process::exit(dtcs_bench::trace_report::run(std::path::Path::new(path)));
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let sweep = args.iter().any(|a| a == "--sweep");
     if args.iter().any(|a| a == "--fluid-equivalence") {
@@ -103,6 +120,7 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
     let trace = flag_operand("--trace").map(PathBuf::from);
+    let cp_trace = flag_operand("--cp-trace").map(PathBuf::from);
     let replicates: u32 = match flag_operand("--replicate").map(|v| v.parse()) {
         None => 32,
         Some(Ok(n)) if n > 0 => n,
@@ -144,13 +162,20 @@ fn main() {
         },
     };
     // Ids are the non-flag args minus any flag *values* (`--out`'s,
-    // `--trace`'s, `--replicate`'s, `--threads`' and `--topology`'s
-    // operands must not be mistaken for experiment ids).
-    let flag_values: Vec<String> = ["--out", "--trace", "--replicate", "--threads", "--topology"]
-        .iter()
-        .filter_map(|&f| flag_operand(f))
-        .cloned()
-        .collect();
+    // `--trace`'s, `--cp-trace`'s, `--replicate`'s, `--threads`' and
+    // `--topology`'s operands must not be mistaken for experiment ids).
+    let flag_values: Vec<String> = [
+        "--out",
+        "--trace",
+        "--cp-trace",
+        "--replicate",
+        "--threads",
+        "--topology",
+    ]
+    .iter()
+    .filter_map(|&f| flag_operand(f))
+    .cloned()
+    .collect();
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && !flag_values.contains(a))
@@ -159,9 +184,14 @@ fn main() {
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = dtcs_bench::ALL.iter().map(|s| s.to_string()).collect();
     }
-    if trace.is_some() && ids.len() != 1 {
+    if (trace.is_some() || cp_trace.is_some()) && ids.len() != 1 {
+        let flag = if trace.is_some() {
+            "--trace"
+        } else {
+            "--cp-trace"
+        };
         eprintln!(
-            "--trace writes ONE trace file; select exactly one experiment id with it \
+            "{flag} writes ONE trace file; select exactly one experiment id with it \
              (got {:?})",
             ids
         );
@@ -170,6 +200,7 @@ fn main() {
     let opts = dtcs_bench::RunOpts {
         quick,
         trace,
+        cp_trace,
         transit_stub,
         fluid,
     };

@@ -10,7 +10,7 @@
 //! (loss, MTBF) cell, and reconciles protocol-layer retry/dedup counters
 //! against the channel's ground-truth drop/dup counts.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex as StdMutex};
 
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -21,10 +21,11 @@ use dtcs::control::{
 };
 use dtcs::netsim::rng::child_seed;
 use dtcs::netsim::{
-    FaultConfig, FaultPlane, Outage, Prefix, SimDuration, SimTime, Simulator, Topology,
+    CpFlightRecorder, FaultConfig, FaultPlane, Outage, Prefix, SimDuration, SimTime, Simulator,
+    Topology,
 };
 
-use crate::util::{f, fopt, wheel_health, Report, Table};
+use crate::util::{control_metrics, f, fopt, wheel_health, Report, Table};
 
 const SEED: u64 = 13;
 /// Crash outage length: long enough to be a real window, short enough
@@ -71,9 +72,22 @@ fn crash_schedule(sim: &Simulator, mtbf_s: u64, horizon_s: u64, seed: u64) -> Ve
 struct CellOutcome {
     row: CellRow,
     stats: dtcs::netsim::Stats,
+    cp: dtcs::control::CpStats,
 }
 
-fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutcome {
+/// Shared-handle control-trace recorder plus its 1-in-n sampling rate,
+/// attached to one designated cell run (`--cp-trace` / the overhead
+/// bench). Observation-only: the cell's outcome is identical with or
+/// without it.
+type CellTrace<'a> = Option<(&'a Arc<StdMutex<CpFlightRecorder>>, u64)>;
+
+fn run_cell(
+    loss: f64,
+    mtbf_s: Option<u64>,
+    quick: bool,
+    seed: u64,
+    trace: CellTrace,
+) -> CellOutcome {
     let (transit, stubs) = if quick { (2, 4) } else { (3, 6) };
     let horizon_s: u64 = if quick { 30 } else { 60 };
     let topo = Topology::transit_stub_multihomed(transit, stubs, 0.2, seed);
@@ -114,6 +128,9 @@ fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutco
         jitter_max: SimDuration::from_millis(10),
         outages,
     }));
+    if let Some((rec, one_in)) = trace {
+        sim.set_cp_trace_sink(Box::new(rec.clone()), one_in);
+    }
 
     // Probe coverage every 250 ms: first instant all devices hold a rule.
     let n = sim.topo.n();
@@ -132,6 +149,9 @@ fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutco
         at_ms += 250;
     }
     sim.run_until(SimTime::from_secs(horizon_s));
+    if trace.is_some() {
+        sim.take_cp_trace_sink();
+    }
     crate::util::enforce_run_invariants("e13", &sim.stats);
 
     let steady = cp.devices_configured() as f64 / n as f64 * 100.0;
@@ -151,6 +171,24 @@ fn run_cell(loss: f64, mtbf_s: Option<u64>, quick: bool, seed: u64) -> CellOutco
     CellOutcome {
         row,
         stats: sim.stats,
+        cp: cs,
+    }
+}
+
+/// Workload hook for the `cp_trace_overhead` Criterion bench: one
+/// quick-mode 20%-loss, 15 s-MTBF fault-sweep cell, run with control
+/// tracing disabled (`None`) or recording 1-in-`n` transactions into a
+/// ring sized never to evict. Returns the engine event count so the
+/// bench can assert the workload is identical across arms.
+pub fn bench_cell(sampling: Option<u64>) -> u64 {
+    match sampling {
+        None => run_cell(0.2, Some(15), true, SEED, None).stats.events,
+        Some(one_in) => {
+            let rec = Arc::new(StdMutex::new(CpFlightRecorder::new(1 << 22)));
+            run_cell(0.2, Some(15), true, SEED, Some((&rec, one_in)))
+                .stats
+                .events
+        }
     }
 }
 
@@ -191,7 +229,7 @@ impl crate::sweep::GridExperiment for Sweep {
                     ),
                     base_seed: SEED,
                     run: Box::new(move |seed| {
-                        let out = run_cell(loss, mtbf, quick, seed);
+                        let out = run_cell(loss, mtbf, quick, seed, None);
                         let r = &out.row;
                         let mut metrics = std::collections::BTreeMap::new();
                         metrics.insert("crashes".to_string(), r.crashes as f64);
@@ -226,11 +264,59 @@ pub fn run(opts: &crate::RunOpts) -> Report {
     );
     let (losses, mtbfs) = grid(quick);
 
+    // `--cp-trace` designates the 20%-loss crash-churn cell — the one
+    // that exercises every lifecycle event kind — and attaches a full
+    // (1-in-1) recorder to its normal grid run. Tracing observes without
+    // perturbing, so the report rows below are byte-identical either way
+    // (the CI golden-invariance check holds us to that).
+    let traced_cell: Option<(f64, Option<u64>)> = opts.cp_trace.as_ref().map(|_| {
+        if quick {
+            (0.2, Some(15))
+        } else {
+            (0.2, Some(30))
+        }
+    });
+    let recorder = opts
+        .cp_trace
+        .as_ref()
+        .map(|_| Arc::new(StdMutex::new(CpFlightRecorder::new(1 << 22))));
+
     let mut rows = Vec::new();
     let mut all_stats = Vec::new();
     for &loss in losses {
         for &mtbf in mtbfs {
-            let out = run_cell(loss, mtbf, quick, SEED);
+            let trace_here = traced_cell == Some((loss, mtbf));
+            let trace = if trace_here {
+                recorder.as_ref().map(|r| (r, 1))
+            } else {
+                None
+            };
+            let out = run_cell(loss, mtbf, quick, SEED, trace);
+            if trace_here {
+                let path = opts.cp_trace.as_ref().expect("traced_cell implies path");
+                let rec = recorder
+                    .as_ref()
+                    .expect("traced_cell implies recorder")
+                    .lock()
+                    .expect("cp recorder mutex");
+                std::fs::write(path, rec.export_jsonl_string()).expect("write cp trace");
+                let snap = control_metrics(&out.stats, &out.cp);
+                let mut json = snap.to_json_string();
+                json.push('\n');
+                std::fs::write(format!("{}.metrics.json", path.display()), json)
+                    .expect("write metrics snapshot");
+                std::fs::write(format!("{}.prom", path.display()), snap.to_prometheus())
+                    .expect("write prometheus snapshot");
+                // health, not note: notes serialise into the golden JSON.
+                report.health(format!(
+                    "cp-trace: {} events recorded ({} evicted) from cell loss={loss:.2}/mtbf={} \
+                     -> {}",
+                    rec.recorded(),
+                    rec.evicted(),
+                    mtbf.map_or("inf".into(), |m| m.to_string()),
+                    path.display(),
+                ));
+            }
             rows.push(out.row);
             all_stats.push(out.stats);
         }

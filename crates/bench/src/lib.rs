@@ -21,6 +21,7 @@ pub mod e8;
 pub mod e9;
 pub mod equivalence;
 pub mod sweep;
+pub mod trace_report;
 pub mod util;
 
 use util::Report;
@@ -37,6 +38,17 @@ pub struct RunOpts {
     /// `--trace` with more than one experiment id rather than silently
     /// keeping only the last trace.
     pub trace: Option<std::path::PathBuf>,
+    /// Write a JSONL *control-plane* flight record (`--cp-trace PATH`):
+    /// every register → deploy → install → confirm lifecycle event of one
+    /// designated run, captured with full (1-in-1) transaction sampling.
+    /// Only experiments that wire the control recorder honour it
+    /// (currently e13, which traces its 20%-loss crash-churn cell).
+    /// Alongside `PATH` the traced experiment writes `PATH.metrics.json`
+    /// and `PATH.prom` — the unified [`dtcs::netsim::MetricsSnapshot`]
+    /// registry of that run in JSON and Prometheus text form. Tracing is
+    /// observation-only: golden report JSON is byte-identical with it on
+    /// or off. Same single-id rule as `trace`.
+    pub cp_trace: Option<std::path::PathBuf>,
     /// Swap the scenario graph for a transit-stub internet of at least
     /// this many nodes (`--topology transit-stub:<n>`). `None` keeps
     /// each experiment's default topology family, so golden reports are

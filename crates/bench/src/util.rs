@@ -127,15 +127,24 @@ impl Report {
 /// from coarser wheel levels per processed event). A cascade rate near 0
 /// means almost every event lands directly in a level-0 slot; sustained
 /// growth flags a schedule horizon outgrowing the wheel's inner levels.
+///
+/// The counters are read through the unified
+/// [`dtcs::netsim::MetricsSnapshot`] registry (DESIGN.md §6.9) rather
+/// than ad-hoc `Stats` field pokes, so this print-only line and the
+/// `--cp-trace` metrics exports can never disagree on a counter's name
+/// or meaning. Counters fit in f64 exactly up to 2^53 — far beyond any
+/// run here.
 pub fn wheel_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>) -> String {
     let (mut slot, mut len, mut cascades, mut events, mut n) = (0u64, 0u64, 0u64, 0u64, 0usize);
     let mut clamped = 0u64;
     for s in runs {
-        slot = slot.max(s.wheel_slot_occupancy_hwm);
-        len = len.max(s.wheel_len_hwm);
-        cascades += s.wheel_cascade_moves;
-        events += s.events;
-        clamped += s.past_events_clamped;
+        let m = dtcs::netsim::MetricsSnapshot::from_stats(s);
+        let g = |name: &str| m.get(name).expect("registry counter") as u64;
+        slot = slot.max(g("wheel_slot_occupancy_hwm"));
+        len = len.max(g("wheel_len_hwm"));
+        cascades += g("wheel_cascade_moves");
+        events += g("events");
+        clamped += g("past_events_clamped");
         n += 1;
     }
     let rate = if events == 0 {
@@ -167,6 +176,56 @@ pub fn hist_health<'a>(runs: impl IntoIterator<Item = &'a dtcs::netsim::Stats>) 
         h.e2e_latency_ns.summary(),
         h.hop_count.summary()
     )
+}
+
+/// The unified metrics registry for a control-plane run: every scalar
+/// engine counter from [`dtcs::netsim::Stats`] (wheel, route, `cp_*`
+/// fault, fluid) plus the protocol-layer [`dtcs::control::CpStats`]
+/// counters appended under a `cp_` prefix, in fixed order. This is what
+/// `--cp-trace` serialises to `<trace>.metrics.json` /`<trace>.prom`,
+/// and the registry the flight-recorder reconciliation proptest balances
+/// the event stream against.
+pub fn control_metrics(
+    stats: &dtcs::netsim::Stats,
+    cp: &dtcs::control::CpStats,
+) -> dtcs::netsim::MetricsSnapshot {
+    let mut s = dtcs::netsim::MetricsSnapshot::from_stats(stats);
+    s.push_counter(
+        "cp_retransmits",
+        cp.retransmits,
+        "Control messages retransmitted by a retry timer",
+    );
+    s.push_counter(
+        "cp_give_ups",
+        cp.give_ups,
+        "Control transactions whose retry budget was exhausted",
+    );
+    s.push_counter(
+        "cp_dup_requests",
+        cp.dup_requests,
+        "Duplicate requests re-answered from a done-cache",
+    );
+    s.push_counter(
+        "cp_dup_responses",
+        cp.dup_responses,
+        "Duplicate responses suppressed by receivers",
+    );
+    s.push_counter(
+        "cp_partial_confirms",
+        cp.partial_confirms,
+        "Deployments confirmed at deadline with partial coverage",
+    );
+    s.push_counter(
+        "cp_reconcile_sweeps",
+        cp.reconcile_sweeps,
+        "NMS anti-entropy inventory rounds started",
+    );
+    s.push_counter(
+        "cp_reconcile_reinstalls",
+        cp.reconcile_reinstalls,
+        "Services reinstalled by an anti-entropy sweep",
+    );
+    s
 }
 
 /// Hard-enforce the engine invariants every finished bench run must
@@ -252,6 +311,29 @@ mod tests {
         let content = std::fs::read_to_string(dir.join("etest.json")).unwrap();
         assert!(content.contains("\"etest\""));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn control_metrics_appends_cp_registry_in_fixed_order() {
+        let st = dtcs::netsim::Stats::new();
+        let cp = dtcs::control::CpStats {
+            retransmits: 2,
+            reconcile_reinstalls: 5,
+            ..Default::default()
+        };
+        let s = control_metrics(&st, &cp);
+        assert_eq!(s.get("cp_retransmits"), Some(2.0));
+        assert_eq!(s.get("cp_reconcile_reinstalls"), Some(5.0));
+        let json = s.to_json_string();
+        // CpStats counters extend the engine registry, in declaration
+        // order, with the protocol prefix.
+        assert!(json.ends_with("\"cp_reconcile_reinstalls\":5}"), "{json}");
+        let a = json.find("\"cp_msgs\":").expect("engine counter");
+        let b = json.find("\"cp_retransmits\":").expect("protocol counter");
+        assert!(a < b, "engine registry precedes the CpStats suffix");
+        assert!(s
+            .to_prometheus()
+            .contains("# TYPE dtcs_cp_give_ups counter\n"));
     }
 
     #[test]

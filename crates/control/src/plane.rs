@@ -34,7 +34,8 @@ use parking_lot::Mutex;
 
 use dtcs_device::{DeviceCommand, DeviceReply, OwnerId, ServiceSpec, Stage};
 use dtcs_netsim::{
-    AgentCtx, ControlMsg, LinkId, NodeAgent, NodeId, Packet, Prefix, SimDuration, SimTime, Verdict,
+    AgentCtx, ControlMsg, CpMeta, CpTraceEvent, LinkId, NodeAgent, NodeId, Packet, Prefix,
+    SimDuration, SimTime, Verdict,
 };
 
 use crate::authority::InternetNumberAuthority;
@@ -219,6 +220,50 @@ pub struct Envelope {
     pub msg: CpMsg,
 }
 
+/// Send an [`Envelope`] tagged with its transaction identity so the
+/// control-plane flight recorder (DESIGN.md §6.9) can follow the message
+/// through the fault plane. Identical delivery semantics to a plain
+/// `send_control`; the tag is observation-only.
+fn send_env(ctx: &mut AgentCtx<'_>, to: NodeId, delay: SimDuration, env: Envelope) {
+    let meta = CpMeta {
+        origin: env.key.origin,
+        txn: env.key.txn,
+        attempt: env.key.attempt,
+        kind: env.msg.kind_id(),
+    };
+    ctx.send_control_keyed(to, delay, env, meta);
+}
+
+/// Record a [`CpTraceEvent::DedupHit`] for a duplicate receipt of `env`
+/// (`response` mirrors the `dup_responses` / `dup_requests` split).
+fn dup_hit(ctx: &mut AgentCtx<'_>, env: &Envelope, response: bool) {
+    if ctx.cp_trace_enabled() {
+        ctx.cp_event(CpTraceEvent::DedupHit {
+            t: ctx.now.0,
+            origin: env.key.origin,
+            txn: env.key.txn,
+            kind: env.msg.kind_id(),
+            node: ctx.node,
+            response,
+        });
+    }
+}
+
+/// Record a [`CpTraceEvent::DedupHit`] for a duplicated / late device
+/// reply (origin recovered from the message's trace tag when present).
+fn reply_dup_hit(ctx: &mut AgentCtx<'_>, msg: &ControlMsg, txn: u64, kind: u8) {
+    if ctx.cp_trace_enabled() {
+        ctx.cp_event(CpTraceEvent::DedupHit {
+            t: ctx.now.0,
+            origin: msg.meta.map_or(0, |m| m.origin),
+            txn,
+            kind,
+            node: ctx.node,
+            response: true,
+        });
+    }
+}
+
 /// Post-deployment operations (Sec. 5.1: "activate, modify specific
 /// parameters or read logs").
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -252,6 +297,13 @@ pub const TOKEN_SWEEP: u64 = 0x0007 << 48;
 pub const RECONCILE_TXN: u64 = u64::MAX;
 
 use crate::retry::FAMILY_MASK;
+
+// Flight-recorder message-kind ids for raw device commands, continuing
+// [`CpMsg::kind_id`]'s 1–9 numbering (device replies answer with 13–16,
+// see `DeviceReply::kind_id`).
+const KIND_REGISTER_OWNER: u8 = 10;
+const KIND_INSTALL_SERVICE: u8 = 11;
+const KIND_QUERY_INVENTORY: u8 = 12;
 
 /// The number authority as an agent. Verification is pure, so the agent
 /// is naturally idempotent: a duplicated request just recomputes and
@@ -297,7 +349,8 @@ impl NodeAgent for AuthorityAgent {
         {
             let ok = self.registry.verify_claim(*user, prefixes).is_ok();
             let delay = ctx.path_delay(*reply_to) + PROC_DELAY;
-            ctx.send_control(
+            send_env(
+                ctx,
                 *reply_to,
                 delay,
                 Envelope {
@@ -466,7 +519,8 @@ impl TcspAgent {
         result: Result<Certificate, RegistrationError>,
     ) {
         let delay = ctx.path_delay(reply_to) + PROC_DELAY;
-        ctx.send_control(
+        send_env(
+            ctx,
             reply_to,
             delay,
             Envelope {
@@ -479,7 +533,8 @@ impl TcspAgent {
 
     fn send_deploy_confirm(&self, ctx: &mut AgentCtx<'_>, txn: u64, out: DeployOutcome) {
         let delay = ctx.path_delay(out.reply_to) + PROC_DELAY;
-        ctx.send_control(
+        send_env(
+            ctx,
             out.reply_to,
             delay,
             Envelope {
@@ -513,6 +568,16 @@ impl TcspAgent {
         if out.isps_missing > 0 {
             self.stats.lock().partial_confirms += 1;
             self.cp.lock().partial_confirms += 1;
+            if ctx.cp_trace_enabled() {
+                ctx.cp_event(CpTraceEvent::State {
+                    t: ctx.now.0,
+                    origin: out.origin,
+                    txn,
+                    node: ctx.node,
+                    actor: "tcsp",
+                    state: "partial_confirm",
+                });
+            }
         }
         self.deploy_done.insert(txn, out);
         self.send_deploy_confirm(ctx, txn, out);
@@ -543,6 +608,16 @@ impl NodeAgent for TcspAgent {
                 }
                 let missing = {
                     let p = &self.pending_deploy[&txn];
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::State {
+                            t: ctx.now.0,
+                            origin: p.origin,
+                            txn,
+                            node: ctx.node,
+                            actor: "tcsp",
+                            state: "deadline_partial",
+                        });
+                    }
                     p.awaiting - p.acked.len() - p.missing
                 };
                 self.finish_deploy(ctx, txn, missing);
@@ -551,7 +626,16 @@ impl NodeAgent for TcspAgent {
         }
         match self.verify_rt.on_timer(ctx, token) {
             RetryEvent::NotMine => {}
-            RetryEvent::Stale => return,
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+                return;
+            }
             RetryEvent::Resend {
                 key: txn,
                 dest,
@@ -559,8 +643,19 @@ impl NodeAgent for TcspAgent {
                 attempt,
             } => {
                 self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest,
+                    });
+                }
                 let delay = ctx.path_delay(dest) + PROC_DELAY;
-                ctx.send_control(
+                send_env(
+                    ctx,
                     dest,
                     delay,
                     Envelope {
@@ -580,10 +675,26 @@ impl NodeAgent for TcspAgent {
                 );
                 return;
             }
-            RetryEvent::GaveUp { key: txn, .. } => {
+            RetryEvent::GaveUp { key: txn, dest, .. } => {
                 // Authority unreachable: forget the attempt so a fresh
                 // user retry can restart verification.
                 self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        dest,
+                    });
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        outcome: "gave_up",
+                    });
+                }
                 if let Some(p) = self.pending_reg.remove(&txn) {
                     self.reg_in_flight.remove(&p.user_key);
                 }
@@ -591,7 +702,16 @@ impl NodeAgent for TcspAgent {
             }
         }
         match self.deploy_rt.on_timer(ctx, token) {
-            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
             RetryEvent::Resend {
                 key: (txn, nms),
                 payload: (origin, cert, service, nodes),
@@ -599,8 +719,19 @@ impl NodeAgent for TcspAgent {
                 ..
             } => {
                 self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: nms,
+                    });
+                }
                 let delay = ctx.path_delay(nms) + PROC_DELAY;
-                ctx.send_control(
+                send_env(
+                    ctx,
                     nms,
                     delay,
                     Envelope {
@@ -621,11 +752,22 @@ impl NodeAgent for TcspAgent {
                 );
             }
             RetryEvent::GaveUp {
-                key: (txn, nms), ..
+                key: (txn, nms),
+                payload: (origin, ..),
+                ..
             } => {
                 // This ISP never acked: count it missing; confirm
                 // partially once every other ISP resolved.
                 self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        node: ctx.node,
+                        dest: nms,
+                    });
+                }
                 let finish = match self.pending_deploy.get_mut(&txn) {
                     Some(p) => {
                         p.missing += 1;
@@ -663,13 +805,16 @@ impl NodeAgent for TcspAgent {
                     // Completed transaction, duplicated request (the
                     // confirm was probably lost): re-ack from cache.
                     self.cp.lock().dup_requests += 1;
-                    self.send_register_confirm(ctx, *reply_to, user_key, result.clone());
+                    let result = result.clone();
+                    dup_hit(ctx, env, false);
+                    self.send_register_confirm(ctx, *reply_to, user_key, result);
                     return;
                 }
                 if self.reg_in_flight.contains_key(&user_key) {
                     // Verification already running; its own retransmit
                     // chain covers the authority leg.
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     return;
                 }
                 let txn = self.next_txn;
@@ -686,8 +831,26 @@ impl NodeAgent for TcspAgent {
                 );
                 self.verify_rt
                     .track(ctx, txn, self.authority_node, (*user, claimed.clone()));
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetrySchedule {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        dest: self.authority_node,
+                    });
+                    ctx.cp_event(CpTraceEvent::State {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        actor: "tcsp",
+                        state: "verify_sent",
+                    });
+                }
                 let delay = ctx.path_delay(self.authority_node) + PROC_DELAY;
-                ctx.send_control(
+                send_env(
+                    ctx,
                     self.authority_node,
                     delay,
                     Envelope {
@@ -706,9 +869,31 @@ impl NodeAgent for TcspAgent {
                 self.verify_rt.ack(txn);
                 let Some(pending) = self.pending_reg.remove(txn) else {
                     self.cp.lock().dup_responses += 1;
+                    dup_hit(ctx, env, true);
                     return;
                 };
                 self.reg_in_flight.remove(&pending.user_key);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn: *txn,
+                        node: ctx.node,
+                        outcome: "verified",
+                    });
+                    ctx.cp_event(CpTraceEvent::State {
+                        t: ctx.now.0,
+                        origin: pending.user_key.0,
+                        txn: pending.user_key.1,
+                        node: ctx.node,
+                        actor: "tcsp",
+                        state: if *ok {
+                            "register_confirmed"
+                        } else {
+                            "register_denied"
+                        },
+                    });
+                }
                 let result = if *ok {
                     self.stats.lock().registrations_ok += 1;
                     Ok(Certificate::issue(
@@ -734,11 +919,13 @@ impl NodeAgent for TcspAgent {
             } => {
                 if let Some(out) = self.deploy_done.get(txn).copied() {
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     self.send_deploy_confirm(ctx, *txn, out);
                     return;
                 }
                 if self.pending_deploy.contains_key(txn) {
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     return;
                 }
                 if !cert.verify(self.key, ctx.now) {
@@ -746,6 +933,16 @@ impl NodeAgent for TcspAgent {
                 }
                 self.stats.lock().deployments += 1;
                 let origin = env.key.origin;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::State {
+                        t: ctx.now.0,
+                        origin,
+                        txn: *txn,
+                        node: ctx.node,
+                        actor: "tcsp",
+                        state: "deploy_fanout",
+                    });
+                }
                 let mut awaiting = 0;
                 let isps = self.isps.clone();
                 for isp in &isps {
@@ -760,8 +957,18 @@ impl NodeAgent for TcspAgent {
                         isp.nms_node,
                         (origin, cert.clone(), service.clone(), nodes.clone()),
                     );
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::RetrySchedule {
+                            t: ctx.now.0,
+                            origin,
+                            txn: *txn,
+                            node: ctx.node,
+                            dest: isp.nms_node,
+                        });
+                    }
                     let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
-                    ctx.send_control(
+                    send_env(
+                        ctx,
                         isp.nms_node,
                         delay,
                         Envelope {
@@ -807,10 +1014,12 @@ impl NodeAgent for TcspAgent {
                     let Some(p) = self.pending_deploy.get_mut(txn) else {
                         // Late or duplicated ack after completion.
                         self.cp.lock().dup_responses += 1;
+                        dup_hit(ctx, env, true);
                         return;
                     };
                     if !p.acked.insert(*from_nms) {
                         self.cp.lock().dup_responses += 1;
+                        dup_hit(ctx, env, true);
                         return;
                     }
                     p.configured += configured;
@@ -833,7 +1042,8 @@ impl NodeAgent for TcspAgent {
                 // Relay to every contracted NMS.
                 for isp in self.isps.clone() {
                     let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
-                    ctx.send_control(
+                    send_env(
+                        ctx,
                         isp.nms_node,
                         delay,
                         Envelope {
@@ -860,6 +1070,9 @@ impl NodeAgent for TcspAgent {
 /// reconciliation sweep checks against.
 #[derive(Clone)]
 struct InstallJob {
+    /// Origin of the deployment transaction the install belongs to (the
+    /// flight-recorder trace key; reconcile re-installs re-key to 0).
+    origin: u64,
     owner: OwnerId,
     prefixes: Vec<Prefix>,
     contact: NodeId,
@@ -936,9 +1149,19 @@ impl NmsAgent {
         self
     }
 
-    fn send_install(&self, ctx: &mut AgentCtx<'_>, node: NodeId, txn: u64, job: &InstallJob) {
+    fn send_install(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        node: NodeId,
+        txn: u64,
+        attempt: u32,
+        job: &InstallJob,
+    ) {
+        // Reconcile re-installs trace under the shared repair transaction
+        // `(0, RECONCILE_TXN)`; tracked installs keep their deploy key.
+        let origin = if txn == RECONCILE_TXN { 0 } else { job.origin };
         let delay = ctx.path_delay(node) + PROC_DELAY;
-        ctx.send_control(
+        ctx.send_control_keyed(
             node,
             delay,
             DeviceCommand::RegisterOwner {
@@ -946,8 +1169,14 @@ impl NmsAgent {
                 prefixes: job.prefixes.clone(),
                 contact: job.contact,
             },
+            CpMeta {
+                origin,
+                txn,
+                attempt,
+                kind: KIND_REGISTER_OWNER,
+            },
         );
-        ctx.send_control(
+        ctx.send_control_keyed(
             node,
             delay + PROC_DELAY,
             DeviceCommand::InstallService {
@@ -955,6 +1184,12 @@ impl NmsAgent {
                 owner: job.owner,
                 stage: job.stage,
                 spec: job.spec.clone(),
+            },
+            CpMeta {
+                origin,
+                txn,
+                attempt,
+                kind: KIND_INSTALL_SERVICE,
             },
         );
     }
@@ -972,19 +1207,39 @@ impl NmsAgent {
         reply_role: Role,
     ) {
         let job = InstallJob {
+            origin,
             owner: OwnerId(cert.user.0),
             prefixes: cert.prefixes.clone(),
             contact: reply_to, // telemetry goes to the requesting user
             stage: service.stage(),
             spec: service.compile(),
         };
+        if ctx.cp_trace_enabled() {
+            ctx.cp_event(CpTraceEvent::State {
+                t: ctx.now.0,
+                origin,
+                txn,
+                node: ctx.node,
+                actor: "nms",
+                state: "deploy_accepted",
+            });
+        }
         let mut awaiting = BTreeSet::new();
         for &node in nodes {
             if !self.managed.contains(&node) {
                 continue;
             }
-            self.send_install(ctx, node, txn, &job);
+            self.send_install(ctx, node, txn, 0, &job);
             self.install_rt.track(ctx, (txn, node), node, job.clone());
+            if ctx.cp_trace_enabled() {
+                ctx.cp_event(CpTraceEvent::RetrySchedule {
+                    t: ctx.now.0,
+                    origin,
+                    txn,
+                    node: ctx.node,
+                    dest: node,
+                });
+            }
             awaiting.insert(node);
         }
         self.log.push((job.spec.name.clone(), awaiting.len()));
@@ -1005,7 +1260,8 @@ impl NmsAgent {
 
     fn send_nms_ack(&self, ctx: &mut AgentCtx<'_>, txn: u64, ack: NmsDoneAck) {
         let delay = ctx.path_delay(ack.reply_to) + PROC_DELAY;
-        ctx.send_control(
+        send_env(
+            ctx,
             ack.reply_to,
             delay,
             Envelope {
@@ -1046,13 +1302,36 @@ impl NmsAgent {
     /// desired-state map and gaps re-installed.
     fn sweep(&mut self, ctx: &mut AgentCtx<'_>) {
         self.cp.lock().reconcile_sweeps += 1;
+        if ctx.cp_trace_enabled() {
+            ctx.cp_event(CpTraceEvent::Sweep {
+                t: ctx.now.0,
+                node: ctx.node,
+            });
+        }
         for &node in &self.managed.clone() {
             let delay = ctx.path_delay(node) + PROC_DELAY;
-            ctx.send_control(
+            ctx.send_control_keyed(
                 node,
                 delay,
                 DeviceCommand::QueryInventory { reply_to: ctx.node },
+                CpMeta {
+                    origin: 0,
+                    txn: RECONCILE_TXN,
+                    attempt: 0,
+                    kind: KIND_QUERY_INVENTORY,
+                },
             );
+        }
+        if ctx.cp_trace_enabled() {
+            // Each round is terminal by construction — repair is by
+            // repetition, so the round closes when its queries are out.
+            ctx.cp_event(CpTraceEvent::Terminal {
+                t: ctx.now.0,
+                origin: 0,
+                txn: RECONCILE_TXN,
+                node: ctx.node,
+                outcome: "reconciled",
+            });
         }
     }
 }
@@ -1080,21 +1359,60 @@ impl NodeAgent for NmsAgent {
             return;
         }
         match self.install_rt.on_timer(ctx, token) {
-            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
             RetryEvent::Resend {
+                key: (txn, node),
+                payload: job,
+                attempt,
+                ..
+            } => {
+                self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: job.origin,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                }
+                self.send_install(ctx, node, txn, attempt, &job);
+            }
+            RetryEvent::GaveUp {
                 key: (txn, node),
                 payload: job,
                 ..
             } => {
-                self.cp.lock().retransmits += 1;
-                self.send_install(ctx, node, txn, &job);
-            }
-            RetryEvent::GaveUp {
-                key: (txn, node), ..
-            } => {
                 // Device unreachable past the retry budget: report what
                 // we have; the reconciliation sweep repairs it later.
                 self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: job.origin,
+                        txn,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                    ctx.cp_event(CpTraceEvent::State {
+                        t: ctx.now.0,
+                        origin: job.origin,
+                        txn,
+                        node: ctx.node,
+                        actor: "nms",
+                        state: "device_lost",
+                    });
+                }
                 if let Some(p) = self.pending.get_mut(&txn) {
                     if p.awaiting.remove(&node) {
                         p.lost += 1;
@@ -1121,10 +1439,22 @@ impl NodeAgent for NmsAgent {
                         Some(p) if p.awaiting.contains(node) => {
                             p.awaiting.remove(node);
                             p.configured += 1;
+                            let origin = p.origin;
+                            if ctx.cp_trace_enabled() {
+                                ctx.cp_event(CpTraceEvent::State {
+                                    t: ctx.now.0,
+                                    origin,
+                                    txn: *txn,
+                                    node: ctx.node,
+                                    actor: "nms",
+                                    state: "device_installed",
+                                });
+                            }
                             self.finish_if_done(ctx, *txn);
                         }
                         _ => {
                             self.cp.lock().dup_responses += 1;
+                            reply_dup_hit(ctx, msg, *txn, reply.kind_id());
                         }
                     }
                 }
@@ -1137,10 +1467,22 @@ impl NodeAgent for NmsAgent {
                         Some(p) if p.awaiting.contains(node) => {
                             p.awaiting.remove(node);
                             p.rejected += 1;
+                            let origin = p.origin;
+                            if ctx.cp_trace_enabled() {
+                                ctx.cp_event(CpTraceEvent::State {
+                                    t: ctx.now.0,
+                                    origin,
+                                    txn: *txn,
+                                    node: ctx.node,
+                                    actor: "nms",
+                                    state: "device_rejected",
+                                });
+                            }
                             self.finish_if_done(ctx, *txn);
                         }
                         _ => {
                             self.cp.lock().dup_responses += 1;
+                            reply_dup_hit(ctx, msg, *txn, reply.kind_id());
                         }
                     }
                 }
@@ -1157,7 +1499,17 @@ impl NodeAgent for NmsAgent {
                         .collect();
                     for (n, job) in gaps {
                         self.cp.lock().reconcile_reinstalls += 1;
-                        self.send_install(ctx, n, RECONCILE_TXN, &job);
+                        if ctx.cp_trace_enabled() {
+                            ctx.cp_event(CpTraceEvent::State {
+                                t: ctx.now.0,
+                                origin: 0,
+                                txn: RECONCILE_TXN,
+                                node: ctx.node,
+                                actor: "nms",
+                                state: "reinstall",
+                            });
+                        }
+                        self.send_install(ctx, n, RECONCILE_TXN, 0, &job);
                     }
                 }
                 _ => {}
@@ -1181,11 +1533,13 @@ impl NodeAgent for NmsAgent {
                 if let Some(ack) = self.done.get(txn).copied() {
                     // Our ack was lost; the TCSP retransmitted. Re-ack.
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     self.send_nms_ack(ctx, *txn, ack);
                     return;
                 }
                 if self.pending.contains_key(txn) {
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     return;
                 }
                 if !cert.verify(self.tcsp_key, ctx.now) {
@@ -1214,11 +1568,13 @@ impl NodeAgent for NmsAgent {
                 // Direct user → ISP path (TCSP fallback).
                 if let Some(ack) = self.done.get(txn).copied() {
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     self.send_nms_ack(ctx, *txn, ack);
                     return;
                 }
                 if self.pending.contains_key(txn) {
                     self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
                     return;
                 }
                 if !cert.verify(self.tcsp_key, ctx.now) {
@@ -1238,7 +1594,8 @@ impl NodeAgent for NmsAgent {
                 if *forward_to_peers {
                     for peer in self.peers.clone() {
                         let delay = ctx.path_delay(peer) + PROC_DELAY;
-                        ctx.send_control(
+                        send_env(
+                            ctx,
                             peer,
                             delay,
                             Envelope {
@@ -1415,7 +1772,8 @@ impl UserAgent {
 
     fn send_register(&self, ctx: &mut AgentCtx<'_>, attempt: u32) {
         let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
-        ctx.send_control(
+        send_env(
+            ctx,
             self.tcsp_node,
             delay,
             Envelope {
@@ -1446,7 +1804,8 @@ impl UserAgent {
         let cert = { self.record.lock().cert.clone() };
         let Some(cert) = cert else { return };
         let delay = ctx.path_delay(dest) + PROC_DELAY;
-        ctx.send_control(
+        send_env(
+            ctx,
             dest,
             delay,
             Envelope {
@@ -1488,6 +1847,15 @@ impl NodeAgent for UserAgent {
             TOKEN_REGISTER => {
                 self.send_register(ctx, 0);
                 self.reg_rt.track(ctx, self.reg_txn, self.tcsp_node, ());
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetrySchedule {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn: self.reg_txn,
+                        node: ctx.node,
+                        dest: self.tcsp_node,
+                    });
+                }
                 return;
             }
             T_DEPLOY => {
@@ -1498,6 +1866,15 @@ impl NodeAgent for UserAgent {
                 let txn = self.txn;
                 self.send_deploy(ctx, self.tcsp_node, Role::Tcsp, txn, 0, false);
                 self.deploy_rt.track(ctx, txn, self.tcsp_node, ());
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetrySchedule {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest: self.tcsp_node,
+                    });
+                }
                 ctx.set_timer(self.deploy_timeout, T_TIMEOUT);
                 return;
             }
@@ -1512,32 +1889,94 @@ impl NodeAgent for UserAgent {
                 // TCSP unreachable: stop chasing it and go straight to
                 // the ISPs under a fresh transaction.
                 self.deploy_rt.ack(&self.txn);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn: self.txn,
+                        node: ctx.node,
+                        outcome: "abandoned",
+                    });
+                }
                 self.record.lock().used_fallback = true;
                 self.txn += 1;
                 let txn = self.txn;
                 let first = self.fallback_nms[0];
                 self.send_deploy(ctx, first, Role::Nms, txn, 0, true);
                 self.deploy_rt.track(ctx, txn, first, ());
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetrySchedule {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest: first,
+                    });
+                }
                 return;
             }
             _ => {}
         }
         match self.reg_rt.on_timer(ctx, token) {
             RetryEvent::NotMine => {}
-            RetryEvent::Stale => return,
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+                return;
+            }
             RetryEvent::Resend { attempt, .. } => {
                 self.cp.lock().retransmits += 1;
                 self.record.lock().register_retries += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn: self.reg_txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: self.tcsp_node,
+                    });
+                }
                 self.send_register(ctx, attempt);
                 return;
             }
-            RetryEvent::GaveUp { .. } => {
+            RetryEvent::GaveUp { key: txn, dest, .. } => {
                 self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest,
+                    });
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        outcome: "gave_up",
+                    });
+                }
                 return;
             }
         }
         match self.deploy_rt.on_timer(ctx, token) {
-            RetryEvent::NotMine | RetryEvent::Stale => {}
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
             RetryEvent::Resend {
                 key: txn, attempt, ..
             } => {
@@ -1550,10 +1989,36 @@ impl NodeAgent for UserAgent {
                 } else {
                     (self.tcsp_node, Role::Tcsp, false)
                 };
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest,
+                    });
+                }
                 self.send_deploy(ctx, dest, to, txn, attempt, fwd);
             }
-            RetryEvent::GaveUp { .. } => {
+            RetryEvent::GaveUp { key: txn, dest, .. } => {
                 self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest,
+                    });
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        outcome: "gave_up",
+                    });
+                }
             }
         }
     }
@@ -1570,9 +2035,23 @@ impl NodeAgent for UserAgent {
             CpMsg::RegisterConfirm { result } => {
                 if !self.dedup.first_time(env.key.origin, env.key.txn, kind, 0) {
                     self.cp.lock().dup_responses += 1;
+                    dup_hit(ctx, env, true);
                     return;
                 }
                 self.reg_rt.ack(&env.key.txn);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: env.key.origin,
+                        txn: env.key.txn,
+                        node: ctx.node,
+                        outcome: if result.is_ok() {
+                            "confirmed"
+                        } else {
+                            "denied"
+                        },
+                    });
+                }
                 match result {
                     Ok(cert) => {
                         {
@@ -1598,9 +2077,23 @@ impl NodeAgent for UserAgent {
             } => {
                 if !self.dedup.first_time(env.key.origin, env.key.txn, kind, 0) {
                     self.cp.lock().dup_responses += 1;
+                    dup_hit(ctx, env, true);
                     return;
                 }
                 self.deploy_rt.ack(&env.key.txn);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: env.key.origin,
+                        txn: env.key.txn,
+                        node: ctx.node,
+                        outcome: if *isps_missing > 0 {
+                            "partial"
+                        } else {
+                            "confirmed"
+                        },
+                    });
+                }
                 let mut r = self.record.lock();
                 if r.deploy_confirmed_at.is_none() {
                     r.deploy_confirmed_at = Some(ctx.now);
@@ -1622,6 +2115,7 @@ impl NodeAgent for UserAgent {
                     .first_time(env.key.origin, env.key.txn, kind, from_nms.0 as u64)
                 {
                     self.cp.lock().dup_responses += 1;
+                    dup_hit(ctx, env, true);
                     return;
                 }
                 self.deploy_rt.ack(&env.key.txn);
@@ -1631,6 +2125,16 @@ impl NodeAgent for UserAgent {
                 r.installs_rejected += rejected;
                 if r.deploy_confirmed_at.is_none() {
                     r.deploy_confirmed_at = Some(ctx.now);
+                    drop(r);
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::Terminal {
+                            t: ctx.now.0,
+                            origin: env.key.origin,
+                            txn: env.key.txn,
+                            node: ctx.node,
+                            outcome: "fallback_confirmed",
+                        });
+                    }
                 }
             }
             _ => {}

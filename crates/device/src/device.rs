@@ -25,8 +25,8 @@ use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 
 use dtcs_netsim::{
-    AgentCtx, ControlMsg, DropReason, LinkId, NodeAgent, NodeId, Packet, Prefix, RouteOracle,
-    SimTime, Verdict,
+    AgentCtx, ControlMsg, CpMeta, CpTraceEvent, DropReason, LinkId, NodeAgent, NodeId, Packet,
+    Prefix, RouteOracle, SimTime, Verdict,
 };
 
 use crate::graph::ServiceGraph;
@@ -184,6 +184,22 @@ pub enum DeviceReply {
         /// One entry per installed service graph.
         installed: Vec<(OwnerId, Stage, u64)>,
     },
+}
+
+impl DeviceReply {
+    /// Stable message-kind id for the control-plane flight recorder
+    /// ([`dtcs_netsim::CpMeta::kind`]). Continues the `control` crate's
+    /// `CpMsg::kind_id` numbering (1–9) and its device-command ids
+    /// (10–12): 13 = InstallOk, 14 = InstallRejected, 15 = Inventory,
+    /// 16 = other device replies.
+    pub fn kind_id(&self) -> u8 {
+        match self {
+            DeviceReply::InstallOk { .. } => 13,
+            DeviceReply::InstallRejected { .. } => 14,
+            DeviceReply::Inventory { .. } => 15,
+            DeviceReply::DigestAnswer { .. } | DeviceReply::LogData { .. } => 16,
+        }
+    }
 }
 
 /// Counters shared with the owning scenario via [`DeviceHandle`].
@@ -645,9 +661,39 @@ impl NodeAgent for AdaptiveDevice {
             _ => Some(msg.from),
         };
         if let Some(reply) = self.handle_command(cmd.clone()) {
+            if ctx.cp_trace_enabled() {
+                if let Some(m) = msg.meta {
+                    let state = match &reply {
+                        DeviceReply::InstallOk { .. } => Some("install_ok"),
+                        DeviceReply::InstallRejected { .. } => Some("install_rejected"),
+                        _ => None,
+                    };
+                    if let Some(state) = state {
+                        ctx.cp_event(CpTraceEvent::State {
+                            t: ctx.now.as_nanos(),
+                            origin: m.origin,
+                            txn: m.txn,
+                            node: ctx.node,
+                            actor: "device",
+                            state,
+                        });
+                    }
+                }
+            }
             if let Some(to) = reply_to {
                 let delay = ctx.path_delay(to);
-                ctx.send_control(to, delay, reply);
+                // Echo the request's transaction identity on the reply so
+                // the flight recorder traces it under the same key.
+                match msg.meta {
+                    Some(m) => {
+                        let meta = CpMeta {
+                            kind: reply.kind_id(),
+                            ..m
+                        };
+                        ctx.send_control_keyed(to, delay, reply, meta);
+                    }
+                    None => ctx.send_control(to, delay, reply),
+                }
             }
         }
     }

@@ -18,6 +18,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use crate::cp_trace::{CpMeta, CpTraceEvent, CpTracer};
 use crate::node::{LinkId, NodeId};
 use crate::packet::{Packet, PacketBuilder};
 use crate::routing::Routing;
@@ -45,6 +46,12 @@ pub struct ControlMsg {
     pub from: NodeId,
     /// Opaque payload; receivers `downcast_ref` to their protocol type.
     pub payload: Arc<dyn Any + Send + Sync>,
+    /// Control-trace identity the sender attached via
+    /// [`AgentCtx::send_control_keyed`]; None for unkeyed messages.
+    /// Receivers replying on behalf of the same transaction (e.g. a
+    /// device acking an install) echo it so the reply traces under the
+    /// request's key.
+    pub meta: Option<CpMeta>,
 }
 
 impl ControlMsg {
@@ -60,7 +67,12 @@ impl ControlMsg {
 pub struct Outbox {
     pub(crate) sends: Vec<(SimDuration, PacketBuilder)>,
     pub(crate) agent_timers: Vec<(SimDuration, u64)>,
-    pub(crate) controls: Vec<(SimDuration, NodeId, Arc<dyn Any + Send + Sync>)>,
+    pub(crate) controls: Vec<(
+        SimDuration,
+        NodeId,
+        Arc<dyn Any + Send + Sync>,
+        Option<CpMeta>,
+    )>,
 }
 
 impl Outbox {
@@ -81,6 +93,7 @@ pub struct AgentCtx<'a> {
     pub routing: &'a Routing,
     pub(crate) outbox: &'a mut Outbox,
     pub(crate) trace: &'a mut Tracer,
+    pub(crate) cp_trace: &'a mut CpTracer,
 }
 
 impl<'a> AgentCtx<'a> {
@@ -104,7 +117,41 @@ impl<'a> AgentCtx<'a> {
         delay: SimDuration,
         payload: T,
     ) {
-        self.outbox.controls.push((delay, to, Arc::new(payload)));
+        self.outbox
+            .controls
+            .push((delay, to, Arc::new(payload), None));
+    }
+
+    /// Like [`AgentCtx::send_control`], but tagging the message with its
+    /// control-transaction identity so the control-plane flight recorder
+    /// (DESIGN.md §6.9) can trace it. Identical delivery semantics; the
+    /// tag is observation-only.
+    pub fn send_control_keyed<T: Any + Send + Sync>(
+        &mut self,
+        to: NodeId,
+        delay: SimDuration,
+        payload: T,
+        meta: CpMeta,
+    ) {
+        self.outbox
+            .controls
+            .push((delay, to, Arc::new(payload), Some(meta)));
+    }
+
+    /// Is control-plane tracing enabled at all? One branch; agents may
+    /// use it to skip building events, though event construction is
+    /// allocation-free and [`AgentCtx::cp_event`] gates internally.
+    #[inline]
+    pub fn cp_trace_enabled(&self) -> bool {
+        self.cp_trace.enabled()
+    }
+
+    /// Record a control-plane trace event. No-op when tracing is
+    /// disabled; keyed events are dropped unless their `(origin, txn)`
+    /// transaction is in the deterministic sample.
+    #[inline]
+    pub fn cp_event(&mut self, ev: CpTraceEvent) {
+        self.cp_trace.record(ev);
     }
 
     /// Is the packet in the trace sample? Agents use this to gate any
@@ -193,6 +240,7 @@ mod tests {
         let msg = ControlMsg {
             from: NodeId(3),
             payload: Arc::new(42u32),
+            meta: None,
         };
         assert_eq!(msg.get::<u32>(), Some(&42));
         assert_eq!(msg.get::<u64>(), None);

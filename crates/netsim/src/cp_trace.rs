@@ -1,0 +1,768 @@
+//! Control-plane flight recorder: deterministic lifecycle tracing for
+//! control transactions (DESIGN.md §6.9).
+//!
+//! The packet-plane recorder in [`crate::trace`] answers "what happened to
+//! packet N"; this module answers the symmetric question for control
+//! transactions — register → deploy → install → ack/confirm, plus
+//! anti-entropy reconcile rounds. Every control message pushed through the
+//! simulator's single control funnel emits a [`CpTraceEvent::Send`] and a
+//! fault-plane [`CpTraceEvent::Verdict`]; protocol agents add dedup hits,
+//! retry lifecycle events, state transitions, and terminal outcomes via
+//! [`crate::agent::AgentCtx::cp_event`]. Events are keyed by the control
+//! plane's `(origin, txn, attempt)` message identity, carried across the
+//! crate boundary as a plain-data [`CpMeta`] (the `control` crate's
+//! `MsgKey` cannot be seen from here).
+//!
+//! Determinism is load-bearing, exactly as in `trace.rs`: whether a
+//! transaction is traced is a pure hash of `(seed, origin, txn)` against a
+//! dedicated stream label — never wall-clock or sink state — so the same
+//! seed reproduces a byte-identical JSONL file, and a sampled trace is an
+//! exact subset of the full trace. Events without a transaction key
+//! (sweeps, crashes, stale retry timers, unkeyed messages) are always
+//! admitted, preserving the subset property.
+//!
+//! The disabled path is one branch: with no sink installed,
+//! [`CpTracer::enabled`] is a `None` check and the simulator constructs no
+//! event. The `cp_trace_overhead` bench in `dtcs-bench` holds this to ≤2%
+//! over an E13 fault-sweep cell.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+use crate::node::NodeId;
+use crate::rng::child_seed;
+
+/// Stream label used to derive the control-trace sampler's salt from the
+/// simulator seed; distinct from [`crate::trace::TRACE_STREAM_LABEL`] and
+/// every workload stream, so enabling control tracing perturbs nothing.
+pub const CP_TRACE_STREAM_LABEL: u64 = 0x6370_7472_6163_6531; // "cptrace1"
+
+/// Plain-data mirror of the control plane's message identity, attached to
+/// keyed control sends via
+/// [`crate::agent::AgentCtx::send_control_keyed`]. `origin` + `txn` name
+/// the transaction (stable across retries); `attempt` distinguishes
+/// retransmits; `kind` is the sender's stable message-kind id (the
+/// `control` crate's `CpMsg::kind_id` values 1–9, device commands 10–12,
+/// device replies 13–16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpMeta {
+    /// Stable id of the requesting principal (0 for infrastructure).
+    pub origin: u64,
+    /// Transaction id, stable across retries.
+    pub txn: u64,
+    /// Retransmit counter: 0 for the first send.
+    pub attempt: u32,
+    /// Message-kind id (see struct docs).
+    pub kind: u8,
+}
+
+/// Fault-plane verdict on one control message, recorded alongside the
+/// send so traces reconcile exactly with the `cp_*` counters in
+/// [`crate::stats::Stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpVerdict {
+    /// The message will be delivered at `deliver_ns` (after any jitter).
+    Deliver {
+        /// Delivery instant (ns), jitter included.
+        deliver_ns: u64,
+        /// Jitter added by the fault plane (0 = none; nonzero increments
+        /// `cp_fault_jittered`).
+        jitter_ns: u64,
+        /// When the fault plane duplicated the message, the extra delay of
+        /// the second copy past `deliver_ns` (increments
+        /// `cp_fault_duplicated`).
+        dup_extra_ns: Option<u64>,
+    },
+    /// Dropped by the loss hash (increments `cp_fault_dropped`).
+    Drop,
+    /// Swallowed by an outage window at the sender or receiver
+    /// (increments `cp_outage_dropped`).
+    Outage {
+        /// Index of the matching outage window in the fault plane's
+        /// schedule, when known.
+        window: Option<u64>,
+    },
+}
+
+/// One step in a control transaction's life.
+///
+/// `Send` and `Verdict` are emitted by the simulator's control funnel;
+/// the rest come from protocol agents through
+/// [`crate::agent::AgentCtx::cp_event`]. Events carrying `origin`/`txn`
+/// are sampled per transaction; `RetryStale`, `Sweep` and `Crash` (and
+/// unkeyed sends) have no transaction identity and are always admitted.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CpTraceEvent {
+    /// A control message entered the funnel at `from`, addressed to `to`.
+    Send {
+        /// Timestamp (ns).
+        t: u64,
+        /// Message identity (None for unkeyed control messages).
+        meta: Option<CpMeta>,
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+    },
+    /// The fault plane's decision for the send recorded just before.
+    Verdict {
+        /// Timestamp (ns).
+        t: u64,
+        /// Message identity (None for unkeyed control messages).
+        meta: Option<CpMeta>,
+        /// Sending node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// The decision.
+        verdict: CpVerdict,
+    },
+    /// A receiver suppressed a duplicate receipt (`response` = true) or
+    /// re-answered a duplicate request from a done-cache (false).
+    DedupHit {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Message-kind id of the duplicate.
+        kind: u8,
+        /// Node that detected the duplicate.
+        node: NodeId,
+        /// True for duplicate responses (`dup_responses`), false for
+        /// duplicate requests (`dup_requests`).
+        response: bool,
+    },
+    /// A retransmitter began tracking a transaction and armed its first
+    /// retry timer.
+    RetrySchedule {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Tracking node.
+        node: NodeId,
+        /// Destination that must ack.
+        dest: NodeId,
+    },
+    /// A retry timer fired and the message was retransmitted
+    /// (increments `CpStats::retransmits`).
+    RetryFire {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Attempt number stamped on the resend (1-based).
+        attempt: u32,
+        /// Retransmitting node.
+        node: NodeId,
+        /// Destination that has not acked.
+        dest: NodeId,
+    },
+    /// A retry timer fired for an already-acked transaction (no-op).
+    /// The slot is gone, so the key is unknowable — always admitted.
+    RetryStale {
+        /// Timestamp (ns).
+        t: u64,
+        /// Node whose timer fired.
+        node: NodeId,
+        /// Timer family the token belonged to.
+        family: u64,
+    },
+    /// Retry budget exhausted; the transaction was dropped from tracking
+    /// (increments `CpStats::give_ups`).
+    RetryGaveUp {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Node that gave up.
+        node: NodeId,
+        /// Destination that never acked.
+        dest: NodeId,
+    },
+    /// A protocol actor moved a transaction through a named state
+    /// (`"verify_sent"`, `"device_installed"`, `"partial_confirm"`,
+    /// `"reinstall"`, …; vocabulary in DESIGN.md §6.9).
+    State {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Node where the transition happened.
+        node: NodeId,
+        /// Actor role: `"tcsp"`, `"nms"`, `"device"`, or `"user"`.
+        actor: &'static str,
+        /// State entered.
+        state: &'static str,
+    },
+    /// An NMS anti-entropy inventory round started
+    /// (increments `CpStats::reconcile_sweeps`). Keyless: the sweep spans
+    /// all reconcile traffic.
+    Sweep {
+        /// Timestamp (ns).
+        t: u64,
+        /// Sweeping NMS node.
+        node: NodeId,
+    },
+    /// A node crashed, wiping volatile device state
+    /// (increments `Stats::node_crashes`).
+    Crash {
+        /// Timestamp (ns).
+        t: u64,
+        /// Crashed node.
+        node: NodeId,
+        /// Index of the fault-plane outage window that scheduled the
+        /// crash; None for ad-hoc `crash_node` calls.
+        window: Option<u64>,
+    },
+    /// A transaction reached a terminal outcome (`"confirmed"`,
+    /// `"denied"`, `"partial"`, `"gave_up"`, `"abandoned"`, `"verified"`,
+    /// `"fallback_confirmed"`, `"reconciled"`). The `trace-report`
+    /// analyzer hard-fails any transaction group without one.
+    Terminal {
+        /// Timestamp (ns).
+        t: u64,
+        /// Transaction origin.
+        origin: u64,
+        /// Transaction id.
+        txn: u64,
+        /// Node where the outcome was decided.
+        node: NodeId,
+        /// Terminal outcome.
+        outcome: &'static str,
+    },
+}
+
+impl CpTraceEvent {
+    /// Stable kind tag used in the JSONL schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CpTraceEvent::Send { .. } => "send",
+            CpTraceEvent::Verdict { .. } => "verdict",
+            CpTraceEvent::DedupHit { .. } => "dedup_hit",
+            CpTraceEvent::RetrySchedule { .. } => "retry_schedule",
+            CpTraceEvent::RetryFire { .. } => "retry_fire",
+            CpTraceEvent::RetryStale { .. } => "retry_stale",
+            CpTraceEvent::RetryGaveUp { .. } => "retry_give_up",
+            CpTraceEvent::State { .. } => "state",
+            CpTraceEvent::Sweep { .. } => "sweep",
+            CpTraceEvent::Crash { .. } => "crash",
+            CpTraceEvent::Terminal { .. } => "terminal",
+        }
+    }
+
+    /// Timestamp in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        match self {
+            CpTraceEvent::Send { t, .. }
+            | CpTraceEvent::Verdict { t, .. }
+            | CpTraceEvent::DedupHit { t, .. }
+            | CpTraceEvent::RetrySchedule { t, .. }
+            | CpTraceEvent::RetryFire { t, .. }
+            | CpTraceEvent::RetryStale { t, .. }
+            | CpTraceEvent::RetryGaveUp { t, .. }
+            | CpTraceEvent::State { t, .. }
+            | CpTraceEvent::Sweep { t, .. }
+            | CpTraceEvent::Crash { t, .. }
+            | CpTraceEvent::Terminal { t, .. } => *t,
+        }
+    }
+
+    /// The `(origin, txn)` transaction identity this event is sampled
+    /// under; None for keyless events (always admitted).
+    pub fn key(&self) -> Option<(u64, u64)> {
+        match self {
+            CpTraceEvent::Send { meta, .. } | CpTraceEvent::Verdict { meta, .. } => {
+                meta.map(|m| (m.origin, m.txn))
+            }
+            CpTraceEvent::DedupHit { origin, txn, .. }
+            | CpTraceEvent::RetrySchedule { origin, txn, .. }
+            | CpTraceEvent::RetryFire { origin, txn, .. }
+            | CpTraceEvent::RetryGaveUp { origin, txn, .. }
+            | CpTraceEvent::State { origin, txn, .. }
+            | CpTraceEvent::Terminal { origin, txn, .. } => Some((*origin, *txn)),
+            CpTraceEvent::RetryStale { .. }
+            | CpTraceEvent::Sweep { .. }
+            | CpTraceEvent::Crash { .. } => None,
+        }
+    }
+
+    /// Serialise as a single JSON object (one JSONL line, no trailing
+    /// newline). Field order is fixed, integers and literal strings only,
+    /// so output is byte-deterministic.
+    pub fn write_json(&self, out: &mut String) {
+        fn meta_fields(meta: &Option<CpMeta>, out: &mut String) {
+            if let Some(m) = meta {
+                let _ = write!(
+                    out,
+                    ",\"origin\":{},\"txn\":{},\"attempt\":{},\"mkind\":{}",
+                    m.origin, m.txn, m.attempt, m.kind
+                );
+            }
+        }
+        match self {
+            CpTraceEvent::Send { t, meta, from, to } => {
+                let _ = write!(out, "{{\"t\":{t},\"kind\":\"send\"");
+                meta_fields(meta, out);
+                let _ = write!(out, ",\"from\":{},\"to\":{}}}", from.0, to.0);
+            }
+            CpTraceEvent::Verdict {
+                t,
+                meta,
+                from,
+                to,
+                verdict,
+            } => {
+                let _ = write!(out, "{{\"t\":{t},\"kind\":\"verdict\"");
+                meta_fields(meta, out);
+                let _ = write!(out, ",\"from\":{},\"to\":{}", from.0, to.0);
+                match verdict {
+                    CpVerdict::Deliver {
+                        deliver_ns,
+                        jitter_ns,
+                        dup_extra_ns,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ",\"outcome\":\"deliver\",\"deliver\":{deliver_ns},\
+                             \"jitter\":{jitter_ns}"
+                        );
+                        if let Some(d) = dup_extra_ns {
+                            let _ = write!(out, ",\"dup_extra\":{d}");
+                        }
+                    }
+                    CpVerdict::Drop => out.push_str(",\"outcome\":\"drop\""),
+                    CpVerdict::Outage { window } => {
+                        out.push_str(",\"outcome\":\"outage\"");
+                        if let Some(w) = window {
+                            let _ = write!(out, ",\"window\":{w}");
+                        }
+                    }
+                }
+                out.push('}');
+            }
+            CpTraceEvent::DedupHit {
+                t,
+                origin,
+                txn,
+                kind,
+                node,
+                response,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"dedup_hit\",\"origin\":{origin},\
+                     \"txn\":{txn},\"mkind\":{kind},\"node\":{},\
+                     \"response\":{response}}}",
+                    node.0
+                );
+            }
+            CpTraceEvent::RetrySchedule {
+                t,
+                origin,
+                txn,
+                node,
+                dest,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"retry_schedule\",\"origin\":{origin},\
+                     \"txn\":{txn},\"node\":{},\"dest\":{}}}",
+                    node.0, dest.0
+                );
+            }
+            CpTraceEvent::RetryFire {
+                t,
+                origin,
+                txn,
+                attempt,
+                node,
+                dest,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"retry_fire\",\"origin\":{origin},\
+                     \"txn\":{txn},\"attempt\":{attempt},\"node\":{},\"dest\":{}}}",
+                    node.0, dest.0
+                );
+            }
+            CpTraceEvent::RetryStale { t, node, family } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"retry_stale\",\"node\":{},\
+                     \"family\":{family}}}",
+                    node.0
+                );
+            }
+            CpTraceEvent::RetryGaveUp {
+                t,
+                origin,
+                txn,
+                node,
+                dest,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"retry_give_up\",\"origin\":{origin},\
+                     \"txn\":{txn},\"node\":{},\"dest\":{}}}",
+                    node.0, dest.0
+                );
+            }
+            CpTraceEvent::State {
+                t,
+                origin,
+                txn,
+                node,
+                actor,
+                state,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"state\",\"origin\":{origin},\
+                     \"txn\":{txn},\"node\":{},\"actor\":\"{actor}\",\
+                     \"state\":\"{state}\"}}",
+                    node.0
+                );
+            }
+            CpTraceEvent::Sweep { t, node } => {
+                let _ = write!(out, "{{\"t\":{t},\"kind\":\"sweep\",\"node\":{}}}", node.0);
+            }
+            CpTraceEvent::Crash { t, node, window } => {
+                let _ = write!(out, "{{\"t\":{t},\"kind\":\"crash\",\"node\":{}", node.0);
+                if let Some(w) = window {
+                    let _ = write!(out, ",\"window\":{w}");
+                }
+                out.push('}');
+            }
+            CpTraceEvent::Terminal {
+                t,
+                origin,
+                txn,
+                node,
+                outcome,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"t\":{t},\"kind\":\"terminal\",\"origin\":{origin},\
+                     \"txn\":{txn},\"node\":{},\"outcome\":\"{outcome}\"}}",
+                    node.0
+                );
+            }
+        }
+    }
+}
+
+/// Receiver of control-trace events. Implementations must not feed
+/// decisions back into the simulation (observation only).
+pub trait CpTraceSink: Send {
+    /// Record one event.
+    fn record(&mut self, ev: CpTraceEvent);
+}
+
+/// Bounded ring-buffer flight recorder for control-trace events: keeps
+/// the most recent `capacity` events, evicting the oldest (and counting
+/// evictions) when full.
+#[derive(Debug, Default)]
+pub struct CpFlightRecorder {
+    cap: usize,
+    buf: VecDeque<CpTraceEvent>,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl CpFlightRecorder {
+    /// Recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> CpFlightRecorder {
+        let cap = capacity.max(1);
+        CpFlightRecorder {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(4096)),
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted to make room (oldest-first policy).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &CpTraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Serialise the held events as JSONL (one event per line, oldest
+    /// first, trailing newline).
+    pub fn export_jsonl_string(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 96);
+        for ev in &self.buf {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the held events as JSONL to `w`.
+    pub fn export_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.export_jsonl_string().as_bytes())
+    }
+}
+
+impl CpTraceSink for CpFlightRecorder {
+    fn record(&mut self, ev: CpTraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(ev);
+        self.recorded += 1;
+    }
+}
+
+/// Shared-handle sink: scenario code keeps one `Arc` clone to read the
+/// recorder after the run while the simulator owns the other.
+impl CpTraceSink for Arc<Mutex<CpFlightRecorder>> {
+    fn record(&mut self, ev: CpTraceEvent) {
+        self.lock()
+            .expect("cp flight recorder mutex poisoned")
+            .record(ev);
+    }
+}
+
+/// The simulator's control-trace front-end: owns the optional sink and
+/// the per-transaction sampling decision.
+///
+/// With no sink installed every entry point reduces to a single branch on
+/// `Option::None`; the simulator constructs no event on the funnel path.
+pub struct CpTracer {
+    sink: Option<Box<dyn CpTraceSink>>,
+    one_in: u64,
+    /// Salt reserved at construction (from the simulator seed) so the
+    /// sampler keys off simulation identity, never the enabling call site.
+    salt: u64,
+}
+
+impl CpTracer {
+    /// Disabled tracer for a simulation seeded with `seed`.
+    pub(crate) fn disabled(seed: u64) -> CpTracer {
+        CpTracer {
+            sink: None,
+            one_in: 1,
+            salt: child_seed(seed, CP_TRACE_STREAM_LABEL),
+        }
+    }
+
+    /// Install `sink`, tracing one transaction in `one_in` (1 = all).
+    pub(crate) fn enable(&mut self, sink: Box<dyn CpTraceSink>, one_in: u64) {
+        self.one_in = one_in.max(1);
+        self.sink = Some(sink);
+    }
+
+    /// Remove and return the sink, disabling tracing.
+    pub(crate) fn disable(&mut self) -> Option<Box<dyn CpTraceSink>> {
+        self.sink.take()
+    }
+
+    /// Is control tracing enabled at all? One branch — the hot-path gate.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Is transaction `(origin, txn)` in the sample? Pure hash of the
+    /// construction seed — no state, no wall-clock.
+    #[inline]
+    pub fn admits(&self, origin: u64, txn: u64) -> bool {
+        if self.one_in <= 1 {
+            return true;
+        }
+        child_seed(child_seed(self.salt, origin), txn) % self.one_in == 0
+    }
+
+    /// Record an event if tracing is enabled and the event's transaction
+    /// is in the sample (keyless events always are).
+    #[inline]
+    pub fn record(&mut self, ev: CpTraceEvent) {
+        if self.sink.is_none() {
+            return;
+        }
+        let admitted = match ev.key() {
+            Some((origin, txn)) => self.admits(origin, txn),
+            None => true,
+        };
+        if admitted {
+            if let Some(sink) = &mut self.sink {
+                sink.record(ev);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(t: u64, origin: u64, txn: u64) -> CpTraceEvent {
+        CpTraceEvent::Terminal {
+            t,
+            origin,
+            txn,
+            node: NodeId(1),
+            outcome: "confirmed",
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut r = CpFlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(keyed(i, 7, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(r.evicted(), 2);
+        let ts: Vec<u64> = r.events().map(|e| e.time_ns()).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn jsonl_shape_keyed_and_keyless() {
+        let mut r = CpFlightRecorder::new(8);
+        r.record(CpTraceEvent::Send {
+            t: 5,
+            meta: Some(CpMeta {
+                origin: 0xAA01,
+                txn: 9,
+                attempt: 2,
+                kind: 5,
+            }),
+            from: NodeId(1),
+            to: NodeId(4),
+        });
+        r.record(CpTraceEvent::Send {
+            t: 6,
+            meta: None,
+            from: NodeId(2),
+            to: NodeId(3),
+        });
+        r.record(CpTraceEvent::Verdict {
+            t: 7,
+            meta: None,
+            from: NodeId(2),
+            to: NodeId(3),
+            verdict: CpVerdict::Deliver {
+                deliver_ns: 1000,
+                jitter_ns: 30,
+                dup_extra_ns: Some(12),
+            },
+        });
+        r.record(CpTraceEvent::Crash {
+            t: 8,
+            node: NodeId(5),
+            window: Some(3),
+        });
+        let out = r.export_jsonl_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"t\":5,\"kind\":\"send\",\"origin\":43521,\"txn\":9,\
+             \"attempt\":2,\"mkind\":5,\"from\":1,\"to\":4}"
+        );
+        assert_eq!(lines[1], "{\"t\":6,\"kind\":\"send\",\"from\":2,\"to\":3}");
+        assert_eq!(
+            lines[2],
+            "{\"t\":7,\"kind\":\"verdict\",\"from\":2,\"to\":3,\
+             \"outcome\":\"deliver\",\"deliver\":1000,\"jitter\":30,\
+             \"dup_extra\":12}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"t\":8,\"kind\":\"crash\",\"node\":5,\"window\":3}"
+        );
+        assert!(out.ends_with('\n'));
+    }
+
+    #[test]
+    fn sampling_is_per_transaction_and_deterministic() {
+        let mut t = CpTracer::disabled(42);
+        t.enable(Box::new(CpFlightRecorder::new(16)), 4);
+        let picks: Vec<bool> = (0..64).map(|txn| t.admits(0xAA01, txn)).collect();
+        let again: Vec<bool> = (0..64).map(|txn| t.admits(0xAA01, txn)).collect();
+        assert_eq!(picks, again, "pure function of (seed, origin, txn)");
+        assert!(picks.iter().any(|&b| b) && picks.iter().any(|&b| !b));
+        // A different seed selects a different subset.
+        let mut o = CpTracer::disabled(43);
+        o.enable(Box::new(CpFlightRecorder::new(16)), 4);
+        assert_ne!(
+            picks,
+            (0..64).map(|txn| o.admits(0xAA01, txn)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn record_gates_on_key_but_admits_keyless() {
+        let rec = Arc::new(Mutex::new(CpFlightRecorder::new(64)));
+        let mut t = CpTracer::disabled(42);
+        t.enable(Box::new(rec.clone()), 1_000_000_007);
+        // With an absurd rate almost no transaction is admitted…
+        let mut admitted = 0;
+        for txn in 0..32 {
+            if t.admits(1, txn) {
+                admitted += 1;
+            }
+            t.record(keyed(txn, 1, txn));
+        }
+        assert_eq!(rec.lock().unwrap().recorded(), admitted);
+        // …but keyless events always are.
+        t.record(CpTraceEvent::Sweep {
+            t: 1,
+            node: NodeId(2),
+        });
+        assert_eq!(rec.lock().unwrap().recorded(), admitted + 1);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = CpTracer::disabled(1);
+        assert!(!t.enabled());
+        t.record(keyed(1, 2, 3)); // no sink: no-op
+        t.enable(Box::new(CpFlightRecorder::new(4)), 1);
+        assert!(t.enabled());
+        let sink = t.disable();
+        assert!(sink.is_some());
+        assert!(!t.enabled());
+    }
+}

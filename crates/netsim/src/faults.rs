@@ -133,9 +133,30 @@ impl FaultPlane {
 
     /// Is `node`'s control channel down at `t`?
     pub fn down(&self, node: NodeId, t: SimTime) -> bool {
+        self.down_window(node, t).is_some()
+    }
+
+    /// Index (into the configured outage schedule) of the first window
+    /// covering `node` at `t`, if any. This is the `window` id carried by
+    /// control-trace outage verdicts and crash events
+    /// ([`crate::cp_trace::CpTraceEvent`]), letting the analyzer join a
+    /// swallowed message to the crash that caused it.
+    pub fn down_window(&self, node: NodeId, t: SimTime) -> Option<usize> {
         self.outages
             .iter()
-            .any(|o| o.node == node && t >= o.from && t < o.until)
+            .position(|o| o.node == node && t >= o.from && t < o.until)
+    }
+
+    /// Crash windows with their outage-schedule indices
+    /// `(window, node, start)` — like [`FaultPlane::crash_schedule`] but
+    /// keeping the index that tags control-trace crash events.
+    pub fn crash_windows(&self) -> Vec<(usize, NodeId, SimTime)> {
+        self.outages
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.crash)
+            .map(|(i, o)| (i, o.node, o.from))
+            .collect()
     }
 
     /// Decide the fate of the next `src → dst` control message. Advances
@@ -256,5 +277,11 @@ mod tests {
         assert!(!p.down(NodeId(5), SimTime::from_secs(2)));
         assert!(!p.down(NodeId(6), SimTime::from_millis(1500)));
         assert_eq!(p.crash_schedule(), vec![(NodeId(5), SimTime::from_secs(1))]);
+        assert_eq!(p.down_window(NodeId(5), SimTime::from_secs(1)), Some(0));
+        assert_eq!(p.down_window(NodeId(5), SimTime::from_secs(2)), None);
+        assert_eq!(
+            p.crash_windows(),
+            vec![(0, NodeId(5), SimTime::from_secs(1))]
+        );
     }
 }

@@ -38,9 +38,11 @@ pub mod addr;
 pub mod agent;
 pub mod app;
 pub mod arena;
+pub mod cp_trace;
 pub mod faults;
 pub mod fluid;
 pub mod link;
+pub mod metrics;
 pub mod node;
 pub mod oracle;
 pub mod packet;
@@ -60,9 +62,11 @@ pub use addr::{Addr, Prefix};
 pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
 pub use arena::{Arena, Handle as ArenaHandle};
+pub use cp_trace::{CpFlightRecorder, CpMeta, CpTraceEvent, CpTraceSink, CpTracer, CpVerdict};
 pub use faults::{FaultConfig, FaultDecision, FaultPlane, Outage};
 pub use fluid::{FluidDemand, FluidFilter, FluidLayer};
 pub use link::{Admission, Link, LinkProfile};
+pub use metrics::{MetricEntry, MetricValue, MetricsSnapshot};
 pub use node::{LinkId, Node, NodeId, NodeRole};
 pub use oracle::RouteOracle;
 pub use packet::{Packet, PacketBuilder, Proto, Provenance, TrafficClass, DEFAULT_TTL};

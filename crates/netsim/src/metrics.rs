@@ -1,0 +1,318 @@
+//! Unified metrics registry snapshot (DESIGN.md §6.9).
+//!
+//! Engine counters used to surface only as scattered print-only `health:`
+//! lines in experiment reports. A [`MetricsSnapshot`] collects every
+//! scalar [`Stats`] counter — wheel/route health, control-plane fault
+//! counters, fluid-layer counters — plus any caller-appended counters
+//! (e.g. the `control` crate's `CpStats`) into one fixed-order registry
+//! exportable as deterministic JSON and Prometheus text exposition.
+//! The snapshot is observation-only and never feeds golden report JSON;
+//! `health:` lines are now formatted *from* it, making the snapshot the
+//! single source of truth.
+
+use std::fmt::Write as _;
+
+use crate::stats::Stats;
+
+/// A single metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Instantaneous or derived value.
+    Gauge(f64),
+}
+
+/// One named metric with a help string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (`snake_case`, no prefix; exporters add `dtcs_`).
+    pub name: &'static str,
+    /// The value.
+    pub value: MetricValue,
+    /// One-line help text for the Prometheus exposition.
+    pub help: &'static str,
+}
+
+/// Fixed-order registry of metrics captured at one instant.
+///
+/// Order is insertion order and [`MetricsSnapshot::from_stats`] inserts
+/// in [`Stats`] field-declaration order, so two snapshots of equal state
+/// serialise byte-identically.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Snapshot every scalar counter of `stats`, in field-declaration
+    /// order, plus the derived wheel cascade rate.
+    pub fn from_stats(stats: &Stats) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        let (mut sent, mut delivered, mut dropped) = (0u64, 0u64, 0u64);
+        for c in &stats.per_class {
+            sent += c.sent_pkts;
+            delivered += c.delivered_pkts;
+            dropped += c.dropped_pkts;
+        }
+        s.push_counter("packets_sent", sent, "Packets emitted, all classes");
+        s.push_counter(
+            "packets_delivered",
+            delivered,
+            "Packets delivered to an application, all classes",
+        );
+        s.push_counter("packets_dropped", dropped, "Packets dropped, all classes");
+        s.push_counter("events", stats.events, "Simulator events processed");
+        s.push_counter(
+            "past_events_clamped",
+            stats.past_events_clamped,
+            "Events scheduled in the past and clamped (always 0 when healthy)",
+        );
+        s.push_counter(
+            "route_link_flips",
+            stats.route_link_flips,
+            "Link state flips applied by failure injection",
+        );
+        s.push_counter(
+            "route_full_recomputes",
+            stats.route_full_recomputes,
+            "Flips that fell back to a whole-table route recompute",
+        );
+        s.push_counter(
+            "route_trees_recomputed",
+            stats.route_trees_recomputed,
+            "Destination trees re-derived across all flips",
+        );
+        s.push_counter(
+            "wheel_slot_occupancy_hwm",
+            stats.wheel_slot_occupancy_hwm,
+            "Timing wheel: deepest any single slot got",
+        );
+        s.push_counter(
+            "wheel_len_hwm",
+            stats.wheel_len_hwm,
+            "Timing wheel: most events pending at once",
+        );
+        s.push_counter(
+            "wheel_cascade_moves",
+            stats.wheel_cascade_moves,
+            "Timing wheel: entries refiled by cascades",
+        );
+        s.push_gauge(
+            "wheel_cascades_per_event",
+            stats.wheel_cascades_per_event(),
+            "Mean cascade refiles per processed event",
+        );
+        s.push_counter(
+            "cp_msgs",
+            stats.cp_msgs,
+            "Control messages pushed through the funnel",
+        );
+        s.push_counter(
+            "cp_fault_dropped",
+            stats.cp_fault_dropped,
+            "Control messages dropped by the fault plane's loss hash",
+        );
+        s.push_counter(
+            "cp_fault_duplicated",
+            stats.cp_fault_duplicated,
+            "Control messages delivered twice by the fault plane",
+        );
+        s.push_counter(
+            "cp_fault_jittered",
+            stats.cp_fault_jittered,
+            "Control messages whose delivery was delay-jittered",
+        );
+        s.push_counter(
+            "cp_outage_dropped",
+            stats.cp_outage_dropped,
+            "Control messages swallowed by an outage window",
+        );
+        s.push_counter(
+            "node_crashes",
+            stats.node_crashes,
+            "Node crashes executed (fault-plane windows plus ad-hoc)",
+        );
+        s.push_counter(
+            "fluid_aggregates",
+            stats.fluid_aggregates,
+            "Fluid aggregates installed over the run",
+        );
+        s.push_counter(
+            "fluid_ticks",
+            stats.fluid_ticks,
+            "Fluid admission rounds executed",
+        );
+        s.push_counter(
+            "fluid_recomputes",
+            stats.fluid_recomputes,
+            "Aggregate path recomputations",
+        );
+        s.push_counter(
+            "fluid_epoch_invalidations",
+            stats.fluid_epoch_invalidations,
+            "Route/filter epoch changes invalidating cached aggregate state",
+        );
+        s.push_counter(
+            "fluid_boundary_conversions",
+            stats.fluid_boundary_conversions,
+            "Demands materialized as discrete emitters at the fluid boundary",
+        );
+        s
+    }
+
+    /// Append a counter.
+    pub fn push_counter(&mut self, name: &'static str, v: u64, help: &'static str) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Counter(v),
+            help,
+        });
+    }
+
+    /// Append a gauge.
+    pub fn push_gauge(&mut self, name: &'static str, v: f64, help: &'static str) {
+        self.entries.push(MetricEntry {
+            name,
+            value: MetricValue::Gauge(v),
+            help,
+        });
+    }
+
+    /// All entries, insertion order.
+    pub fn entries(&self) -> &[MetricEntry] {
+        &self.entries
+    }
+
+    /// Look up a metric's value as `f64` (counters widen losslessly up to
+    /// 2^53). None if no entry has that name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| match e.value {
+                MetricValue::Counter(v) => v as f64,
+                MetricValue::Gauge(v) => v,
+            })
+    }
+
+    /// Serialise as one fixed-order JSON object. Counters emit as
+    /// integers; gauges emit with enough digits to round-trip.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 32 + 2);
+        out.push('{');
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", e.name);
+            match e.value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    // {:?} prints the shortest representation that
+                    // round-trips, and always includes a decimal point or
+                    // exponent so the JSON type stays visibly float.
+                    let _ = write!(out, "{v:?}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Serialise in Prometheus text exposition format, `dtcs_`-prefixed,
+    /// with `# HELP`/`# TYPE` headers per metric.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(self.entries.len() * 96);
+        for e in &self.entries {
+            let _ = writeln!(out, "# HELP dtcs_{} {}", e.name, e.help);
+            let kind = match e.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+            };
+            let _ = writeln!(out, "# TYPE dtcs_{} {kind}", e.name);
+            match e.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "dtcs_{} {v}", e.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "dtcs_{} {v:?}", e.name);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_is_fixed_order_and_deterministic() {
+        let mut st = Stats::new();
+        st.events = 42;
+        st.cp_msgs = 7;
+        st.wheel_cascade_moves = 21;
+        let a = MetricsSnapshot::from_stats(&st);
+        let b = MetricsSnapshot::from_stats(&st);
+        assert_eq!(a.to_json_string(), b.to_json_string());
+        let json = a.to_json_string();
+        // Counters serialize as integers, in Stats declaration order.
+        let ev = json.find("\"events\":42").expect("events present");
+        let cp = json.find("\"cp_msgs\":7").expect("cp_msgs present");
+        assert!(ev < cp, "fixed field order follows Stats declaration");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(a.get("events"), Some(42.0));
+        assert_eq!(a.get("wheel_cascades_per_event"), Some(0.5));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn appended_counters_extend_the_registry() {
+        let mut s = MetricsSnapshot::from_stats(&Stats::new());
+        let base = s.entries().len();
+        s.push_counter("cp_retransmits", 3, "Messages retransmitted");
+        assert_eq!(s.entries().len(), base + 1);
+        assert_eq!(s.get("cp_retransmits"), Some(3.0));
+        assert!(s.to_json_string().ends_with("\"cp_retransmits\":3}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("cp_msgs", 9, "Control messages pushed");
+        s.push_gauge("rate", 0.25, "A rate");
+        let text = s.to_prometheus();
+        assert!(text.contains("# HELP dtcs_cp_msgs Control messages pushed\n"));
+        assert!(text.contains("# TYPE dtcs_cp_msgs counter\n"));
+        assert!(text.contains("\ndtcs_cp_msgs 9\n") || text.starts_with("# HELP"));
+        assert!(text.contains("dtcs_cp_msgs 9\n"));
+        assert!(text.contains("# TYPE dtcs_rate gauge\n"));
+        assert!(text.contains("dtcs_rate 0.25\n"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn gauges_round_trip_through_json() {
+        let mut s = MetricsSnapshot::new();
+        s.push_gauge("g", 1.0 / 3.0, "a third");
+        let json = s.to_json_string();
+        // {:?} on f64 prints the shortest round-tripping decimal, so the
+        // emitted text parses back to the exact same bits.
+        assert_eq!(json, format!("{{\"g\":{:?}}}", 1.0 / 3.0));
+        let text: f64 = json
+            .trim_start_matches("{\"g\":")
+            .trim_end_matches('}')
+            .parse()
+            .unwrap();
+        assert_eq!(text, 1.0 / 3.0);
+    }
+}

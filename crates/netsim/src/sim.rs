@@ -21,6 +21,7 @@ use crate::addr::Addr;
 use crate::agent::{AgentCtx, ControlMsg, NodeAgent, Outbox, Verdict};
 use crate::app::{App, AppApi, Disposition};
 use crate::arena::{Arena, Handle as PktHandle};
+use crate::cp_trace::{CpMeta, CpTraceEvent, CpTraceSink, CpTracer, CpVerdict};
 use crate::faults::FaultPlane;
 use crate::fluid::{FluidDemand, FluidFilter, FluidLayer};
 use crate::link::Admission;
@@ -89,6 +90,10 @@ pub struct Simulator {
     /// default; the hot path then pays a single `None` branch per gate
     /// (DESIGN.md §6.4).
     tracer: Tracer,
+    /// Control-plane flight-recorder front-end (DESIGN.md §6.9): the
+    /// symmetric facility for control transactions. Disabled by default;
+    /// the control funnel then pays one `None` branch per push.
+    cp_tracer: CpTracer,
     /// Optional per-link utilization sampler, driven by scheduled events.
     util_probe: Option<LinkUtilProbe>,
     /// Optional control-channel fault injector (drop / duplicate / jitter
@@ -128,6 +133,7 @@ impl Simulator {
             app_timer_buf: Vec::new(),
             arena: Arena::new(),
             tracer: Tracer::disabled(seed),
+            cp_tracer: CpTracer::disabled(seed),
             util_probe: None,
             faults: None,
             fluid: None,
@@ -153,6 +159,27 @@ impl Simulator {
     /// Is lifecycle tracing enabled?
     pub fn trace_enabled(&self) -> bool {
         self.tracer.enabled()
+    }
+
+    /// Install a control-plane trace sink recording lifecycle events for
+    /// one control transaction in `one_in` (1 = every transaction). Like
+    /// the packet tracer, the sampling salt derives from the simulator
+    /// seed, so the traced transaction set is a pure function of
+    /// `(seed, one_in)` and runs replay byte-for-byte. Events without a
+    /// transaction key (sweeps, crashes, unkeyed sends) are always
+    /// recorded, keeping a sampled trace an exact subset of the full one.
+    pub fn set_cp_trace_sink(&mut self, sink: Box<dyn CpTraceSink>, one_in: u64) {
+        self.cp_tracer.enable(sink, one_in);
+    }
+
+    /// Remove and return the control-plane trace sink, disabling tracing.
+    pub fn take_cp_trace_sink(&mut self) -> Option<Box<dyn CpTraceSink>> {
+        self.cp_tracer.disable()
+    }
+
+    /// Is control-plane tracing enabled?
+    pub fn cp_trace_enabled(&self) -> bool {
+        self.cp_tracer.enabled()
     }
 
     /// Sample per-link utilization every `cadence` from now until `until`
@@ -369,15 +396,17 @@ impl Simulator {
         to: NodeId,
         payload: T,
     ) {
-        self.push_control(at, from, to, Arc::new(payload));
+        self.push_control(at, from, to, Arc::new(payload), None);
     }
 
     /// Install a control-channel fault injector. Crash windows in its
     /// schedule are turned into [`NodeAgent::on_crash`] calls at window
     /// start. Install before running; messages already queued bypass it.
     pub fn install_fault_plane(&mut self, plane: FaultPlane) {
-        for (node, at) in plane.crash_schedule() {
-            self.schedule(at, move |sim| sim.crash_node(node));
+        for (window, node, at) in plane.crash_windows() {
+            self.schedule(at, move |sim| {
+                sim.crash_node_with(node, Some(window as u64))
+            });
         }
         self.faults = Some(plane);
     }
@@ -391,7 +420,21 @@ impl Simulator {
     /// [`NodeAgent::on_crash`]. Called by the fault plane's crash
     /// schedule; public so scenarios can also crash nodes ad hoc.
     pub fn crash_node(&mut self, node: NodeId) {
+        self.crash_node_with(node, None);
+    }
+
+    /// Crash with the fault-plane outage-window index that scheduled it
+    /// (None for ad-hoc crashes), so control-trace crash events can be
+    /// joined to the outage verdicts of the messages the window swallowed.
+    fn crash_node_with(&mut self, node: NodeId, window: Option<u64>) {
         self.stats.node_crashes += 1;
+        if self.cp_tracer.enabled() {
+            self.cp_tracer.record(CpTraceEvent::Crash {
+                t: self.now.as_nanos(),
+                node,
+                window,
+            });
+        }
         for idx in 0..self.agents[node.0].len() {
             self.with_agent(node, idx, |agent, ctx| agent.on_crash(ctx));
         }
@@ -400,42 +443,104 @@ impl Simulator {
     /// The single funnel for control-message scheduling: every
     /// `ControlDeliver` event — scenario-injected, agent outbox, app
     /// outbox — passes through here, so the fault plane sees the complete
-    /// channel. Without a fault plane this is exactly one `None` branch
-    /// on top of the original push.
+    /// channel, and so the control-plane flight recorder can pair every
+    /// send with exactly one fault verdict. Without a fault plane or
+    /// tracer this is exactly two `None` branches on top of the original
+    /// push.
     fn push_control(
         &mut self,
         at: SimTime,
         from: NodeId,
         to: NodeId,
         payload: Arc<dyn std::any::Any + Send + Sync>,
+        meta: Option<CpMeta>,
     ) {
         self.stats.cp_msgs += 1;
+        let traced = self.cp_tracer.enabled();
+        let t = self.now.as_nanos();
+        if traced {
+            self.cp_tracer
+                .record(CpTraceEvent::Send { t, meta, from, to });
+        }
+        let deliver_at = at.max(self.now);
         let Some(faults) = self.faults.as_mut() else {
+            if traced {
+                self.cp_tracer.record(CpTraceEvent::Verdict {
+                    t,
+                    meta,
+                    from,
+                    to,
+                    verdict: CpVerdict::Deliver {
+                        deliver_ns: deliver_at.as_nanos(),
+                        jitter_ns: 0,
+                        dup_extra_ns: None,
+                    },
+                });
+            }
             self.push(
                 at,
                 EventKind::ControlDeliver {
                     to,
-                    msg: ControlMsg { from, payload },
+                    msg: ControlMsg {
+                        from,
+                        payload,
+                        meta,
+                    },
                 },
             );
             return;
         };
         // Outage windows: mute while the sender is down, deaf while the
         // receiver is down at delivery time.
-        let deliver_at = at.max(self.now);
-        if faults.down(from, self.now) || faults.down(to, deliver_at) {
+        let window = faults
+            .down_window(from, self.now)
+            .or_else(|| faults.down_window(to, deliver_at));
+        if let Some(w) = window {
             self.stats.cp_outage_dropped += 1;
+            if traced {
+                self.cp_tracer.record(CpTraceEvent::Verdict {
+                    t,
+                    meta,
+                    from,
+                    to,
+                    verdict: CpVerdict::Outage {
+                        window: Some(w as u64),
+                    },
+                });
+            }
             return;
         }
         let d = faults.decide(from, to);
         if d.drop {
             self.stats.cp_fault_dropped += 1;
+            if traced {
+                self.cp_tracer.record(CpTraceEvent::Verdict {
+                    t,
+                    meta,
+                    from,
+                    to,
+                    verdict: CpVerdict::Drop,
+                });
+            }
             return;
         }
         if d.jitter > SimDuration::ZERO {
             self.stats.cp_fault_jittered += 1;
         }
         let jittered = deliver_at + d.jitter;
+        if traced {
+            self.cp_tracer.record(CpTraceEvent::Verdict {
+                t,
+                meta,
+                from,
+                to,
+                verdict: CpVerdict::Deliver {
+                    deliver_ns: jittered.as_nanos(),
+                    jitter_ns: d.jitter.as_nanos(),
+                    dup_extra_ns: d.duplicate.map(|e| e.as_nanos()),
+                },
+            });
+        }
         self.push(
             jittered,
             EventKind::ControlDeliver {
@@ -443,6 +548,7 @@ impl Simulator {
                 msg: ControlMsg {
                     from,
                     payload: payload.clone(),
+                    meta,
                 },
             },
         );
@@ -452,7 +558,11 @@ impl Simulator {
                 jittered + extra,
                 EventKind::ControlDeliver {
                     to,
-                    msg: ControlMsg { from, payload },
+                    msg: ControlMsg {
+                        from,
+                        payload,
+                        meta,
+                    },
                 },
             );
         }
@@ -652,6 +762,7 @@ impl Simulator {
                         routing: &self.routing,
                         outbox: &mut self.outbox,
                         trace: &mut self.tracer,
+                        cp_trace: &mut self.cp_tracer,
                     };
                     agent.on_control(&mut ctx, &msg);
                     self.flush_agent_outbox(to, i);
@@ -680,6 +791,7 @@ impl Simulator {
                 routing: &self.routing,
                 outbox: &mut self.outbox,
                 trace: &mut self.tracer,
+                cp_trace: &mut self.cp_tracer,
             };
             let v = agent.on_packet(&mut ctx, &mut pkt, from);
             self.flush_agent_outbox(at, i);
@@ -775,6 +887,7 @@ impl Simulator {
                         routing: &self.routing,
                         outbox: &mut self.outbox,
                         trace: &mut self.tracer,
+                        cp_trace: &mut self.cp_tracer,
                     };
                     agent.on_link_drop(&mut ctx, link, &pkt);
                     self.flush_agent_outbox(at, i);
@@ -828,6 +941,7 @@ impl Simulator {
                 routing: &self.routing,
                 outbox: &mut self.outbox,
                 trace: &mut self.tracer,
+                cp_trace: &mut self.cp_tracer,
             };
             f(agent, &mut ctx);
             self.flush_agent_outbox(node, idx);
@@ -893,8 +1007,8 @@ impl Simulator {
                 },
             );
         }
-        for (delay, to, payload) in controls.drain(..) {
-            self.push_control(self.now + delay, node, to, payload);
+        for (delay, to, payload, meta) in controls.drain(..) {
+            self.push_control(self.now + delay, node, to, payload, meta);
         }
         // Nothing refills the outbox while events are being pushed
         // (callbacks only run from `dispatch`), so restoring the drained
@@ -927,8 +1041,8 @@ impl Simulator {
         }
         // Apps do not send control messages, but tolerate it (delivered
         // as if from this node's agents).
-        for (delay, to, payload) in controls.drain(..) {
-            self.push_control(self.now + delay, node, to, payload);
+        for (delay, to, payload, meta) in controls.drain(..) {
+            self.push_control(self.now + delay, node, to, payload, meta);
         }
         for (delay, token) in timers.drain(..) {
             self.push(self.now + delay, EventKind::AppTimer { addr, token });
@@ -1587,5 +1701,83 @@ mod tests {
         // Sends at t ∈ [50ms, 100ms) vanish: 50 of the 200.
         assert_eq!(sim.stats.cp_outage_dropped, 50);
         assert_eq!(delivered.load(AtomicOrdering::Relaxed), 150);
+    }
+
+    /// Full control-plane trace over a faulty channel: byte-identical
+    /// across runs, one verdict per send, and event counts reconciling
+    /// exactly with the engine's `cp_*` counters.
+    #[test]
+    fn cp_trace_pairs_every_send_with_a_verdict() {
+        use crate::cp_trace::CpFlightRecorder;
+        use crate::faults::{FaultConfig, FaultPlane, Outage};
+        let run = || {
+            let plane = FaultPlane::new(FaultConfig {
+                seed: 42,
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                jitter_max: SimDuration::from_millis(3),
+                outages: vec![Outage {
+                    node: NodeId(2),
+                    from: SimTime::from_millis(50),
+                    until: SimTime::from_millis(100),
+                    crash: true,
+                }],
+            });
+            let topo = Topology::line(3);
+            let mut sim = Simulator::new(topo, 1);
+            let rec = Arc::new(Mutex::new(CpFlightRecorder::new(1 << 12)));
+            sim.set_cp_trace_sink(Box::new(rec.clone()), 1);
+            let delivered = Arc::new(AtomicU64::new(0));
+            sim.add_agent(
+                NodeId(2),
+                Box::new(CtrlProbe {
+                    delivered,
+                    crashes: Arc::new(AtomicU64::new(0)),
+                }),
+            );
+            sim.install_fault_plane(plane);
+            for i in 0..200u64 {
+                sim.deliver_control(SimTime::from_millis(i), NodeId(0), NodeId(2), 7u32);
+            }
+            sim.run_until(SimTime::from_secs(1));
+            let jsonl = rec.lock().unwrap().export_jsonl_string();
+            (sim.stats.clone(), jsonl)
+        };
+        let (stats, a) = run();
+        let (_, b) = run();
+        assert_eq!(a, b, "fixed seed must reproduce the JSONL byte-for-byte");
+        let count = |needle: &str| a.lines().filter(|l| l.contains(needle)).count() as u64;
+        assert_eq!(count("\"kind\":\"send\""), stats.cp_msgs);
+        assert_eq!(count("\"kind\":\"verdict\""), stats.cp_msgs);
+        assert_eq!(count("\"kind\":\"crash\""), stats.node_crashes);
+        assert_eq!(count("\"outcome\":\"drop\""), stats.cp_fault_dropped);
+        assert_eq!(count("\"outcome\":\"outage\""), stats.cp_outage_dropped);
+        assert_eq!(count("\"dup_extra\":"), stats.cp_fault_duplicated);
+        // Scheduled crashes carry their outage-window index.
+        assert!(a.contains("\"kind\":\"crash\",\"node\":2,\"window\":0"));
+    }
+
+    /// Control tracing must not change what the simulation does.
+    #[test]
+    fn cp_tracing_is_observation_only() {
+        use crate::cp_trace::CpFlightRecorder;
+        use crate::faults::{FaultConfig, FaultPlane};
+        let run = |trace: bool| {
+            let plane = FaultPlane::new(FaultConfig {
+                seed: 9,
+                drop_prob: 0.25,
+                dup_prob: 0.25,
+                jitter_max: SimDuration::from_millis(3),
+                ..FaultConfig::default()
+            });
+            let (mut sim, delivered, _) = ctrl_probe_sim(Some(plane));
+            if trace {
+                let rec = Arc::new(Mutex::new(CpFlightRecorder::new(1 << 12)));
+                sim.set_cp_trace_sink(Box::new(rec), 1);
+            }
+            sim.run_until(SimTime::from_secs(1));
+            (sim.stats.events, delivered.load(AtomicOrdering::Relaxed))
+        };
+        assert_eq!(run(false), run(true));
     }
 }
