@@ -171,6 +171,7 @@ fn trigger_case(
     };
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner,
         stage: svc.stage(),
         spec: svc.compile(),

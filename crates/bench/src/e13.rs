@@ -127,6 +127,7 @@ fn run_cell(
         dup_prob: loss / 2.0,
         jitter_max: SimDuration::from_millis(10),
         outages,
+        partitions: Vec::new(),
     }));
     if let Some((rec, one_in)) = trace {
         sim.set_cp_trace_sink(Box::new(rec.clone()), one_in);

@@ -80,6 +80,7 @@ fn rules_vs_subscribers(subscribers: &[usize]) -> Vec<RuleRow> {
                 for s in &services {
                     dev.apply(DeviceCommand::InstallService {
                         txn: 0,
+                        lease_until: SimTime::MAX,
                         owner,
                         stage: s.stage(),
                         spec: s.compile(),
@@ -114,6 +115,7 @@ fn device_throughput(owners: usize, pkts: u64, seed: u64) -> (ThroughputRow, dtc
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner,
             stage: Stage::Dst,
             spec: CatalogService::FirewallBlock {

@@ -145,6 +145,7 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
     for (_, spec, _) in adversarial_corpus() {
         let reply = dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner: OwnerId(1),
             stage: Stage::Dst,
             spec: ServiceSpec::chain("adv", vec![spec]),
@@ -173,6 +174,7 @@ pub fn run(_opts: &crate::RunOpts) -> Report {
     // A hair-trigger that fires/relieves constantly: an event storm.
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner,
         stage: Stage::Dst,
         spec: ServiceSpec::chain(
@@ -294,6 +296,7 @@ fn storm_with_budget(
     });
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner,
         stage: Stage::Dst,
         spec: ServiceSpec::chain(

@@ -11,6 +11,7 @@ pub mod e10;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -42,7 +43,8 @@ pub struct RunOpts {
     /// every register → deploy → install → confirm lifecycle event of one
     /// designated run, captured with full (1-in-1) transaction sampling.
     /// Only experiments that wire the control recorder honour it
-    /// (currently e13, which traces its 20%-loss crash-churn cell).
+    /// (currently e13, which traces its 20%-loss crash-churn cell, and
+    /// e14, which traces its longest-partition shortest-lease cell).
     /// Alongside `PATH` the traced experiment writes `PATH.metrics.json`
     /// and `PATH.prom` — the unified [`dtcs::netsim::MetricsSnapshot`]
     /// registry of that run in JSON and Prometheus text form. Tracing is
@@ -95,7 +97,7 @@ type ExperimentEntry = (&'static str, fn(&RunOpts) -> Report);
 /// [`ALL`] and [`run_experiment`] both derive from this table, so adding
 /// an experiment (say e13) is one new row here plus its module; the id
 /// list and the dispatch can no longer drift apart.
-pub const EXPERIMENTS: [ExperimentEntry; 13] = [
+pub const EXPERIMENTS: [ExperimentEntry; 14] = [
     ("e1", e1::run),
     ("e2", e2::run),
     ("e3", e3::run),
@@ -109,6 +111,7 @@ pub const EXPERIMENTS: [ExperimentEntry; 13] = [
     ("e11", e11::run),
     ("e12", e12::run),
     ("e13", e13::run),
+    ("e14", e14::run),
 ];
 
 /// All experiment ids in order (derived from [`EXPERIMENTS`]).
@@ -134,7 +137,7 @@ pub fn run_experiment(id: &str, opts: &RunOpts) -> Option<Report> {
 /// trait (`--sweep` mode). Every registered experiment is sweep-capable;
 /// a new experiment must ship its cell adapter alongside its `run()`
 /// (enforced by the registry-completeness test in [`sweep`]).
-pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 13] = [
+pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 14] = [
     &e1::Sweep,
     &e2::Sweep,
     &e3::Sweep,
@@ -148,6 +151,7 @@ pub static SWEEP_EXPERIMENTS: [&dyn sweep::GridExperiment; 13] = [
     &e11::Sweep,
     &e12::Sweep,
     &e13::Sweep,
+    &e14::Sweep,
 ];
 
 /// Look up a sweep-capable experiment by id.

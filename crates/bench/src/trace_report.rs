@@ -221,6 +221,7 @@ fn validate(ev: &Ev) -> Result<(), String> {
                     req(ev.jitter.is_some(), "jitter")?;
                 }
                 Some("drop") | Some("outage") => {}
+                Some("partition") => req(ev.window.is_some(), "window")?,
                 other => return Err(format!("verdict outcome {other:?} unknown")),
             }
         }
@@ -265,11 +266,12 @@ fn validate(ev: &Ev) -> Result<(), String> {
 
 /// Attribution bucket names, in report order. Every nanosecond of the
 /// convergence window lands in exactly one.
-pub const BUCKETS: [&str; 6] = [
+pub const BUCKETS: [&str; 7] = [
     "baseline_protocol",
     "channel_loss",
     "dup_suppression",
     "nms_outage",
+    "partition_loss",
     "device_crash_reconcile",
     "retry_backoff_idle",
 ];
@@ -305,6 +307,7 @@ enum LastVerdict {
     Dropped,
     OutageCrash,
     Outage,
+    Partitioned,
     Delivered,
 }
 
@@ -385,6 +388,7 @@ pub fn analyze(evs: &[Ev]) -> Result<Analysis, String> {
                         "nms_outage"
                     }
                 }
+                Some("partition") => "partition_loss",
                 _ => "baseline_protocol",
             },
             "dedup_hit" => "dup_suppression",
@@ -393,6 +397,7 @@ pub fn analyze(evs: &[Ev]) -> Result<Analysis, String> {
                     Some(LastVerdict::Dropped) => "channel_loss",
                     Some(LastVerdict::OutageCrash) => "device_crash_reconcile",
                     Some(LastVerdict::Outage) => "nms_outage",
+                    Some(LastVerdict::Partitioned) => "partition_loss",
                     // Delivered (dup in flight) or unknown: the timer
                     // itself was the wait — pure backoff idling.
                     _ => "retry_backoff_idle",
@@ -419,6 +424,7 @@ pub fn analyze(evs: &[Ev]) -> Result<Analysis, String> {
                             LastVerdict::Outage
                         }
                     }
+                    Some("partition") => LastVerdict::Partitioned,
                     _ => LastVerdict::Delivered,
                 };
                 last_verdict.insert(k, v);
@@ -544,6 +550,9 @@ mod tests {
         let e = ev("{\"t\":7,\"kind\":\"verdict\",\"from\":2,\"to\":3,\
              \"outcome\":\"deliver\",\"deliver\":1000,\"jitter\":30,\"dup_extra\":12}");
         assert_eq!(e.dup_extra, Some(12));
+        let e = ev("{\"t\":7,\"kind\":\"verdict\",\"from\":2,\"to\":3,\
+             \"outcome\":\"partition\",\"window\":2}");
+        assert_eq!(e.window, Some(2));
         ev("{\"t\":8,\"kind\":\"crash\",\"node\":5,\"window\":3}");
         ev("{\"t\":9,\"kind\":\"sweep\",\"node\":1}");
         ev("{\"t\":10,\"kind\":\"retry_stale\",\"node\":1,\"family\":2}");
@@ -583,6 +592,13 @@ mod tests {
             parse_line("{\"t\":1,\"kind\":\"verdict\",\"from\":0,\"to\":1,\"outcome\":\"maybe\"}")
                 .is_err(),
             "unknown verdict outcome"
+        );
+        assert!(
+            parse_line(
+                "{\"t\":1,\"kind\":\"verdict\",\"from\":0,\"to\":1,\"outcome\":\"partition\"}"
+            )
+            .is_err(),
+            "partition verdict without its window index"
         );
     }
 
@@ -685,6 +701,48 @@ mod tests {
         assert_eq!(a.buckets["device_crash_reconcile"], 20 + 60);
         assert_eq!(a.buckets["nms_outage"], 0);
         assert_eq!(a.buckets["baseline_protocol"], 10);
+    }
+
+    #[test]
+    fn partition_swallows_attribute_to_partition_loss() {
+        // A partition verdict ends its gap in partition_loss, and the
+        // retry fired to repair it inherits the same attribution —
+        // time lost to a cut is charged to the cut, not to backoff.
+        let evs = vec![
+            send(10, 7, 1),
+            ev("{\"t\":40,\"kind\":\"verdict\",\"origin\":7,\"txn\":1,\
+                 \"attempt\":0,\"mkind\":1,\"from\":0,\"to\":1,\
+                 \"outcome\":\"partition\",\"window\":0}"),
+            fire(100, 7, 1), // last verdict: partition → still the cut's fault
+            send(100, 7, 1),
+            verdict(100, 7, 1, "deliver"),
+            terminal(150, 7, 1, "confirmed"),
+        ];
+        let a = analyze(&evs).unwrap();
+        assert_eq!(a.window_ns(), 140);
+        assert_eq!(a.buckets.values().sum::<u64>(), 140, "exact attribution");
+        assert_eq!(a.buckets["partition_loss"], 30 + 60);
+        assert_eq!(a.buckets["baseline_protocol"], 50);
+        assert_eq!(a.buckets["nms_outage"], 0, "a cut is not an outage");
+    }
+
+    #[test]
+    fn withdrawal_terminals_satisfy_the_gate() {
+        // The withdrawal/renewal vocabulary terminates its transactions
+        // like any other: sends with a "withdrawn" / "renewed" terminal
+        // pass the every-transaction-terminated gate and tally.
+        let evs = vec![
+            send(10, 7, 1),
+            verdict(10, 7, 1, "deliver"),
+            terminal(20, 7, 1, "withdrawn"),
+            send(30, 0, 1 << 62),
+            verdict(30, 0, 1 << 62, "deliver"),
+            terminal(40, 0, 1 << 62, "renewed"),
+        ];
+        let a = analyze(&evs).unwrap();
+        assert_eq!(a.groups, 2);
+        assert_eq!(a.outcomes.get("withdrawn"), Some(&1));
+        assert_eq!(a.outcomes.get("renewed"), Some(&1));
     }
 
     #[test]

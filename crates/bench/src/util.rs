@@ -225,6 +225,36 @@ pub fn control_metrics(
         cp.reconcile_reinstalls,
         "Services reinstalled by an anti-entropy sweep",
     );
+    s.push_counter(
+        "cp_lease_renewals",
+        cp.lease_renewals,
+        "Lease renewals issued by NMS renewal rounds",
+    );
+    s.push_counter(
+        "cp_lease_expirations",
+        cp.lease_expirations,
+        "Desired-state entries dropped because their credential expired",
+    );
+    s.push_counter(
+        "cp_withdrawals",
+        cp.withdrawals,
+        "Owner-initiated withdrawal transactions accepted by the TCSP",
+    );
+    s.push_counter(
+        "cp_withdraw_removes",
+        cp.withdraw_removes,
+        "Device removals confirmed during withdrawal fan-in",
+    );
+    s.push_counter(
+        "cp_reconcile_removals",
+        cp.reconcile_removals,
+        "Undesired device-resident services removed by an anti-entropy sweep",
+    );
+    s.push_counter(
+        "cp_expired_deploys",
+        cp.expired_deploys,
+        "Deploy attempts rejected because the credential expired",
+    );
     s
 }
 
@@ -319,15 +349,18 @@ mod tests {
         let cp = dtcs::control::CpStats {
             retransmits: 2,
             reconcile_reinstalls: 5,
+            expired_deploys: 9,
             ..Default::default()
         };
         let s = control_metrics(&st, &cp);
         assert_eq!(s.get("cp_retransmits"), Some(2.0));
         assert_eq!(s.get("cp_reconcile_reinstalls"), Some(5.0));
+        assert_eq!(s.get("cp_lease_renewals"), Some(0.0));
+        assert_eq!(s.get("cp_withdrawals"), Some(0.0));
         let json = s.to_json_string();
         // CpStats counters extend the engine registry, in declaration
         // order, with the protocol prefix.
-        assert!(json.ends_with("\"cp_reconcile_reinstalls\":5}"), "{json}");
+        assert!(json.ends_with("\"cp_expired_deploys\":9}"), "{json}");
         let a = json.find("\"cp_msgs\":").expect("engine counter");
         let b = json.find("\"cp_retransmits\":").expect("protocol counter");
         assert!(a < b, "engine registry precedes the CpStats suffix");

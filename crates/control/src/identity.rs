@@ -67,6 +67,14 @@ impl Certificate {
         now < self.expires_at && self.sig == tag(key, self.user, &self.prefixes, self.expires_at)
     }
 
+    /// Signature check alone, ignoring freshness. Withdrawal uses this:
+    /// an owner whose certificate expired mid-flight may still *reduce*
+    /// their footprint (tearing filters down is always safe), they just
+    /// may no longer extend it — that requires [`Certificate::verify`].
+    pub fn authentic(&self, key: u64) -> bool {
+        self.sig == tag(key, self.user, &self.prefixes, self.expires_at)
+    }
+
     /// Does this certificate authorise control over `prefix`?
     pub fn covers(&self, prefix: Prefix) -> bool {
         self.prefixes.iter().any(|p| p.covers(prefix))
@@ -153,6 +161,20 @@ mod tests {
         let c = cert(111);
         assert!(!c.verify(111, SimTime::from_secs(1000)));
         assert!(!c.verify(111, SimTime::from_secs(2000)));
+    }
+
+    #[test]
+    fn authentic_ignores_expiry_but_not_forgery() {
+        let c = cert(111);
+        assert!(c.authentic(111), "fresh certificate is authentic");
+        assert!(
+            c.authentic(111),
+            "still authentic past expiry (withdrawal path)"
+        );
+        assert!(!c.authentic(222), "wrong key is never authentic");
+        let mut t = c.clone();
+        t.expires_at = SimTime::from_secs(9999);
+        assert!(!t.authentic(111), "tampered expiry breaks the signature");
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub use identity::{Certificate, UserId};
 pub use plane::{
     AuthorityAgent, CpMsg, DeployScope, Envelope, IspContract, NmsAgent, RegistrationError, Role,
     TcspAgent, TcspHandle, TcspStats, UserAgent, UserHandle, UserOp, UserRecord, RECONCILE_TXN,
-    TOKEN_REGISTER, TOKEN_SWEEP,
+    RENEW_TXN_BASE, TOKEN_REGISTER, TOKEN_RENEW, TOKEN_SWEEP, TOKEN_WITHDRAW,
 };
 pub use retry::{CpStats, CpStatsHandle, Dedup, MsgKey, Retransmitter, RetryEvent, RetryPolicy};
-pub use scenario::{partition_by_provider, ControlPlane};
+pub use scenario::{partition_by_provider, ControlPlane, ControlPlaneConfig};

@@ -171,6 +171,50 @@ pub enum CpMsg {
         /// Node to confirm to.
         reply_to: NodeId,
     },
+    /// User → TCSP: tear down every service deployed under this
+    /// certificate. Accepted on an *authentic* certificate even past its
+    /// expiry — reducing one's own footprint is always safe (see
+    /// [`Certificate::authentic`]).
+    WithdrawRequest {
+        /// Authorisation (signature checked; freshness deliberately not).
+        cert: Certificate,
+        /// Transaction id (chosen by the user).
+        txn: u64,
+        /// Node to confirm to.
+        reply_to: NodeId,
+    },
+    /// TCSP → NMS: remove this owner's services from every managed
+    /// device and drop them from desired state.
+    NmsWithdraw {
+        /// Owner whose services are withdrawn.
+        owner: OwnerId,
+        /// Transaction id.
+        txn: u64,
+        /// Node to ack to.
+        reply_to: NodeId,
+    },
+    /// NMS → TCSP: withdrawal executed on this ISP.
+    NmsWithdrawAck {
+        /// Transaction id.
+        txn: u64,
+        /// The acking NMS node (dedup key for multi-ISP fan-in).
+        from_nms: NodeId,
+        /// Device removals confirmed by this ISP.
+        removed: usize,
+    },
+    /// TCSP → user: whole withdrawal confirmed.
+    WithdrawConfirm {
+        /// Transaction id.
+        txn: u64,
+        /// Total device removals confirmed.
+        removed: usize,
+        /// ISPs that acked.
+        isps: usize,
+        /// ISPs that never acked within the retry budget. Their devices
+        /// still converge: every leased install reaps itself within one
+        /// lease length of losing renewals.
+        isps_missing: usize,
+    },
 }
 
 impl CpMsg {
@@ -187,6 +231,10 @@ impl CpMsg {
             CpMsg::NmsAck { .. } => 7,
             CpMsg::DeployConfirm { .. } => 8,
             CpMsg::OpRequest { .. } => 9,
+            CpMsg::WithdrawRequest { .. } => 17,
+            CpMsg::NmsWithdraw { .. } => 18,
+            CpMsg::NmsWithdrawAck { .. } => 19,
+            CpMsg::WithdrawConfirm { .. } => 20,
         }
     }
 }
@@ -286,24 +334,41 @@ const FAM_TCSP_VERIFY: u64 = 0x0003 << 48;
 const FAM_TCSP_DEPLOY: u64 = 0x0004 << 48;
 const FAM_TCSP_DEADLINE: u64 = 0x0005 << 48;
 const FAM_NMS_INSTALL: u64 = 0x0006 << 48;
+const FAM_NMS_RENEW: u64 = 0x0008 << 48;
+const FAM_TCSP_WITHDRAW: u64 = 0x0009 << 48;
+const FAM_NMS_REMOVE: u64 = 0x000A << 48;
+const FAM_USER_WITHDRAW: u64 = 0x000B << 48;
 
 /// Timer token that starts one NMS anti-entropy inventory sweep (the
 /// scenario schedules the first; the agent re-arms itself).
 pub const TOKEN_SWEEP: u64 = 0x0007 << 48;
+
+/// Timer token that starts one NMS lease-renewal round (the scenario
+/// schedules the first; the agent re-arms itself every
+/// [`NmsAgent::with_leases`] `renew_every`).
+pub const TOKEN_RENEW: u64 = 0x000C << 48;
 
 /// Marker transaction id stamped on reconciliation re-installs. Replies
 /// to these are intentionally untracked: a sweep repairs by repetition —
 /// if the re-install is lost too, the next sweep finds the gap again.
 pub const RECONCILE_TXN: u64 = u64::MAX;
 
+/// Base of the transaction-id range used for NMS-initiated lease
+/// renewals (origin 0): renewal `k` is `RENEW_TXN_BASE + k`. Disjoint
+/// from user txns (`user << 16 | n`) and TCSP verify txns (small
+/// counters); [`RECONCILE_TXN`] sits above the range and keeps its
+/// untracked repair-by-repetition semantics.
+pub const RENEW_TXN_BASE: u64 = 1 << 62;
+
 use crate::retry::FAMILY_MASK;
 
 // Flight-recorder message-kind ids for raw device commands, continuing
-// [`CpMsg::kind_id`]'s 1–9 numbering (device replies answer with 13–16,
-// see `DeviceReply::kind_id`).
+// [`CpMsg::kind_id`]'s 1–9 numbering (device replies answer with 13–16
+// and 22, see `DeviceReply::kind_id`; withdrawal CpMsgs use 17–20).
 const KIND_REGISTER_OWNER: u8 = 10;
 const KIND_INSTALL_SERVICE: u8 = 11;
 const KIND_QUERY_INVENTORY: u8 = 12;
+const KIND_REMOVE_SERVICE: u8 = 21;
 
 /// The number authority as an agent. Verification is pure, so the agent
 /// is naturally idempotent: a duplicated request just recomputes and
@@ -401,6 +466,25 @@ struct DeployOutcome {
     isps_missing: usize,
 }
 
+struct PendingWithdraw {
+    origin: u64,
+    reply_to: NodeId,
+    awaiting: usize,
+    acked: BTreeSet<NodeId>,
+    missing: usize,
+    removed: usize,
+}
+
+/// Cached outcome of a completed withdrawal, for re-acking duplicates.
+#[derive(Clone, Copy)]
+struct WithdrawOutcome {
+    origin: u64,
+    reply_to: NodeId,
+    removed: usize,
+    isps: usize,
+    isps_missing: usize,
+}
+
 /// TCSP observability.
 #[derive(Clone, Debug, Default)]
 pub struct TcspStats {
@@ -437,8 +521,11 @@ pub struct TcspAgent {
     reg_done: BTreeMap<(u64, u64), Result<Certificate, RegistrationError>>,
     pending_deploy: BTreeMap<u64, PendingDeploy>,
     deploy_done: BTreeMap<u64, DeployOutcome>,
+    pending_withdraw: BTreeMap<u64, PendingWithdraw>,
+    withdraw_done: BTreeMap<u64, WithdrawOutcome>,
     verify_rt: Retransmitter<u64, (UserId, Vec<Prefix>)>,
     deploy_rt: Retransmitter<(u64, NodeId), (u64, Certificate, CatalogService, Vec<NodeId>)>,
+    withdraw_rt: Retransmitter<(u64, NodeId), (u64, OwnerId)>,
     stats: TcspHandle,
     cp: CpStatsHandle,
 }
@@ -467,8 +554,15 @@ impl TcspAgent {
                 reg_done: BTreeMap::new(),
                 pending_deploy: BTreeMap::new(),
                 deploy_done: BTreeMap::new(),
+                pending_withdraw: BTreeMap::new(),
+                withdraw_done: BTreeMap::new(),
                 verify_rt: Retransmitter::new(FAM_TCSP_VERIFY, RetryPolicy::default(), key ^ 0xA),
                 deploy_rt: Retransmitter::new(FAM_TCSP_DEPLOY, RetryPolicy::default(), key ^ 0xB),
+                withdraw_rt: Retransmitter::new(
+                    FAM_TCSP_WITHDRAW,
+                    RetryPolicy::default(),
+                    key ^ 0x1F,
+                ),
                 stats: stats.clone(),
                 cp: CpStatsHandle::default(),
             },
@@ -480,6 +574,15 @@ impl TcspAgent {
     /// Share the control-plane-wide reliability counters.
     pub fn with_cp_stats(mut self, cp: CpStatsHandle) -> TcspAgent {
         self.cp = cp;
+        self
+    }
+
+    /// Override the lifetime of issued certificates (default 24 h).
+    /// Short lifetimes let scenarios exercise mid-flight credential
+    /// expiry: deploys presented (or retried) past the expiry are
+    /// rejected and counted in `CpStats::expired_deploys`.
+    pub fn with_cert_lifetime(mut self, lifetime: SimDuration) -> TcspAgent {
+        self.cert_lifetime = lifetime;
         self
     }
 
@@ -581,6 +684,59 @@ impl TcspAgent {
         }
         self.deploy_done.insert(txn, out);
         self.send_deploy_confirm(ctx, txn, out);
+    }
+
+    fn send_withdraw_confirm(&self, ctx: &mut AgentCtx<'_>, txn: u64, out: WithdrawOutcome) {
+        let delay = ctx.path_delay(out.reply_to) + PROC_DELAY;
+        send_env(
+            ctx,
+            out.reply_to,
+            delay,
+            Envelope {
+                to: Role::User,
+                key: MsgKey::first(out.origin, txn),
+                msg: CpMsg::WithdrawConfirm {
+                    txn,
+                    removed: out.removed,
+                    isps: out.isps,
+                    isps_missing: out.isps_missing,
+                },
+            },
+        );
+    }
+
+    /// Close out a pending withdrawal: cache the outcome and confirm to
+    /// the user. Missing ISPs are not chased further — their devices
+    /// reap the orphaned filters themselves when the lease runs out.
+    fn finish_withdraw(&mut self, ctx: &mut AgentCtx<'_>, txn: u64) {
+        let Some(p) = self.pending_withdraw.remove(&txn) else {
+            return;
+        };
+        let out = WithdrawOutcome {
+            origin: p.origin,
+            reply_to: p.reply_to,
+            removed: p.removed,
+            isps: p.acked.len(),
+            isps_missing: p.missing,
+        };
+        self.withdraw_done.insert(txn, out);
+        self.send_withdraw_confirm(ctx, txn, out);
+    }
+
+    /// Record a credential rejected for staleness (authentic signature,
+    /// expired lifetime): counter and trace event stay 1:1.
+    fn note_expired_deploy(&mut self, ctx: &mut AgentCtx<'_>, origin: u64, txn: u64) {
+        self.cp.lock().expired_deploys += 1;
+        if ctx.cp_trace_enabled() {
+            ctx.cp_event(CpTraceEvent::State {
+                t: ctx.now.0,
+                origin,
+                txn,
+                node: ctx.node,
+                actor: "tcsp",
+                state: "cert_expired",
+            });
+        }
     }
 }
 
@@ -718,6 +874,25 @@ impl NodeAgent for TcspAgent {
                 attempt,
                 ..
             } => {
+                if !cert.verify(self.key, ctx.now) && cert.authentic(self.key) {
+                    // The credential expired while this leg was still
+                    // retrying: no filter may be installed under a dead
+                    // authority. Stop chasing the ISP and count the leg
+                    // missing (partial confirm once the rest resolve).
+                    self.deploy_rt.ack(&(txn, nms));
+                    self.note_expired_deploy(ctx, origin, txn);
+                    let finish = match self.pending_deploy.get_mut(&txn) {
+                        Some(p) => {
+                            p.missing += 1;
+                            p.acked.len() + p.missing >= p.awaiting
+                        }
+                        None => false,
+                    };
+                    if finish {
+                        self.finish_deploy(ctx, txn, 0);
+                    }
+                    return;
+                }
                 self.cp.lock().retransmits += 1;
                 if ctx.cp_trace_enabled() {
                     ctx.cp_event(CpTraceEvent::RetryFire {
@@ -750,6 +925,7 @@ impl NodeAgent for TcspAgent {
                         },
                     },
                 );
+                return;
             }
             RetryEvent::GaveUp {
                 key: (txn, nms),
@@ -778,6 +954,85 @@ impl NodeAgent for TcspAgent {
                 };
                 if finish {
                     self.finish_deploy(ctx, txn, 0);
+                }
+                return;
+            }
+        }
+        match self.withdraw_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
+            RetryEvent::Resend {
+                key: (txn, nms),
+                payload: (origin, owner),
+                attempt,
+                ..
+            } => {
+                self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: nms,
+                    });
+                }
+                let delay = ctx.path_delay(nms) + PROC_DELAY;
+                send_env(
+                    ctx,
+                    nms,
+                    delay,
+                    Envelope {
+                        to: Role::Nms,
+                        key: MsgKey {
+                            origin,
+                            txn,
+                            attempt,
+                        },
+                        msg: CpMsg::NmsWithdraw {
+                            owner,
+                            txn,
+                            reply_to: ctx.node,
+                        },
+                    },
+                );
+            }
+            RetryEvent::GaveUp {
+                key: (txn, nms),
+                payload: (origin, ..),
+                ..
+            } => {
+                // Partition-tolerant teardown: the unreachable ISP's
+                // devices still reap their filters when the lease runs
+                // out, so give up here and confirm with what we have.
+                self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        node: ctx.node,
+                        dest: nms,
+                    });
+                }
+                let finish = match self.pending_withdraw.get_mut(&txn) {
+                    Some(p) => {
+                        p.missing += 1;
+                        p.acked.len() + p.missing >= p.awaiting
+                    }
+                    None => false,
+                };
+                if finish {
+                    self.finish_withdraw(ctx, txn);
                 }
             }
         }
@@ -929,6 +1184,13 @@ impl NodeAgent for TcspAgent {
                     return;
                 }
                 if !cert.verify(self.key, ctx.now) {
+                    if cert.authentic(self.key) {
+                        // Genuine credential whose lifetime ran out
+                        // (e.g. while the request sat in a retry queue):
+                        // refuse to extend a dead authority's footprint,
+                        // and account for it so the gap is observable.
+                        self.note_expired_deploy(ctx, env.key.origin, *txn);
+                    }
                     return;
                 }
                 self.stats.lock().deployments += 1;
@@ -1059,6 +1321,115 @@ impl NodeAgent for TcspAgent {
                     );
                 }
             }
+            CpMsg::WithdrawRequest {
+                cert,
+                txn,
+                reply_to,
+            } => {
+                if let Some(out) = self.withdraw_done.get(txn).copied() {
+                    self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
+                    self.send_withdraw_confirm(ctx, *txn, out);
+                    return;
+                }
+                if self.pending_withdraw.contains_key(txn) {
+                    self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
+                    return;
+                }
+                // Withdrawal only *shrinks* the owner's footprint, so an
+                // expired-but-genuine certificate is still honoured; a
+                // forged one is not.
+                if !cert.authentic(self.key) {
+                    return;
+                }
+                self.cp.lock().withdrawals += 1;
+                let origin = env.key.origin;
+                let owner = OwnerId(cert.user.0);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::State {
+                        t: ctx.now.0,
+                        origin,
+                        txn: *txn,
+                        node: ctx.node,
+                        actor: "tcsp",
+                        state: "withdraw_fanout",
+                    });
+                }
+                let isps = self.isps.clone();
+                let mut awaiting = 0;
+                for isp in &isps {
+                    awaiting += 1;
+                    self.withdraw_rt.track(
+                        ctx,
+                        (*txn, isp.nms_node),
+                        isp.nms_node,
+                        (origin, owner),
+                    );
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::RetrySchedule {
+                            t: ctx.now.0,
+                            origin,
+                            txn: *txn,
+                            node: ctx.node,
+                            dest: isp.nms_node,
+                        });
+                    }
+                    let delay = ctx.path_delay(isp.nms_node) + PROC_DELAY;
+                    send_env(
+                        ctx,
+                        isp.nms_node,
+                        delay,
+                        Envelope {
+                            to: Role::Nms,
+                            key: MsgKey::first(origin, *txn),
+                            msg: CpMsg::NmsWithdraw {
+                                owner,
+                                txn: *txn,
+                                reply_to: ctx.node,
+                            },
+                        },
+                    );
+                }
+                self.pending_withdraw.insert(
+                    *txn,
+                    PendingWithdraw {
+                        origin,
+                        reply_to: *reply_to,
+                        awaiting,
+                        acked: BTreeSet::new(),
+                        missing: 0,
+                        removed: 0,
+                    },
+                );
+                if awaiting == 0 {
+                    self.finish_withdraw(ctx, *txn);
+                }
+            }
+            CpMsg::NmsWithdrawAck {
+                txn,
+                from_nms,
+                removed,
+            } => {
+                self.withdraw_rt.ack(&(*txn, *from_nms));
+                let done = {
+                    let Some(p) = self.pending_withdraw.get_mut(txn) else {
+                        self.cp.lock().dup_responses += 1;
+                        dup_hit(ctx, env, true);
+                        return;
+                    };
+                    if !p.acked.insert(*from_nms) {
+                        self.cp.lock().dup_responses += 1;
+                        dup_hit(ctx, env, true);
+                        return;
+                    }
+                    p.removed += removed;
+                    p.acked.len() + p.missing >= p.awaiting
+                };
+                if done {
+                    self.finish_withdraw(ctx, *txn);
+                }
+            }
             _ => {}
         }
     }
@@ -1078,6 +1449,26 @@ struct InstallJob {
     contact: NodeId,
     stage: Stage,
     spec: ServiceSpec,
+    /// Expiry of the authorising certificate. Leases granted to devices
+    /// never extend past it: no filter outlives its authority.
+    expires_at: SimTime,
+}
+
+/// One NMS-side withdrawal fan-out in flight: which `(device, stage)`
+/// removals are still unacknowledged.
+struct NmsPendingWithdraw {
+    origin: u64,
+    reply_to: NodeId,
+    awaiting: BTreeSet<(NodeId, Stage)>,
+    removed: usize,
+    lost: usize,
+}
+
+#[derive(Clone, Copy)]
+struct NmsWithdrawDone {
+    origin: u64,
+    reply_to: NodeId,
+    removed: usize,
 }
 
 struct NmsPendingDeploy {
@@ -1113,6 +1504,32 @@ pub struct NmsAgent {
     /// reference the anti-entropy sweep compares inventories against.
     desired: BTreeMap<(NodeId, OwnerId, Stage, u64), InstallJob>,
     reconcile_every: Option<SimDuration>,
+    /// Lease length granted with each install (None = lease only to the
+    /// certificate expiry). See [`NmsAgent::with_leases`].
+    lease_len: Option<SimDuration>,
+    /// Renewal cadence; the scenario schedules the first [`TOKEN_RENEW`]
+    /// timer and the agent re-arms itself every `renew_every`.
+    renew_every: Option<SimDuration>,
+    /// Retransmit chains for in-flight lease renewals, keyed
+    /// `(renew txn, device)`.
+    renew_rt: Retransmitter<(u64, NodeId), InstallJob>,
+    /// Monotonic sequence for renewal transactions
+    /// (`RENEW_TXN_BASE + seq`).
+    next_renew_seq: u64,
+    /// Retransmit chains for withdrawal removals, keyed
+    /// `(withdraw txn, device, stage)`.
+    remove_rt: Retransmitter<(u64, NodeId, Stage), OwnerId>,
+    pending_withdraw: BTreeMap<u64, NmsPendingWithdraw>,
+    withdraw_done: BTreeMap<u64, NmsWithdrawDone>,
+    /// When true the anti-entropy sweep also *removes* device-resident
+    /// services absent from desired state (bidirectional reconcile).
+    sweep_removes: bool,
+    /// Installs currently in flight — the sweep must not treat a service
+    /// as orphaned while its confirming ack is still on the wire.
+    installing: BTreeSet<(NodeId, OwnerId, Stage)>,
+    /// Owners withdrawn on this NMS: a late `InstallOk` for one must not
+    /// resurrect a desired-state entry. Cleared on a fresh deploy.
+    withdrawn: BTreeSet<OwnerId>,
     cp: CpStatsHandle,
     /// Deployments this NMS has executed (service name, node count).
     pub log: Vec<(String, usize)>,
@@ -1130,6 +1547,16 @@ impl NmsAgent {
             install_rt: Retransmitter::new(FAM_NMS_INSTALL, RetryPolicy::default(), tcsp_key ^ 0xC),
             desired: BTreeMap::new(),
             reconcile_every: None,
+            lease_len: None,
+            renew_every: None,
+            renew_rt: Retransmitter::new(FAM_NMS_RENEW, RetryPolicy::default(), tcsp_key ^ 0x2D),
+            next_renew_seq: 0,
+            remove_rt: Retransmitter::new(FAM_NMS_REMOVE, RetryPolicy::default(), tcsp_key ^ 0x3E),
+            pending_withdraw: BTreeMap::new(),
+            withdraw_done: BTreeMap::new(),
+            sweep_removes: false,
+            installing: BTreeSet::new(),
+            withdrawn: BTreeSet::new(),
             cp: CpStatsHandle::default(),
             log: Vec::new(),
         }
@@ -1140,6 +1567,27 @@ impl NmsAgent {
     /// every `every` thereafter.
     pub fn with_reconcile(mut self, every: SimDuration) -> NmsAgent {
         self.reconcile_every = Some(every);
+        self
+    }
+
+    /// Grant every install a lease of `lease_len` (clamped to the
+    /// credential expiry) and renew the whole desired state every
+    /// `renew_every`. The scenario must schedule the first
+    /// [`TOKEN_RENEW`] timer; the agent re-arms itself thereafter.
+    /// Devices reap any service whose lease lapses — an NMS partitioned
+    /// away from its devices can therefore never strand a filter for
+    /// longer than one lease length.
+    pub fn with_leases(mut self, lease_len: SimDuration, renew_every: SimDuration) -> NmsAgent {
+        self.lease_len = Some(lease_len);
+        self.renew_every = Some(renew_every);
+        self
+    }
+
+    /// Make the anti-entropy sweep bidirectional: device-resident
+    /// services with no desired-state entry (and no install in flight)
+    /// are removed, not just missing ones re-installed.
+    pub fn with_sweep_removals(mut self) -> NmsAgent {
+        self.sweep_removes = true;
         self
     }
 
@@ -1157,9 +1605,17 @@ impl NmsAgent {
         attempt: u32,
         job: &InstallJob,
     ) {
-        // Reconcile re-installs trace under the shared repair transaction
-        // `(0, RECONCILE_TXN)`; tracked installs keep their deploy key.
-        let origin = if txn == RECONCILE_TXN { 0 } else { job.origin };
+        // Reconcile re-installs and lease renewals trace under origin 0
+        // (`RECONCILE_TXN` / `RENEW_TXN_BASE + seq`); tracked installs
+        // keep their deploy key.
+        let origin = if txn >= RENEW_TXN_BASE { 0 } else { job.origin };
+        // Lease: never past the authorising credential's expiry; without
+        // explicit leasing the certificate lifetime alone bounds the
+        // install.
+        let lease_until = match self.lease_len {
+            Some(len) => (ctx.now + len).min(job.expires_at),
+            None => job.expires_at,
+        };
         let delay = ctx.path_delay(node) + PROC_DELAY;
         ctx.send_control_keyed(
             node,
@@ -1184,6 +1640,7 @@ impl NmsAgent {
                 owner: job.owner,
                 stage: job.stage,
                 spec: job.spec.clone(),
+                lease_until,
             },
             CpMeta {
                 origin,
@@ -1213,7 +1670,10 @@ impl NmsAgent {
             contact: reply_to, // telemetry goes to the requesting user
             stage: service.stage(),
             spec: service.compile(),
+            expires_at: cert.expires_at,
         };
+        // A fresh deployment supersedes any earlier withdrawal.
+        self.withdrawn.remove(&job.owner);
         if ctx.cp_trace_enabled() {
             ctx.cp_event(CpTraceEvent::State {
                 t: ctx.now.0,
@@ -1231,6 +1691,7 @@ impl NmsAgent {
             }
             self.send_install(ctx, node, txn, 0, &job);
             self.install_rt.track(ctx, (txn, node), node, job.clone());
+            self.installing.insert((node, job.owner, job.stage));
             if ctx.cp_trace_enabled() {
                 ctx.cp_event(CpTraceEvent::RetrySchedule {
                     t: ctx.now.0,
@@ -1334,6 +1795,130 @@ impl NmsAgent {
             });
         }
     }
+
+    fn send_remove(
+        &self,
+        ctx: &mut AgentCtx<'_>,
+        node: NodeId,
+        txn: u64,
+        attempt: u32,
+        origin: u64,
+        owner: OwnerId,
+        stage: Stage,
+    ) {
+        let delay = ctx.path_delay(node) + PROC_DELAY;
+        ctx.send_control_keyed(
+            node,
+            delay,
+            DeviceCommand::RemoveService { owner, stage, txn },
+            CpMeta {
+                origin,
+                txn,
+                attempt,
+                kind: KIND_REMOVE_SERVICE,
+            },
+        );
+    }
+
+    fn send_withdraw_ack(&self, ctx: &mut AgentCtx<'_>, txn: u64, done: NmsWithdrawDone) {
+        let delay = ctx.path_delay(done.reply_to) + PROC_DELAY;
+        send_env(
+            ctx,
+            done.reply_to,
+            delay,
+            Envelope {
+                to: Role::Tcsp,
+                key: MsgKey::first(done.origin, txn),
+                msg: CpMsg::NmsWithdrawAck {
+                    txn,
+                    from_nms: ctx.node,
+                    removed: done.removed,
+                },
+            },
+        );
+    }
+
+    fn finish_withdraw_if_done(&mut self, ctx: &mut AgentCtx<'_>, txn: u64) {
+        let finished = self
+            .pending_withdraw
+            .get(&txn)
+            .is_some_and(|p| p.awaiting.is_empty());
+        if !finished {
+            return;
+        }
+        let p = self.pending_withdraw.remove(&txn).expect("just checked");
+        let done = NmsWithdrawDone {
+            origin: p.origin,
+            reply_to: p.reply_to,
+            removed: p.removed,
+        };
+        self.withdraw_done.insert(txn, done);
+        self.send_withdraw_ack(ctx, txn, done);
+    }
+
+    /// One renewal round: expire desired-state entries whose authorising
+    /// certificate lapsed, then re-install (and thereby re-lease) every
+    /// surviving entry under a fresh tracked renewal transaction.
+    fn renew_round(&mut self, ctx: &mut AgentCtx<'_>) {
+        let expired: Vec<(NodeId, OwnerId, Stage, u64)> = self
+            .desired
+            .iter()
+            .filter(|(_, job)| job.expires_at <= ctx.now)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            self.desired.remove(&key);
+            self.cp.lock().lease_expirations += 1;
+            let txn = RENEW_TXN_BASE + self.next_renew_seq;
+            self.next_renew_seq += 1;
+            if ctx.cp_trace_enabled() {
+                ctx.cp_event(CpTraceEvent::State {
+                    t: ctx.now.0,
+                    origin: 0,
+                    txn,
+                    node: ctx.node,
+                    actor: "nms",
+                    state: "desired_expired",
+                });
+                ctx.cp_event(CpTraceEvent::Terminal {
+                    t: ctx.now.0,
+                    origin: 0,
+                    txn,
+                    node: ctx.node,
+                    outcome: "expired",
+                });
+            }
+        }
+        let live: Vec<(NodeId, InstallJob)> = self
+            .desired
+            .iter()
+            .map(|((node, ..), job)| (*node, job.clone()))
+            .collect();
+        for (node, job) in live {
+            self.cp.lock().lease_renewals += 1;
+            let txn = RENEW_TXN_BASE + self.next_renew_seq;
+            self.next_renew_seq += 1;
+            if ctx.cp_trace_enabled() {
+                ctx.cp_event(CpTraceEvent::State {
+                    t: ctx.now.0,
+                    origin: 0,
+                    txn,
+                    node: ctx.node,
+                    actor: "nms",
+                    state: "renew",
+                });
+                ctx.cp_event(CpTraceEvent::RetrySchedule {
+                    t: ctx.now.0,
+                    origin: 0,
+                    txn,
+                    node: ctx.node,
+                    dest: node,
+                });
+            }
+            self.send_install(ctx, node, txn, 0, &job);
+            self.renew_rt.track(ctx, (txn, node), node, job);
+        }
+    }
 }
 
 impl NodeAgent for NmsAgent {
@@ -1355,6 +1940,13 @@ impl NodeAgent for NmsAgent {
             self.sweep(ctx);
             if let Some(every) = self.reconcile_every {
                 ctx.set_timer(every, TOKEN_SWEEP);
+            }
+            return;
+        }
+        if token == TOKEN_RENEW {
+            self.renew_round(ctx);
+            if let Some(every) = self.renew_every {
+                ctx.set_timer(every, TOKEN_RENEW);
             }
             return;
         }
@@ -1387,6 +1979,7 @@ impl NodeAgent for NmsAgent {
                     });
                 }
                 self.send_install(ctx, node, txn, attempt, &job);
+                return;
             }
             RetryEvent::GaveUp {
                 key: (txn, node),
@@ -1413,12 +2006,153 @@ impl NodeAgent for NmsAgent {
                         state: "device_lost",
                     });
                 }
+                self.installing.remove(&(node, job.owner, job.stage));
                 if let Some(p) = self.pending.get_mut(&txn) {
                     if p.awaiting.remove(&node) {
                         p.lost += 1;
                     }
                 }
                 self.finish_if_done(ctx, txn);
+                return;
+            }
+        }
+        match self.renew_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
+            RetryEvent::Resend {
+                key: (txn, node),
+                payload: job,
+                attempt,
+                ..
+            } => {
+                if self.withdrawn.contains(&job.owner) {
+                    // The owner withdrew while this renewal was in
+                    // flight: retransmitting would re-install the filter
+                    // we just tore down. Abandon the chain instead.
+                    self.renew_rt.ack(&(txn, node));
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::Terminal {
+                            t: ctx.now.0,
+                            origin: 0,
+                            txn,
+                            node: ctx.node,
+                            outcome: "abandoned",
+                        });
+                    }
+                    return;
+                }
+                self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                }
+                self.send_install(ctx, node, txn, attempt, &job);
+                return;
+            }
+            RetryEvent::GaveUp {
+                key: (txn, node), ..
+            } => {
+                // A renewal that never lands is self-correcting: the
+                // device reaps the unrenewed lease, and the next sweep
+                // re-installs once the device is reachable again.
+                self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: 0,
+                        txn,
+                        node: ctx.node,
+                        outcome: "gave_up",
+                    });
+                }
+                return;
+            }
+        }
+        match self.remove_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
+            RetryEvent::Resend {
+                key: (txn, node, stage),
+                payload: owner,
+                attempt,
+                ..
+            } => {
+                let origin = self
+                    .pending_withdraw
+                    .get(&txn)
+                    .map(|p| p.origin)
+                    .unwrap_or(0);
+                self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                }
+                self.send_remove(ctx, node, txn, attempt, origin, owner, stage);
+            }
+            RetryEvent::GaveUp {
+                key: (txn, node, stage),
+                payload: owner,
+                ..
+            } => {
+                // Device unreachable: count the leg lost and let its
+                // lease reap the filter device-side.
+                self.cp.lock().give_ups += 1;
+                let origin = self
+                    .pending_withdraw
+                    .get(&txn)
+                    .map(|p| p.origin)
+                    .unwrap_or(0);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin,
+                        txn,
+                        node: ctx.node,
+                        dest: node,
+                    });
+                }
+                let _ = owner;
+                if let Some(p) = self.pending_withdraw.get_mut(&txn) {
+                    if p.awaiting.remove(&(node, stage)) {
+                        p.lost += 1;
+                    }
+                }
+                self.finish_withdraw_if_done(ctx, txn);
             }
         }
     }
@@ -1430,10 +2164,31 @@ impl NodeAgent for NmsAgent {
                     if *txn == RECONCILE_TXN {
                         return; // repair-by-repetition: untracked
                     }
+                    if *txn >= RENEW_TXN_BASE {
+                        // Lease renewal acknowledged.
+                        if self.renew_rt.take(&(*txn, *node)).is_some() {
+                            if ctx.cp_trace_enabled() {
+                                ctx.cp_event(CpTraceEvent::Terminal {
+                                    t: ctx.now.0,
+                                    origin: 0,
+                                    txn: *txn,
+                                    node: ctx.node,
+                                    outcome: "renewed",
+                                });
+                            }
+                        } else {
+                            self.cp.lock().dup_responses += 1;
+                            reply_dup_hit(ctx, msg, *txn, reply.kind_id());
+                        }
+                        return;
+                    }
                     if let Some(job) = self.install_rt.take(&(*txn, *node)) {
-                        let hash = job.spec.content_hash();
-                        self.desired
-                            .insert((*node, job.owner, job.stage, hash), job);
+                        self.installing.remove(&(*node, job.owner, job.stage));
+                        if !self.withdrawn.contains(&job.owner) {
+                            let hash = job.spec.content_hash();
+                            self.desired
+                                .insert((*node, job.owner, job.stage, hash), job);
+                        }
                     }
                     match self.pending.get_mut(txn) {
                         Some(p) if p.awaiting.contains(node) => {
@@ -1462,7 +2217,26 @@ impl NodeAgent for NmsAgent {
                     if *txn == RECONCILE_TXN {
                         return;
                     }
-                    self.install_rt.take(&(*txn, *node));
+                    if *txn >= RENEW_TXN_BASE {
+                        if self.renew_rt.take(&(*txn, *node)).is_some() {
+                            if ctx.cp_trace_enabled() {
+                                ctx.cp_event(CpTraceEvent::Terminal {
+                                    t: ctx.now.0,
+                                    origin: 0,
+                                    txn: *txn,
+                                    node: ctx.node,
+                                    outcome: "renew_rejected",
+                                });
+                            }
+                        } else {
+                            self.cp.lock().dup_responses += 1;
+                            reply_dup_hit(ctx, msg, *txn, reply.kind_id());
+                        }
+                        return;
+                    }
+                    if let Some(job) = self.install_rt.take(&(*txn, *node)) {
+                        self.installing.remove(&(*node, job.owner, job.stage));
+                    }
                     match self.pending.get_mut(txn) {
                         Some(p) if p.awaiting.contains(node) => {
                             p.awaiting.remove(node);
@@ -1511,6 +2285,80 @@ impl NodeAgent for NmsAgent {
                         }
                         self.send_install(ctx, n, RECONCILE_TXN, 0, &job);
                     }
+                    if self.sweep_removes {
+                        // Bidirectional pass: device-resident services
+                        // with no desired-state entry (any spec hash) and
+                        // no install in flight are orphans — remove them.
+                        let orphans: Vec<(OwnerId, Stage)> = installed
+                            .iter()
+                            .filter(|(owner, stage, _)| {
+                                !self.installing.contains(&(*node, *owner, *stage))
+                                    && self
+                                        .desired
+                                        .range(
+                                            (*node, *owner, *stage, 0)
+                                                ..=(*node, *owner, *stage, u64::MAX),
+                                        )
+                                        .next()
+                                        .is_none()
+                            })
+                            .map(|(owner, stage, _)| (*owner, *stage))
+                            .collect();
+                        for (owner, stage) in orphans {
+                            self.cp.lock().reconcile_removals += 1;
+                            if ctx.cp_trace_enabled() {
+                                ctx.cp_event(CpTraceEvent::State {
+                                    t: ctx.now.0,
+                                    origin: 0,
+                                    txn: RECONCILE_TXN,
+                                    node: ctx.node,
+                                    actor: "nms",
+                                    state: "remove_orphan",
+                                });
+                            }
+                            // Untracked, like reinstalls: repair is by
+                            // repetition on the next sweep.
+                            self.send_remove(ctx, *node, RECONCILE_TXN, 0, 0, owner, stage);
+                        }
+                    }
+                }
+                DeviceReply::RemoveOk {
+                    node,
+                    owner,
+                    stage,
+                    txn,
+                } => {
+                    if *txn == RECONCILE_TXN {
+                        return; // sweep removal: untracked
+                    }
+                    if self.remove_rt.take(&(*txn, *node, *stage)).is_none() {
+                        self.cp.lock().dup_responses += 1;
+                        reply_dup_hit(ctx, msg, *txn, reply.kind_id());
+                        return;
+                    }
+                    let _ = owner;
+                    self.cp.lock().withdraw_removes += 1;
+                    let origin = self
+                        .pending_withdraw
+                        .get(txn)
+                        .map(|p| p.origin)
+                        .unwrap_or(0);
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::State {
+                            t: ctx.now.0,
+                            origin,
+                            txn: *txn,
+                            node: ctx.node,
+                            actor: "nms",
+                            state: "device_removed",
+                        });
+                    }
+                    if let Some(p) = self.pending_withdraw.get_mut(txn) {
+                        if p.awaiting.remove(&(*node, *stage)) {
+                            p.removed += 1;
+                        }
+                    }
+                    self.finish_withdraw_if_done(ctx, *txn);
                 }
                 _ => {}
             }
@@ -1639,6 +2487,59 @@ impl NodeAgent for NmsAgent {
                     ctx.send_control(node, delay, cmd);
                 }
             }
+            CpMsg::NmsWithdraw {
+                owner,
+                txn,
+                reply_to,
+            } => {
+                if let Some(done) = self.withdraw_done.get(txn).copied() {
+                    // Our ack was lost; the TCSP retransmitted. Re-ack.
+                    self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
+                    self.send_withdraw_ack(ctx, *txn, done);
+                    return;
+                }
+                if self.pending_withdraw.contains_key(txn) {
+                    self.cp.lock().dup_requests += 1;
+                    dup_hit(ctx, env, false);
+                    return;
+                }
+                let origin = env.key.origin;
+                self.withdrawn.insert(*owner);
+                // Drop the owner from desired state first so neither the
+                // sweep nor a renewal round re-installs mid-teardown.
+                let victims: BTreeSet<(NodeId, Stage)> = self
+                    .desired
+                    .keys()
+                    .filter(|(_, o, ..)| o == owner)
+                    .map(|(n, _, s, _)| (*n, *s))
+                    .collect();
+                self.desired.retain(|(_, o, ..), _| o != owner);
+                for &(node, stage) in &victims {
+                    self.remove_rt.track(ctx, (*txn, node, stage), node, *owner);
+                    if ctx.cp_trace_enabled() {
+                        ctx.cp_event(CpTraceEvent::RetrySchedule {
+                            t: ctx.now.0,
+                            origin,
+                            txn: *txn,
+                            node: ctx.node,
+                            dest: node,
+                        });
+                    }
+                    self.send_remove(ctx, node, *txn, 0, origin, *owner, stage);
+                }
+                self.pending_withdraw.insert(
+                    *txn,
+                    NmsPendingWithdraw {
+                        origin,
+                        reply_to: *reply_to,
+                        awaiting: victims,
+                        removed: 0,
+                        lost: 0,
+                    },
+                );
+                self.finish_withdraw_if_done(ctx, *txn);
+            }
             _ => {}
         }
     }
@@ -1667,6 +2568,10 @@ pub struct UserRecord {
     pub fallback_acks: usize,
     /// Did the user fall back to direct-ISP deployment?
     pub used_fallback: bool,
+    /// Withdrawal confirmed at (scheduled via [`TOKEN_WITHDRAW`]).
+    pub withdraw_confirmed_at: Option<SimTime>,
+    /// Device removals the withdrawal confirmation reported.
+    pub services_removed: usize,
 }
 
 /// Shared handle to a user's record.
@@ -1678,6 +2583,9 @@ pub type UserHandle = Arc<Mutex<UserRecord>>;
 pub const TOKEN_REGISTER: u64 = 1;
 const T_DEPLOY: u64 = 2;
 const T_TIMEOUT: u64 = 3;
+/// Timer token scenario code schedules on a user agent to make it tear
+/// down its deployment (a keyed, retried [`CpMsg::WithdrawRequest`]).
+pub const TOKEN_WITHDRAW: u64 = 4;
 
 /// A network user driving registration and deployment.
 pub struct UserAgent {
@@ -1707,6 +2615,7 @@ pub struct UserAgent {
     started_deploy: bool,
     reg_rt: Retransmitter<u64, ()>,
     deploy_rt: Retransmitter<u64, ()>,
+    withdraw_rt: Retransmitter<u64, ()>,
     dedup: Dedup,
     cp: CpStatsHandle,
 }
@@ -1744,6 +2653,11 @@ impl UserAgent {
                     FAM_USER_DEPLOY,
                     RetryPolicy::default(),
                     user.0 ^ 0xE,
+                ),
+                withdraw_rt: Retransmitter::new(
+                    FAM_USER_WITHDRAW,
+                    RetryPolicy::default(),
+                    user.0 ^ 0xF,
                 ),
                 dedup: Dedup::new(),
                 cp: CpStatsHandle::default(),
@@ -1822,6 +2736,30 @@ impl UserAgent {
                     txn,
                     reply_to: ctx.node,
                     forward_to_peers,
+                },
+            },
+        );
+    }
+
+    fn send_withdraw(&self, ctx: &mut AgentCtx<'_>, txn: u64, attempt: u32) {
+        let cert = { self.record.lock().cert.clone() };
+        let Some(cert) = cert else { return };
+        let delay = ctx.path_delay(self.tcsp_node) + PROC_DELAY;
+        send_env(
+            ctx,
+            self.tcsp_node,
+            delay,
+            Envelope {
+                to: Role::Tcsp,
+                key: MsgKey {
+                    origin: self.user.0,
+                    txn,
+                    attempt,
+                },
+                msg: CpMsg::WithdrawRequest {
+                    cert,
+                    txn,
+                    reply_to: ctx.node,
                 },
             },
         );
@@ -1915,6 +2853,25 @@ impl NodeAgent for UserAgent {
                 }
                 return;
             }
+            TOKEN_WITHDRAW => {
+                if self.record.lock().cert.is_none() {
+                    return;
+                }
+                self.txn += 1;
+                let txn = self.txn;
+                self.send_withdraw(ctx, txn, 0);
+                self.withdraw_rt.track(ctx, txn, self.tcsp_node, ());
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetrySchedule {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest: self.tcsp_node,
+                    });
+                }
+                return;
+            }
             _ => {}
         }
         match self.reg_rt.on_timer(ctx, token) {
@@ -2000,8 +2957,59 @@ impl NodeAgent for UserAgent {
                     });
                 }
                 self.send_deploy(ctx, dest, to, txn, attempt, fwd);
+                return;
             }
             RetryEvent::GaveUp { key: txn, dest, .. } => {
+                self.cp.lock().give_ups += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryGaveUp {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        dest,
+                    });
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        node: ctx.node,
+                        outcome: "gave_up",
+                    });
+                }
+                return;
+            }
+        }
+        match self.withdraw_rt.on_timer(ctx, token) {
+            RetryEvent::NotMine => {}
+            RetryEvent::Stale => {
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryStale {
+                        t: ctx.now.0,
+                        node: ctx.node,
+                        family: (token & FAMILY_MASK) >> 48,
+                    });
+                }
+            }
+            RetryEvent::Resend {
+                key: txn, attempt, ..
+            } => {
+                self.cp.lock().retransmits += 1;
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::RetryFire {
+                        t: ctx.now.0,
+                        origin: self.user.0,
+                        txn,
+                        attempt,
+                        node: ctx.node,
+                        dest: self.tcsp_node,
+                    });
+                }
+                self.send_withdraw(ctx, txn, attempt);
+            }
+            RetryEvent::GaveUp { key: txn, dest, .. } => {
+                // The TCSP is unreachable; the leases expire the filters
+                // device-side without us.
                 self.cp.lock().give_ups += 1;
                 if ctx.cp_trace_enabled() {
                     ctx.cp_event(CpTraceEvent::RetryGaveUp {
@@ -2136,6 +3144,28 @@ impl NodeAgent for UserAgent {
                         });
                     }
                 }
+            }
+            CpMsg::WithdrawConfirm { removed, .. } => {
+                if !self.dedup.first_time(env.key.origin, env.key.txn, kind, 0) {
+                    self.cp.lock().dup_responses += 1;
+                    dup_hit(ctx, env, true);
+                    return;
+                }
+                self.withdraw_rt.ack(&env.key.txn);
+                if ctx.cp_trace_enabled() {
+                    ctx.cp_event(CpTraceEvent::Terminal {
+                        t: ctx.now.0,
+                        origin: env.key.origin,
+                        txn: env.key.txn,
+                        node: ctx.node,
+                        outcome: "withdrawn",
+                    });
+                }
+                let mut r = self.record.lock();
+                if r.withdraw_confirmed_at.is_none() {
+                    r.withdraw_confirmed_at = Some(ctx.now);
+                }
+                r.services_removed += removed;
             }
             _ => {}
         }

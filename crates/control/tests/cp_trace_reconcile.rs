@@ -10,11 +10,11 @@ use std::sync::{Arc, Mutex};
 use proptest::prelude::*;
 
 use dtcs_control::{
-    partition_by_provider, CatalogService, ControlPlane, DeployScope, InternetNumberAuthority,
-    UserId,
+    partition_by_provider, CatalogService, ControlPlane, ControlPlaneConfig, DeployScope,
+    InternetNumberAuthority, UserId,
 };
 use dtcs_netsim::{
-    CpFlightRecorder, CpTraceEvent, CpVerdict, FaultConfig, FaultPlane, Outage, Prefix,
+    CpFlightRecorder, CpTraceEvent, CpVerdict, FaultConfig, FaultPlane, Outage, Partition, Prefix,
     SimDuration, SimTime, Simulator, Topology,
 };
 
@@ -25,6 +25,7 @@ struct Folded {
     sends: u64,
     drops: u64,
     outage_drops: u64,
+    partition_drops: u64,
     dups: u64,
     jittered: u64,
     crashes: u64,
@@ -35,6 +36,12 @@ struct Folded {
     partial_confirms: u64,
     sweeps: u64,
     reinstalls: u64,
+    lease_renewals: u64,
+    lease_expirations: u64,
+    withdrawals: u64,
+    withdraw_removes: u64,
+    reconcile_removals: u64,
+    expired_deploys: u64,
 }
 
 fn fold(rec: &CpFlightRecorder) -> Folded {
@@ -45,6 +52,7 @@ fn fold(rec: &CpFlightRecorder) -> Folded {
             CpTraceEvent::Verdict { verdict, .. } => match verdict {
                 CpVerdict::Drop => f.drops += 1,
                 CpVerdict::Outage { .. } => f.outage_drops += 1,
+                CpVerdict::Partition { .. } => f.partition_drops += 1,
                 CpVerdict::Deliver {
                     jitter_ns,
                     dup_extra_ns,
@@ -70,6 +78,12 @@ fn fold(rec: &CpFlightRecorder) -> Folded {
             CpTraceEvent::State { state, .. } => match *state {
                 "partial_confirm" => f.partial_confirms += 1,
                 "reinstall" => f.reinstalls += 1,
+                "renew" => f.lease_renewals += 1,
+                "desired_expired" => f.lease_expirations += 1,
+                "withdraw_fanout" => f.withdrawals += 1,
+                "device_removed" => f.withdraw_removes += 1,
+                "remove_orphan" => f.reconcile_removals += 1,
+                "cert_expired" => f.expired_deploys += 1,
                 _ => {}
             },
             CpTraceEvent::Sweep { .. } => f.sweeps += 1,
@@ -82,40 +96,86 @@ fn fold(rec: &CpFlightRecorder) -> Folded {
     f
 }
 
-/// Run the standard register → deploy scenario under the given fault
-/// schedule with full tracing, and return (folded trace, expected fold
-/// rebuilt from the counters).
-fn run_and_fold(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool) -> (Folded, Folded) {
+/// One traced run's full yield: the exported JSONL, the folded trace,
+/// and the expected fold rebuilt from the counters. Fold equality is
+/// only meaningful at sampling multiplier 1 (full trace).
+struct TracedRun {
+    jsonl: String,
+    folded: Folded,
+    expected: Folded,
+}
+
+/// Run a register → deploy → renew → withdraw scenario under the given
+/// fault schedule with tracing at sampling multiplier `mult`. Three
+/// users exercise every counter: one keeps renewing, one withdraws
+/// mid-run, one presents an expired certificate; a partition window
+/// cuts TCSP → first-NMS traffic.
+fn run_traced(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool, mult: u64) -> TracedRun {
     let topo = Topology::transit_stub_multihomed(2, 4, 0.2, 7);
     let mut sim = Simulator::new(topo, 3);
-    let victim_node = sim.topo.stub_nodes()[0];
+    let stubs = sim.topo.stub_nodes();
     let mut authority = InternetNumberAuthority::new();
-    let user_prefix = Prefix::of_node(victim_node);
-    authority.allocate(user_prefix, UserId(0xAA01));
+    let prefixes: Vec<Prefix> = stubs.iter().map(|&n| Prefix::of_node(n)).collect();
+    authority.allocate(prefixes[0], UserId(0xAA01));
+    authority.allocate(prefixes[1], UserId(0xAA02));
+    authority.allocate(prefixes[2], UserId(0xAA03));
     let isps = partition_by_provider(&sim);
     let tcsp_node = sim.topo.transit_nodes()[0];
     let authority_node = sim.topo.transit_nodes()[1];
-    let mut cp = ControlPlane::install_with_reconcile(
+    let first_nms = isps[0].nms_node;
+    let mut cp = ControlPlane::install_with(
         &mut sim,
         authority,
         0x5EC,
         tcsp_node,
         authority_node,
         isps,
-        SimDuration::from_secs(2),
+        ControlPlaneConfig {
+            reconcile_every: Some(SimDuration::from_secs(2)),
+            leases: Some((SimDuration::from_secs(3), SimDuration::from_secs(1))),
+            sweep_removals: true,
+            // Short credential lifetime: desired state expires late in
+            // the run (lease_expirations) and the delayed third deploy
+            // is rejected as stale (expired_deploys).
+            cert_lifetime: Some(SimDuration::from_secs(6)),
+        },
     );
+    // User 1: deploys and stays; renewals run until the credential dies.
     cp.add_user(
         &mut sim,
-        victim_node,
-        vec![user_prefix],
+        stubs[0],
+        vec![prefixes[0]],
         CatalogService::AntiSpoofing,
         DeployScope::AllManaged,
         SimTime::from_millis(100),
         false,
     );
+    // User 2: withdraws at t = 4 s (tracked, retried, fanned-in).
+    cp.add_user_withdrawing(
+        &mut sim,
+        stubs[1],
+        vec![prefixes[1]],
+        CatalogService::AntiSpoofing,
+        DeployScope::AllManaged,
+        SimTime::from_millis(150),
+        SimTime::from_secs(4),
+        false,
+        |a| a,
+    );
+    // User 3: holds its deploy until after the certificate expired.
+    cp.add_user_with(
+        &mut sim,
+        stubs[2],
+        vec![prefixes[2]],
+        CatalogService::AntiSpoofing,
+        DeployScope::AllManaged,
+        SimTime::from_millis(200),
+        false,
+        |a| a.with_deploy_delay(SimDuration::from_secs(7)),
+    );
     let outages = if crash {
         vec![Outage {
-            node: sim.topo.stub_nodes()[1],
+            node: stubs[3],
             from: SimTime::from_secs(5),
             until: SimTime::from_millis(5200),
             crash: true,
@@ -129,15 +189,22 @@ fn run_and_fold(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool) -> 
         dup_prob: dup,
         jitter_max: SimDuration::from_millis(jitter_ms),
         outages,
+        partitions: vec![Partition {
+            src: vec![tcsp_node],
+            dst: vec![first_nms],
+            from: SimTime::from_millis(300),
+            until: SimTime::from_millis(1100),
+        }],
     }));
 
     let rec = Arc::new(Mutex::new(CpFlightRecorder::new(1 << 20)));
-    sim.set_cp_trace_sink(Box::new(rec.clone()), 1);
+    sim.set_cp_trace_sink(Box::new(rec.clone()), mult);
     sim.run_until(SimTime::from_secs(30));
     sim.take_cp_trace_sink();
 
     let guard = rec.lock().expect("recorder mutex");
     assert_eq!(guard.evicted(), 0, "capacity must hold the whole run");
+    let jsonl = guard.export_jsonl_string();
     let folded = fold(&guard);
 
     let cs = cp.cp_stats.lock().clone();
@@ -145,6 +212,7 @@ fn run_and_fold(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool) -> 
         sends: sim.stats.cp_msgs,
         drops: sim.stats.cp_fault_dropped,
         outage_drops: sim.stats.cp_outage_dropped,
+        partition_drops: sim.stats.cp_partition_dropped,
         dups: sim.stats.cp_fault_duplicated,
         jittered: sim.stats.cp_fault_jittered,
         crashes: sim.stats.node_crashes,
@@ -155,8 +223,23 @@ fn run_and_fold(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool) -> 
         partial_confirms: cs.partial_confirms,
         sweeps: cs.reconcile_sweeps,
         reinstalls: cs.reconcile_reinstalls,
+        lease_renewals: cs.lease_renewals,
+        lease_expirations: cs.lease_expirations,
+        withdrawals: cs.withdrawals,
+        withdraw_removes: cs.withdraw_removes,
+        reconcile_removals: cs.reconcile_removals,
+        expired_deploys: cs.expired_deploys,
     };
-    (folded, expected)
+    TracedRun {
+        jsonl,
+        folded,
+        expected,
+    }
+}
+
+fn run_and_fold(seed: u64, drop: f64, dup: f64, jitter_ms: u64, crash: bool) -> (Folded, Folded) {
+    let r = run_traced(seed, drop, dup, jitter_ms, crash, 1);
+    (r.folded, r.expected)
 }
 
 #[test]
@@ -169,6 +252,66 @@ fn crash_run_trace_reconciles_and_is_busy() {
     assert!(folded.drops > 0, "20% loss must drop something");
     assert!(folded.crashes == 1, "the scheduled crash must be recorded");
     assert!(folded.sweeps > 0, "reconcile sweeps ran");
+    assert!(
+        folded.partition_drops > 0,
+        "the partition window must cut TCSP→NMS traffic"
+    );
+    assert!(folded.lease_renewals > 0, "renewal rounds ran");
+    assert!(
+        folded.lease_expirations > 0,
+        "the 6 s certificate must expire desired state"
+    );
+    assert_eq!(folded.withdrawals, 1, "user 2 withdrew once");
+    assert!(folded.withdraw_removes > 0, "devices confirmed removals");
+    assert!(
+        folded.expired_deploys > 0,
+        "user 3's stale deploy must be rejected and counted"
+    );
+}
+
+#[test]
+fn cp_trace_jsonl_is_byte_identical_across_runs_and_covers_new_kinds() {
+    // Same seed → byte-for-byte identical JSONL, including every event
+    // kind this PR added to the wire schema.
+    let a = run_traced(42, 0.20, 0.10, 20, true, 1);
+    let b = run_traced(42, 0.20, 0.10, 20, true, 1);
+    assert!(!a.jsonl.is_empty());
+    assert_eq!(
+        a.jsonl, b.jsonl,
+        "fixed seed must reproduce the JSONL byte-for-byte"
+    );
+    for needle in [
+        "\"outcome\":\"partition\"",
+        "\"state\":\"renew\"",
+        "\"state\":\"desired_expired\"",
+        "\"state\":\"withdraw_fanout\"",
+        "\"state\":\"device_removed\"",
+        "\"state\":\"cert_expired\"",
+        "\"outcome\":\"withdrawn\"",
+        "\"outcome\":\"renewed\"",
+        "\"outcome\":\"expired\"",
+    ] {
+        assert!(a.jsonl.contains(needle), "trace must contain {needle}");
+    }
+}
+
+#[test]
+fn sampled_cp_trace_is_subset_of_full() {
+    // A sampled trace (every 3rd keyed transaction) of the same seeded
+    // run must be a strict, line-exact subset of the full trace — the
+    // new withdraw/renew/partition kinds sample like everything else.
+    let full = run_traced(42, 0.20, 0.10, 20, true, 1);
+    let sampled = run_traced(42, 0.20, 0.10, 20, true, 3);
+    let full_lines: std::collections::HashSet<&str> = full.jsonl.lines().collect();
+    let sampled_lines: Vec<&str> = sampled.jsonl.lines().collect();
+    assert!(!sampled_lines.is_empty());
+    assert!(sampled_lines.len() < full.jsonl.lines().count());
+    for line in sampled_lines {
+        assert!(
+            full_lines.contains(line),
+            "sampled event missing from full trace: {line}"
+        );
+    }
 }
 
 proptest! {

@@ -11,7 +11,8 @@ use dtcs_control::{
     UserHandle, UserId,
 };
 use dtcs_netsim::{
-    FaultConfig, FaultPlane, NodeId, Outage, Prefix, SimDuration, SimTime, Simulator, Topology,
+    FaultConfig, FaultPlane, NodeId, Outage, Partition, Prefix, SimDuration, SimTime, Simulator,
+    Topology,
 };
 
 /// Standard fixture: transit-stub topology, control plane installed, one
@@ -63,6 +64,7 @@ fn lossy_plane(seed: u64, drop: f64, dup: f64, jitter_ms: u64) -> FaultPlane {
         dup_prob: dup,
         jitter_max: SimDuration::from_millis(jitter_ms),
         outages: Vec::new(),
+        partitions: Vec::new(),
     })
 }
 
@@ -179,6 +181,7 @@ fn device_crash_is_repaired_by_reconciliation_sweep() {
             until: SimTime::from_millis(5200),
             crash: true,
         }],
+        partitions: Vec::new(),
     }));
     fx.sim.run_until(SimTime::from_secs(20));
 
@@ -217,6 +220,7 @@ fn nms_outage_window_is_ridden_out_by_retries() {
             until: SimTime::from_millis(1650),
             crash: false,
         }],
+        partitions: Vec::new(),
     }));
     fx.sim.run_until(SimTime::from_secs(60));
 
@@ -228,6 +232,46 @@ fn nms_outage_window_is_ridden_out_by_retries() {
         fx.cp.devices_configured(),
         fx.sim.topo.n(),
         "coverage completes after the outage closes"
+    );
+    assert_eq!(fx.cp.total_rules(), fx.sim.topo.n());
+}
+
+#[test]
+fn control_partition_window_is_ridden_out_by_retries() {
+    // A directed control-plane cut — TCSP → first ISP's NMS goes dark
+    // for 1.5 s right as deployment fan-out begins, while the reverse
+    // direction stays up. Unlike an outage, only that ordered pair is
+    // affected; retransmits repair the gap once the window lifts.
+    let mut fx = fixture(3, 5, None);
+    let nms = fx.cp.isps[0].nms_node;
+    let tcsp = fx.sim.topo.transit_nodes()[0];
+    fx.sim.install_fault_plane(FaultPlane::new(FaultConfig {
+        seed: 11,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        jitter_max: SimDuration::ZERO,
+        outages: Vec::new(),
+        partitions: vec![Partition {
+            src: vec![tcsp],
+            dst: vec![nms],
+            from: SimTime::from_millis(100),
+            until: SimTime::from_millis(1600),
+        }],
+    }));
+    fx.sim.run_until(SimTime::from_secs(60));
+
+    assert!(
+        fx.sim.stats.cp_partition_dropped > 0,
+        "the cut swallowed messages"
+    );
+    assert_eq!(
+        fx.sim.stats.cp_outage_dropped, 0,
+        "a partition is not an outage: the buckets must not bleed"
+    );
+    assert_eq!(
+        fx.cp.devices_configured(),
+        fx.sim.topo.n(),
+        "coverage completes after the partition heals"
     );
     assert_eq!(fx.cp.total_rules(), fx.sim.topo.n());
 }

@@ -48,6 +48,7 @@ fn deploy_for_owner(
             });
             dev.apply(DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner,
                 stage: service.stage(),
                 spec: service.compile(),
@@ -130,6 +131,7 @@ fn trigger_vignette() {
     });
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner,
         stage: service.stage(),
         spec: service.compile(),

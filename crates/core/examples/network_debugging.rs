@@ -53,6 +53,7 @@ fn main() {
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner,
             stage: Stage::Src,
             spec: svc.compile(),

@@ -47,12 +47,14 @@ fn main() {
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner,
             stage: svc_src.stage(),
             spec: svc_src.compile(),
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner,
             stage: dtcs::device::Stage::Dst,
             spec: svc_src.compile(),

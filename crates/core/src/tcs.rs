@@ -149,6 +149,7 @@ pub fn deploy_tcs_static(
         for (stage, spec) in &services {
             let reply = dev.apply(DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner,
                 stage: *stage,
                 spec: spec.clone(),

@@ -34,6 +34,7 @@ fn owners_policies_do_not_leak_onto_each_other() {
     }
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner: OwnerId(1),
         stage: Stage::Dst,
         spec: CatalogService::FirewallBlock {
@@ -43,6 +44,7 @@ fn owners_policies_do_not_leak_onto_each_other() {
     });
     dev.apply(DeviceCommand::InstallService {
         txn: 0,
+        lease_until: SimTime::MAX,
         owner: OwnerId(2),
         stage: Stage::Dst,
         spec: CatalogService::RateLimit {

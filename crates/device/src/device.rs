@@ -40,6 +40,12 @@ use crate::view::{DeviceContext, DeviceEvent, EntryKind, PacketView};
 /// Bytes charged per telemetry event (event header + digest payload).
 const EVENT_BYTES: u64 = 64;
 
+/// Agent-timer token for the lease reaper. The device is the only timer
+/// user on its node, so a single low token suffices; every leased install
+/// arms one timer at its `lease_until`, and timers for since-renewed
+/// leases fire into a no-op.
+const TOKEN_LEASE: u64 = 1;
+
 /// Management command accepted by a device (sent by its ISP's network
 /// management system, or directly in tests).
 #[derive(Clone, Debug)]
@@ -61,7 +67,8 @@ pub enum DeviceCommand {
     /// Install (verify + instantiate) a service graph. Idempotent on
     /// (owner, stage, [`ServiceSpec::content_hash`]): re-installing a
     /// byte-identical spec acks without touching the running graph, so
-    /// control-plane retransmits cannot reset runtime state.
+    /// control-plane retransmits cannot reset runtime state — but the
+    /// lease is refreshed either way, which is how renewals work.
     InstallService {
         /// Owning user.
         owner: OwnerId,
@@ -72,13 +79,25 @@ pub enum DeviceCommand {
         /// Management transaction this install belongs to; echoed in the
         /// reply so the NMS can attribute acks under retries (0 = none).
         txn: u64,
+        /// Authority horizon: the device autonomously uninstalls this
+        /// slot's services at this instant unless a later install pushes
+        /// it forward ([`SimTime::MAX`] = no lease, never expires).
+        /// Installed over the control plane the expiry is wheel-scheduled;
+        /// via [`AdaptiveDevice::apply`] no timer exists, so setup code
+        /// should pass [`SimTime::MAX`].
+        lease_until: SimTime,
     },
-    /// Remove a service graph.
+    /// Remove a service graph. Idempotent: removing an absent slot still
+    /// acks with [`DeviceReply::RemoveOk`], so withdrawal retransmits and
+    /// lease reaps cannot wedge the owner's teardown.
     RemoveService {
         /// Owning user.
         owner: OwnerId,
         /// Which stage.
         stage: Stage,
+        /// Management transaction this removal belongs to; echoed in the
+        /// reply (0 = none).
+        txn: u64,
     },
     /// Activate or deactivate an installed service.
     SetServiceActive {
@@ -184,6 +203,18 @@ pub enum DeviceReply {
         /// One entry per installed service graph.
         installed: Vec<(OwnerId, Stage, u64)>,
     },
+    /// Service slot removed (or already absent) after a
+    /// [`DeviceCommand::RemoveService`].
+    RemoveOk {
+        /// Device node.
+        node: NodeId,
+        /// Owner.
+        owner: OwnerId,
+        /// Stage.
+        stage: Stage,
+        /// Echo of the remove command's transaction id.
+        txn: u64,
+    },
 }
 
 impl DeviceReply {
@@ -191,13 +222,15 @@ impl DeviceReply {
     /// ([`dtcs_netsim::CpMeta::kind`]). Continues the `control` crate's
     /// `CpMsg::kind_id` numbering (1–9) and its device-command ids
     /// (10–12): 13 = InstallOk, 14 = InstallRejected, 15 = Inventory,
-    /// 16 = other device replies.
+    /// 16 = other device replies, 22 = RemoveOk (17–21 are `control`
+    /// crate withdrawal messages and the RemoveService command).
     pub fn kind_id(&self) -> u8 {
         match self {
             DeviceReply::InstallOk { .. } => 13,
             DeviceReply::InstallRejected { .. } => 14,
             DeviceReply::Inventory { .. } => 15,
             DeviceReply::DigestAnswer { .. } | DeviceReply::LogData { .. } => 16,
+            DeviceReply::RemoveOk { .. } => 22,
         }
     }
 }
@@ -229,6 +262,12 @@ pub struct DeviceStats {
     /// Crash/reboot cycles this device went through (volatile state —
     /// owners, services, telemetry budget — was lost each time).
     pub crashes: u64,
+    /// Service slots autonomously uninstalled because their lease ran out
+    /// before any renewal arrived (orphan reaps).
+    pub lease_reaps: u64,
+    /// Instant of the most recent lease reap (None = never); scenarios
+    /// use this to measure orphan-filter dwell time.
+    pub last_reap_at: Option<SimTime>,
 }
 
 /// Shared read handle onto a running device's stats.
@@ -243,6 +282,10 @@ pub struct AdaptiveDevice {
     /// and they execute in installation order. Reinstalling a service
     /// with the same name replaces it in place.
     services: HashMap<(OwnerId, Stage), Vec<ServiceGraph>>,
+    /// Authority horizon per service slot: the slot is reaped when the
+    /// clock passes this instant without a renewing install. Absent or
+    /// `SimTime::MAX` = unleased (setup-time installs).
+    leases: HashMap<(OwnerId, Stage), SimTime>,
     verifier: SafetyVerifier,
     /// Only this node's commands are accepted when set (the ISP NMS).
     manager: Option<NodeId>,
@@ -276,6 +319,7 @@ impl AdaptiveDevice {
             },
             owners: OwnerTable::new(),
             services: HashMap::new(),
+            leases: HashMap::new(),
             verifier: SafetyVerifier::default(),
             manager,
             stats: stats.clone(),
@@ -333,6 +377,7 @@ impl AdaptiveDevice {
                     .collect();
                 for k in removed {
                     self.services.remove(&k);
+                    self.leases.remove(&k);
                 }
                 self.refresh_rule_count();
                 None
@@ -342,10 +387,12 @@ impl AdaptiveDevice {
                 stage,
                 spec,
                 txn,
+                lease_until,
             } => {
                 // Idempotency short-circuit: a byte-identical spec is
                 // already running — ack without re-instantiating, so a
                 // retransmitted install cannot reset trigger/logger state.
+                // The lease still moves forward: this path IS a renewal.
                 let hash = spec.content_hash();
                 if self
                     .services
@@ -354,6 +401,7 @@ impl AdaptiveDevice {
                     .flatten()
                     .any(|g| g.name == spec.name && g.spec_hash == hash)
                 {
+                    self.leases.insert((owner, stage), lease_until);
                     self.stats.lock().idempotent_installs += 1;
                     return Some(DeviceReply::InstallOk {
                         node: self.ctx.node,
@@ -375,6 +423,7 @@ impl AdaptiveDevice {
                             None => graphs.push(graph),
                         }
                         self.adjust_rule_count(delta);
+                        self.leases.insert((owner, stage), lease_until);
                         DeviceReply::InstallOk {
                             node: self.ctx.node,
                             owner,
@@ -395,12 +444,18 @@ impl AdaptiveDevice {
                 };
                 Some(reply)
             }
-            DeviceCommand::RemoveService { owner, stage } => {
+            DeviceCommand::RemoveService { owner, stage, txn } => {
                 if let Some(graphs) = self.services.remove(&(owner, stage)) {
                     let removed: usize = graphs.iter().map(|g| g.rule_count).sum();
                     self.adjust_rule_count(-(removed as i64));
                 }
-                None
+                self.leases.remove(&(owner, stage));
+                Some(DeviceReply::RemoveOk {
+                    node: self.ctx.node,
+                    owner,
+                    stage,
+                    txn,
+                })
             }
             DeviceCommand::SetServiceActive {
                 owner,
@@ -660,7 +715,19 @@ impl NodeAgent for AdaptiveDevice {
             DeviceCommand::QueryInventory { reply_to } => Some(*reply_to),
             _ => Some(msg.from),
         };
+        let lease_until = match cmd {
+            DeviceCommand::InstallService { lease_until, .. } => Some(*lease_until),
+            _ => None,
+        };
         if let Some(reply) = self.handle_command(cmd.clone()) {
+            // Leased install accepted: wheel-schedule the reaper at the
+            // authority horizon. Renewals arm a fresh timer; the old one
+            // fires into a no-op because the lease has moved past it.
+            if let (Some(lease), DeviceReply::InstallOk { .. }) = (lease_until, &reply) {
+                if lease != SimTime::MAX {
+                    ctx.set_timer(lease.saturating_since(ctx.now), TOKEN_LEASE);
+                }
+            }
             if ctx.cp_trace_enabled() {
                 if let Some(m) = msg.meta {
                     let state = match &reply {
@@ -698,6 +765,35 @@ impl NodeAgent for AdaptiveDevice {
         }
     }
 
+    fn on_timer(&mut self, ctx: &mut AgentCtx<'_>, token: u64) {
+        if token != TOKEN_LEASE {
+            return;
+        }
+        // Reap every slot whose authority horizon has passed. Sorted so
+        // the rule-count walk (and any future per-reap telemetry) is
+        // deterministic despite the HashMap.
+        let mut expired: Vec<(OwnerId, Stage)> = self
+            .leases
+            .iter()
+            .filter(|(_, &until)| until <= ctx.now)
+            .map(|(&k, _)| k)
+            .collect();
+        expired.sort();
+        if expired.is_empty() {
+            return; // stale timer: the lease was renewed past this firing
+        }
+        for key in expired {
+            self.leases.remove(&key);
+            if let Some(graphs) = self.services.remove(&key) {
+                let removed: usize = graphs.iter().map(|g| g.rule_count).sum();
+                self.adjust_rule_count(-(removed as i64));
+            }
+            let mut s = self.stats.lock();
+            s.lease_reaps += 1;
+            s.last_reap_at = Some(ctx.now);
+        }
+    }
+
     fn on_crash(&mut self, _ctx: &mut AgentCtx<'_>) {
         // A reboot loses everything provisioned at run time: owner
         // registrations, installed service graphs (with their trigger /
@@ -707,6 +803,7 @@ impl NodeAgent for AdaptiveDevice {
         // responsible for re-provisioning.
         self.owners = OwnerTable::new();
         self.services.clear();
+        self.leases.clear();
         self.events_buf.clear();
         self.entry_cache.clear();
         self.processed_bytes = 0;
@@ -738,6 +835,7 @@ mod tests {
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain(
@@ -811,6 +909,7 @@ mod tests {
             NodeId(1),
             DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -855,6 +954,7 @@ mod tests {
         });
         dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
@@ -887,6 +987,7 @@ mod tests {
         let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
         let reply = dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner: OwnerId(7),
             stage: Stage::Src,
             spec: ServiceSpec::chain("evil", vec![ModuleSpec::Amplify { factor: 100 }]),
@@ -903,6 +1004,7 @@ mod tests {
         // A benign install afterwards still works.
         let reply = dev.apply(DeviceCommand::InstallService {
             txn: 0,
+            lease_until: SimTime::MAX,
             owner: OwnerId(7),
             stage: Stage::Src,
             spec: ServiceSpec::chain("ok", vec![ModuleSpec::AntiSpoof]),
@@ -925,6 +1027,7 @@ mod tests {
             NodeId(1),
             DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -945,6 +1048,7 @@ mod tests {
             NodeId(1),
             DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner: victim_owner(),
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain(
@@ -1000,6 +1104,7 @@ mod tests {
                     SimDuration::from_millis(1),
                     DeviceCommand::InstallService {
                         txn: 0,
+                        lease_until: SimTime::MAX,
                         owner: OwnerId(1),
                         stage: Stage::Dst,
                         spec: ServiceSpec::chain(
@@ -1038,6 +1143,7 @@ mod tests {
         });
         let install = |txn| DeviceCommand::InstallService {
             txn,
+            lease_until: SimTime::MAX,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
@@ -1054,6 +1160,7 @@ mod tests {
         // A *changed* spec under the same name replaces, not re-acks.
         let changed = dev.apply(DeviceCommand::InstallService {
             txn: 9,
+            lease_until: SimTime::MAX,
             owner: victim_owner(),
             stage: Stage::Dst,
             spec: ServiceSpec::chain(
@@ -1081,6 +1188,7 @@ mod tests {
             });
             dev.apply(DeviceCommand::InstallService {
                 txn: 0,
+                lease_until: SimTime::MAX,
                 owner,
                 stage: Stage::Dst,
                 spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
@@ -1119,5 +1227,94 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.stats.class(TrafficClass::Background).delivered_pkts, 1);
         assert_eq!(handle.lock().redirected_pkts, 0);
+    }
+
+    fn leased_install(lease_until: SimTime) -> DeviceCommand {
+        DeviceCommand::InstallService {
+            txn: 1,
+            lease_until,
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
+        }
+    }
+
+    #[test]
+    fn expired_lease_reaps_orphaned_service() {
+        let (mut sim, handle) = sim_with_device();
+        // Replace the setup-time unleased install with a leased one.
+        sim.deliver_control(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(1),
+            leased_install(SimTime::from_millis(500)),
+        );
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(handle.lock().rule_count, 1, "still within the lease");
+        assert_eq!(handle.lock().lease_reaps, 0);
+        sim.run_until(SimTime::from_secs(1));
+        let s = handle.lock();
+        assert_eq!(s.rule_count, 0, "no renewal: the filter is gone");
+        assert_eq!(s.lease_reaps, 1);
+        assert_eq!(s.last_reap_at, Some(SimTime::from_millis(500)));
+    }
+
+    #[test]
+    fn renewal_pushes_lease_forward_and_stale_timer_noops() {
+        let (mut sim, handle) = sim_with_device();
+        sim.deliver_control(
+            SimTime::ZERO,
+            NodeId(1),
+            NodeId(1),
+            leased_install(SimTime::from_millis(500)),
+        );
+        // Renewal: byte-identical spec, later horizon — the idempotent
+        // path must still move the lease.
+        sim.deliver_control(
+            SimTime::from_millis(300),
+            NodeId(1),
+            NodeId(1),
+            leased_install(SimTime::from_millis(900)),
+        );
+        sim.run_until(SimTime::from_millis(700));
+        let s = handle.lock();
+        assert_eq!(s.rule_count, 1, "original timer fired into a no-op");
+        assert_eq!(s.lease_reaps, 0);
+        assert_eq!(s.idempotent_installs, 1);
+        drop(s);
+        sim.run_until(SimTime::from_secs(1));
+        let s = handle.lock();
+        assert_eq!(s.rule_count, 0, "renewed lease eventually expires too");
+        assert_eq!(s.lease_reaps, 1);
+        assert_eq!(s.last_reap_at, Some(SimTime::from_millis(900)));
+    }
+
+    #[test]
+    fn remove_service_acks_even_when_absent() {
+        let (mut dev, handle) = AdaptiveDevice::new(NodeId(1), None);
+        let reply = dev.apply(DeviceCommand::RemoveService {
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            txn: 5,
+        });
+        assert!(
+            matches!(reply, Some(DeviceReply::RemoveOk { txn: 5, .. })),
+            "removing an absent slot still acks (idempotent teardown)"
+        );
+        dev.apply(DeviceCommand::InstallService {
+            txn: 0,
+            lease_until: SimTime::MAX,
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            spec: ServiceSpec::chain("fw", vec![ModuleSpec::AntiSpoof]),
+        });
+        assert_eq!(handle.lock().rule_count, 1);
+        let reply = dev.apply(DeviceCommand::RemoveService {
+            owner: victim_owner(),
+            stage: Stage::Dst,
+            txn: 6,
+        });
+        assert!(matches!(reply, Some(DeviceReply::RemoveOk { txn: 6, .. })));
+        assert_eq!(handle.lock().rule_count, 0);
     }
 }

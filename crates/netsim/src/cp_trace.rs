@@ -84,6 +84,14 @@ pub enum CpVerdict {
         /// schedule, when known.
         window: Option<u64>,
     },
+    /// Swallowed by a directed partition window between the sender's and
+    /// receiver's node sets (increments `cp_partition_dropped`). Both
+    /// endpoints are up; the cut between them was open at push time.
+    Partition {
+        /// Index of the matching partition window in the fault plane's
+        /// schedule.
+        window: u64,
+    },
 }
 
 /// One step in a control transaction's life.
@@ -349,6 +357,9 @@ impl CpTraceEvent {
                         if let Some(w) = window {
                             let _ = write!(out, ",\"window\":{w}");
                         }
+                    }
+                    CpVerdict::Partition { window } => {
+                        let _ = write!(out, ",\"outcome\":\"partition\",\"window\":{window}");
                     }
                 }
                 out.push('}');

@@ -25,6 +25,13 @@
 //!   [`crate::agent::NodeAgent::on_crash`] on every agent of the node at
 //!   window start: volatile agent state (installed services, registered
 //!   owners) is lost and must be re-provisioned by the management layer.
+//! * A **partition window** `[from, until)` cuts the control channel
+//!   *between* two node sets in one direction: any message pushed while
+//!   the window is open whose sender is in the `src` set and receiver in
+//!   the `dst` set is swallowed. Unlike an outage, both endpoints stay up
+//!   and keep talking to everyone else — this models a management-plane
+//!   network split (NMS can't reach its devices; devices can't reach
+//!   their NMS) rather than a dead box. A symmetric cut is two windows.
 //!
 //! Fault counters live in [`crate::stats::Stats`] (`cp_*` fields), so
 //! experiment reports can reconcile protocol-layer retry/dedup counters
@@ -53,6 +60,30 @@ pub struct Outage {
     pub crash: bool,
 }
 
+/// One directed control-plane partition window: while open, messages
+/// from any node in `src` to any node in `dst` are swallowed. Both node
+/// sets are explicit (actor-pair cuts are singleton sets); membership is
+/// a pure set lookup, so — like every other fault decision — two runs
+/// with the same schedule cut exactly the same messages.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Sending side of the cut.
+    pub src: Vec<NodeId>,
+    /// Receiving side of the cut.
+    pub dst: Vec<NodeId>,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl Partition {
+    /// Does this window cut a `src → dst` message pushed at `t`?
+    pub fn cuts(&self, src: NodeId, dst: NodeId, t: SimTime) -> bool {
+        t >= self.from && t < self.until && self.src.contains(&src) && self.dst.contains(&dst)
+    }
+}
+
 /// Fault-injection configuration.
 #[derive(Clone, Debug)]
 pub struct FaultConfig {
@@ -67,6 +98,8 @@ pub struct FaultConfig {
     pub jitter_max: SimDuration,
     /// Outage / crash schedule.
     pub outages: Vec<Outage>,
+    /// Directed partition-window schedule (empty disables partitions).
+    pub partitions: Vec<Partition>,
 }
 
 impl Default for FaultConfig {
@@ -77,6 +110,7 @@ impl Default for FaultConfig {
             dup_prob: 0.0,
             jitter_max: SimDuration::ZERO,
             outages: Vec::new(),
+            partitions: Vec::new(),
         }
     }
 }
@@ -103,6 +137,7 @@ pub struct FaultPlane {
     dup_thresh: u32,
     jitter_max: SimDuration,
     outages: Vec<Outage>,
+    partitions: Vec<Partition>,
     /// Per ordered `(src, dst)` pair message counter; the third component
     /// of the decision hash.
     seq: std::collections::BTreeMap<(NodeId, NodeId), u64>,
@@ -117,6 +152,7 @@ impl FaultPlane {
             dup_thresh: (cfg.dup_prob.clamp(0.0, 1.0) * 65536.0) as u32,
             jitter_max: cfg.jitter_max,
             outages: cfg.outages,
+            partitions: cfg.partitions,
             seq: std::collections::BTreeMap::new(),
         }
     }
@@ -145,6 +181,14 @@ impl FaultPlane {
         self.outages
             .iter()
             .position(|o| o.node == node && t >= o.from && t < o.until)
+    }
+
+    /// Index (into the configured partition schedule) of the first window
+    /// cutting a `src → dst` message pushed at `t`, if any. The index is
+    /// the `window` id carried by control-trace partition verdicts, so
+    /// the analyzer can join a swallowed message to the cut that ate it.
+    pub fn partition_window(&self, src: NodeId, dst: NodeId, t: SimTime) -> Option<usize> {
+        self.partitions.iter().position(|p| p.cuts(src, dst, t))
     }
 
     /// Crash windows with their outage-schedule indices
@@ -208,6 +252,7 @@ mod tests {
             dup_prob: dup,
             jitter_max: SimDuration::from_millis(jitter_ms),
             outages: Vec::new(),
+            partitions: Vec::new(),
         })
     }
 
@@ -283,5 +328,45 @@ mod tests {
             p.crash_windows(),
             vec![(0, NodeId(5), SimTime::from_secs(1))]
         );
+    }
+
+    #[test]
+    fn partition_windows_cut_directed_set_pairs() {
+        let p = FaultPlane::new(FaultConfig {
+            partitions: vec![Partition {
+                src: vec![NodeId(1), NodeId(2)],
+                dst: vec![NodeId(7)],
+                from: SimTime::from_secs(1),
+                until: SimTime::from_secs(2),
+            }],
+            ..FaultConfig::default()
+        });
+        let t = SimTime::from_millis(1500);
+        // Directed: src-set → dst-set only, and only inside the window.
+        assert_eq!(p.partition_window(NodeId(1), NodeId(7), t), Some(0));
+        assert_eq!(p.partition_window(NodeId(2), NodeId(7), t), Some(0));
+        assert_eq!(p.partition_window(NodeId(7), NodeId(1), t), None);
+        assert_eq!(p.partition_window(NodeId(1), NodeId(3), t), None);
+        assert_eq!(
+            p.partition_window(NodeId(1), NodeId(7), SimTime::from_millis(999)),
+            None
+        );
+        // Half-open `[from, until)`, like outage windows.
+        assert_eq!(
+            p.partition_window(NodeId(1), NodeId(7), SimTime::from_secs(1)),
+            Some(0)
+        );
+        assert_eq!(
+            p.partition_window(NodeId(1), NodeId(7), SimTime::from_secs(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_partition_schedule_cuts_nothing() {
+        let p = plane(0.0, 0.0, 0);
+        for t in [SimTime::ZERO, SimTime::from_secs(5)] {
+            assert_eq!(p.partition_window(NodeId(0), NodeId(1), t), None);
+        }
     }
 }

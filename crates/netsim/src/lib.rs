@@ -63,7 +63,7 @@ pub use agent::{AgentCtx, ControlMsg, NodeAgent, Verdict};
 pub use app::{App, AppApi, Disposition, SinkApp};
 pub use arena::{Arena, Handle as ArenaHandle};
 pub use cp_trace::{CpFlightRecorder, CpMeta, CpTraceEvent, CpTraceSink, CpTracer, CpVerdict};
-pub use faults::{FaultConfig, FaultDecision, FaultPlane, Outage};
+pub use faults::{FaultConfig, FaultDecision, FaultPlane, Outage, Partition};
 pub use fluid::{FluidDemand, FluidFilter, FluidLayer};
 pub use link::{Admission, Link, LinkProfile};
 pub use metrics::{MetricEntry, MetricValue, MetricsSnapshot};

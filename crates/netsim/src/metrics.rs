@@ -134,6 +134,11 @@ impl MetricsSnapshot {
             "Control messages swallowed by an outage window",
         );
         s.push_counter(
+            "cp_partition_dropped",
+            stats.cp_partition_dropped,
+            "Control messages swallowed by a partition window",
+        );
+        s.push_counter(
             "node_crashes",
             stats.node_crashes,
             "Node crashes executed (fault-plane windows plus ad-hoc)",

@@ -369,7 +369,7 @@ type StatsRaw = (
     Vec<(usize, usize, u64, u64, u64)>,
     Vec<(u64, u64, u64)>,
     (u64, u64, u64, u64, u64, u64),
-    (u64, u64, u64, u64, u64, u64),
+    (u64, u64, u64, u64, u64, u64, u64),
     (u64, u64, u64, u64, u64),
     Option<Vec<(usize, u64, u32)>>,
 );
@@ -415,12 +415,13 @@ fn stats_from(raw: StatsRaw) -> Stats {
     s.wheel_slot_occupancy_hwm = slot_hwm;
     s.wheel_len_hwm = len_hwm;
     s.wheel_cascade_moves = events / 7;
-    let (cp, dropped, duplicated, jittered, outage, crashes) = control;
+    let (cp, dropped, duplicated, jittered, outage, partition, crashes) = control;
     s.cp_msgs = cp;
     s.cp_fault_dropped = dropped.min(cp);
     s.cp_fault_duplicated = duplicated.min(cp);
     s.cp_fault_jittered = jittered.min(cp);
     s.cp_outage_dropped = outage.min(cp);
+    s.cp_partition_dropped = partition.min(cp);
     s.node_crashes = crashes;
     let (aggs, ticks, recomputes, invalidations, conversions) = fluid;
     s.fluid_aggregates = aggs;
@@ -478,6 +479,7 @@ fn arb_stats() -> impl Strategy<Value = Stats> {
             0u64..100_000,
         ),
         (
+            0u64..10_000,
             0u64..10_000,
             0u64..10_000,
             0u64..10_000,

@@ -510,6 +510,22 @@ impl Simulator {
             }
             return;
         }
+        // Partition windows: a directed cut between the sender's and
+        // receiver's node sets swallows the message at push time even
+        // though both endpoints are up.
+        if let Some(w) = faults.partition_window(from, to, self.now) {
+            self.stats.cp_partition_dropped += 1;
+            if traced {
+                self.cp_tracer.record(CpTraceEvent::Verdict {
+                    t,
+                    meta,
+                    from,
+                    to,
+                    verdict: CpVerdict::Partition { window: w as u64 },
+                });
+            }
+            return;
+        }
         let d = faults.decide(from, to);
         if d.drop {
             self.stats.cp_fault_dropped += 1;
@@ -1722,6 +1738,7 @@ mod tests {
                     until: SimTime::from_millis(100),
                     crash: true,
                 }],
+                partitions: Vec::new(),
             });
             let topo = Topology::line(3);
             let mut sim = Simulator::new(topo, 1);

@@ -279,6 +279,10 @@ pub struct Stats {
     /// Control messages swallowed by an outage window (sender or receiver
     /// control channel down).
     pub cp_outage_dropped: u64,
+    /// Control messages swallowed by a directed partition window (both
+    /// endpoints up, but the cut between their sets was open at push
+    /// time).
+    pub cp_partition_dropped: u64,
     /// Node crashes executed (fault-plane crash windows plus ad-hoc
     /// [`crate::sim::Simulator::crash_node`] calls).
     pub node_crashes: u64,
@@ -380,6 +384,7 @@ impl Stats {
             cp_fault_duplicated,
             cp_fault_jittered,
             cp_outage_dropped,
+            cp_partition_dropped,
             node_crashes,
             fluid_aggregates,
             fluid_ticks,
@@ -413,6 +418,7 @@ impl Stats {
         self.cp_fault_duplicated += *cp_fault_duplicated;
         self.cp_fault_jittered += *cp_fault_jittered;
         self.cp_outage_dropped += *cp_outage_dropped;
+        self.cp_partition_dropped += *cp_partition_dropped;
         self.node_crashes += *node_crashes;
         self.fluid_aggregates += *fluid_aggregates;
         self.fluid_ticks += *fluid_ticks;
@@ -743,6 +749,7 @@ mod tests {
         b.cp_fault_dropped = 2;
         b.cp_fault_duplicated = 3;
         b.cp_outage_dropped = 5;
+        b.cp_partition_dropped = 4;
         b.past_events_clamped = 0;
         b.route_link_flips = 1;
         b.fluid_aggregates = 2;
@@ -773,6 +780,7 @@ mod tests {
         assert_eq!(a.cp_fault_duplicated, 3);
         assert_eq!(a.cp_fault_jittered, 1);
         assert_eq!(a.cp_outage_dropped, 5);
+        assert_eq!(a.cp_partition_dropped, 4);
         // Route-churn counters add.
         assert_eq!(a.route_link_flips, 7);
         assert_eq!(a.route_full_recomputes, 2);
